@@ -1,0 +1,301 @@
+package xseed
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (Section 6), each regenerating the corresponding rows at a
+// reduced scale and logging them (run with -bench . -v to see the tables;
+// cmd/xseedbench runs the same experiments at arbitrary scale), plus
+// micro-benchmarks of the primitive operations (construction, estimation,
+// exact evaluation, serialization) that the paper's timing claims rest on.
+
+import (
+	"bytes"
+	"testing"
+
+	"xseed/internal/counterstack"
+	"xseed/internal/estimate"
+	"xseed/internal/experiments"
+	"xseed/internal/het"
+	"xseed/internal/kernel"
+	"xseed/internal/nok"
+	"xseed/internal/xmldoc"
+	"xseed/internal/xpath"
+)
+
+// benchCfg keeps experiment benchmarks fast enough for `go test -bench .`;
+// use cmd/xseedbench for larger scales.
+var benchCfg = experiments.Config{Scale: 0.02, QueriesPerClass: 100, Seed: 1}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		rows, err := experiments.Table2(benchCfg, &buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 5 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+		if i == 0 {
+			b.Log("\n" + buf.String())
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		rows, err := experiments.Table3(benchCfg, &buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+		if i == 0 {
+			b.Log("\n" + buf.String())
+		}
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		rows, err := experiments.Figure5(benchCfg, &buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+		if i == 0 {
+			b.Log("\n" + buf.String())
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		rows, err := experiments.Figure6(benchCfg, &buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+		if i == 0 {
+			b.Log("\n" + buf.String())
+		}
+	}
+}
+
+func BenchmarkSection64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		rows, err := experiments.Section64(benchCfg, &buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 5 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+		if i == 0 {
+			b.Log("\n" + buf.String())
+		}
+	}
+}
+
+// --- Micro-benchmarks -----------------------------------------------------
+
+// benchDoc loads a moderately sized XMark sample shared by the
+// micro-benchmarks.
+func benchDoc(b *testing.B) *Document {
+	b.Helper()
+	d, err := Generate("xmark", 0.01, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkKernelConstruction measures Algorithm 1 over the document's
+// event stream (the paper's negligible kernel construction time).
+func BenchmarkKernelConstruction(b *testing.B) {
+	d := benchDoc(b)
+	var src xmldoc.Source = docSource{d}
+	dict := d.doc.Dict()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kernel.Build(src, dict); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(d.NumNodes()), "nodes/op")
+}
+
+type docSource struct{ d *Document }
+
+func (s docSource) Emit(dict *xmldoc.Dict, sink xmldoc.Sink) error {
+	return s.d.doc.Emit(dict, sink)
+}
+
+// BenchmarkEPTBuild measures unfolding the kernel into the expanded path
+// tree — the dominant per-estimate cost without caching.
+func BenchmarkEPTBuild(b *testing.B) {
+	d := benchDoc(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		root, st := estimate.BuildEPT(d.kern, estimate.Options{})
+		if root == nil || st.Nodes == 0 {
+			b.Fatal("empty EPT")
+		}
+	}
+}
+
+// Estimation benchmarks per query class, EPT regenerated per estimate as in
+// the paper's timing experiments.
+func benchEstimate(b *testing.B, query string) {
+	d := benchDoc(b)
+	syn, err := BuildSynopsis(d, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := MustParseQuery(query)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		syn.EstimateQuery(q)
+	}
+}
+
+func BenchmarkEstimateSP(b *testing.B) {
+	benchEstimate(b, "/site/open_auctions/open_auction/bidder")
+}
+
+func BenchmarkEstimateBP(b *testing.B) {
+	benchEstimate(b, "/site/regions/australia/item[shipping]/location")
+}
+
+func BenchmarkEstimateCP(b *testing.B) {
+	benchEstimate(b, "//open_auction[bidder/personref]//description")
+}
+
+func BenchmarkEstimateRecursiveCP(b *testing.B) {
+	d, err := Generate("treebank", 0.005, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	syn, err := KernelOnly(d, &Config{CardThreshold: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := MustParseQuery("//NP//NP//NN")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		syn.EstimateQuery(q)
+	}
+}
+
+// BenchmarkActualEvaluation measures the NoK exact evaluator — the
+// denominator of the paper's Section 6.4 time ratio.
+func BenchmarkActualEvaluation(b *testing.B) {
+	d := benchDoc(b)
+	ev := nok.New(d.doc)
+	q := xpath.MustParse("//open_auction[bidder/personref]//description")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Count(q)
+	}
+	b.ReportMetric(float64(d.NumNodes()), "nodes/op")
+}
+
+// BenchmarkHETPrecompute1BP measures hyper-edge table pre-computation
+// (Table 2's second construction column).
+func BenchmarkHETPrecompute1BP(b *testing.B) {
+	d := benchDoc(b)
+	pt := d.pt
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, _ := het.Precompute(d.doc, pt, d.kern, het.PrecomputeOptions{
+			MBP:             1,
+			EstimateOptions: estimate.Options{ReuseEPT: true},
+		})
+		if tab.NumEntries() == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTreeSketchBuild measures baseline construction at a 25KB budget.
+func BenchmarkTreeSketchBuild(b *testing.B) {
+	d := benchDoc(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := BuildTreeSketch(d, 25*1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSynopsisSerialize measures WriteTo+ReadSynopsis round trips.
+func BenchmarkSynopsisSerialize(b *testing.B) {
+	d := benchDoc(b)
+	syn, err := BuildSynopsis(d, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := syn.WriteTo(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadSynopsis(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// csSink drives a counter stack from document events.
+type csSink struct {
+	cs  *counterstack.Stack[xmldoc.LabelID]
+	max int
+}
+
+func (s *csSink) OpenElement(l xmldoc.LabelID) {
+	s.cs.Push(l)
+	if lvl := s.cs.Level(); lvl > s.max {
+		s.max = lvl
+	}
+}
+
+func (s *csSink) CloseElement(l xmldoc.LabelID) { s.cs.Pop(l) }
+
+// BenchmarkCounterStackTraversal measures recursion-level bookkeeping over
+// a full document pass (the expected-O(1) structure of Figure 3).
+func BenchmarkCounterStackTraversal(b *testing.B) {
+	d, err := Generate("treebank", 0.005, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dict := d.doc.Dict()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink := &csSink{cs: counterstack.New[xmldoc.LabelID]()}
+		if err := d.doc.Emit(dict, sink); err != nil {
+			b.Fatal(err)
+		}
+		if sink.max < 5 {
+			b.Fatalf("max recursion level %d, want >= 5", sink.max)
+		}
+	}
+	b.ReportMetric(float64(d.NumNodes()), "nodes/op")
+}

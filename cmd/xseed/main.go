@@ -1,0 +1,242 @@
+// Command xseed builds XSEED synopses from XML files and estimates path
+// query cardinalities with them.
+//
+// Subcommands:
+//
+//	xseed stats    -xml doc.xml
+//	    Print document statistics (the paper's Table 2 columns) and the
+//	    kernel size.
+//
+//	xseed build    -xml doc.xml -o doc.xsd [-mbp 1] [-budget 25600]
+//	    Build a synopsis (kernel + HET) and write it to a file.
+//
+//	xseed estimate (-xml doc.xml | -synopsis doc.xsd) query...
+//	    Estimate the cardinality of each query.
+//
+//	xseed eval     -xml doc.xml query...
+//	    Evaluate each query exactly (NoK scan) and print actual counts.
+//
+//	xseed compare  -xml doc.xml [-mbp 1] [-budget 0] query...
+//	    Print estimate vs actual side by side with relative error.
+//
+//	xseed ept      -xml doc.xml [-threshold 0]
+//	    Dump the expanded path tree as annotated XML (paper Section 4).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xseed"
+	"xseed/internal/estimate"
+	"xseed/internal/kernel"
+	"xseed/internal/xmldoc"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "stats":
+		runStats(args)
+	case "build":
+		runBuild(args)
+	case "estimate":
+		runEstimate(args)
+	case "eval":
+		runEval(args)
+	case "compare":
+		runCompare(args)
+	case "ept":
+		runEPT(args)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: xseed {stats|build|estimate|eval|compare|ept} [flags] [query...]")
+	os.Exit(2)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "xseed:", err)
+	os.Exit(1)
+}
+
+func loadDoc(path string) *xseed.Document {
+	if path == "" {
+		fail(fmt.Errorf("missing -xml"))
+	}
+	d, err := xseed.LoadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	return d
+}
+
+func runStats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	xml := fs.String("xml", "", "XML input file")
+	fs.Parse(args)
+	d := loadDoc(*xml)
+	st := d.Stats()
+	syn, err := xseed.KernelOnly(d, nil)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("nodes:          %d\n", st.Nodes)
+	fmt.Printf("labels:         %d\n", st.Labels)
+	fmt.Printf("distinct paths: %d\n", st.PathCount)
+	fmt.Printf("max depth:      %d\n", st.MaxDepth)
+	fmt.Printf("avg rec level:  %.4f\n", st.AvgRecLevel)
+	fmt.Printf("max rec level:  %d\n", st.MaxRecLevel)
+	fmt.Printf("kernel size:    %d bytes\n", syn.KernelSizeBytes())
+}
+
+func runBuild(args []string) {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	xml := fs.String("xml", "", "XML input file")
+	out := fs.String("o", "", "output synopsis file")
+	mbp := fs.Int("mbp", 1, "max branching predicates in HET patterns (0 = kernel only)")
+	budget := fs.Int("budget", 0, "total synopsis budget in bytes (0 = unlimited)")
+	bsel := fs.Float64("bsel-threshold", 0.1, "BSEL_THRESHOLD for HET pre-computation")
+	threshold := fs.Float64("card-threshold", 0, "CARD_THRESHOLD for estimator traversal")
+	fs.Parse(args)
+	if *out == "" {
+		fail(fmt.Errorf("missing -o"))
+	}
+	d := loadDoc(*xml)
+	cfg := &xseed.Config{CardThreshold: *threshold}
+	if *mbp <= 0 {
+		cfg.HET = &xseed.HETConfig{Disable: true}
+	} else {
+		cfg.HET = &xseed.HETConfig{MBP: *mbp, BselThreshold: *bsel}
+	}
+	syn, err := xseed.BuildSynopsis(d, cfg)
+	if err != nil {
+		fail(err)
+	}
+	if *budget > 0 {
+		syn.SetBudget(*budget)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	n, err := syn.WriteTo(f)
+	if err != nil {
+		fail(err)
+	}
+	resident, total := syn.HETEntries()
+	fmt.Printf("wrote %s: %d bytes on disk; kernel %dB + HET %dB resident (%d/%d entries)\n",
+		*out, n, syn.KernelSizeBytes(), syn.HETSizeBytes(), resident, total)
+}
+
+func runEstimate(args []string) {
+	fs := flag.NewFlagSet("estimate", flag.ExitOnError)
+	xml := fs.String("xml", "", "XML input file (build synopsis on the fly)")
+	synPath := fs.String("synopsis", "", "synopsis file from `xseed build`")
+	fs.Parse(args)
+	var syn *xseed.Synopsis
+	switch {
+	case *synPath != "":
+		f, err := os.Open(*synPath)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		s, err := xseed.ReadSynopsis(f)
+		if err != nil {
+			fail(err)
+		}
+		syn = s
+	case *xml != "":
+		s, err := xseed.BuildSynopsis(loadDoc(*xml), nil)
+		if err != nil {
+			fail(err)
+		}
+		syn = s
+	default:
+		fail(fmt.Errorf("need -xml or -synopsis"))
+	}
+	for _, q := range fs.Args() {
+		est, err := syn.Estimate(q)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%-50s %12.2f\n", q, est)
+	}
+}
+
+func runEval(args []string) {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	xml := fs.String("xml", "", "XML input file")
+	fs.Parse(args)
+	d := loadDoc(*xml)
+	for _, q := range fs.Args() {
+		n, err := d.Count(q)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%-50s %12d\n", q, n)
+	}
+}
+
+func runCompare(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	xml := fs.String("xml", "", "XML input file")
+	mbp := fs.Int("mbp", 1, "max branching predicates in HET (0 = kernel only)")
+	budget := fs.Int("budget", 0, "total synopsis budget in bytes (0 = unlimited)")
+	fs.Parse(args)
+	d := loadDoc(*xml)
+	cfg := &xseed.Config{}
+	if *mbp <= 0 {
+		cfg.HET = &xseed.HETConfig{Disable: true}
+	} else {
+		cfg.HET = &xseed.HETConfig{MBP: *mbp}
+	}
+	syn, err := xseed.BuildSynopsis(d, cfg)
+	if err != nil {
+		fail(err)
+	}
+	if *budget > 0 {
+		syn.SetBudget(*budget)
+	}
+	fmt.Printf("%-50s %12s %12s %9s\n", "query", "estimate", "actual", "rel.err")
+	for _, q := range fs.Args() {
+		est, err := syn.Estimate(q)
+		if err != nil {
+			fail(err)
+		}
+		act, err := d.Count(q)
+		if err != nil {
+			fail(err)
+		}
+		rel := 0.0
+		if act != 0 {
+			rel = (est - float64(act)) / float64(act)
+		}
+		fmt.Printf("%-50s %12.2f %12d %8.1f%%\n", q, est, act, rel*100)
+	}
+}
+
+func runEPT(args []string) {
+	fs := flag.NewFlagSet("ept", flag.ExitOnError)
+	xml := fs.String("xml", "", "XML input file")
+	threshold := fs.Float64("threshold", 0, "CARD_THRESHOLD for traversal pruning")
+	fs.Parse(args)
+	if *xml == "" {
+		fail(fmt.Errorf("missing -xml"))
+	}
+	dict := xmldoc.NewDict()
+	k, err := kernel.Build(xmldoc.NewParserFile(*xml), dict)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(estimate.DumpEPTXML(k, estimate.Options{CardThreshold: *threshold}))
+}

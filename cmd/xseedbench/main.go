@@ -1,0 +1,65 @@
+// Command xseedbench runs the paper's experiments (Tables 2-3, Figures 5-6,
+// Section 6.4) at a configurable scale and prints paper-style tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xseed/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table2, table3, fig5, fig6, sec64, or all")
+	scale := flag.Float64("scale", 0.05, "dataset scale (1.0 = paper-size datasets)")
+	queries := flag.Int("queries", 200, "random queries per workload class (paper: 1000)")
+	seed := flag.Int64("seed", 1, "deterministic seed for datasets and workloads")
+	tsops := flag.Int64("ts-op-budget", 0, "TreeSketch construction op budget (0 = default 3e8; exceeding reports DNF)")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Scale:              *scale,
+		QueriesPerClass:    *queries,
+		Seed:               *seed,
+		TreeSketchOpBudget: *tsops,
+	}
+
+	run := func(name string, f func() error) {
+		fmt.Printf("=== %s ===\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "xseedbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	want := strings.ToLower(*exp)
+	all := want == "all"
+	ran := false
+	if all || want == "table2" {
+		run("Table 2", func() error { _, err := experiments.Table2(cfg, os.Stdout); return err })
+		ran = true
+	}
+	if all || want == "table3" {
+		run("Table 3", func() error { _, err := experiments.Table3(cfg, os.Stdout); return err })
+		ran = true
+	}
+	if all || want == "fig5" {
+		run("Figure 5", func() error { _, err := experiments.Figure5(cfg, os.Stdout); return err })
+		ran = true
+	}
+	if all || want == "fig6" {
+		run("Figure 6", func() error { _, err := experiments.Figure6(cfg, os.Stdout); return err })
+		ran = true
+	}
+	if all || want == "sec64" {
+		run("Section 6.4", func() error { _, err := experiments.Section64(cfg, os.Stdout); return err })
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "xseedbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

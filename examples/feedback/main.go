@@ -1,0 +1,85 @@
+// Feedback: self-tuning estimation from query feedback (paper Figure 1's
+// feedback arrow and Section 5's "populated by the optimizer through query
+// feedback").
+//
+// A synopsis starts with no pre-computed hyper-edge table. As a query
+// workload executes, the optimizer learns each query's actual cardinality
+// and feeds it back; the hyper-edge table accumulates corrections and the
+// workload error drops, round over round.
+//
+// Run with: go run ./examples/feedback
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"xseed"
+)
+
+func rmse(d *xseed.Document, syn *xseed.Synopsis, qs []*xseed.Query) float64 {
+	var sum float64
+	for _, q := range qs {
+		act, _ := q.Actual()
+		est := syn.EstimateQuery(q)
+		diff := est - float64(act)
+		sum += diff * diff
+	}
+	return math.Sqrt(sum / float64(len(qs)))
+}
+
+func main() {
+	d, err := xseed.Generate("dblp", 0.005, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Start from a synopsis whose HET is enabled but empty: no
+	// pre-computation pass touches the document; every entry will come
+	// from feedback.
+	syn, err := xseed.BuildSynopsis(d, &xseed.Config{
+		HET: &xseed.HETConfig{FeedbackOnly: true},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	bp, err := d.RandomWorkload("BP", 120, 1, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cp, err := d.RandomWorkload("CP", 120, 1, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qs := append(bp, cp...)
+
+	fmt.Printf("DBLP sample: %d elements; workload: %d queries\n\n", d.NumNodes(), len(qs))
+	fmt.Printf("%-8s %12s %14s\n", "round", "RMSE", "HET entries")
+	for round := 0; round <= 4; round++ {
+		_, entries := syn.HETEntries()
+		fmt.Printf("%-8d %12.2f %14d\n", round, rmse(d, syn, qs), entries)
+		if round == 4 {
+			break
+		}
+		// Execute a quarter of the workload per round and feed actual
+		// cardinalities back — like an optimizer observing operators. Each
+		// twig execution also reveals the count of the scan underneath it
+		// (the query with its predicates stripped), so feed that too.
+		lo, hi := round*len(qs)/4, (round+1)*len(qs)/4
+		for _, q := range qs[lo:hi] {
+			act, _ := q.Actual() // stands in for "run the query, count results"
+			if err := syn.Feedback(q.String(), float64(act)); err != nil {
+				log.Fatal(err)
+			}
+			base := q.WithoutPredicates()
+			if base.String() != q.String() {
+				if err := syn.Feedback(base.String(), float64(d.CountQuery(base))); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+	fmt.Println("\nfeedback teaches the synopsis its own blind spots without re-reading the document")
+}

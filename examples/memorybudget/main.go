@@ -1,0 +1,67 @@
+// Memorybudget: the synopsis adapts to shrinking memory budgets (the
+// paper's "adaptive to memory budgets" property).
+//
+// One pre-computed hyper-edge table serves every budget: entries are ranked
+// by estimation error and only the top slice is resident, so the same
+// synopsis can be re-fit whenever the optimizer's memory allowance changes
+// — no reconstruction, no document access. Accuracy degrades gracefully
+// toward the bare kernel as the budget approaches the kernel size.
+//
+// Run with: go run ./examples/memorybudget
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"xseed"
+)
+
+func main() {
+	d, err := xseed.Generate("dblp", 0.01, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A 2BP table is larger than the default 1BP one, so shrinking budgets
+	// show a gradual accuracy/size tradeoff.
+	syn, err := xseed.BuildSynopsis(d, &xseed.Config{HET: &xseed.HETConfig{MBP: 2}})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	bp, err := d.RandomWorkload("BP", 150, 1, 31)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cp, err := d.RandomWorkload("CP", 150, 1, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qs := append(append([]*xseed.Query{}, bp...), cp...)
+	qs = append(qs, d.SimplePathQueries(0)...)
+
+	fmt.Printf("DBLP sample: %d elements; kernel %d bytes; full synopsis %d bytes\n\n",
+		d.NumNodes(), syn.KernelSizeBytes(), syn.SizeBytes())
+	fmt.Printf("%-12s %12s %14s %12s\n", "budget", "size", "HET resident", "RMSE")
+
+	budgets := []int{1 << 20, 50 * 1024, 25 * 1024, 10 * 1024, 5 * 1024, 2 * 1024, 0}
+	for _, budget := range budgets {
+		label := fmt.Sprintf("%dKB", budget/1024)
+		if budget == 0 {
+			label = "kernel"
+			budget = syn.KernelSizeBytes() // nothing left for the HET
+		}
+		syn.SetBudget(budget)
+		var sum float64
+		for _, q := range qs {
+			act, _ := q.Actual()
+			diff := syn.EstimateQuery(q) - float64(act)
+			sum += diff * diff
+		}
+		resident, _ := syn.HETEntries()
+		fmt.Printf("%-12s %12d %14d %12.2f\n",
+			label, syn.SizeBytes(), resident, math.Sqrt(sum/float64(len(qs))))
+	}
+	fmt.Println("\nthe same synopsis serves every budget; eviction follows estimation error")
+}

@@ -1,0 +1,95 @@
+// Package counterstack implements the "counter stacks" data structure of the
+// XSEED paper (Figure 3): a stack discipline over arbitrary comparable items
+// that reports, in expected O(1) per operation, the recursion level of the
+// current rooted path.
+//
+// The recursion level of a path is the maximum number of occurrences of any
+// single item in the path, minus one (paper Definition 1). The structure
+// partitions pushed items into a list of stacks: an item whose current
+// occurrence count is k (before the push) goes onto stack k+1. The recursion
+// level of the whole path is then the number of non-empty stacks minus one,
+// because stack k+1 is non-empty exactly when some item occurs more than k
+// times.
+package counterstack
+
+import "fmt"
+
+// Stack tracks recursion levels of a rooted path of items of type K.
+// The zero value is not ready to use; call New.
+type Stack[K comparable] struct {
+	occ    map[K]int // current occurrence count per item on the path
+	stacks [][]K     // stacks[i] holds the (i+1)-th occurrences, bottom first
+	depth  int       // total number of items on the path
+}
+
+// New returns an empty counter stack.
+func New[K comparable]() *Stack[K] {
+	return &Stack[K]{occ: make(map[K]int)}
+}
+
+// Push appends item to the path and returns the recursion level of the path
+// ending at item: the number of occurrences of item on the path, minus one.
+//
+// Note that the returned value is the level contribution of this item, which
+// the XSEED kernel uses to index edge-label vectors; the level of the whole
+// path is available via Level.
+func (s *Stack[K]) Push(item K) int {
+	n := s.occ[item] // occurrences before this push
+	s.occ[item] = n + 1
+	if n >= len(s.stacks) {
+		s.stacks = append(s.stacks, nil)
+	}
+	s.stacks[n] = append(s.stacks[n], item)
+	s.depth++
+	return n
+}
+
+// Pop removes item from the path. Items must be popped in reverse push order
+// (stack discipline); Pop panics if item is not the most recent occurrence
+// of itself, which indicates a caller bug (mismatched open/close events).
+func (s *Stack[K]) Pop(item K) {
+	n := s.occ[item]
+	if n == 0 {
+		panic(fmt.Sprintf("counterstack: pop of item %v not on path", item))
+	}
+	st := s.stacks[n-1]
+	if len(st) == 0 || st[len(st)-1] != item {
+		panic(fmt.Sprintf("counterstack: pop of %v violates stack discipline", item))
+	}
+	s.stacks[n-1] = st[:len(st)-1]
+	if n == 1 {
+		delete(s.occ, item)
+	} else {
+		s.occ[item] = n - 1
+	}
+	s.depth--
+}
+
+// Level reports the recursion level of the whole current path: the number of
+// non-empty stacks minus one, or -1 for the empty path.
+func (s *Stack[K]) Level() int {
+	// Stacks empty out from the top (highest occurrence) first under stack
+	// discipline, so scan down from the current top. The scan is amortized
+	// O(1): the top index only moves when pushes/pops cross a boundary.
+	for i := len(s.stacks) - 1; i >= 0; i-- {
+		if len(s.stacks[i]) > 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Count returns the number of occurrences of item on the current path.
+func (s *Stack[K]) Count(item K) int { return s.occ[item] }
+
+// Depth returns the number of items on the current path.
+func (s *Stack[K]) Depth() int { return s.depth }
+
+// Reset empties the structure for reuse without reallocating.
+func (s *Stack[K]) Reset() {
+	clear(s.occ)
+	for i := range s.stacks {
+		s.stacks[i] = s.stacks[i][:0]
+	}
+	s.depth = 0
+}

@@ -1,0 +1,200 @@
+package counterstack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refLevel computes the recursion level of a path by brute force:
+// max occurrences of any item minus one, or -1 for the empty path.
+func refLevel(path []string) int {
+	if len(path) == 0 {
+		return -1
+	}
+	occ := map[string]int{}
+	max := 0
+	for _, it := range path {
+		occ[it]++
+		if occ[it] > max {
+			max = occ[it]
+		}
+	}
+	return max - 1
+}
+
+func TestPaperFigure3(t *testing.T) {
+	// After pushing (a, b, b, c, c, b): occurrences a=>1, b=>3, c=>2;
+	// stacks 1:{a,b,c} 2:{b,c} 3:{b}; level = 3-1 = 2.
+	s := New[string]()
+	seq := []string{"a", "b", "b", "c", "c", "b"}
+	wantPushLevels := []int{0, 0, 1, 0, 1, 2}
+	for i, it := range seq {
+		if got := s.Push(it); got != wantPushLevels[i] {
+			t.Fatalf("push %d (%s): level = %d, want %d", i, it, got, wantPushLevels[i])
+		}
+	}
+	if got := s.Level(); got != 2 {
+		t.Errorf("Level() = %d, want 2", got)
+	}
+	if got := s.Count("b"); got != 3 {
+		t.Errorf("Count(b) = %d, want 3", got)
+	}
+	if got := s.Count("c"); got != 2 {
+		t.Errorf("Count(c) = %d, want 2", got)
+	}
+	if got := s.Depth(); got != 6 {
+		t.Errorf("Depth() = %d, want 6", got)
+	}
+}
+
+func TestPaperDefinition1Examples(t *testing.T) {
+	// Path (a,c,s,p) has recursion level 0; (a,c,s,s,s,p) has level 2.
+	s := New[string]()
+	for _, it := range []string{"a", "c", "s", "p"} {
+		s.Push(it)
+	}
+	if got := s.Level(); got != 0 {
+		t.Errorf("level of (a,c,s,p) = %d, want 0", got)
+	}
+	s.Reset()
+	for _, it := range []string{"a", "c", "s", "s", "s", "p"} {
+		s.Push(it)
+	}
+	if got := s.Level(); got != 2 {
+		t.Errorf("level of (a,c,s,s,s,p) = %d, want 2", got)
+	}
+}
+
+func TestEmptyPath(t *testing.T) {
+	s := New[string]()
+	if got := s.Level(); got != -1 {
+		t.Errorf("Level() of empty = %d, want -1", got)
+	}
+	if got := s.Depth(); got != 0 {
+		t.Errorf("Depth() of empty = %d, want 0", got)
+	}
+	s.Push("x")
+	s.Pop("x")
+	if got := s.Level(); got != -1 {
+		t.Errorf("Level() after push/pop = %d, want -1", got)
+	}
+}
+
+func TestPopRestoresLevels(t *testing.T) {
+	s := New[string]()
+	s.Push("a")
+	s.Push("b")
+	s.Push("a") // level 1
+	if got := s.Level(); got != 1 {
+		t.Fatalf("Level() = %d, want 1", got)
+	}
+	s.Pop("a")
+	if got := s.Level(); got != 0 {
+		t.Errorf("Level() after pop = %d, want 0", got)
+	}
+	if got := s.Count("a"); got != 1 {
+		t.Errorf("Count(a) = %d, want 1", got)
+	}
+}
+
+func TestPopPanicsOnUnknownItem(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Pop of absent item did not panic")
+		}
+	}()
+	s := New[string]()
+	s.Push("a")
+	s.Pop("b")
+}
+
+func TestPopPanicsOnWrongOrder(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order Pop did not panic")
+		}
+	}()
+	s := New[string]()
+	s.Push("a")
+	s.Push("b")
+	s.Push("a")
+	// "a" was pushed after "b" at occurrence 1; popping the occurrence-1 "a"
+	// while the occurrence-2 "a" is still on the path is fine, but popping
+	// "b" then "b" again must panic.
+	s.Pop("a")
+	s.Pop("b")
+	s.Pop("b")
+}
+
+// TestRandomWalkAgainstReference drives a random DFS-like walk (push/pop
+// sequences forming a valid tree traversal) and checks Level against the
+// brute-force definition after every operation.
+func TestRandomWalkAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	labels := []string{"a", "b", "c", "d"}
+	for trial := 0; trial < 200; trial++ {
+		s := New[string]()
+		var path []string
+		for op := 0; op < 400; op++ {
+			if len(path) > 0 && rng.Intn(3) == 0 {
+				top := path[len(path)-1]
+				path = path[:len(path)-1]
+				s.Pop(top)
+			} else {
+				it := labels[rng.Intn(len(labels))]
+				lvl := s.Push(it)
+				path = append(path, it)
+				// per-item level = occurrences-1
+				occ := 0
+				for _, p := range path {
+					if p == it {
+						occ++
+					}
+				}
+				if lvl != occ-1 {
+					t.Fatalf("Push(%s) level = %d, want %d (path %v)", it, lvl, occ-1, path)
+				}
+			}
+			if got, want := s.Level(), refLevel(path); got != want {
+				t.Fatalf("Level() = %d, want %d (path %v)", got, want, path)
+			}
+			if got := s.Depth(); got != len(path) {
+				t.Fatalf("Depth() = %d, want %d", got, len(path))
+			}
+		}
+	}
+}
+
+// TestQuickLevelMatchesReference is a property-based test: for any sequence
+// of small label indices interpreted as pushes, Level matches the reference.
+func TestQuickLevelMatchesReference(t *testing.T) {
+	f := func(seq []uint8) bool {
+		s := New[int]()
+		var path []string
+		var pathInts []int
+		for _, b := range seq {
+			v := int(b % 5)
+			s.Push(v)
+			pathInts = append(pathInts, v)
+			path = append(path, string(rune('a'+v)))
+		}
+		_ = pathInts
+		return s.Level() == refLevel(path)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	s := New[int]()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v := i % 7
+		s.Push(v)
+		if s.Depth() > 64 {
+			s.Reset()
+		}
+	}
+}

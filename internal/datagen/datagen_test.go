@@ -1,0 +1,164 @@
+package datagen
+
+import (
+	"testing"
+
+	"xseed/internal/xmldoc"
+)
+
+func buildDataset(t *testing.T, name string, factor float64, seed int64) *xmldoc.Document {
+	t.Helper()
+	src, err := New(name, factor, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dict := xmldoc.NewDict()
+	doc, err := xmldoc.Build(src, dict)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return doc
+}
+
+func TestUnknownDataset(t *testing.T) {
+	if _, err := New("nope", 1, 0); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if _, err := New(NameDBLP, 0, 0); err == nil {
+		t.Error("zero factor accepted")
+	}
+	if _, err := New(NameDBLP, -1, 0); err == nil {
+		t.Error("negative factor accepted")
+	}
+}
+
+func TestAllDatasetsBuild(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			doc := buildDataset(t, name, 0.002, 1)
+			if doc.NumNodes() < 50 {
+				t.Errorf("%s produced only %d nodes", name, doc.NumNodes())
+			}
+		})
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	for _, name := range []string{NameDBLP, NameXMark, NameTreebank} {
+		src, err := New(name, 0.002, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dict := xmldoc.NewDict()
+		d1, err := xmldoc.Build(src, dict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := xmldoc.Build(src, dict) // replay with the same source
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d1.NumNodes() != d2.NumNodes() {
+			t.Fatalf("%s: replay node count %d != %d", name, d2.NumNodes(), d1.NumNodes())
+		}
+		for i := 0; i < d1.NumNodes(); i++ {
+			if d1.Label(xmldoc.NodeID(i)) != d2.Label(xmldoc.NodeID(i)) {
+				t.Fatalf("%s: replay differs at node %d", name, i)
+			}
+		}
+	}
+}
+
+func TestSeedChangesOutput(t *testing.T) {
+	a := buildDataset(t, NameDBLP, 0.002, 1)
+	b := buildDataset(t, NameDBLP, 0.002, 2)
+	if a.NumNodes() == b.NumNodes() {
+		// Node counts may coincide; compare label sequences.
+		same := true
+		for i := 0; i < a.NumNodes(); i++ {
+			if a.LabelName(xmldoc.NodeID(i)) != b.LabelName(xmldoc.NodeID(i)) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical documents")
+		}
+	}
+}
+
+// TestDBLPCharacteristics checks the Table 2 shape: non-recursive except
+// the rare note/note (max 1), shallow, and the pages⊂publisher correlation.
+func TestDBLPCharacteristics(t *testing.T) {
+	doc := buildDataset(t, NameDBLP, 0.02, 42) // ≈ 80k nodes
+	st := doc.Stats()
+	if st.MaxRecLevel > 1 {
+		t.Errorf("MaxRecLevel = %d, want <= 1", st.MaxRecLevel)
+	}
+	if st.AvgRecLevel > 0.01 {
+		t.Errorf("AvgRecLevel = %f, want ~0", st.AvgRecLevel)
+	}
+	if st.MaxDepth > 4 {
+		t.Errorf("MaxDepth = %d, want <= 4", st.MaxDepth)
+	}
+	// Scale: factor 0.02 ≈ 80k nodes (4M × 0.02).
+	if st.Nodes < 50000 || st.Nodes > 120000 {
+		t.Errorf("Nodes = %d, want ≈ 80k", st.Nodes)
+	}
+}
+
+func TestXMarkCharacteristics(t *testing.T) {
+	doc := buildDataset(t, NameXMark, 0.02, 42)
+	st := doc.Stats()
+	if st.MaxRecLevel != 1 {
+		t.Errorf("MaxRecLevel = %d, want 1 (parlist nesting)", st.MaxRecLevel)
+	}
+	if st.AvgRecLevel <= 0 || st.AvgRecLevel > 0.15 {
+		t.Errorf("AvgRecLevel = %f, want ≈ 0.04", st.AvgRecLevel)
+	}
+	// Scale: ≈ 1.67M × 0.02 ≈ 33k.
+	if st.Nodes < 20000 || st.Nodes > 55000 {
+		t.Errorf("Nodes = %d, want ≈ 33k", st.Nodes)
+	}
+}
+
+func TestTreebankCharacteristics(t *testing.T) {
+	doc := buildDataset(t, NameTreebank, 0.02, 42)
+	st := doc.Stats()
+	if st.AvgRecLevel < 0.8 || st.AvgRecLevel > 2.0 {
+		t.Errorf("AvgRecLevel = %f, want ≈ 1.3", st.AvgRecLevel)
+	}
+	if st.MaxRecLevel < 6 || st.MaxRecLevel > 14 {
+		t.Errorf("MaxRecLevel = %d, want ≈ 8-10", st.MaxRecLevel)
+	}
+	// Scale: ≈ 2.4M × 0.02 ≈ 48k.
+	if st.Nodes < 25000 || st.Nodes > 90000 {
+		t.Errorf("Nodes = %d, want ≈ 48k", st.Nodes)
+	}
+}
+
+// TestXMarkScaleInvariantKernelShape: the schema is scale-free, so the
+// label sets at two factors coincide (Section 6.4's "their XSEED kernels
+// are very similar").
+func TestXMarkScaleInvariantLabels(t *testing.T) {
+	small := buildDataset(t, NameXMark, 0.005, 1)
+	large := buildDataset(t, NameXMark, 0.02, 1)
+	ls := map[string]bool{}
+	for _, n := range small.Dict().Names() {
+		ls[n] = true
+	}
+	for _, n := range large.Dict().Names() {
+		if !ls[n] {
+			t.Errorf("label %s only at larger scale", n)
+		}
+	}
+}
+
+func TestFactorScalesNodeCount(t *testing.T) {
+	small := buildDataset(t, NameDBLP, 0.002, 1)
+	large := buildDataset(t, NameDBLP, 0.01, 1)
+	ratio := float64(large.NumNodes()) / float64(small.NumNodes())
+	if ratio < 3.5 || ratio > 7.5 {
+		t.Errorf("5x factor gave %gx nodes", ratio)
+	}
+}

@@ -1,0 +1,272 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"xseed/internal/xmldoc"
+)
+
+// DBLP generates a bibliography shaped like the DBLP XML dump: a flat root
+// with hundreds of thousands of publication records of several types, each
+// a shallow subtree of per-type fields. At Factor 1.0 it produces ≈ 4.0M
+// elements (the paper's DBLP has 4,022,548).
+//
+// Structural properties the experiments rely on:
+//
+//   - Non-recursive except a rare note/note nesting (max recursion level 1,
+//     average ≈ 0, matching Table 2's "0 / 1").
+//   - Shared child labels (author, title, year, pages, url, ee) across
+//     publication types with different distributions, giving branching and
+//     complex queries real independence-assumption errors.
+//   - The publisher ⊂ pages correlation inside article: every article with
+//     a publisher also has pages, while bsel(pages | article) = 0.8 stays
+//     above the default BSEL_THRESHOLD of 0.1 — reproducing the paper's
+//     /dblp/article[pages]/publisher failure case (Figure 5 discussion).
+type DBLP struct {
+	Factor float64
+	Seed   int64
+}
+
+// publications at factor 1.0; each record averages ≈ 10 elements,
+// giving ≈ 4M total.
+const dblpBasePublications = 400000
+
+// Emit implements xmldoc.Source.
+func (g *DBLP) Emit(dict *xmldoc.Dict, sink xmldoc.Sink) error {
+	rng := rand.New(rand.NewSource(g.Seed ^ 0xdb1b))
+	e := newEmitter(dict, sink)
+	n := scaled(dblpBasePublications, g.Factor)
+
+	e.open("dblp")
+	for i := 0; i < n; i++ {
+		switch r := rng.Float64(); {
+		case r < 0.30:
+			g.article(rng, e)
+		case r < 0.80:
+			g.inproceedings(rng, e)
+		case r < 0.84:
+			g.proceedings(rng, e)
+		case r < 0.90:
+			g.incollection(rng, e)
+		case r < 0.94:
+			g.book(rng, e)
+		case r < 0.97:
+			g.phdthesis(rng, e)
+		default:
+			g.www(rng, e)
+		}
+	}
+	e.close("dblp")
+	return nil
+}
+
+func (g *DBLP) common(rng *rand.Rand, e *emitter, authorsLo, authorsHi int) {
+	// Author counts follow a wide, skewed distribution (real DBLP ranges
+	// from 1 to dozens); the diversity of per-record child-count vectors is
+	// what makes count-stable partitions large.
+	e.leaves("author", between(rng, authorsLo, authorsHi)+skewExtra(rng))
+	e.leaf("title")
+	e.leaf("year")
+}
+
+func (g *DBLP) article(rng *rand.Rand, e *emitter) {
+	e.open("article")
+	g.common(rng, e, 1, 3)
+	e.leaf("journal")
+	e.leaf("volume")
+	hasNumber := chance(rng, 0.7)
+	if hasNumber {
+		e.leaf("number")
+	}
+	hasPages := chance(rng, 0.8) // bsel(pages|article) = 0.8 > threshold
+	if hasPages {
+		e.leaf("pages")
+		// publisher only ever occurs alongside pages: the correlation the
+		// default HET misses (its trigger bsel 0.8 sits above the 0.1
+		// threshold, the paper's Figure 5 BP failure case).
+		if chance(rng, 0.15) {
+			e.leaf("publisher")
+		}
+	}
+	hasEE := chance(rng, 0.55)
+	if hasEE {
+		e.leaf("ee")
+		// cdrom implies ee: a rare (bsel ≈ 0.04) strongly correlated field;
+		// low-bsel fields like this one are what 1BP HET pre-computation
+		// targets.
+		if chance(rng, 0.08) {
+			e.leaf("cdrom")
+		}
+	}
+	// url co-occurs with ee (both mean "electronic edition available"), so
+	// predicate *pairs* like [cdrom][url] are jointly correlated beyond
+	// what per-predicate 1BP corrections compose to — the signal 2BP HET
+	// captures (Figure 6).
+	urlP := 0.25
+	if hasEE {
+		urlP = 0.55
+	}
+	if chance(rng, urlP) {
+		e.leaf("url")
+	}
+	// month implies number: another rare correlated pair (bsel ≈ 0.08).
+	if hasNumber && chance(rng, 0.12) {
+		e.leaf("month")
+	}
+	// Citations: article citations usually carry a label and sometimes a
+	// ref, unlike inproceedings citations — the ancestor correlation of the
+	// paper's Example 4 (the cite vertex blends both parents, so
+	// /dblp/article/cite/label is systematically misestimated by the
+	// kernel).
+	if chance(rng, 0.3) {
+		for n := between(rng, 1, 4) + skewExtra(rng); n > 0; n-- {
+			e.open("cite")
+			if chance(rng, 0.9) {
+				e.leaf("label")
+			}
+			if chance(rng, 0.3) {
+				e.leaf("ref")
+			}
+			e.close("cite")
+		}
+	}
+	g.maybeNote(rng, e, 0.002)
+	e.close("article")
+}
+
+func (g *DBLP) inproceedings(rng *rand.Rand, e *emitter) {
+	e.open("inproceedings")
+	g.common(rng, e, 2, 4)
+	e.leaf("booktitle")
+	if chance(rng, 0.9) {
+		e.leaf("pages")
+	}
+	if chance(rng, 0.75) {
+		e.leaf("ee")
+		if chance(rng, 0.06) {
+			e.leaf("cdrom") // cdrom implies ee here too (bsel ≈ 0.045)
+		}
+	}
+	if chance(rng, 0.6) {
+		e.leaf("url")
+	}
+	hasCrossref := chance(rng, 0.2)
+	if hasCrossref {
+		e.leaf("crossref")
+		// address implies crossref: rare correlated pair (bsel ≈ 0.04).
+		if chance(rng, 0.2) {
+			e.leaf("address")
+		}
+	}
+	if chance(rng, 0.07) {
+		e.leaf("month")
+	}
+	// Inproceedings citations are bare (no label/ref) — see the article
+	// side of this correlation.
+	if chance(rng, 0.25) {
+		e.leaves("cite", between(rng, 1, 3)+skewExtra(rng))
+	}
+	g.maybeNote(rng, e, 0.001)
+	e.close("inproceedings")
+}
+
+func (g *DBLP) proceedings(rng *rand.Rand, e *emitter) {
+	e.open("proceedings")
+	e.leaves("editor", between(rng, 1, 3))
+	e.leaf("title")
+	e.leaf("year")
+	e.leaf("booktitle")
+	e.leaf("publisher") // proceedings almost always carry a publisher
+	if chance(rng, 0.8) {
+		e.leaf("isbn")
+	}
+	if chance(rng, 0.5) {
+		e.leaf("series")
+	}
+	if chance(rng, 0.4) {
+		e.leaf("volume")
+	}
+	e.leaf("url")
+	e.close("proceedings")
+}
+
+func (g *DBLP) incollection(rng *rand.Rand, e *emitter) {
+	e.open("incollection")
+	g.common(rng, e, 1, 3)
+	e.leaf("booktitle")
+	if chance(rng, 0.85) {
+		e.leaf("pages")
+	}
+	if chance(rng, 0.3) {
+		e.leaf("publisher")
+	}
+	if chance(rng, 0.5) {
+		e.leaf("ee")
+	}
+	e.close("incollection")
+}
+
+func (g *DBLP) book(rng *rand.Rand, e *emitter) {
+	e.open("book")
+	g.common(rng, e, 1, 2)
+	e.leaf("publisher")
+	if chance(rng, 0.9) {
+		e.leaf("isbn")
+	}
+	if chance(rng, 0.3) {
+		e.leaf("pages")
+	}
+	if chance(rng, 0.4) {
+		e.leaf("series")
+	}
+	e.close("book")
+}
+
+func (g *DBLP) phdthesis(rng *rand.Rand, e *emitter) {
+	e.open("phdthesis")
+	e.leaf("author")
+	e.leaf("title")
+	e.leaf("year")
+	e.leaf("school")
+	if chance(rng, 0.25) {
+		e.leaf("publisher")
+	}
+	if chance(rng, 0.4) {
+		e.leaf("isbn")
+	}
+	e.close("phdthesis")
+}
+
+func (g *DBLP) www(rng *rand.Rand, e *emitter) {
+	e.open("www")
+	e.leaves("author", between(rng, 0, 2))
+	e.leaf("title")
+	e.leaf("url")
+	if chance(rng, 0.2) {
+		e.leaf("crossref")
+	}
+	e.close("www")
+}
+
+// maybeNote occasionally nests note inside note, giving DBLP its recursion
+// level 1 tail without affecting averages.
+func (g *DBLP) maybeNote(rng *rand.Rand, e *emitter, p float64) {
+	if !chance(rng, p) {
+		return
+	}
+	e.open("note")
+	if chance(rng, 0.5) {
+		e.leaf("note")
+	}
+	e.close("note")
+}
+
+// skewExtra adds a long-tailed extra count: 0 most of the time, with
+// geometrically decaying chances of 1..6 more.
+func skewExtra(rng *rand.Rand) int {
+	n := 0
+	for n < 6 && chance(rng, 0.35) {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,242 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"xseed/internal/xmldoc"
+)
+
+// SwissProt generates protein-entry documents shaped like the SwissProt XML
+// conversion: a flat root of Entry records with repeated Ref/Features
+// substructure, non-recursive. Factor 1.0 ≈ 3.0M elements.
+type SwissProt struct {
+	Factor float64
+	Seed   int64
+}
+
+const swissprotBaseEntries = 100000
+
+// Emit implements xmldoc.Source.
+func (g *SwissProt) Emit(dict *xmldoc.Dict, sink xmldoc.Sink) error {
+	rng := rand.New(rand.NewSource(g.Seed ^ 0x5155))
+	e := newEmitter(dict, sink)
+	e.open("root")
+	for i := 0; i < scaled(swissprotBaseEntries, g.Factor); i++ {
+		e.open("Entry")
+		e.leaf("AC")
+		e.leaf("Mod")
+		e.leaves("Descr", 1)
+		e.leaves("Species", between(rng, 1, 2))
+		e.leaves("Org", between(rng, 1, 3))
+		for r := between(rng, 1, 4); r > 0; r-- {
+			e.open("Ref")
+			e.leaves("Author", between(rng, 1, 5))
+			e.leaf("Cite")
+			if chance(rng, 0.6) {
+				e.leaf("MedlineID")
+			}
+			e.close("Ref")
+		}
+		e.open("Features")
+		for f := between(rng, 0, 5); f > 0; f-- {
+			e.open("DOMAIN")
+			e.leaf("Descr")
+			e.close("DOMAIN")
+		}
+		if chance(rng, 0.4) {
+			e.open("BINDING")
+			e.leaf("Descr")
+			e.close("BINDING")
+		}
+		e.close("Features")
+		if chance(rng, 0.7) {
+			e.leaves("Keyword", between(rng, 1, 4))
+		}
+		e.close("Entry")
+	}
+	e.close("root")
+	return nil
+}
+
+// TPCH generates the relational TPC-H data rendered as XML: tables of
+// uniform rows, the extreme regular/non-recursive case. Factor 1.0 ≈ 3.0M
+// elements.
+type TPCH struct {
+	Factor float64
+	Seed   int64
+}
+
+const tpchBaseCustomers = 30000
+
+// Emit implements xmldoc.Source.
+func (g *TPCH) Emit(dict *xmldoc.Dict, sink xmldoc.Sink) error {
+	rng := rand.New(rand.NewSource(g.Seed ^ 0x79c4))
+	e := newEmitter(dict, sink)
+	nCust := scaled(tpchBaseCustomers, g.Factor)
+
+	e.open("tpch")
+	e.open("customers")
+	for i := 0; i < nCust; i++ {
+		e.open("customer")
+		e.leaf("custkey")
+		e.leaf("name")
+		e.leaf("address")
+		e.leaf("nationkey")
+		e.leaf("phone")
+		e.leaf("acctbal")
+		e.leaf("mktsegment")
+		e.close("customer")
+	}
+	e.close("customers")
+	e.open("orders")
+	for i := 0; i < nCust*2; i++ {
+		e.open("order")
+		e.leaf("orderkey")
+		e.leaf("custkey")
+		e.leaf("orderstatus")
+		e.leaf("totalprice")
+		e.leaf("orderdate")
+		e.open("lineitems")
+		for l := between(rng, 1, 7); l > 0; l-- {
+			e.open("lineitem")
+			e.leaf("partkey")
+			e.leaf("suppkey")
+			e.leaf("quantity")
+			e.leaf("extendedprice")
+			e.leaf("discount")
+			e.close("lineitem")
+		}
+		e.close("lineitems")
+		e.close("order")
+	}
+	e.close("orders")
+	e.open("nations")
+	for i := 0; i < 25; i++ {
+		e.open("nation")
+		e.leaf("nationkey")
+		e.leaf("name")
+		e.leaf("regionkey")
+		e.close("nation")
+	}
+	e.close("nations")
+	e.close("tpch")
+	return nil
+}
+
+// NASA generates astronomy dataset records shaped like the NASA ADC XML:
+// moderately nested, lightly recursive through nested reference/source
+// structures. Factor 1.0 ≈ 0.5M elements.
+type NASA struct {
+	Factor float64
+	Seed   int64
+}
+
+const nasaBaseDatasets = 12000
+
+// Emit implements xmldoc.Source.
+func (g *NASA) Emit(dict *xmldoc.Dict, sink xmldoc.Sink) error {
+	rng := rand.New(rand.NewSource(g.Seed ^ 0xa5a))
+	e := newEmitter(dict, sink)
+	e.open("datasets")
+	for i := 0; i < scaled(nasaBaseDatasets, g.Factor); i++ {
+		e.open("dataset")
+		e.leaf("title")
+		e.leaf("altname")
+		e.open("initial")
+		e.open("author")
+		e.leaf("lastName")
+		if chance(rng, 0.8) {
+			e.leaf("firstName")
+		}
+		e.close("author")
+		e.close("initial")
+		for r := between(rng, 0, 3); r > 0; r-- {
+			e.open("reference")
+			e.open("source")
+			e.open("other")
+			e.leaf("title")
+			e.leaves("author", between(rng, 1, 3))
+			e.leaf("name")
+			if chance(rng, 0.1) {
+				// nested citation: source within other's journal entry
+				e.open("source")
+				e.leaf("title")
+				e.close("source")
+			}
+			e.close("other")
+			e.close("source")
+			e.close("reference")
+		}
+		e.open("tableHead")
+		for f := between(rng, 2, 6); f > 0; f-- {
+			e.open("field")
+			e.leaf("name")
+			if chance(rng, 0.5) {
+				e.leaf("units")
+			}
+			e.close("field")
+		}
+		e.close("tableHead")
+		if chance(rng, 0.5) {
+			e.leaves("keyword", between(rng, 1, 4))
+		}
+		e.close("dataset")
+	}
+	e.close("datasets")
+	return nil
+}
+
+// XBench generates a data-centric/text-centric mix in the spirit of the
+// XBench DC/TC families [Yao, Özsu, Khandelwal, ICDE 2004]: catalog records
+// with nested item descriptions. Factor 1.0 ≈ 1.0M elements.
+type XBench struct {
+	Factor float64
+	Seed   int64
+}
+
+const xbenchBaseItems = 40000
+
+// Emit implements xmldoc.Source.
+func (g *XBench) Emit(dict *xmldoc.Dict, sink xmldoc.Sink) error {
+	rng := rand.New(rand.NewSource(g.Seed ^ 0xbe2c))
+	e := newEmitter(dict, sink)
+	e.open("catalog")
+	for i := 0; i < scaled(xbenchBaseItems, g.Factor); i++ {
+		e.open("item")
+		e.leaf("title")
+		e.open("authors")
+		for a := between(rng, 1, 3); a > 0; a-- {
+			e.open("author")
+			e.leaf("name")
+			if chance(rng, 0.4) {
+				e.open("contact_information")
+				e.leaf("mailing_address")
+				if chance(rng, 0.5) {
+					e.leaf("email_address")
+				}
+				e.close("contact_information")
+			}
+			e.close("author")
+		}
+		e.close("authors")
+		e.leaf("date_of_release")
+		e.leaf("publisher")
+		if chance(rng, 0.6) {
+			e.open("related_items")
+			for r := between(rng, 1, 2); r > 0; r-- {
+				e.open("related_item")
+				e.leaf("item_id")
+				e.close("related_item")
+			}
+			e.close("related_items")
+		}
+		if chance(rng, 0.7) {
+			e.open("description")
+			e.leaves("paragraph", between(rng, 1, 3))
+			e.close("description")
+		}
+		e.close("item")
+	}
+	e.close("catalog")
+	return nil
+}

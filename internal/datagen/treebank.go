@@ -1,0 +1,211 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"xseed/internal/xmldoc"
+)
+
+// Treebank generates parse-tree documents shaped like the Penn Treebank XML
+// conversion: a FILE root holding sentence subtrees produced by a
+// probabilistic phrase-structure grammar with deeply recursive NP/PP/SBAR
+// productions. Factor 1.0 ≈ 2.4M elements (the paper's Treebank has
+// 2,437,666); factor 0.05 ≈ Treebank.05.
+//
+// Recursion calibration targets Table 2: average node recursion level ≈ 1.3
+// and document recursion level ≈ 8-10. The grammar's recursion probability
+// decays with depth, so sentences stay finite while deep chains remain
+// common enough to stress every recursion-aware code path (multi-level edge
+// vectors, CARD_THRESHOLD pruning, TreeSketch's cyclic summary).
+type Treebank struct {
+	Factor float64
+	Seed   int64
+}
+
+// sentences at factor 1.0; a sentence averages ≈ 35 elements.
+const treebankBaseSentences = 70000
+
+// Emit implements xmldoc.Source.
+func (g *Treebank) Emit(dict *xmldoc.Dict, sink xmldoc.Sink) error {
+	rng := rand.New(rand.NewSource(g.Seed ^ 0x7eeb))
+	e := newEmitter(dict, sink)
+	n := scaled(treebankBaseSentences, g.Factor)
+
+	e.open("FILE")
+	for i := 0; i < n; i++ {
+		e.open("EMPTY")
+		g.sentence(rng, e, 0)
+		e.close("EMPTY")
+	}
+	e.close("FILE")
+	return nil
+}
+
+const treebankMaxDepth = 26
+
+// decay reduces a probability as depth grows, keeping trees finite.
+func decay(p float64, depth int) float64 {
+	return p / (1 + float64(depth)*0.18)
+}
+
+func (g *Treebank) sentence(rng *rand.Rand, e *emitter, depth int) {
+	e.open("S")
+	g.np(rng, e, depth+1)
+	g.vp(rng, e, depth+1)
+	if chance(rng, decay(0.15, depth)) {
+		g.pp(rng, e, depth+1)
+	}
+	e.close("S")
+}
+
+func (g *Treebank) np(rng *rand.Rand, e *emitter, depth int) {
+	e.open("NP")
+	if depth < treebankMaxDepth {
+		switch r := rng.Float64(); {
+		case r < decay(0.42, depth): // NP -> NP PP (the recursive workhorse)
+			g.np(rng, e, depth+1)
+			g.pp(rng, e, depth+1)
+		case r < 0.52:
+			e.leaf("DT")
+			if chance(rng, 0.5) {
+				g.adjp(rng, e, depth+1)
+			}
+			e.leaf("NN")
+		case r < 0.64:
+			e.leaf("NNP")
+			if chance(rng, 0.3) {
+				e.leaf("NNP")
+			}
+			if chance(rng, 0.1) {
+				e.leaf("POS")
+			}
+		case r < 0.72:
+			e.leaf("PRP")
+		case r < 0.80:
+			e.leaf("DT")
+			e.leaf("NNS")
+		case r < 0.86:
+			g.qp(rng, e)
+			e.leaf("NNS")
+		case r < 0.92:
+			e.leaf("PRPS")
+			e.leaf("NN")
+		default: // NP -> NP SBAR
+			g.npBase(rng, e)
+			g.sbar(rng, e, depth+1)
+		}
+	} else {
+		g.npBase(rng, e)
+	}
+	e.close("NP")
+}
+
+// adjp emits an adjective phrase, occasionally recursive through ADVP.
+func (g *Treebank) adjp(rng *rand.Rand, e *emitter, depth int) {
+	e.open("ADJP")
+	if chance(rng, 0.3) {
+		e.open("ADVP")
+		e.leaf("RB")
+		if chance(rng, 0.2) {
+			e.leaf("RBR")
+		}
+		e.close("ADVP")
+	}
+	switch r := rng.Float64(); {
+	case r < 0.6:
+		e.leaf("JJ")
+	case r < 0.8:
+		e.leaf("JJR")
+	default:
+		e.leaf("VBN")
+	}
+	e.close("ADJP")
+}
+
+// qp emits a quantifier phrase.
+func (g *Treebank) qp(rng *rand.Rand, e *emitter) {
+	e.open("QP")
+	if chance(rng, 0.4) {
+		e.leaf("IN")
+	}
+	e.leaf("CD")
+	if chance(rng, 0.3) {
+		e.leaf("CD")
+	}
+	e.close("QP")
+}
+
+func (g *Treebank) npBase(rng *rand.Rand, e *emitter) {
+	e.leaf("DT")
+	e.leaf("NN")
+}
+
+func (g *Treebank) vp(rng *rand.Rand, e *emitter, depth int) {
+	e.open("VP")
+	if depth < treebankMaxDepth {
+		switch r := rng.Float64(); {
+		case r < 0.30:
+			e.leaf("VBD")
+			g.np(rng, e, depth+1)
+		case r < 0.48:
+			e.leaf("VBZ")
+			g.np(rng, e, depth+1)
+			if chance(rng, decay(0.4, depth)) {
+				g.pp(rng, e, depth+1)
+			}
+		case r < 0.55:
+			e.leaf("MD")
+			e.leaf("VB")
+			g.np(rng, e, depth+1)
+		case r < decay(0.75, depth): // VP -> VB VP (auxiliary chain)
+			e.leaf("VB")
+			g.vp(rng, e, depth+1)
+		case r < 0.84:
+			e.leaf("VBD")
+			g.sbar(rng, e, depth+1)
+		case r < 0.90:
+			e.leaf("VBG")
+			g.pp(rng, e, depth+1)
+		case r < 0.95:
+			e.leaf("TO")
+			e.leaf("VB")
+			if chance(rng, 0.4) {
+				g.np(rng, e, depth+1)
+			}
+		default:
+			e.leaf("VB")
+			if chance(rng, 0.5) {
+				e.leaf("RB")
+			}
+		}
+	} else {
+		e.leaf("VB")
+	}
+	e.close("VP")
+}
+
+func (g *Treebank) pp(rng *rand.Rand, e *emitter, depth int) {
+	e.open("PP")
+	e.leaf("IN")
+	if depth < treebankMaxDepth {
+		g.np(rng, e, depth+1)
+	} else {
+		g.npBase(rng, e)
+	}
+	e.close("PP")
+}
+
+func (g *Treebank) sbar(rng *rand.Rand, e *emitter, depth int) {
+	e.open("SBAR")
+	if chance(rng, 0.6) {
+		e.leaf("IN")
+	} else {
+		e.leaf("WHNP")
+	}
+	if depth < treebankMaxDepth {
+		g.sentence(rng, e, depth+1)
+	} else {
+		e.leaf("NN")
+	}
+	e.close("SBAR")
+}

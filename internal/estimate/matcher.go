@@ -1,0 +1,242 @@
+package estimate
+
+import (
+	"xseed/internal/pathhash"
+	"xseed/internal/xmldoc"
+	"xseed/internal/xpath"
+)
+
+// matcher evaluates one query over a materialized EPT (Algorithm 3
+// semantics). The estimate is Σ over EPT nodes matched by the result node
+// test of card(node) × weight, where weight is the accumulated aggregated
+// backward selectivity (absel) of the predicates on the main path: each
+// predicate contributes the probability-style weight defined below, and the
+// hyper-edge table supplies correlated backward selectivities for branching
+// patterns it covers.
+type matcher struct {
+	dict *xmldoc.Dict
+	het  HET
+}
+
+// entry is one weighted context node during navigation.
+type entry struct {
+	n *EPTNode
+	w float64
+}
+
+// estimate evaluates the absolute path q against the EPT rooted at root.
+func (m *matcher) estimate(root *EPTNode, q *xpath.Path) float64 {
+	if root == nil || len(q.Steps) == 0 {
+		return 0
+	}
+	// Navigation starts at a virtual node above the EPT root whose only
+	// child is the root.
+	virtual := &EPTNode{Children: []*EPTNode{root}, Card: 1, Fsel: 1, Bsel: 1}
+	ctx := []entry{{n: virtual, w: 1}}
+	for i := range q.Steps {
+		st := &q.Steps[i]
+		var nextLabel string
+		if i+1 < len(q.Steps) && !q.Steps[i+1].Wildcard {
+			nextLabel = q.Steps[i+1].Label
+		}
+		ctx = m.step(ctx, st, nextLabel)
+		if len(ctx) == 0 {
+			return 0
+		}
+	}
+	var est float64
+	for _, e := range ctx {
+		est += e.n.Card * e.w
+	}
+	return est
+}
+
+// step applies one location step to the weighted context set. Node-set
+// semantics: each EPT node appears at most once in the result; when it is
+// reachable from several context entries (possible with the descendant
+// axis), the maximum weight is kept.
+func (m *matcher) step(ctx []entry, st *xpath.Step, nextLabel string) []entry {
+	label, known := m.resolve(st)
+	if !known {
+		return nil
+	}
+	var out []entry
+	index := make(map[*EPTNode]int)
+	add := func(n *EPTNode, w float64) {
+		if i, ok := index[n]; ok {
+			if w > out[i].w {
+				out[i].w = w
+			}
+			return
+		}
+		index[n] = len(out)
+		out = append(out, entry{n, w})
+	}
+	var visitDesc func(n *EPTNode, w float64)
+	visitDesc = func(n *EPTNode, w float64) {
+		for _, c := range n.Children {
+			if m.matches(c, st, label) {
+				if wp := m.predWeight(c, st.Preds, nextLabel); wp > 0 {
+					add(c, w*wp)
+				}
+			}
+			visitDesc(c, w)
+		}
+	}
+	for _, e := range ctx {
+		if st.Axis == xpath.Child {
+			for _, c := range e.n.Children {
+				if m.matches(c, st, label) {
+					if wp := m.predWeight(c, st.Preds, nextLabel); wp > 0 {
+						add(c, e.w*wp)
+					}
+				}
+			}
+		} else {
+			visitDesc(e.n, e.w)
+		}
+	}
+	return out
+}
+
+func (m *matcher) resolve(st *xpath.Step) (xmldoc.LabelID, bool) {
+	if st.Wildcard {
+		return -1, true
+	}
+	id, ok := m.dict.Lookup(st.Label)
+	if !ok {
+		return 0, false
+	}
+	return id, true
+}
+
+func (m *matcher) matches(n *EPTNode, st *xpath.Step, label xmldoc.LabelID) bool {
+	return st.Wildcard || n.Label == label
+}
+
+// predWeight returns the aggregated backward selectivity contribution of a
+// step's predicates evaluated at EPT node n: the estimated fraction of the
+// elements represented by n that satisfy every predicate.
+//
+// When the hyper-edge table holds a correlated backward selectivity for the
+// branching pattern label(n)[preds...]/nextLabel (all predicates single
+// child-axis name steps — the "leaf level" branching the paper's HET
+// stores), that value is used for the whole predicate set, capturing
+// sibling correlation (Section 5). Otherwise each predicate is first tried
+// individually against the HET and independence is assumed across
+// predicates (the absel product of Section 4).
+func (m *matcher) predWeight(n *EPTNode, preds []*xpath.Path, nextLabel string) float64 {
+	if len(preds) == 0 {
+		return 1
+	}
+	if m.het != nil && nextLabel != "" {
+		if labels, ok := simplePredLabels(preds); ok {
+			h := pathhash.Pattern(m.dict.Name(n.Label), labels, nextLabel)
+			if bsel, ok := m.het.LookupPattern(h); ok {
+				return clamp01(bsel)
+			}
+		}
+	}
+	w := 1.0
+	for _, p := range preds {
+		var pw float64
+		// Individual 1BP pattern lookup before falling back to
+		// independence.
+		if m.het != nil && nextLabel != "" && len(preds) > 1 {
+			if labels, ok := simplePredLabels([]*xpath.Path{p}); ok {
+				h := pathhash.Pattern(m.dict.Name(n.Label), labels, nextLabel)
+				if bsel, ok := m.het.LookupPattern(h); ok {
+					w *= clamp01(bsel)
+					continue
+				}
+			}
+		}
+		pw = m.predPathWeight(n, p.Steps)
+		if pw <= 0 {
+			return 0
+		}
+		w *= pw
+	}
+	return clamp01(w)
+}
+
+// predPathWeight estimates the fraction of n's elements having a match of
+// the relative path steps: the sum over witnesses of the product of
+// backward selectivities along the EPT path from n to the witness, capped
+// at 1 (a fraction). A single-witness, single-step predicate reduces to the
+// paper's bsel term exactly.
+func (m *matcher) predPathWeight(n *EPTNode, steps []xpath.Step) float64 {
+	if len(steps) == 0 {
+		return 1
+	}
+	st := &steps[0]
+	label, known := m.resolve(st)
+	if !known {
+		return 0
+	}
+	var sum float64
+	var visit func(c *EPTNode) float64
+	if st.Axis == xpath.Child {
+		for _, c := range n.Children {
+			if m.matches(c, st, label) {
+				sum += c.Bsel * m.stepOwnPreds(c, st) * m.predPathWeight(c, steps[1:])
+			}
+		}
+		return clamp01(sum)
+	}
+	visit = func(parent *EPTNode) float64 {
+		var s float64
+		for _, c := range parent.Children {
+			var here float64
+			if m.matches(c, st, label) {
+				here = m.stepOwnPreds(c, st) * m.predPathWeight(c, steps[1:])
+			}
+			s += c.Bsel * (here + visit(c))
+		}
+		return s
+	}
+	return clamp01(visit(n))
+}
+
+// stepOwnPreds evaluates the nested predicates attached to a predicate step
+// (e.g. the [h] in /a/b[g[h]]). Nested predicates never consult the HET
+// pattern table (there is no main-path sibling); independence applies.
+func (m *matcher) stepOwnPreds(c *EPTNode, st *xpath.Step) float64 {
+	w := 1.0
+	for _, p := range st.Preds {
+		pw := m.predPathWeight(c, p.Steps)
+		if pw <= 0 {
+			return 0
+		}
+		w *= pw
+	}
+	return w
+}
+
+// simplePredLabels extracts predicate labels when every predicate is a
+// single child-axis name step without nesting — the shape stored in the
+// HET.
+func simplePredLabels(preds []*xpath.Path) ([]string, bool) {
+	labels := make([]string, len(preds))
+	for i, p := range preds {
+		if len(p.Steps) != 1 {
+			return nil, false
+		}
+		st := &p.Steps[0]
+		if st.Axis != xpath.Child || st.Wildcard || len(st.Preds) != 0 {
+			return nil, false
+		}
+		labels[i] = st.Label
+	}
+	return labels, true
+}
+
+func clamp01(f float64) float64 {
+	if f > 1 {
+		return 1
+	}
+	if f < 0 {
+		return 0
+	}
+	return f
+}

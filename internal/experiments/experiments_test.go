@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyCfg keeps experiment tests fast; assertions are structural (row
+// counts, orderings the paper's conclusions rest on), not absolute values.
+var tinyCfg = Config{Scale: 0.01, QueriesPerClass: 60, Seed: 1}
+
+func TestTable2(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Table2(tinyCfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	for _, r := range rows {
+		if r.Nodes <= 0 || r.KernelBytes <= 0 {
+			t.Errorf("%s: empty row %+v", r.Dataset, r)
+		}
+	}
+	byKey := map[string]Table2Row{}
+	for _, r := range rows {
+		byKey[r.Dataset] = r
+	}
+	// Structural claims of Table 2.
+	if byKey["Treebank"].MaxRecLevel < 6 {
+		t.Errorf("Treebank max recursion = %d, want >= 6", byKey["Treebank"].MaxRecLevel)
+	}
+	if byKey["DBLP"].MaxRecLevel > 1 {
+		t.Errorf("DBLP max recursion = %d, want <= 1", byKey["DBLP"].MaxRecLevel)
+	}
+	// The XMark kernels are nearly scale-invariant (Section 6.4).
+	k10, k100 := byKey["XMark10"].KernelBytes, byKey["XMark100"].KernelBytes
+	if diff := float64(k100-k10) / float64(k100); diff > 0.2 && diff < -0.2 {
+		t.Errorf("XMark kernels differ too much: %d vs %d", k10, k100)
+	}
+	// Treebank kernels are larger than DBLP's (recursion levels).
+	if byKey["Treebank"].KernelBytes <= byKey["DBLP"].KernelBytes {
+		t.Errorf("Treebank kernel %d <= DBLP kernel %d",
+			byKey["Treebank"].KernelBytes, byKey["DBLP"].KernelBytes)
+	}
+	if !strings.Contains(buf.String(), "Treebank") {
+		t.Error("rendered table missing rows")
+	}
+}
+
+func TestTable3(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Table3(tinyCfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Queries == 0 {
+			t.Errorf("%s: no queries", r.Dataset)
+		}
+		// The HET never makes XSEED worse than the bare kernel (small
+		// numeric tolerance for workload noise).
+		if r.XSeed50.RMSE > r.Kernel.RMSE*1.05+1 {
+			t.Errorf("%s: XSEED@50K RMSE %.2f > kernel %.2f",
+				r.Dataset, r.XSeed50.RMSE, r.Kernel.RMSE)
+		}
+		if r.Dataset == "Treebank.05" && !r.Sketch25.DNF {
+			// The paper's core claim: XSEED beats TreeSketch by a wide
+			// margin on recursive data.
+			if r.Sketch25.NRMSE < r.XSeed25.NRMSE {
+				t.Errorf("Treebank.05: TreeSketch NRMSE %.2f beat XSEED %.2f",
+					r.Sketch25.NRMSE, r.XSeed25.NRMSE)
+			}
+		}
+	}
+}
+
+func TestFigure5(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Figure5(tinyCfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	if rows[0].Class != "SP" || rows[1].Class != "BP" || rows[2].Class != "CP" {
+		t.Errorf("classes = %v %v %v", rows[0].Class, rows[1].Class, rows[2].Class)
+	}
+	// The HET makes SP essentially exact on DBLP.
+	if rows[0].XSeed.RMSE > 0.01 {
+		t.Errorf("SP XSEED RMSE = %g, want ~0", rows[0].XSeed.RMSE)
+	}
+	// And the bare kernel is measurably worse than XSEED on every class
+	// where it has error at all.
+	for _, r := range rows {
+		if r.Kernel.RMSE+1 < r.XSeed.RMSE {
+			t.Errorf("%s: kernel %.2f better than XSEED %.2f", r.Class, r.Kernel.RMSE, r.XSeed.RMSE)
+		}
+	}
+}
+
+func TestFigure6(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Figure6(tinyCfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	if rows[0].MBP != 0 || rows[1].MBP != 1 || rows[2].MBP != 2 {
+		t.Fatalf("MBP sequence wrong: %+v", rows)
+	}
+	// 1BP reduces error versus the bare kernel; 2BP doesn't increase it.
+	if rows[1].RMSE > rows[0].RMSE {
+		t.Errorf("1BP RMSE %.2f > kernel %.2f", rows[1].RMSE, rows[0].RMSE)
+	}
+	if rows[2].RMSE > rows[1].RMSE+0.01 {
+		t.Errorf("2BP RMSE %.2f > 1BP %.2f", rows[2].RMSE, rows[1].RMSE)
+	}
+	// 2BP enumerates strictly more patterns and costs more to build.
+	if rows[2].Entries <= rows[1].Entries {
+		t.Errorf("2BP entries %d <= 1BP %d", rows[2].Entries, rows[1].Entries)
+	}
+	if rows[2].BuildTime <= rows[1].BuildTime {
+		t.Errorf("2BP build %v <= 1BP %v", rows[2].BuildTime, rows[1].BuildTime)
+	}
+}
+
+func TestSection64(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Section64(tinyCfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	for _, r := range rows {
+		if r.EPTNodes <= 0 || r.DocNodes <= 0 {
+			t.Errorf("%s: empty row %+v", r.Dataset, r)
+		}
+		if r.EPTRatio <= 0 || r.EPTRatio > 1 {
+			t.Errorf("%s: EPT ratio %g out of range", r.Dataset, r.EPTRatio)
+		}
+		if r.AvgEstimate <= 0 || r.AvgActual <= 0 {
+			t.Errorf("%s: zero timings %+v", r.Dataset, r)
+		}
+	}
+}
+
+func TestSpecLookup(t *testing.T) {
+	if _, ok := specByKey("DBLP"); !ok {
+		t.Error("DBLP spec missing")
+	}
+	if _, ok := specByKey("nope"); ok {
+		t.Error("bogus spec found")
+	}
+	if len(PaperDatasets()) != 5 {
+		t.Errorf("datasets = %d", len(PaperDatasets()))
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	if c.scale() != 0.05 || c.queries() != 200 || c.tsOpBudget() != 3e8 {
+		t.Errorf("defaults: %g %d %d", c.scale(), c.queries(), c.tsOpBudget())
+	}
+}

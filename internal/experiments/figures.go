@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"io"
+	"time"
+
+	"xseed/internal/estimate"
+	"xseed/internal/het"
+	"xseed/internal/workload"
+)
+
+// Figure5Row is one query-class group of the paper's Figure 5 bar chart:
+// estimation errors on DBLP for the bare kernel, XSEED (kernel+HET), and
+// TreeSketch.
+type Figure5Row struct {
+	Class      string // SP, BP, CP
+	Queries    int
+	Kernel     Table3Cell
+	XSeed      Table3Cell
+	TreeSketch Table3Cell
+}
+
+// Figure5 reproduces the paper's Figure 5: per-query-type errors on DBLP.
+// The paper's finding: TreeSketch beats XSEED only on BP queries, where the
+// pages/publisher sibling correlation sits above BSEL_THRESHOLD and escapes
+// the HET.
+func Figure5(cfg Config, w io.Writer) ([]Figure5Row, error) {
+	spec, _ := specByKey("DBLP")
+	b, err := buildDataset(cfg, spec)
+	if err != nil {
+		return nil, err
+	}
+
+	sp := workload.AllSimplePaths(b.pt, 0)
+	opt := workload.Options{N: cfg.queries(), Seed: cfg.Seed + 1, RequireNonEmpty: true}
+	bp := workload.Branching(b.pt, b.ev, opt)
+	opt.Seed = cfg.Seed + 2
+	cp := workload.Complex(b.pt, b.ev, opt)
+
+	bare, _, _ := xseedWithBudget(b, 0)
+	full, _, _ := xseedWithBudget(b, 50*1024)
+	sketch := func(qs []workload.Query) Table3Cell { return sketchCell(cfg, b, qs, 50*1024) }
+
+	var rows []Figure5Row
+	fprintf(w, "Figure 5: estimation errors by query type on DBLP (RMSE, NRMSE)\n")
+	fprintf(w, "%-4s %6s | %-19s %-19s %-19s\n", "type", "#q", "kernel", "XSEED", "TreeSketch")
+	for _, group := range []struct {
+		class string
+		qs    []workload.Query
+	}{
+		{"SP", sp}, {"BP", bp}, {"CP", cp},
+	} {
+		row := Figure5Row{
+			Class:      group.class,
+			Queries:    len(group.qs),
+			Kernel:     cell(measure(group.qs, xseedEstimator{bare})),
+			XSeed:      cell(measure(group.qs, xseedEstimator{full})),
+			TreeSketch: sketch(group.qs),
+		}
+		fprintf(w, "%-4s %6d | %-19s %-19s %-19s\n",
+			row.Class, row.Queries,
+			renderCell(row.Kernel), renderCell(row.XSeed), renderCell(row.TreeSketch))
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Figure6Row is one MBP setting of the paper's Figure 6: HET construction
+// time and the RMSE of a 2BP workload.
+type Figure6Row struct {
+	MBP       int // 0 = bare kernel
+	BuildTime time.Duration
+	Entries   int
+	RMSE      float64
+	NRMSE     float64
+}
+
+// Figure6 reproduces the paper's Figure 6 on DBLP: the error/construction-
+// time tradeoff of MBP ∈ {0, 1, 2} measured on a 2BP workload. The paper's
+// finding: 1BP cuts the error ~66% cheaply; 2BP costs ~10× more
+// construction time for only ~8% further reduction.
+func Figure6(cfg Config, w io.Writer) ([]Figure6Row, error) {
+	spec, _ := specByKey("DBLP")
+	b, err := buildDataset(cfg, spec)
+	if err != nil {
+		return nil, err
+	}
+	// 2BP workload: up to 2 predicates per step.
+	qs := workload.Branching(b.pt, b.ev, workload.Options{
+		N: cfg.queries(), Seed: cfg.Seed + 3, MaxPredsPerStep: 2,
+		PredProb: 0.7, RequireNonEmpty: true,
+	})
+
+	var rows []Figure6Row
+	fprintf(w, "Figure 6: MBP settings on DBLP, 2BP workload (%d queries)\n", len(qs))
+	fprintf(w, "%-12s %12s %10s %12s %10s\n", "setting", "build-time", "entries", "RMSE", "NRMSE")
+	for _, mbp := range []int{0, 1, 2} {
+		eopt := estimate.Options{CardThreshold: spec.CardThreshold, ReuseEPT: true}
+		var est *estimate.Estimator
+		row := Figure6Row{MBP: mbp}
+		if mbp == 0 {
+			est = estimate.New(b.kern, eopt)
+		} else {
+			start := time.Now()
+			tab, _ := het.Precompute(b.doc, b.pt, b.kern, het.PrecomputeOptions{
+				MBP:             mbp,
+				BselThreshold:   spec.BselThreshold,
+				EstimateOptions: eopt,
+			})
+			row.BuildTime = time.Since(start)
+			row.Entries = tab.NumEntries()
+			eopt.HET = tab
+			est = estimate.New(b.kern, eopt)
+		}
+		acc := measure(qs, xseedEstimator{est})
+		row.RMSE = acc.RMSE()
+		row.NRMSE = acc.NRMSE()
+		name := "0BP (kernel)"
+		if mbp > 0 {
+			name = itoa(mbp) + "BP"
+		}
+		fprintf(w, "%-12s %12s %10d %12.2f %9.2f%%\n",
+			name, fmtDur(row.BuildTime), row.Entries, row.RMSE, row.NRMSE*100)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func itoa(n int) string {
+	return string(rune('0' + n))
+}

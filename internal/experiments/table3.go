@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"xseed/internal/metrics"
+	"xseed/internal/treesketch"
+	"xseed/internal/workload"
+)
+
+// Table3Cell is one (program setting, dataset) cell of the paper's Table 3.
+type Table3Cell struct {
+	RMSE  float64
+	NRMSE float64
+	R2    float64
+	OPD   float64
+	DNF   bool // TreeSketch construction did not finish
+}
+
+// Table3Row holds one dataset's results across program settings.
+type Table3Row struct {
+	Dataset string
+	Queries int
+
+	Kernel   Table3Cell // bare XSEED kernel, no HET
+	XSeed25  Table3Cell // XSEED within 25KB total
+	Sketch25 Table3Cell // TreeSketch within 25KB
+	XSeed50  Table3Cell // XSEED within 50KB total
+	Sketch50 Table3Cell // TreeSketch within 50KB
+}
+
+// table3Datasets are the four datasets the paper lists (full Treebank's
+// TreeSketch cannot be constructed, so the paper omits it).
+var table3Datasets = []string{"DBLP", "XMark10", "XMark100", "Treebank.05"}
+
+// Table3 reproduces the paper's Table 3: error metrics of the XSEED kernel,
+// XSEED and TreeSketch at 25KB and 50KB memory budgets, over the combined
+// SP+BP+CP workload.
+func Table3(cfg Config, w io.Writer) ([]Table3Row, error) {
+	var rows []Table3Row
+	fprintf(w, "Table 3: error metrics, combined SP+BP+CP workload (scale %.3g, %d queries/class)\n",
+		cfg.scale(), cfg.queries())
+	fprintf(w, "%-12s %6s | %-19s | %-19s %-19s | %-19s %-19s\n",
+		"Dataset", "#q", "kernel", "XSEED@25K", "TreeSketch@25K", "XSEED@50K", "TreeSketch@50K")
+	for _, key := range table3Datasets {
+		spec, ok := specByKey(key)
+		if !ok {
+			continue
+		}
+		b, err := buildDataset(cfg, spec)
+		if err != nil {
+			return rows, err
+		}
+		qs := combinedWorkload(cfg, b)
+		row := Table3Row{Dataset: key, Queries: len(qs)}
+
+		bare, _, _ := xseedWithBudget(b, 0)
+		row.Kernel = cell(measure(qs, xseedEstimator{bare}))
+
+		x25, _, _ := xseedWithBudget(b, 25*1024)
+		row.XSeed25 = cell(measure(qs, xseedEstimator{x25}))
+		x50, _, _ := xseedWithBudget(b, 50*1024)
+		row.XSeed50 = cell(measure(qs, xseedEstimator{x50}))
+
+		row.Sketch25 = sketchCell(cfg, b, qs, 25*1024)
+		row.Sketch50 = sketchCell(cfg, b, qs, 50*1024)
+
+		fprintf(w, "%-12s %6d | %-19s | %-19s %-19s | %-19s %-19s\n",
+			row.Dataset, row.Queries,
+			renderCell(row.Kernel), renderCell(row.XSeed25), renderCell(row.Sketch25),
+			renderCell(row.XSeed50), renderCell(row.Sketch50))
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func cell(acc *metrics.Accumulator) Table3Cell {
+	return Table3Cell{
+		RMSE:  acc.RMSE(),
+		NRMSE: acc.NRMSE(),
+		R2:    acc.R2(),
+		OPD:   acc.OPD(),
+	}
+}
+
+func renderCell(c Table3Cell) string {
+	if c.DNF {
+		return "DNF"
+	}
+	return fmt.Sprintf("%.1f (%.2f%%)", c.RMSE, c.NRMSE*100)
+}
+
+func sketchCell(cfg Config, b *built, qs []workload.Query, budget int) Table3Cell {
+	syn, _, err := treesketch.Build(b.doc, treesketch.Options{
+		BudgetBytes: budget,
+		OpBudget:    cfg.tsOpBudget(),
+		Seed:        cfg.Seed,
+	})
+	if err != nil {
+		if errors.Is(err, treesketch.ErrDNF) {
+			return Table3Cell{DNF: true}
+		}
+		return Table3Cell{DNF: true}
+	}
+	return cell(measure(qs, tsEstimator{syn}))
+}

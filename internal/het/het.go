@@ -1,0 +1,238 @@
+// Package het implements the XSEED hyper-edge table (paper Section 5): a
+// table of actual cardinalities for simple paths and correlated backward
+// selectivities for branching patterns, keyed by 32-bit incremental path
+// hashes. The HET patches the cases where the kernel's independence
+// assumptions (ancestor independence, Example 4; sibling independence,
+// Example 5) break.
+//
+// Entries are ranked by absolute estimation error. The full table plays the
+// role of the paper's "secondary storage" copy; only the top-k entries that
+// fit the memory budget are resident and consulted by the estimator, so the
+// synopsis can be dynamically reconfigured when the budget changes.
+package het
+
+import (
+	"sort"
+
+	"xseed/internal/pathhash"
+	"xseed/internal/xpath"
+)
+
+// EntrySize is the budget accounting per resident entry: 4-byte hash +
+// 8-byte cardinality + 4-byte selectivity, as in the paper's "hashed
+// integer (32 bits) ... serves as a key to the actual cardinality and the
+// correlated backward selectivity".
+const EntrySize = 16
+
+// Entry is one hyper-edge.
+type Entry struct {
+	Hash    uint32
+	Pattern bool    // false: rooted simple path; true: branching pattern p[q...]/r
+	Card    float64 // actual cardinality
+	Bsel    float64 // actual (paths) or correlated (patterns) backward selectivity
+	BselOK  bool    // false when only the cardinality is known (query feedback)
+	Err     float64 // |estimate - actual| priority; not part of EntrySize
+}
+
+// Table is a hyper-edge table. The zero value is unusable; use New.
+type Table struct {
+	budget int
+
+	// all is every known hyper-edge, sorted by Err descending ("secondary
+	// storage").
+	all []Entry
+
+	// resident lookups for the in-budget prefix of all.
+	paths    map[uint32]int // hash -> index into all
+	patterns map[uint32]int
+}
+
+// New returns an empty table with the given memory budget in bytes. A
+// budget <= 0 keeps every entry resident.
+func New(budgetBytes int) *Table {
+	t := &Table{budget: budgetBytes}
+	t.rebuild()
+	return t
+}
+
+// LookupPath implements estimate.HET.
+func (t *Table) LookupPath(h uint32) (card, bsel float64, bselOK, ok bool) {
+	i, ok := t.paths[h]
+	if !ok {
+		return 0, 0, false, false
+	}
+	e := &t.all[i]
+	return e.Card, e.Bsel, e.BselOK, true
+}
+
+// LookupPattern implements estimate.HET.
+func (t *Table) LookupPattern(h uint32) (bsel float64, ok bool) {
+	i, ok := t.patterns[h]
+	if !ok {
+		return 0, false
+	}
+	e := &t.all[i]
+	if !e.BselOK {
+		return 0, false
+	}
+	return e.Bsel, true
+}
+
+// Add inserts or replaces an entry (same hash and kind) and re-ranks.
+func (t *Table) Add(e Entry) {
+	for i := range t.all {
+		if t.all[i].Hash == e.Hash && t.all[i].Pattern == e.Pattern {
+			t.all[i] = e
+			t.rerank()
+			return
+		}
+	}
+	t.all = append(t.all, e)
+	t.rerank()
+}
+
+// AddBatch inserts many entries at once (no per-entry re-ranking).
+func (t *Table) AddBatch(entries []Entry) {
+	t.all = append(t.all, entries...)
+	t.rerank()
+}
+
+// SetBudget changes the resident memory budget in bytes and recomputes the
+// resident set. This is the "dynamic reconfiguration" the paper describes:
+// entries can be dropped or readmitted at any time without touching the
+// kernel.
+func (t *Table) SetBudget(bytes int) {
+	t.budget = bytes
+	t.rebuild()
+}
+
+// Budget returns the configured budget in bytes (<= 0: unlimited).
+func (t *Table) Budget() int { return t.budget }
+
+// SizeBytes returns the resident size under EntrySize accounting.
+func (t *Table) SizeBytes() int { return (len(t.paths) + len(t.patterns)) * EntrySize }
+
+// NumEntries returns the total number of known entries (resident or not).
+func (t *Table) NumEntries() int { return len(t.all) }
+
+// NumResident returns the number of resident entries.
+func (t *Table) NumResident() int { return len(t.paths) + len(t.patterns) }
+
+// Entries returns a copy of all entries in rank order, for inspection.
+func (t *Table) Entries() []Entry {
+	out := make([]Entry, len(t.all))
+	copy(out, t.all)
+	return out
+}
+
+func (t *Table) rerank() {
+	sort.SliceStable(t.all, func(i, j int) bool { return t.all[i].Err > t.all[j].Err })
+	t.rebuild()
+}
+
+func (t *Table) rebuild() {
+	limit := len(t.all)
+	if t.budget > 0 {
+		if max := t.budget / EntrySize; max < limit {
+			limit = max
+		}
+	}
+	t.paths = make(map[uint32]int, limit)
+	t.patterns = make(map[uint32]int, limit)
+	for i := 0; i < limit; i++ {
+		e := &t.all[i]
+		if e.Pattern {
+			t.patterns[e.Hash] = i
+		} else {
+			t.paths[e.Hash] = i
+		}
+	}
+}
+
+// Feedback records an executed query's actual cardinality (paper Figure 1:
+// "the optimizer may feedback the actual cardinality or selectivity of the
+// query to the HET"). Simple paths store the actual cardinality; queries of
+// the form .../p[preds...]/r with single-step child predicates store a
+// correlated backward selectivity computed against baseEstimate, the
+// synopsis estimate of the same query without the predicates. Other query
+// shapes are ignored (the paper's HET covers SP and leaf-level branching).
+func (t *Table) Feedback(q *xpath.Path, actual, estimate, baseEstimate float64) {
+	if q.IsSimple() {
+		labels := q.Labels()
+		t.Add(Entry{
+			Hash: pathhash.Path(labels...),
+			Card: actual,
+			Err:  abs(estimate - actual),
+		})
+		return
+	}
+	parent, preds, next, ok := leafBranchShape(q)
+	if !ok || baseEstimate <= 0 {
+		return
+	}
+	corr := actual / baseEstimate
+	if corr > 1 {
+		corr = 1
+	}
+	t.Add(Entry{
+		Hash:    pathhash.Pattern(parent, preds, next),
+		Pattern: true,
+		Card:    actual,
+		Bsel:    corr,
+		BselOK:  true,
+		Err:     abs(estimate - actual),
+	})
+}
+
+// leafBranchShape recognizes queries of the form
+// /l1/.../p[q1]...[qk]/r where exactly one step carries predicates, all
+// predicates are single child-axis name steps, and the predicated step has
+// a following step. It returns the pattern components.
+func leafBranchShape(q *xpath.Path) (parent string, preds []string, next string, ok bool) {
+	predStep := -1
+	for i := range q.Steps {
+		if len(q.Steps[i].Preds) == 0 {
+			continue
+		}
+		if predStep >= 0 {
+			return "", nil, "", false
+		}
+		predStep = i
+	}
+	if predStep < 0 || predStep == len(q.Steps)-1 {
+		return "", nil, "", false
+	}
+	st := &q.Steps[predStep]
+	nextStep := &q.Steps[predStep+1]
+	if st.Wildcard || nextStep.Wildcard || nextStep.Axis != xpath.Child {
+		return "", nil, "", false
+	}
+	for _, p := range st.Preds {
+		if len(p.Steps) != 1 {
+			return "", nil, "", false
+		}
+		ps := &p.Steps[0]
+		if ps.Axis != xpath.Child || ps.Wildcard || len(ps.Preds) != 0 {
+			return "", nil, "", false
+		}
+		preds = append(preds, ps.Label)
+	}
+	return st.Label, preds, nextStep.Label, true
+}
+
+// StripPreds returns a copy of q with every predicate removed — the base
+// query used to compute correlated selectivities from feedback.
+func StripPreds(q *xpath.Path) *xpath.Path {
+	c := q.Clone()
+	for i := range c.Steps {
+		c.Steps[i].Preds = nil
+	}
+	return c
+}
+
+func abs(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}

@@ -1,0 +1,386 @@
+// Package kernel implements the XSEED kernel (paper Section 3): an
+// edge-labeled label-split graph summarizing an XML document. Each vertex
+// stands for one element label; each edge (u,v) carries a vector of integer
+// pairs indexed by recursion level — at level i, Levels[i].P parents mapped
+// to u have a total of Levels[i].C children mapped to v (Definition 4).
+//
+// The kernel is built in a single event pass (paper Algorithm 1) using the
+// counter-stacks structure for O(1) recursion levels, supports incremental
+// add/remove of subtrees (Section 3, "Synopsis update"), and serializes to
+// a compact binary form whose length is the synopsis size used for memory
+// budget accounting.
+package kernel
+
+import (
+	"fmt"
+	"sort"
+
+	"xseed/internal/counterstack"
+	"xseed/internal/xmldoc"
+)
+
+// Level is one recursion-level entry of an edge label: P parent elements
+// have a total of C child elements at this level.
+type Level struct {
+	P int64 // parent-count  (e[i][P_CNT])
+	C int64 // child-count   (e[i][C_CNT])
+}
+
+// Edge is a directed kernel edge with its per-recursion-level label vector.
+// Levels[i] describes parent/child counts at recursion level i of the
+// rooted path ending with this edge.
+type Edge struct {
+	From, To xmldoc.LabelID
+	Levels   []Level
+}
+
+// level returns a pointer to Levels[i], growing the vector as needed.
+func (e *Edge) level(i int) *Level {
+	for len(e.Levels) <= i {
+		e.Levels = append(e.Levels, Level{})
+	}
+	return &e.Levels[i]
+}
+
+// ChildSum returns the sum of child-counts at recursion level i and greater
+// (Observation 3: the result count of q//u//v at recursion level ≥ i).
+func (e *Edge) ChildSum(from int) int64 {
+	var s int64
+	for i := from; i < len(e.Levels); i++ {
+		s += e.Levels[i].C
+	}
+	return s
+}
+
+// Vertex is a kernel vertex: one element label with its adjacency.
+type Vertex struct {
+	Label xmldoc.LabelID
+	Out   []*Edge // ordered by To label for deterministic traversal
+	In    []*Edge
+}
+
+// OutTo returns the out-edge to label, or nil.
+func (v *Vertex) OutTo(to xmldoc.LabelID) *Edge {
+	i := sort.Search(len(v.Out), func(i int) bool { return v.Out[i].To >= to })
+	if i < len(v.Out) && v.Out[i].To == to {
+		return v.Out[i]
+	}
+	return nil
+}
+
+// Kernel is the XSEED kernel of a document.
+type Kernel struct {
+	dict      *xmldoc.Dict
+	verts     map[xmldoc.LabelID]*Vertex
+	rootLabel xmldoc.LabelID
+	rootCount int64
+	hasRoot   bool
+}
+
+// New returns an empty kernel whose labels belong to dict.
+func New(dict *xmldoc.Dict) *Kernel {
+	return &Kernel{dict: dict, verts: make(map[xmldoc.LabelID]*Vertex)}
+}
+
+// Dict returns the label dictionary.
+func (k *Kernel) Dict() *xmldoc.Dict { return k.dict }
+
+// HasRoot reports whether the kernel has a document root vertex (subtree
+// kernels produced for incremental update do not).
+func (k *Kernel) HasRoot() bool { return k.hasRoot }
+
+// RootLabel returns the document root label. Valid only when HasRoot.
+func (k *Kernel) RootLabel() xmldoc.LabelID { return k.rootLabel }
+
+// RootCount returns the number of document roots summarized (1 for a single
+// document; more after merging several documents with the same root label).
+func (k *Kernel) RootCount() int64 { return k.rootCount }
+
+// Vertex returns the vertex for label, or nil.
+func (k *Kernel) Vertex(label xmldoc.LabelID) *Vertex { return k.verts[label] }
+
+// VertexByName returns the vertex for the label string, or nil.
+func (k *Kernel) VertexByName(name string) *Vertex {
+	id, ok := k.dict.Lookup(name)
+	if !ok {
+		return nil
+	}
+	return k.verts[id]
+}
+
+// NumVertices returns the number of vertices.
+func (k *Kernel) NumVertices() int { return len(k.verts) }
+
+// NumEdges returns the number of edges.
+func (k *Kernel) NumEdges() int {
+	n := 0
+	for _, v := range k.verts {
+		n += len(v.Out)
+	}
+	return n
+}
+
+// Edge returns the edge from→to, or nil.
+func (k *Kernel) Edge(from, to xmldoc.LabelID) *Edge {
+	v := k.verts[from]
+	if v == nil {
+		return nil
+	}
+	return v.OutTo(to)
+}
+
+// EdgeByName returns the edge between two label strings, or nil.
+func (k *Kernel) EdgeByName(from, to string) *Edge {
+	f, ok1 := k.dict.Lookup(from)
+	t, ok2 := k.dict.Lookup(to)
+	if !ok1 || !ok2 {
+		return nil
+	}
+	return k.Edge(f, t)
+}
+
+// getVertex returns the vertex for label, creating it if absent
+// (GET-VERTEX in Algorithm 1).
+func (k *Kernel) getVertex(label xmldoc.LabelID) *Vertex {
+	v := k.verts[label]
+	if v == nil {
+		v = &Vertex{Label: label}
+		k.verts[label] = v
+	}
+	return v
+}
+
+// getEdge returns the edge u→v, creating it if absent (GET-EDGE in
+// Algorithm 1).
+func (k *Kernel) getEdge(u, v *Vertex) *Edge {
+	if e := u.OutTo(v.Label); e != nil {
+		return e
+	}
+	e := &Edge{From: u.Label, To: v.Label}
+	i := sort.Search(len(u.Out), func(i int) bool { return u.Out[i].To >= v.Label })
+	u.Out = append(u.Out, nil)
+	copy(u.Out[i+1:], u.Out[i:])
+	u.Out[i] = e
+	j := sort.Search(len(v.In), func(i int) bool { return v.In[i].From >= u.Label })
+	v.In = append(v.In, nil)
+	copy(v.In[j+1:], v.In[j:])
+	v.In[j] = e
+	return e
+}
+
+// TotalChildren returns S(v, level): the sum of child-counts at the given
+// recursion level over all in-edges of the vertex labeled v, plus the root
+// count when v is the document root label at level 0 (the root has no
+// in-edge; the paper initializes its cardinality to 1). This is the
+// denominator of both selectivity recurrences (Definition 5).
+func (k *Kernel) TotalChildren(label xmldoc.LabelID, level int) int64 {
+	var s int64
+	if v := k.verts[label]; v != nil {
+		for _, e := range v.In {
+			if level < len(e.Levels) {
+				s += e.Levels[level].C
+			}
+		}
+	}
+	if k.hasRoot && label == k.rootLabel && level == 0 {
+		s += k.rootCount
+	}
+	return s
+}
+
+// VertexCount returns the total number of document elements mapped to the
+// vertex (sum of in-edge child-counts over all levels, plus root count).
+func (k *Kernel) VertexCount(label xmldoc.LabelID) int64 {
+	var s int64
+	if v := k.verts[label]; v != nil {
+		for _, e := range v.In {
+			for i := range e.Levels {
+				s += e.Levels[i].C
+			}
+		}
+	}
+	if k.hasRoot && label == k.rootLabel {
+		s += k.rootCount
+	}
+	return s
+}
+
+// MaxRecLevel returns the maximum recursion level represented on any edge.
+func (k *Kernel) MaxRecLevel() int {
+	max := 0
+	for _, v := range k.verts {
+		for _, e := range v.Out {
+			if n := len(e.Levels) - 1; n > max {
+				max = n
+			}
+		}
+	}
+	return max
+}
+
+// SizeBytes returns the memory-budget size of the kernel. The accounting
+// matches the serialized form: 8 bytes per vertex, 4 bytes per edge header,
+// and 8 bytes (two 32-bit counters) per recursion-level entry.
+func (k *Kernel) SizeBytes() int {
+	n := 8 * len(k.verts)
+	for _, v := range k.verts {
+		for _, e := range v.Out {
+			n += 4 + 8*len(e.Levels)
+		}
+	}
+	return n
+}
+
+// String renders the kernel edges in the paper's notation, for debugging
+// and golden tests.
+func (k *Kernel) String() string {
+	labels := make([]xmldoc.LabelID, 0, len(k.verts))
+	for l := range k.verts {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+	out := ""
+	for _, l := range labels {
+		v := k.verts[l]
+		for _, e := range v.Out {
+			out += fmt.Sprintf("(%s,%s) = (", k.dict.Name(e.From), k.dict.Name(e.To))
+			for i, lv := range e.Levels {
+				if i > 0 {
+					out += ", "
+				}
+				out += fmt.Sprintf("%d:%d", lv.P, lv.C)
+			}
+			out += ")\n"
+		}
+	}
+	return out
+}
+
+// Builder constructs a kernel from an event stream (paper Algorithm 1).
+// It implements xmldoc.Sink.
+type Builder struct {
+	k *Kernel
+
+	// rlCnt is the counter-stacks structure giving the recursion level of
+	// the rooted path in expected O(1) per event.
+	rlCnt *counterstack.Stack[xmldoc.LabelID]
+
+	// pathStk mirrors Algorithm 1's path_stk: per open element, the kernel
+	// vertex and the set of (edge, level) pairs of its children, used to
+	// increment parent-counts once per distinct pair on the close event.
+	pathStk []builderFrame
+
+	// phantomDepth marks the outermost phantomDepth entries of pathStk as
+	// context-only (used by subtree kernels): edges between two phantom
+	// frames are not counted.
+	phantomDepth int
+
+	err error
+}
+
+type builderFrame struct {
+	v        *Vertex
+	outEdges []edgeLevel // distinct (edge, level) pairs of this element's children
+	phantom  bool
+}
+
+type edgeLevel struct {
+	e *Edge
+	l int
+}
+
+// NewBuilder returns a kernel builder.
+func NewBuilder(dict *xmldoc.Dict) *Builder {
+	return &Builder{k: New(dict), rlCnt: counterstack.New[xmldoc.LabelID]()}
+}
+
+// OpenElement implements xmldoc.Sink (Algorithm 1, opening tag case).
+func (b *Builder) OpenElement(label xmldoc.LabelID) {
+	b.open(label, false)
+}
+
+func (b *Builder) open(label xmldoc.LabelID, phantom bool) {
+	if b.err != nil {
+		return
+	}
+	v := b.k.getVertex(label)
+	if len(b.pathStk) == 0 {
+		b.rlCnt.Push(label)
+		if lvl := b.rlCnt.Level(); lvl != 0 {
+			b.err = fmt.Errorf("kernel: root at recursion level %d", lvl)
+			return
+		}
+		if !phantom {
+			if b.k.hasRoot && b.k.rootLabel != label {
+				b.err = fmt.Errorf("kernel: conflicting root labels %q and %q",
+					b.k.dict.Name(b.k.rootLabel), b.k.dict.Name(label))
+				return
+			}
+			b.k.hasRoot = true
+			b.k.rootLabel = label
+			b.k.rootCount++
+		}
+		b.pathStk = append(b.pathStk, builderFrame{v: v, phantom: phantom})
+		return
+	}
+	parent := &b.pathStk[len(b.pathStk)-1]
+	// The edge-vector index is the recursion level of the whole rooted path
+	// including the new element (Definition 1 / Algorithm 1 line 11), which
+	// counter stacks report as the number of non-empty stacks minus one —
+	// not merely the occurrence count of the new label.
+	b.rlCnt.Push(label)
+	lvl := b.rlCnt.Level()
+	if !(parent.phantom && phantom) {
+		e := b.k.getEdge(parent.v, v)
+		e.level(lvl).C++
+		found := false
+		for _, el := range parent.outEdges {
+			if el.e == e && el.l == lvl {
+				found = true
+				break
+			}
+		}
+		if !found {
+			parent.outEdges = append(parent.outEdges, edgeLevel{e, lvl})
+		}
+	}
+	b.pathStk = append(b.pathStk, builderFrame{v: v, phantom: phantom})
+}
+
+// CloseElement implements xmldoc.Sink (Algorithm 1, closing tag case).
+func (b *Builder) CloseElement(label xmldoc.LabelID) {
+	if b.err != nil {
+		return
+	}
+	n := len(b.pathStk)
+	if n == 0 {
+		b.err = fmt.Errorf("kernel: unbalanced close of %q", b.k.dict.Name(label))
+		return
+	}
+	f := b.pathStk[n-1]
+	b.pathStk = b.pathStk[:n-1]
+	for _, el := range f.outEdges {
+		el.e.level(el.l).P++
+	}
+	b.rlCnt.Pop(label)
+}
+
+// Kernel finalizes and returns the kernel.
+func (b *Builder) Kernel() (*Kernel, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.pathStk) != 0 {
+		return nil, fmt.Errorf("kernel: %d elements left open", len(b.pathStk))
+	}
+	return b.k, nil
+}
+
+// Build constructs the kernel of a document source in one pass.
+func Build(src xmldoc.Source, dict *xmldoc.Dict) (*Kernel, error) {
+	b := NewBuilder(dict)
+	if err := src.Emit(dict, b); err != nil {
+		return nil, err
+	}
+	return b.Kernel()
+}

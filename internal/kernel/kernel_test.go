@@ -1,0 +1,489 @@
+package kernel
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xseed/internal/fixtures"
+	"xseed/internal/xmldoc"
+)
+
+func buildFig2(t *testing.T) *Kernel {
+	t.Helper()
+	dict := xmldoc.NewDict()
+	k, err := Build(xmldoc.NewParserString(fixtures.PaperFigure2), dict)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return k
+}
+
+// TestPaperFigure2Kernel checks every edge label of Figure 2(b) exactly.
+func TestPaperFigure2Kernel(t *testing.T) {
+	k := buildFig2(t)
+	want := map[[2]string][]Level{
+		{"a", "t"}: {{1, 1}},
+		{"a", "u"}: {{1, 1}},
+		{"a", "c"}: {{1, 2}},
+		{"c", "t"}: {{2, 2}},
+		{"c", "p"}: {{2, 3}},
+		{"c", "s"}: {{2, 5}},
+		{"s", "t"}: {{2, 2}, {1, 1}},
+		{"s", "p"}: {{5, 9}, {1, 2}, {2, 3}},
+		{"s", "s"}: {{0, 0}, {2, 2}, {1, 2}},
+	}
+	if got := k.NumEdges(); got != len(want) {
+		t.Errorf("NumEdges = %d, want %d\n%s", got, len(want), k.String())
+	}
+	for key, lvls := range want {
+		e := k.EdgeByName(key[0], key[1])
+		if e == nil {
+			t.Errorf("edge (%s,%s) missing", key[0], key[1])
+			continue
+		}
+		if len(e.Levels) != len(lvls) {
+			t.Errorf("edge (%s,%s) levels = %v, want %v", key[0], key[1], e.Levels, lvls)
+			continue
+		}
+		for i := range lvls {
+			if e.Levels[i] != lvls[i] {
+				t.Errorf("edge (%s,%s)[%d] = %d:%d, want %d:%d",
+					key[0], key[1], i, e.Levels[i].P, e.Levels[i].C, lvls[i].P, lvls[i].C)
+			}
+		}
+	}
+	if !k.HasRoot() || k.Dict().Name(k.RootLabel()) != "a" || k.RootCount() != 1 {
+		t.Errorf("root = %v %d", k.HasRoot(), k.RootCount())
+	}
+	if got := k.NumVertices(); got != 6 {
+		t.Errorf("NumVertices = %d, want 6", got)
+	}
+}
+
+func TestTotalChildrenOnFigure2(t *testing.T) {
+	k := buildFig2(t)
+	id := func(s string) xmldoc.LabelID {
+		v, ok := k.Dict().Lookup(s)
+		if !ok {
+			t.Fatalf("label %s missing", s)
+		}
+		return v
+	}
+	cases := []struct {
+		label string
+		level int
+		want  int64
+	}{
+		{"a", 0, 1},  // root: no in-edges, root count 1
+		{"t", 0, 5},  // 1 (a,t) + 2 (c,t) + 2 (s,t)
+		{"t", 1, 1},  // (s,t)[1]
+		{"s", 0, 5},  // (c,s)
+		{"s", 1, 2},  // (s,s)[1]
+		{"s", 2, 2},  // (s,s)[2]
+		{"p", 0, 12}, // 3 (c,p) + 9 (s,p)[0]
+		{"p", 1, 2},  // (s,p)[1]
+		{"p", 2, 3},  // (s,p)[2]
+		{"u", 0, 1},
+		{"c", 0, 2},
+		{"t", 2, 0}, // no level-2 t
+		{"a", 1, 0},
+	}
+	for _, tc := range cases {
+		if got := k.TotalChildren(id(tc.label), tc.level); got != tc.want {
+			t.Errorf("S(%s,%d) = %d, want %d", tc.label, tc.level, got, tc.want)
+		}
+	}
+}
+
+func TestVertexCountOnFigure2(t *testing.T) {
+	k := buildFig2(t)
+	cases := map[string]int64{"a": 1, "t": 6, "u": 1, "c": 2, "s": 9, "p": 17}
+	for name, want := range cases {
+		id, _ := k.Dict().Lookup(name)
+		if got := k.VertexCount(id); got != want {
+			t.Errorf("VertexCount(%s) = %d, want %d", name, got, want)
+		}
+	}
+}
+
+// TestObservation3 checks that the sum of (s,p) child-counts at recursion
+// levels >= 1 equals |//s//s//p| = 5, as the paper's Observation 3 states.
+func TestObservation3(t *testing.T) {
+	k := buildFig2(t)
+	e := k.EdgeByName("s", "p")
+	if e == nil {
+		t.Fatal("edge (s,p) missing")
+	}
+	if got := e.ChildSum(1); got != 5 {
+		t.Errorf("ChildSum(1) of (s,p) = %d, want 5", got)
+	}
+	if got := e.ChildSum(0); got != 14 {
+		t.Errorf("ChildSum(0) of (s,p) = %d, want 14 (|//s//p|)", got)
+	}
+	if got := e.ChildSum(2); got != 3 {
+		t.Errorf("ChildSum(2) of (s,p) = %d, want 3", got)
+	}
+}
+
+func TestMaxRecLevelAndSize(t *testing.T) {
+	k := buildFig2(t)
+	if got := k.MaxRecLevel(); got != 2 {
+		t.Errorf("MaxRecLevel = %d, want 2", got)
+	}
+	// 6 vertices * 8 + 9 edges * 4 + 14 level entries * 8 = 196.
+	if got := k.SizeBytes(); got != 196 {
+		t.Errorf("SizeBytes = %d, want 196", got)
+	}
+}
+
+func TestStringGolden(t *testing.T) {
+	k := buildFig2(t)
+	s := k.String()
+	for _, line := range []string{
+		"(s,p) = (5:9, 1:2, 2:3)",
+		"(s,s) = (0:0, 2:2, 1:2)",
+		"(a,c) = (1:2)",
+	} {
+		if !strings.Contains(s, line) {
+			t.Errorf("String() missing %q:\n%s", line, s)
+		}
+	}
+}
+
+// refEdgeCounts computes, by brute force on the document, the expected
+// kernel counts: for each (parentLabel, childLabel, level of rooted path
+// ending at child), the total children (C) and the number of distinct
+// parent elements with at least one such child (P).
+func refEdgeCounts(doc *xmldoc.Document) map[[3]int32]Level {
+	out := map[[3]int32]Level{}
+	occ := map[xmldoc.LabelID]int{} // occurrences per label on the current path
+	maxOf := func() int {
+		m := 0
+		for _, v := range occ {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	var walk func(n xmldoc.NodeID)
+	walk = func(n xmldoc.NodeID) {
+		label := doc.Label(n)
+		occ[label]++
+		seen := map[[2]int32]bool{}
+		for c := doc.FirstChild(n); c >= 0; c = doc.NextSibling(n, c) {
+			cl := doc.Label(c)
+			occ[cl]++
+			lvl := maxOf() - 1 // PRL of the rooted path ending at c
+			occ[cl]--
+			key := [3]int32{int32(label), int32(cl), int32(lvl)}
+			lv := out[key]
+			lv.C++
+			if !seen[[2]int32{int32(cl), int32(lvl)}] {
+				seen[[2]int32{int32(cl), int32(lvl)}] = true
+				lv.P++
+			}
+			out[key] = lv
+			walk(c)
+		}
+		occ[label]--
+	}
+	if doc.NumNodes() > 0 {
+		walk(0)
+	}
+	return out
+}
+
+// randomXML builds a random small document string.
+func randomXML(rng *rand.Rand, labels []string, maxDepth, maxFanout int) string {
+	var sb strings.Builder
+	var gen func(depth int)
+	gen = func(depth int) {
+		l := labels[rng.Intn(len(labels))]
+		sb.WriteString("<" + l + ">")
+		if depth < maxDepth {
+			for i := 0; i < rng.Intn(maxFanout+1); i++ {
+				gen(depth + 1)
+			}
+		}
+		sb.WriteString("</" + l + ">")
+	}
+	gen(0)
+	return sb.String()
+}
+
+// TestRandomDocsAgainstReference cross-checks kernel counts against the
+// brute-force reference on many random documents, including recursive ones.
+func TestRandomDocsAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	labels := []string{"a", "b", "c"}
+	for trial := 0; trial < 300; trial++ {
+		xml := randomXML(rng, labels, 6, 3)
+		dict := xmldoc.NewDict()
+		doc, err := xmldoc.Build(xmldoc.NewParserString(xml), dict)
+		if err != nil {
+			t.Fatalf("trial %d: build doc: %v", trial, err)
+		}
+		k, err := Build(xmldoc.NewParserString(xml), dict)
+		if err != nil {
+			t.Fatalf("trial %d: build kernel: %v", trial, err)
+		}
+		ref := refEdgeCounts(doc)
+		// Every reference entry must match the kernel.
+		total := 0
+		for key, lv := range ref {
+			e := k.Edge(key[0], key[1])
+			if e == nil {
+				t.Fatalf("trial %d: edge (%s,%s) missing\ndoc: %s",
+					trial, dict.Name(key[0]), dict.Name(key[1]), xml)
+			}
+			if int(key[2]) >= len(e.Levels) || e.Levels[key[2]] != lv {
+				t.Fatalf("trial %d: edge (%s,%s)[%d] = %v, want %v\ndoc: %s",
+					trial, dict.Name(key[0]), dict.Name(key[1]), key[2],
+					e.Levels, lv, xml)
+			}
+			total++
+		}
+		// And the kernel must not contain counts the reference lacks.
+		kTotal := 0
+		for _, name := range dict.Names() {
+			v := k.VertexByName(name)
+			if v == nil {
+				continue
+			}
+			for _, e := range v.Out {
+				for i, lv := range e.Levels {
+					if lv == (Level{}) {
+						continue
+					}
+					kTotal++
+					if ref[[3]int32{int32(e.From), int32(e.To), int32(i)}] != lv {
+						t.Fatalf("trial %d: spurious kernel entry (%s,%s)[%d]=%v\ndoc: %s",
+							trial, dict.Name(e.From), dict.Name(e.To), i, lv, xml)
+					}
+				}
+			}
+		}
+		if total != kTotal {
+			t.Fatalf("trial %d: entry counts differ: ref %d kernel %d", trial, total, kTotal)
+		}
+	}
+}
+
+// TestObservation1 checks on random documents that every rooted path of the
+// document exists in the kernel with a label vector longer than the path's
+// recursion level.
+func TestObservation1(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	labels := []string{"x", "y"}
+	for trial := 0; trial < 100; trial++ {
+		xml := randomXML(rng, labels, 7, 2)
+		dict := xmldoc.NewDict()
+		doc, err := xmldoc.Build(xmldoc.NewParserString(xml), dict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, err := Build(xmldoc.NewParserString(xml), dict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var walk func(n xmldoc.NodeID, path []xmldoc.LabelID)
+		walk = func(n xmldoc.NodeID, path []xmldoc.LabelID) {
+			path = append(path, doc.Label(n))
+			if len(path) >= 2 {
+				// recursion level of the rooted path
+				occ := map[xmldoc.LabelID]int{}
+				max := 0
+				for _, l := range path {
+					occ[l]++
+					if occ[l] > max {
+						max = occ[l]
+					}
+				}
+				lvl := max - 1
+				e := k.Edge(path[len(path)-2], path[len(path)-1])
+				if e == nil {
+					t.Fatalf("kernel misses edge for path %v\ndoc: %s", path, xml)
+				}
+				if len(e.Levels) <= lvl {
+					t.Fatalf("edge (%s,%s) has %d levels, path needs > %d\ndoc: %s",
+						dict.Name(e.From), dict.Name(e.To), len(e.Levels), lvl, xml)
+				}
+			}
+			for c := doc.FirstChild(n); c >= 0; c = doc.NextSibling(n, c) {
+				walk(c, path)
+			}
+		}
+		walk(0, nil)
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	k := buildFig2(t)
+	var buf bytes.Buffer
+	n, err := k.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo returned %d, wrote %d", n, buf.Len())
+	}
+	dict2 := xmldoc.NewDict()
+	k2, err := Read(&buf, dict2)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	// Compare via string rendering (label names survive re-interning).
+	if k.String() != k2.String() {
+		t.Errorf("round trip mismatch:\n%s\nvs\n%s", k.String(), k2.String())
+	}
+	if k2.RootCount() != 1 || dict2.Name(k2.RootLabel()) != "a" {
+		t.Error("root not preserved")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	for _, b := range [][]byte{
+		nil,
+		[]byte("bogus"),
+		[]byte("XSK1"),
+		{'X', 'S', 'K', '1', 0xFF},
+	} {
+		if _, err := Read(bytes.NewReader(b), xmldoc.NewDict()); err == nil {
+			t.Errorf("Read(%q) succeeded", b)
+		}
+	}
+}
+
+func TestMergeTwoDocuments(t *testing.T) {
+	dict := xmldoc.NewDict()
+	k1, err := Build(xmldoc.NewParserString("<a><b/><b/></a>"), dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := Build(xmldoc.NewParserString("<a><b/><c/></a>"), dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k1.Merge(k2, 1); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if k1.RootCount() != 2 {
+		t.Errorf("root count = %d, want 2", k1.RootCount())
+	}
+	ab := k1.EdgeByName("a", "b")
+	if ab == nil || ab.Levels[0] != (Level{P: 2, C: 3}) {
+		t.Errorf("(a,b) = %v, want 2:3", ab)
+	}
+	ac := k1.EdgeByName("a", "c")
+	if ac == nil || ac.Levels[0] != (Level{P: 1, C: 1}) {
+		t.Errorf("(a,c) = %v, want 1:1", ac)
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	dict := xmldoc.NewDict()
+	ka, _ := Build(xmldoc.NewParserString("<a><b/></a>"), dict)
+	kb, _ := Build(xmldoc.NewParserString("<b><a/></b>"), dict)
+	if err := ka.Merge(kb, 1); err == nil {
+		t.Error("merge of different roots succeeded")
+	}
+	other, _ := Build(xmldoc.NewParserString("<a><b/></a>"), xmldoc.NewDict())
+	if err := ka.Merge(other, 1); err == nil {
+		t.Error("merge across dictionaries succeeded")
+	}
+	kc, _ := Build(xmldoc.NewParserString("<a><b/></a>"), dict)
+	if err := kc.Merge(kc.Clone(), 2); err == nil {
+		t.Error("merge with sign 2 succeeded")
+	}
+}
+
+func TestAddRemoveSubtreeRoundTrip(t *testing.T) {
+	// Removing the u subtree from Figure 2 must yield exactly the kernel of
+	// the document without it (u is the only u child of a, so the
+	// parent-count assumption holds).
+	dict := xmldoc.NewDict()
+	k, err := Build(xmldoc.NewParserString(fixtures.PaperFigure2), dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RemoveSubtree([]string{"a"}, xmldoc.NewParserString("<u/>")); err != nil {
+		t.Fatalf("RemoveSubtree: %v", err)
+	}
+	without := strings.Replace(fixtures.PaperFigure2, "<u/>\n", "", 1)
+	want, err := Build(xmldoc.NewParserString(without), dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k.Equal(want) {
+		t.Errorf("after remove:\n%s\nwant:\n%s", k.String(), want.String())
+	}
+	// Adding it back restores the original.
+	if err := k.AddSubtree([]string{"a"}, xmldoc.NewParserString("<u/>")); err != nil {
+		t.Fatalf("AddSubtree: %v", err)
+	}
+	orig, _ := Build(xmldoc.NewParserString(fixtures.PaperFigure2), dict)
+	if !k.Equal(orig) {
+		t.Errorf("after add-back:\n%s\nwant:\n%s", k.String(), orig.String())
+	}
+}
+
+func TestAddSubtreeDeepContext(t *testing.T) {
+	// Insert a recursive subtree under a recursive context; levels must be
+	// computed relative to the full rooted path.
+	dict := xmldoc.NewDict()
+	k, err := Build(xmldoc.NewParserString("<a><s><s/></s></a>"), dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Add <s><p/></s> under /a/s/s: the new s is at recursion level 2.
+	if err := k.AddSubtree([]string{"a", "s", "s"}, xmldoc.NewParserString("<s><p/></s>")); err != nil {
+		t.Fatal(err)
+	}
+	want, err := Build(xmldoc.NewParserString("<a><s><s><s><p/></s></s></s></a>"), dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k.Equal(want) {
+		t.Errorf("incremental:\n%s\nwant:\n%s", k.String(), want.String())
+	}
+}
+
+func TestSubtractNegativeFails(t *testing.T) {
+	dict := xmldoc.NewDict()
+	k, _ := Build(xmldoc.NewParserString("<a><b/></a>"), dict)
+	err := k.RemoveSubtree([]string{"a"}, xmldoc.NewParserString("<b><c/></b>"))
+	if err == nil {
+		t.Error("subtracting a larger subtree succeeded")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	k := buildFig2(t)
+	c := k.Clone()
+	if !k.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.EdgeByName("a", "c").Levels[0].C = 99
+	if k.EdgeByName("a", "c").Levels[0].C == 99 {
+		t.Error("clone shares level storage")
+	}
+}
+
+func TestEmptyKernelQueries(t *testing.T) {
+	k := New(xmldoc.NewDict())
+	if k.NumVertices() != 0 || k.NumEdges() != 0 {
+		t.Error("empty kernel not empty")
+	}
+	if k.VertexByName("a") != nil || k.EdgeByName("a", "b") != nil {
+		t.Error("lookups on empty kernel returned non-nil")
+	}
+	if k.TotalChildren(0, 0) != 0 {
+		t.Error("TotalChildren on empty kernel")
+	}
+	if k.MaxRecLevel() != 0 {
+		t.Error("MaxRecLevel on empty kernel")
+	}
+}

@@ -1,0 +1,224 @@
+package kernel
+
+import (
+	"fmt"
+
+	"xseed/internal/xmldoc"
+)
+
+// This file implements the paper's "Synopsis update" (Section 3): when
+// subtrees are added to or deleted from the document, the kernel of each
+// subtree is computed in isolation and then merged into (or subtracted
+// from) the original kernel. The paper defers the details to its full
+// version; our precise semantics are:
+//
+//   - A subtree kernel is built with the subtree's insertion context (the
+//     rooted label path of its parent chain) pushed as *phantom* elements:
+//     they establish correct recursion levels and the edge from the parent
+//     to the subtree root, but contribute no counts among themselves.
+//   - Merging adds (or subtracts) edge label vectors level-wise; edges and
+//     vertices whose counts reach zero everywhere are removed.
+//   - Parent-counts across the context boundary assume the parent did not
+//     already have a child with the subtree root's (label, level); when it
+//     did, parent-counts drift by one per violating update. This matches
+//     the lazy-maintenance role the paper assigns to updates (the optimizer
+//     "can choose to update the information eagerly or lazily"); rebuilds
+//     restore exactness.
+
+// BuildSubtree builds the kernel contribution of a subtree whose root will
+// sit under the given context path (outermost label first, excluding the
+// subtree root itself). The resulting kernel has no document root and can
+// be merged into a full kernel with Merge.
+func BuildSubtree(dict *xmldoc.Dict, contextPath []string, src xmldoc.Source) (*Kernel, error) {
+	b := NewBuilder(dict)
+	for _, name := range contextPath {
+		b.open(dict.Intern(name), true)
+	}
+	b.phantomDepth = len(contextPath)
+	if err := src.Emit(dict, b); err != nil {
+		return nil, err
+	}
+	if len(b.pathStk) != b.phantomDepth {
+		return nil, fmt.Errorf("kernel: subtree stream left %d elements open",
+			len(b.pathStk)-b.phantomDepth)
+	}
+	for i := len(contextPath) - 1; i >= 0; i-- {
+		id, _ := dict.Lookup(contextPath[i])
+		b.CloseElement(id)
+	}
+	k, err := b.Kernel()
+	if err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// Merge adds (sign = +1) or subtracts (sign = -1) another kernel's counts
+// into k. Both kernels must share a dictionary. Subtraction that would
+// drive any count negative is an error and leaves k partially updated;
+// callers that need atomicity should Clone first.
+func (k *Kernel) Merge(other *Kernel, sign int) error {
+	if sign != 1 && sign != -1 {
+		return fmt.Errorf("kernel: merge sign must be ±1, got %d", sign)
+	}
+	if other.dict != k.dict {
+		return fmt.Errorf("kernel: merge across dictionaries")
+	}
+	if other.hasRoot {
+		if !k.hasRoot {
+			if sign < 0 {
+				return fmt.Errorf("kernel: subtracting rooted kernel from unrooted")
+			}
+			k.hasRoot = true
+			k.rootLabel = other.rootLabel
+		}
+		if k.rootLabel != other.rootLabel {
+			return fmt.Errorf("kernel: conflicting root labels %q and %q",
+				k.dict.Name(k.rootLabel), k.dict.Name(other.rootLabel))
+		}
+		k.rootCount += int64(sign) * other.rootCount
+		if k.rootCount < 0 {
+			return fmt.Errorf("kernel: root count went negative")
+		}
+	}
+	for _, v := range other.verts {
+		for _, oe := range v.Out {
+			from := k.getVertex(oe.From)
+			to := k.getVertex(oe.To)
+			e := k.getEdge(from, to)
+			for i, lv := range oe.Levels {
+				el := e.level(i)
+				el.P += int64(sign) * lv.P
+				el.C += int64(sign) * lv.C
+				if el.P < 0 || el.C < 0 {
+					return fmt.Errorf("kernel: edge (%s,%s) level %d went negative",
+						k.dict.Name(e.From), k.dict.Name(e.To), i)
+				}
+			}
+		}
+	}
+	k.compact()
+	return nil
+}
+
+// AddSubtree incrementally accounts for a subtree inserted under
+// contextPath.
+func (k *Kernel) AddSubtree(contextPath []string, src xmldoc.Source) error {
+	sub, err := BuildSubtree(k.dict, contextPath, src)
+	if err != nil {
+		return err
+	}
+	return k.Merge(sub, 1)
+}
+
+// RemoveSubtree incrementally accounts for a subtree deleted from under
+// contextPath.
+func (k *Kernel) RemoveSubtree(contextPath []string, src xmldoc.Source) error {
+	sub, err := BuildSubtree(k.dict, contextPath, src)
+	if err != nil {
+		return err
+	}
+	return k.Merge(sub, -1)
+}
+
+// Clone returns a deep copy of the kernel sharing the dictionary.
+func (k *Kernel) Clone() *Kernel {
+	c := New(k.dict)
+	c.hasRoot, c.rootLabel, c.rootCount = k.hasRoot, k.rootLabel, k.rootCount
+	for _, v := range k.verts {
+		for _, e := range v.Out {
+			ce := c.getEdge(c.getVertex(e.From), c.getVertex(e.To))
+			ce.Levels = append(ce.Levels[:0], e.Levels...)
+		}
+		// Preserve isolated vertices (possible mid-update).
+		c.getVertex(v.Label)
+	}
+	return c
+}
+
+// Equal reports whether two kernels have identical structure and counts
+// (trailing all-zero levels ignored).
+func (k *Kernel) Equal(other *Kernel) bool {
+	trim := func(ls []Level) []Level {
+		for len(ls) > 0 && ls[len(ls)-1] == (Level{}) {
+			ls = ls[:len(ls)-1]
+		}
+		return ls
+	}
+	if k.hasRoot != other.hasRoot || (k.hasRoot && (k.rootLabel != other.rootLabel || k.rootCount != other.rootCount)) {
+		return false
+	}
+	count := func(x *Kernel) int {
+		n := 0
+		for _, v := range x.verts {
+			for _, e := range v.Out {
+				if len(trim(e.Levels)) > 0 {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	if count(k) != count(other) {
+		return false
+	}
+	for _, v := range k.verts {
+		for _, e := range v.Out {
+			a := trim(e.Levels)
+			if len(a) == 0 {
+				continue
+			}
+			oe := other.Edge(e.From, e.To)
+			if oe == nil {
+				return false
+			}
+			b := trim(oe.Levels)
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// compact removes edges whose vectors are all zero and vertices with no
+// remaining edges (except the root vertex).
+func (k *Kernel) compact() {
+	for _, v := range k.verts {
+		out := v.Out[:0]
+		for _, e := range v.Out {
+			if !e.allZero() {
+				out = append(out, e)
+			}
+		}
+		v.Out = out
+	}
+	for _, v := range k.verts {
+		in := v.In[:0]
+		for _, e := range v.In {
+			if !e.allZero() {
+				in = append(in, e)
+			}
+		}
+		v.In = in
+	}
+	for l, v := range k.verts {
+		if len(v.Out) == 0 && len(v.In) == 0 && !(k.hasRoot && l == k.rootLabel) {
+			delete(k.verts, l)
+		}
+	}
+}
+
+func (e *Edge) allZero() bool {
+	for _, lv := range e.Levels {
+		if lv != (Level{}) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,117 @@
+// Package metrics implements the estimation-quality metrics of the paper's
+// Section 6.3: root-mean-squared error (RMSE), normalized RMSE (NRMSE =
+// RMSE divided by the mean actual result size), the coefficient of
+// determination (R²), and the order-preserving degree (OPD — the fraction
+// of query pairs whose estimates are ordered like their actuals).
+package metrics
+
+import "math"
+
+// Sample is one (estimate, actual) observation.
+type Sample struct {
+	Est    float64
+	Actual float64
+}
+
+// Accumulator collects samples and computes the error metrics.
+type Accumulator struct {
+	samples []Sample
+}
+
+// Add records one observation.
+func (a *Accumulator) Add(est, actual float64) {
+	a.samples = append(a.samples, Sample{est, actual})
+}
+
+// N returns the number of observations.
+func (a *Accumulator) N() int { return len(a.samples) }
+
+// Samples returns the recorded observations (not a copy).
+func (a *Accumulator) Samples() []Sample { return a.samples }
+
+// RMSE returns sqrt(Σ(eᵢ-aᵢ)²/n), the paper's primary error metric.
+func (a *Accumulator) RMSE() float64 {
+	if len(a.samples) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range a.samples {
+		d := x.Est - x.Actual
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(a.samples)))
+}
+
+// MeanActual returns the mean actual result size ā.
+func (a *Accumulator) MeanActual() float64 {
+	if len(a.samples) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range a.samples {
+		s += x.Actual
+	}
+	return s / float64(len(a.samples))
+}
+
+// NRMSE returns RMSE/ā, the paper's error per unit of accurate result size
+// (adopted from Zhang et al., VLDB 2005). Zero when ā is zero.
+func (a *Accumulator) NRMSE() float64 {
+	m := a.MeanActual()
+	if m == 0 {
+		return 0
+	}
+	return a.RMSE() / m
+}
+
+// R2 returns the coefficient of determination of estimates against
+// actuals: 1 - Σ(aᵢ-eᵢ)²/Σ(aᵢ-ā)². Can be negative for estimators worse
+// than predicting the mean; 1 is perfect. Returns 1 when all actuals are
+// identical and matched, 0 when identical but unmatched.
+func (a *Accumulator) R2() float64 {
+	if len(a.samples) == 0 {
+		return 0
+	}
+	mean := a.MeanActual()
+	var ssRes, ssTot float64
+	for _, x := range a.samples {
+		ssRes += (x.Actual - x.Est) * (x.Actual - x.Est)
+		ssTot += (x.Actual - mean) * (x.Actual - mean)
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// OPD returns the order-preserving degree: over all pairs (i < j) with
+// distinct actuals, the fraction whose estimates are ordered the same way
+// (ties in estimates count as half). Returns 1 for fewer than two usable
+// pairs.
+func (a *Accumulator) OPD() float64 {
+	n := len(a.samples)
+	pairs, score := 0, 0.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			ai, aj := a.samples[i].Actual, a.samples[j].Actual
+			if ai == aj {
+				continue
+			}
+			pairs++
+			ei, ej := a.samples[i].Est, a.samples[j].Est
+			switch {
+			case ei == ej:
+				score += 0.5
+			case (ai < aj) == (ei < ej):
+				score++
+			}
+		}
+	}
+	if pairs == 0 {
+		return 1
+	}
+	return score / float64(pairs)
+}

@@ -1,0 +1,155 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestRMSEKnownValues(t *testing.T) {
+	var a Accumulator
+	a.Add(3, 1) // error 2
+	a.Add(1, 3) // error -2
+	if got := a.RMSE(); !approx(got, 2, 1e-12) {
+		t.Errorf("RMSE = %g, want 2", got)
+	}
+	if got := a.MeanActual(); !approx(got, 2, 1e-12) {
+		t.Errorf("MeanActual = %g, want 2", got)
+	}
+	if got := a.NRMSE(); !approx(got, 1, 1e-12) {
+		t.Errorf("NRMSE = %g, want 1", got)
+	}
+	if a.N() != 2 {
+		t.Errorf("N = %d", a.N())
+	}
+}
+
+func TestPerfectEstimator(t *testing.T) {
+	var a Accumulator
+	for i := 1; i <= 10; i++ {
+		a.Add(float64(i), float64(i))
+	}
+	if got := a.RMSE(); got != 0 {
+		t.Errorf("RMSE = %g", got)
+	}
+	if got := a.NRMSE(); got != 0 {
+		t.Errorf("NRMSE = %g", got)
+	}
+	if got := a.R2(); got != 1 {
+		t.Errorf("R2 = %g", got)
+	}
+	if got := a.OPD(); got != 1 {
+		t.Errorf("OPD = %g", got)
+	}
+}
+
+func TestEmptyAccumulator(t *testing.T) {
+	var a Accumulator
+	if a.RMSE() != 0 || a.NRMSE() != 0 || a.R2() != 0 || a.OPD() != 1 {
+		t.Error("empty accumulator metrics not at neutral values")
+	}
+}
+
+func TestR2WorseThanMean(t *testing.T) {
+	var a Accumulator
+	a.Add(100, 1)
+	a.Add(-100, 2)
+	a.Add(100, 3)
+	if got := a.R2(); got >= 0 {
+		t.Errorf("R2 = %g, want negative for a terrible estimator", got)
+	}
+}
+
+func TestR2ConstantActuals(t *testing.T) {
+	var a Accumulator
+	a.Add(5, 5)
+	a.Add(5, 5)
+	if got := a.R2(); got != 1 {
+		t.Errorf("R2 = %g, want 1 for exact constant fit", got)
+	}
+	var b Accumulator
+	b.Add(4, 5)
+	b.Add(6, 5)
+	if got := b.R2(); got != 0 {
+		t.Errorf("R2 = %g, want 0 for inexact constant fit", got)
+	}
+}
+
+func TestOPD(t *testing.T) {
+	var a Accumulator
+	// Actuals 1<2<3; estimates reversed: OPD 0.
+	a.Add(3, 1)
+	a.Add(2, 2)
+	a.Add(1, 3)
+	if got := a.OPD(); got != 0 {
+		t.Errorf("OPD = %g, want 0", got)
+	}
+	var b Accumulator
+	// One inversion among three ordered pairs.
+	b.Add(1, 1)
+	b.Add(3, 2)
+	b.Add(2, 3)
+	if got := b.OPD(); !approx(got, 2.0/3.0, 1e-12) {
+		t.Errorf("OPD = %g, want 2/3", got)
+	}
+	var c Accumulator
+	// Tied estimates count half.
+	c.Add(1, 1)
+	c.Add(1, 2)
+	if got := c.OPD(); got != 0.5 {
+		t.Errorf("OPD = %g, want 0.5", got)
+	}
+	var d Accumulator
+	// Equal actuals are skipped entirely.
+	d.Add(1, 5)
+	d.Add(9, 5)
+	if got := d.OPD(); got != 1 {
+		t.Errorf("OPD = %g, want 1 (no usable pairs)", got)
+	}
+}
+
+// Property: RMSE is invariant under sample order and scales linearly with
+// uniform error scaling.
+func TestQuickRMSEProperties(t *testing.T) {
+	f := func(errs []float64) bool {
+		var a Accumulator
+		for i, e := range errs {
+			if math.IsNaN(e) || math.IsInf(e, 0) || math.Abs(e) > 1e6 {
+				return true // skip pathological float inputs
+			}
+			a.Add(float64(i)+e, float64(i))
+		}
+		rmse := a.RMSE()
+		if rmse < 0 {
+			return false
+		}
+		// Doubling all errors doubles RMSE.
+		var b Accumulator
+		for i, e := range errs {
+			b.Add(float64(i)+2*e, float64(i))
+		}
+		return approx(b.RMSE(), 2*rmse, 1e-6*(1+rmse))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NRMSE = RMSE / mean(actual) whenever mean > 0.
+func TestQuickNRMSEDefinition(t *testing.T) {
+	f := func(pairs [][2]uint8) bool {
+		var a Accumulator
+		for _, p := range pairs {
+			a.Add(float64(p[0]), float64(p[1])+1)
+		}
+		if a.N() == 0 {
+			return true
+		}
+		return approx(a.NRMSE(), a.RMSE()/a.MeanActual(), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

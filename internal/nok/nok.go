@@ -1,0 +1,166 @@
+// Package nok implements exact path-expression evaluation over the succinct
+// preorder-array document storage — our rendition of the Next-of-Kin (NoK)
+// pattern matching operator [Zhang, Kacholia, Özsu, ICDE 2004] that the
+// XSEED paper uses (extended with //-axes) to obtain actual cardinalities
+// and actual query running times.
+//
+// Evaluation proceeds one location step at a time over sorted node-ID
+// context sets. Child steps iterate children by subtree-size arithmetic;
+// descendant steps make a single forward scan over the union of the context
+// nodes' subtree ranges, which is the storage-scan evaluation style NoK is
+// built on. Node-set semantics (deduplication, document order) follow
+// XPath.
+package nok
+
+import (
+	"sort"
+
+	"xseed/internal/xmldoc"
+	"xseed/internal/xpath"
+)
+
+// Evaluator evaluates queries against one document. It is not safe for
+// concurrent use; create one per goroutine (construction is cheap).
+type Evaluator struct {
+	doc *xmldoc.Document
+}
+
+// New returns an evaluator over doc.
+func New(doc *xmldoc.Document) *Evaluator {
+	return &Evaluator{doc: doc}
+}
+
+// Count returns the number of elements selected by the absolute path q.
+func (ev *Evaluator) Count(q *xpath.Path) int64 {
+	return int64(len(ev.Select(q)))
+}
+
+// CountString parses and counts in one call.
+func (ev *Evaluator) CountString(query string) (int64, error) {
+	q, err := xpath.Parse(query)
+	if err != nil {
+		return 0, err
+	}
+	return ev.Count(q), nil
+}
+
+// Select returns the elements selected by the absolute path q, in document
+// order without duplicates.
+func (ev *Evaluator) Select(q *xpath.Path) []xmldoc.NodeID {
+	ctx := []xmldoc.NodeID{xmldoc.VirtualRoot}
+	for i := range q.Steps {
+		ctx = ev.step(ctx, &q.Steps[i])
+		if len(ctx) == 0 {
+			return nil
+		}
+	}
+	return ctx
+}
+
+// step applies one location step to a sorted, duplicate-free context set and
+// returns the sorted, duplicate-free result set.
+func (ev *Evaluator) step(ctx []xmldoc.NodeID, st *xpath.Step) []xmldoc.NodeID {
+	label, labelKnown := ev.resolve(st)
+	if !labelKnown {
+		return nil
+	}
+	var out []xmldoc.NodeID
+	if st.Axis == xpath.Child {
+		for _, c := range ctx {
+			for m := ev.doc.FirstChild(c); m >= 0; m = ev.doc.NextSibling(c, m) {
+				if ev.matchNode(m, st, label) {
+					out = append(out, m)
+				}
+			}
+		}
+		// Children of distinct parents are distinct, but when the context
+		// contains both a node and its descendant the outputs interleave;
+		// restore document order. Duplicates are impossible (one parent per
+		// node).
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	// Descendant axis: scan the union of subtree ranges once, left to
+	// right. The context is sorted, so tracking the furthest covered
+	// position both deduplicates and yields document order.
+	covered := xmldoc.NodeID(0)
+	for _, c := range ctx {
+		var lo, hi xmldoc.NodeID
+		if c == xmldoc.VirtualRoot {
+			lo, hi = 0, xmldoc.NodeID(ev.doc.NumNodes())
+		} else {
+			lo, hi = c+1, ev.doc.SubtreeEnd(c)
+		}
+		if lo < covered {
+			lo = covered
+		}
+		for m := lo; m < hi; m++ {
+			if ev.matchNode(m, st, label) {
+				out = append(out, m)
+			}
+		}
+		if hi > covered {
+			covered = hi
+		}
+	}
+	return out
+}
+
+// resolve maps the step's node test to a label ID. labelKnown is false when
+// the test names a label absent from the document (no node can match).
+// Wildcards return (-1, true).
+func (ev *Evaluator) resolve(st *xpath.Step) (xmldoc.LabelID, bool) {
+	if st.Wildcard {
+		return -1, true
+	}
+	id, ok := ev.doc.Dict().Lookup(st.Label)
+	if !ok {
+		return 0, false
+	}
+	return id, true
+}
+
+// matchNode reports whether node m passes the step's node test and all of
+// its predicates.
+func (ev *Evaluator) matchNode(m xmldoc.NodeID, st *xpath.Step, label xmldoc.LabelID) bool {
+	if !st.Wildcard && ev.doc.Label(m) != label {
+		return false
+	}
+	for _, pred := range st.Preds {
+		if !ev.exists(m, pred.Steps) {
+			return false
+		}
+	}
+	return true
+}
+
+// exists reports whether the relative path steps can be matched starting
+// from context node n (existential predicate semantics).
+func (ev *Evaluator) exists(n xmldoc.NodeID, steps []xpath.Step) bool {
+	if len(steps) == 0 {
+		return true
+	}
+	st := &steps[0]
+	label, ok := ev.resolve(st)
+	if !ok {
+		return false
+	}
+	if st.Axis == xpath.Child {
+		for m := ev.doc.FirstChild(n); m >= 0; m = ev.doc.NextSibling(n, m) {
+			if ev.matchNode(m, st, label) && ev.exists(m, steps[1:]) {
+				return true
+			}
+		}
+		return false
+	}
+	lo, hi := n+1, ev.doc.SubtreeEnd(n)
+	if n == xmldoc.VirtualRoot {
+		lo, hi = 0, xmldoc.NodeID(ev.doc.NumNodes())
+	}
+	for m := lo; m < hi; m++ {
+		if ev.matchNode(m, st, label) && ev.exists(m, steps[1:]) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,155 @@
+package nok
+
+import (
+	"sort"
+	"testing"
+
+	"xseed/internal/fixtures"
+	"xseed/internal/xmldoc"
+	"xseed/internal/xpath"
+)
+
+func fig2Evaluator(t *testing.T) *Evaluator {
+	t.Helper()
+	doc, err := xmldoc.Parse(fixtures.PaperFigure2)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return New(doc)
+}
+
+func TestCountsOnFigure2(t *testing.T) {
+	ev := fig2Evaluator(t)
+	cases := []struct {
+		q    string
+		want int64
+	}{
+		// Simple paths (these equal the path tree cardinalities).
+		{"/a", 1},
+		{"/a/t", 1},
+		{"/a/u", 1},
+		{"/a/c", 2},
+		{"/a/c/t", 2},
+		{"/a/c/p", 3},
+		{"/a/c/s", 5},
+		{"/a/c/s/t", 2},
+		{"/a/c/s/p", 9},
+		{"/a/c/s/s", 2},
+		{"/a/c/s/s/t", 1},
+		{"/a/c/s/s/p", 2},
+		{"/a/c/s/s/s", 2},
+		{"/a/c/s/s/s/p", 3},
+		{"/a/c/s/s/s/s", 0},
+		{"/a/x", 0},
+		{"/b", 0}, // root is not b
+		// Branching paths.
+		{"/a/c/s[t]/p", 4},
+		{"/a/c[p]/s", 5},
+		{"/a/c/s[p]", 5},
+		{"/a/c/s[s]", 2},
+		{"/a/c/s[s]/p", 4}, // level-0 s with an s child: s2 and s3, 2 p's each
+		{"/a/c/s/s[t]/p", 2},
+		{"/a/c[s/s]/t", 2},
+		{"/a/c[s[t]/s]/p", 0},
+		// Complex paths.
+		{"//s", 9},
+		{"//p", 17},
+		{"//t", 6},
+		{"//s//s//p", 5}, // paper Observation 3
+		{"//s/p", 14},
+		{"//s//p", 14},
+		{"//s[s]/p", 6},
+		{"/a/*/t", 2},
+		{"//*/t", 6},
+		{"/a/c/s[.//t]/p", 6},
+		{"//s//s", 4}, // s nodes with an s ancestor: s21, s211, s212, s31
+		{"//s//s//s", 2},
+		{"//*", 36},
+		{"/*", 1},
+		{"//zzz", 0},
+	}
+	for _, tc := range cases {
+		got, err := ev.CountString(tc.q)
+		if err != nil {
+			t.Errorf("%s: %v", tc.q, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("Count(%s) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestSelectOrderAndDedup(t *testing.T) {
+	ev := fig2Evaluator(t)
+	// //s from a context that includes both an s and its ancestor must not
+	// duplicate.
+	res := ev.Select(xpath.MustParse("//s//p"))
+	if !sort.SliceIsSorted(res, func(i, j int) bool { return res[i] < res[j] }) {
+		t.Error("result not in document order")
+	}
+	seen := map[xmldoc.NodeID]bool{}
+	for _, n := range res {
+		if seen[n] {
+			t.Fatalf("duplicate node %d in result", n)
+		}
+		seen[n] = true
+	}
+	for _, n := range res {
+		if ev.doc.LabelName(n) != "p" {
+			t.Fatalf("node %d has label %s, want p", n, ev.doc.LabelName(n))
+		}
+	}
+}
+
+func TestChildOrderWithNestedContext(t *testing.T) {
+	// Context containing both a node and its descendant: //s/s — the result
+	// children must come back sorted.
+	ev := fig2Evaluator(t)
+	res := ev.Select(xpath.MustParse("//s/s"))
+	if !sort.SliceIsSorted(res, func(i, j int) bool { return res[i] < res[j] }) {
+		t.Error("child-step result not sorted")
+	}
+	if len(res) != 4 {
+		t.Errorf("//s/s = %d, want 4", len(res))
+	}
+}
+
+func TestPredicateOnVirtualRootDescendant(t *testing.T) {
+	ev := fig2Evaluator(t)
+	// Leading // with a predicate.
+	got, err := ev.CountString("//c[t]/s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Errorf("//c[t]/s = %d, want 5", got)
+	}
+}
+
+func TestWildcardPredicates(t *testing.T) {
+	ev := fig2Evaluator(t)
+	got, _ := ev.CountString("/a/c/s[*]")
+	if got != 5 { // every level-0 s has some child
+		t.Errorf("/a/c/s[*] = %d, want 5", got)
+	}
+	got, _ = ev.CountString("/a/t[*]")
+	if got != 0 { // a's t is a leaf
+		t.Errorf("/a/t[*] = %d, want 0", got)
+	}
+}
+
+func TestDeepRecursionQuery(t *testing.T) {
+	ev := fig2Evaluator(t)
+	got, _ := ev.CountString("//s//s//s//s")
+	if got != 0 {
+		t.Errorf("//s//s//s//s = %d, want 0 (DRL is 2)", got)
+	}
+}
+
+func TestCountStringParseError(t *testing.T) {
+	ev := fig2Evaluator(t)
+	if _, err := ev.CountString("not a query"); err == nil {
+		t.Error("CountString accepted garbage")
+	}
+}

@@ -1,0 +1,78 @@
+package pathhash
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIncrementality(t *testing.T) {
+	// Path must equal chained AddLabel (the paper's incHash contract).
+	h := Basis
+	for _, l := range []string{"a", "c", "s", "s", "t"} {
+		h = AddLabel(h, l)
+	}
+	if got := Path("a", "c", "s", "s", "t"); got != h {
+		t.Errorf("Path = %x, incremental = %x", got, h)
+	}
+}
+
+func TestDistinctness(t *testing.T) {
+	// Separator must prevent concatenation aliasing.
+	pairs := [][2]uint32{
+		{Path("ab"), Path("a", "b")},
+		{Path("a", "bc"), Path("ab", "c")},
+		{Path("a"), Path("a", "")},
+		{Path("a", "b"), Path("b", "a")},
+	}
+	for i, p := range pairs {
+		if p[0] == p[1] {
+			t.Errorf("pair %d collides: %x", i, p[0])
+		}
+	}
+}
+
+func TestPatternCanonicalization(t *testing.T) {
+	if Pattern("d", []string{"e", "f"}, "g") != Pattern("d", []string{"f", "e"}, "g") {
+		t.Error("pattern hash depends on predicate order")
+	}
+	if Pattern("d", []string{"e"}, "f") == Pattern("d", []string{"f"}, "e") {
+		t.Error("pattern hash ignores pred/next roles")
+	}
+	if Pattern("d", []string{"e"}, "") == Pattern("d", []string{"e"}, "f") {
+		t.Error("pattern hash ignores next label")
+	}
+	if Pattern("d", nil, "f") == Path("d", "f") {
+		t.Error("pattern and path hashes alias")
+	}
+}
+
+func TestQuickFewCollisions(t *testing.T) {
+	// Property: distinct short label paths rarely collide. With ~2000
+	// random paths the chance of any FNV-1a 32-bit collision is ~0.05%; use
+	// fixed-seed quick generation and require zero collisions for
+	// determinism.
+	seen := map[uint32][]string{}
+	collisions := 0
+	f := func(a, b, c uint8) bool {
+		labels := []string{
+			string(rune('a' + a%26)),
+			string(rune('a'+b%26)) + string(rune('a'+c%26)),
+			string(rune('a' + c%26)),
+		}
+		h := Path(labels...)
+		if prev, ok := seen[h]; ok {
+			if prev[0] != labels[0] || prev[1] != labels[1] || prev[2] != labels[2] {
+				collisions++
+			}
+		} else {
+			seen[h] = labels
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	if collisions > 0 {
+		t.Errorf("%d collisions among short paths", collisions)
+	}
+}

@@ -1,0 +1,271 @@
+package treesketch
+
+import (
+	"sort"
+
+	"xseed/internal/xpath"
+)
+
+// EstimateOptions tune query estimation over the summary graph.
+type EstimateOptions struct {
+	// Epsilon stops descendant-axis expansion when a contribution decays
+	// below it. Zero means 0.5.
+	Epsilon float64
+
+	// MaxDepth caps descendant-axis expansion depth. The summary graph is
+	// cyclic on recursive documents (label-split collapses recursion
+	// levels), so expansion must be bounded; the resulting error on
+	// recursive data is the behaviour the XSEED paper reports. Zero means
+	// 24.
+	MaxDepth int
+
+	// MaxExpansions caps total work per descendant expansion (cyclic
+	// summaries can otherwise enumerate exponentially many graph paths).
+	// Zero means 100,000.
+	MaxExpansions int
+}
+
+func (o EstimateOptions) epsilon() float64 {
+	if o.Epsilon <= 0 {
+		return 0.5
+	}
+	return o.Epsilon
+}
+
+func (o EstimateOptions) maxDepth() int {
+	if o.MaxDepth <= 0 {
+		return 24
+	}
+	return o.MaxDepth
+}
+
+func (o EstimateOptions) maxExpansions() int {
+	if o.MaxExpansions <= 0 {
+		return 100000
+	}
+	return o.MaxExpansions
+}
+
+// Estimate returns the estimated cardinality of the absolute path q using
+// default options.
+func (s *Synopsis) Estimate(q *xpath.Path) float64 {
+	return s.EstimateWith(q, EstimateOptions{})
+}
+
+// EstimateString parses and estimates in one call.
+func (s *Synopsis) EstimateString(query string) (float64, error) {
+	q, err := xpath.Parse(query)
+	if err != nil {
+		return 0, err
+	}
+	return s.Estimate(q), nil
+}
+
+// EstimateWith returns the estimated cardinality of q under the given
+// options. Per-cluster element counts flow along summary edges: a child
+// step multiplies by the average child count; a predicate multiplies by the
+// estimated fraction of elements with a qualifying child (min(1, avg) under
+// TreeSketch's uniformity assumption); a descendant step expands the
+// (possibly cyclic) graph with decay and depth bounds.
+func (s *Synopsis) EstimateWith(q *xpath.Path, opt EstimateOptions) float64 {
+	if len(q.Steps) == 0 || len(s.labels) == 0 {
+		return 0
+	}
+	// ctx maps cluster -> estimated element count reached.
+	ctx := map[int32]float64{}
+	// Virtual root: exactly one "document node" whose only child is the
+	// root cluster with avg 1.
+	first := &q.Steps[0]
+	if first.Axis == xpath.Child {
+		if s.stepMatches(first, s.root) {
+			w := s.predFraction(s.root, first.Preds, opt)
+			if w > 0 {
+				ctx[s.root] = float64(s.counts[s.root]) * w
+			}
+		}
+	} else {
+		// Descendant from the virtual root reaches the root cluster and
+		// everything below it.
+		s.expandDesc(ctx, s.root, float64(s.counts[s.root]), first, opt, true)
+	}
+	for i := 1; i < len(q.Steps); i++ {
+		if len(ctx) == 0 {
+			return 0
+		}
+		st := &q.Steps[i]
+		next := map[int32]float64{}
+		for _, cl := range sortedKeys(ctx) {
+			n := ctx[cl]
+			if st.Axis == xpath.Child {
+				for _, e := range s.out[cl] {
+					if !s.stepMatches(st, e.To) {
+						continue
+					}
+					w := s.predFraction(e.To, st.Preds, opt)
+					if w > 0 {
+						next[e.To] += n * e.Avg * w
+					}
+				}
+			} else {
+				s.expandDesc(next, cl, n, st, opt, false)
+			}
+		}
+		ctx = next
+	}
+	var est float64
+	for _, v := range ctx {
+		est += v
+	}
+	return est
+}
+
+// expandDesc accumulates descendant-axis reach from cluster cl carrying n
+// estimated elements. includeSelf handles the virtual-root case where the
+// start cluster itself is a candidate.
+func (s *Synopsis) expandDesc(acc map[int32]float64, cl int32, n float64, st *xpath.Step, opt EstimateOptions, includeSelf bool) {
+	eps := opt.epsilon()
+	type item struct {
+		cl    int32
+		val   float64
+		depth int
+	}
+	queue := []item{{cl, n, 0}}
+	if includeSelf && s.stepMatches(st, cl) {
+		w := s.predFraction(cl, st.Preds, opt)
+		if w > 0 {
+			acc[cl] += n * w
+		}
+	}
+	maxDepth := opt.maxDepth()
+	budget := opt.maxExpansions()
+	for len(queue) > 0 && budget > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if it.depth >= maxDepth {
+			continue
+		}
+		for _, e := range s.out[it.cl] {
+			budget--
+			v := it.val * e.Avg
+			if s.stepMatches(st, e.To) {
+				w := s.predFraction(e.To, st.Preds, opt)
+				if w > 0 {
+					acc[e.To] += v * w
+				}
+			}
+			if v >= eps {
+				queue = append(queue, item{e.To, v, it.depth + 1})
+			}
+		}
+	}
+}
+
+// predFraction estimates the fraction of cluster cl's elements satisfying
+// every predicate (independence across predicates).
+func (s *Synopsis) predFraction(cl int32, preds []*xpath.Path, opt EstimateOptions) float64 {
+	w := 1.0
+	for _, p := range preds {
+		pw := s.predPathFraction(cl, p.Steps, opt, 0)
+		if pw <= 0 {
+			return 0
+		}
+		w *= pw
+	}
+	return w
+}
+
+// predPathFraction estimates the fraction of cluster cl's elements with a
+// match of the relative steps: min(1, expected number of matches) under the
+// uniformity assumption.
+func (s *Synopsis) predPathFraction(cl int32, steps []xpath.Step, opt EstimateOptions, depth int) float64 {
+	if len(steps) == 0 {
+		return 1
+	}
+	if depth > opt.maxDepth() {
+		return 0
+	}
+	st := &steps[0]
+	var sum float64
+	if st.Axis == xpath.Child {
+		for _, e := range s.out[cl] {
+			if !s.stepMatches(st, e.To) {
+				continue
+			}
+			frac := s.ownPreds(e.To, st, opt, depth) * s.predPathFraction(e.To, steps[1:], opt, depth+1)
+			sum += e.Avg * frac
+		}
+		return clamp01(sum)
+	}
+	// Descendant: expected matches anywhere below, decayed expansion.
+	eps := opt.epsilon()
+	type item struct {
+		cl    int32
+		val   float64
+		depth int
+	}
+	queue := []item{{cl, 1, depth}}
+	budget := opt.maxExpansions()
+	for len(queue) > 0 && budget > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if it.depth > opt.maxDepth() {
+			continue
+		}
+		for _, e := range s.out[it.cl] {
+			budget--
+			v := it.val * e.Avg
+			if s.stepMatches(st, e.To) {
+				frac := s.ownPreds(e.To, st, opt, it.depth) * s.predPathFraction(e.To, steps[1:], opt, it.depth+1)
+				sum += v * frac
+			}
+			if v >= eps {
+				queue = append(queue, item{e.To, v, it.depth + 1})
+			}
+		}
+	}
+	return clamp01(sum)
+}
+
+func (s *Synopsis) ownPreds(cl int32, st *xpath.Step, opt EstimateOptions, depth int) float64 {
+	w := 1.0
+	for _, p := range st.Preds {
+		pw := s.predPathFraction(cl, p.Steps, opt, depth+1)
+		if pw <= 0 {
+			return 0
+		}
+		w *= pw
+	}
+	return w
+}
+
+func (s *Synopsis) stepMatches(st *xpath.Step, cl int32) bool {
+	if st.Wildcard {
+		return true
+	}
+	id, ok := s.dict.Lookup(st.Label)
+	return ok && s.labels[cl] == id
+}
+
+func sortedKeys(m map[int32]float64) []int32 {
+	ks := make([]int32, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+func clamp01(f float64) float64 {
+	if f > 1 {
+		return 1
+	}
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// ClusterInfo returns (label name, element count) for debugging and tests.
+func (s *Synopsis) ClusterInfo(cl int32) (string, int64) {
+	return s.dict.Name(s.labels[cl]), s.counts[cl]
+}

@@ -1,0 +1,230 @@
+package treesketch
+
+import (
+	"math/rand"
+	"sort"
+
+	"xseed/internal/xmldoc"
+)
+
+// mergeGraph is the mutable cluster graph used during greedy compression.
+// Out-edges store child *totals* (not averages) so merging is additive.
+type mergeGraph struct {
+	labels  []xmldoc.LabelID
+	counts  []int64
+	out     []map[int32]int64
+	in      []map[int32]bool
+	alive   []bool
+	nAlive  int
+	nEdges  int
+	byLabel map[xmldoc.LabelID][]int32
+}
+
+func newMergeGraph(doc *xmldoc.Document, cluster []int32, numClusters int) *mergeGraph {
+	g := &mergeGraph{
+		labels:  make([]xmldoc.LabelID, numClusters),
+		counts:  make([]int64, numClusters),
+		out:     make([]map[int32]int64, numClusters),
+		in:      make([]map[int32]bool, numClusters),
+		alive:   make([]bool, numClusters),
+		nAlive:  numClusters,
+		byLabel: map[xmldoc.LabelID][]int32{},
+	}
+	for i := range g.out {
+		g.out[i] = map[int32]int64{}
+		g.in[i] = map[int32]bool{}
+		g.alive[i] = true
+	}
+	n := doc.NumNodes()
+	for i := 0; i < n; i++ {
+		c := cluster[i]
+		g.labels[c] = doc.Label(xmldoc.NodeID(i))
+		g.counts[c]++
+		node := xmldoc.NodeID(i)
+		for ch := doc.FirstChild(node); ch >= 0; ch = doc.NextSibling(node, ch) {
+			cc := cluster[ch]
+			if _, ok := g.out[c][cc]; !ok {
+				g.nEdges++
+			}
+			g.out[c][cc]++
+			g.in[cc][c] = true
+		}
+	}
+	for c := int32(0); c < int32(numClusters); c++ {
+		g.byLabel[g.labels[c]] = append(g.byLabel[g.labels[c]], c)
+	}
+	return g
+}
+
+func (g *mergeGraph) sizeBytes() int { return 8*g.nAlive + 12*g.nEdges }
+
+// mergeStep merges one pair of same-label clusters, chosen as the lowest
+// squared-error pair among `cands` sampled candidates from the label with
+// the most clusters. Returns false when no label has two clusters left.
+func (g *mergeGraph) mergeStep(rng *rand.Rand, cands int) bool {
+	// Find the label bucket with the most alive clusters (compacting dead
+	// entries as we go).
+	var bestLabel xmldoc.LabelID
+	bestLen := 0
+	labels := make([]xmldoc.LabelID, 0, len(g.byLabel))
+	for l := range g.byLabel {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+	for _, l := range labels {
+		bucket := g.byLabel[l][:0]
+		for _, c := range g.byLabel[l] {
+			if g.alive[c] {
+				bucket = append(bucket, c)
+			}
+		}
+		g.byLabel[l] = bucket
+		if len(bucket) > bestLen {
+			bestLen = len(bucket)
+			bestLabel = l
+		}
+	}
+	if bestLen < 2 {
+		return false
+	}
+	bucket := g.byLabel[bestLabel]
+
+	bestA, bestB := int32(-1), int32(-1)
+	bestErr := 0.0
+	tried := 0
+	for tried < cands {
+		var a, b int32
+		if tried < len(bucket)-1 && len(bucket) <= cands {
+			// Small buckets: walk adjacent pairs deterministically.
+			a, b = bucket[tried], bucket[tried+1]
+		} else {
+			a = bucket[rng.Intn(len(bucket))]
+			b = bucket[rng.Intn(len(bucket))]
+			if a == b {
+				tried++
+				continue
+			}
+		}
+		e := g.mergeError(a, b)
+		if bestA < 0 || e < bestErr {
+			bestA, bestB, bestErr = a, b, e
+		}
+		tried++
+	}
+	if bestA < 0 {
+		// Sampling collided every time; fall back to the first two.
+		bestA, bestB = bucket[0], bucket[1]
+	}
+	g.merge(bestA, bestB)
+	return true
+}
+
+// mergeError scores a candidate merge: the count-weighted squared
+// difference of the clusters' average child vectors (the squared-error
+// objective TreeSketch's clustering minimizes).
+func (g *mergeGraph) mergeError(a, b int32) float64 {
+	ca, cb := float64(g.counts[a]), float64(g.counts[b])
+	var err float64
+	for to, tot := range g.out[a] {
+		avgA := float64(tot) / ca
+		avgB := float64(g.out[b][to]) / cb
+		d := avgA - avgB
+		err += d * d
+	}
+	for to, tot := range g.out[b] {
+		if _, ok := g.out[a][to]; ok {
+			continue
+		}
+		avgB := float64(tot) / cb
+		err += avgB * avgB
+	}
+	return err * (ca + cb)
+}
+
+// merge folds cluster b into cluster a (same label), maintaining the edge
+// count invariant: nEdges = |{(src,dst) alive with out[src][dst] present}|.
+func (g *mergeGraph) merge(a, b int32) {
+	g.counts[a] += g.counts[b]
+
+	// Fold b's out-edges into a: b→x becomes a→x, b→b becomes a→a.
+	for to, tot := range g.out[b] {
+		g.nEdges-- // the b→to edge disappears
+		effTo := to
+		if effTo == b {
+			effTo = a
+		}
+		if _, ok := g.out[a][effTo]; !ok {
+			g.nEdges++ // a→effTo newly created
+		}
+		g.out[a][effTo] += tot
+		if to != b {
+			delete(g.in[to], b)
+		}
+		g.in[effTo][a] = true
+	}
+	g.out[b] = nil
+
+	// Redirect remaining x→b edges to x→a (includes x == a).
+	for f := range g.in[b] {
+		if f == b {
+			continue // the b→b self loop was folded above
+		}
+		tot, ok := g.out[f][b]
+		if !ok {
+			continue
+		}
+		g.nEdges--
+		if _, ok := g.out[f][a]; !ok {
+			g.nEdges++
+		}
+		g.out[f][a] += tot
+		delete(g.out[f], b)
+		g.in[a][f] = true
+	}
+	g.in[b] = nil
+	g.alive[b] = false
+	g.nAlive--
+}
+
+// finalize compacts the merge graph into an immutable synopsis.
+func (g *mergeGraph) finalize(dict *xmldoc.Dict, rootCluster int32) *Synopsis {
+	remap := make([]int32, len(g.labels))
+	for i := range remap {
+		remap[i] = -1
+	}
+	s := &Synopsis{dict: dict}
+	for c := int32(0); c < int32(len(g.labels)); c++ {
+		if !g.alive[c] {
+			continue
+		}
+		remap[c] = int32(len(s.labels))
+		s.labels = append(s.labels, g.labels[c])
+		s.counts = append(s.counts, g.counts[c])
+	}
+	s.out = make([][]Edge, len(s.labels))
+	for c := int32(0); c < int32(len(g.labels)); c++ {
+		if !g.alive[c] {
+			continue
+		}
+		id := remap[c]
+		cnt := float64(g.counts[c])
+		for to, tot := range g.out[c] {
+			s.out[id] = append(s.out[id], Edge{To: remap[to], Avg: float64(tot) / cnt})
+		}
+		sort.Slice(s.out[id], func(i, j int) bool { return s.out[id][i].To < s.out[id][j].To })
+	}
+	// The root may have been merged away into a surviving same-label
+	// cluster; rootCluster's alive representative is found by label (the
+	// root's label cluster chain always survives merging by label).
+	rc := rootCluster
+	if !g.alive[rc] {
+		for c := int32(0); c < int32(len(g.labels)); c++ {
+			if g.alive[c] && g.labels[c] == g.labels[rootCluster] {
+				rc = c
+				break
+			}
+		}
+	}
+	s.root = remap[rc]
+	return s
+}

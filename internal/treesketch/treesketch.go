@@ -1,0 +1,258 @@
+// Package treesketch reimplements the TreeSketch synopsis [Polyzotis,
+// Garofalakis, Ioannidis, SIGMOD 2004] that the XSEED paper compares
+// against (it subsumes XSketch for structural summarization).
+//
+// Construction starts from the label-split partition of the document's
+// nodes, refines it to count-stability (every node of a cluster has the
+// same number of children in every other cluster — the partition whose
+// summary answers twig queries exactly), and then greedily merges clusters
+// of equal label to fit a memory budget, choosing low-squared-error merges
+// among sampled candidates. As the paper observes, the optimization problem
+// is NP-hard and solutions are sub-optimal; and because the label-split
+// basis collapses recursion levels, the summary cannot distinguish nesting
+// depths — the structural reason TreeSketch loses to XSEED on recursive
+// data. Construction cost explodes on structure-rich documents; an
+// operation budget reproduces the paper's "DNF" behaviour.
+package treesketch
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+
+	"xseed/internal/xmldoc"
+)
+
+// ErrDNF is returned when construction exceeds its operation budget, the
+// analogue of the paper's 24-hour construction cutoff ("DNF" in Table 2).
+var ErrDNF = errors.New("treesketch: construction exceeded operation budget (did not finish)")
+
+// Options configure construction.
+type Options struct {
+	// BudgetBytes is the target synopsis size (8 bytes per cluster + 12 per
+	// edge, mirroring the XSEED kernel's accounting).
+	BudgetBytes int
+
+	// OpBudget bounds construction work (refinement node visits + merge
+	// candidate evaluations). Zero means a generous default (1 << 30).
+	OpBudget int64
+
+	// MergeCandidates is the number of random candidate pairs evaluated per
+	// merge step (greedy sampled search). Zero means 64.
+	MergeCandidates int
+
+	// Seed drives candidate sampling; constructions are deterministic for a
+	// fixed seed.
+	Seed int64
+
+	// MaxRefinePasses bounds count-stability refinement; zero means 64.
+	// (Refinement converges in at most tree-height passes.)
+	MaxRefinePasses int
+}
+
+func (o Options) opBudget() int64 {
+	if o.OpBudget <= 0 {
+		return 1 << 30
+	}
+	return o.OpBudget
+}
+
+func (o Options) mergeCandidates() int {
+	if o.MergeCandidates <= 0 {
+		return 64
+	}
+	return o.MergeCandidates
+}
+
+func (o Options) maxRefinePasses() int {
+	if o.MaxRefinePasses <= 0 {
+		return 64
+	}
+	return o.MaxRefinePasses
+}
+
+// BuildStats reports construction effort.
+type BuildStats struct {
+	RefinePasses    int
+	InitialClusters int // label-split clusters
+	StableClusters  int // after count-stability refinement
+	FinalClusters   int // after merging to budget
+	Merges          int
+	Ops             int64
+	DNF             bool
+}
+
+// Synopsis is a built TreeSketch summary graph.
+type Synopsis struct {
+	dict   *xmldoc.Dict
+	labels []xmldoc.LabelID // per cluster
+	counts []int64          // elements per cluster
+	out    [][]Edge         // per cluster, sorted by To
+	root   int32
+}
+
+// Edge is a summary edge: on average, each element of the source cluster
+// has Avg children in cluster To.
+type Edge struct {
+	To  int32
+	Avg float64
+}
+
+// Dict returns the label dictionary.
+func (s *Synopsis) Dict() *xmldoc.Dict { return s.dict }
+
+// NumClusters returns the number of clusters.
+func (s *Synopsis) NumClusters() int { return len(s.labels) }
+
+// NumEdges returns the number of summary edges.
+func (s *Synopsis) NumEdges() int {
+	n := 0
+	for _, es := range s.out {
+		n += len(es)
+	}
+	return n
+}
+
+// SizeBytes returns the synopsis size under the shared accounting: 8 bytes
+// per cluster (label + count) and 12 per edge (target + average).
+func (s *Synopsis) SizeBytes() int { return 8*len(s.labels) + 12*s.NumEdges() }
+
+// Build constructs a TreeSketch synopsis of the document within the budget.
+func Build(doc *xmldoc.Document, opt Options) (*Synopsis, BuildStats, error) {
+	var stats BuildStats
+	n := doc.NumNodes()
+	if n == 0 {
+		return nil, stats, errors.New("treesketch: empty document")
+	}
+	opBudget := opt.opBudget()
+
+	// 1. Label-split partition.
+	cluster := make([]int32, n)
+	next := int32(0)
+	byLabel := map[xmldoc.LabelID]int32{}
+	for i := 0; i < n; i++ {
+		l := doc.Label(xmldoc.NodeID(i))
+		c, ok := byLabel[l]
+		if !ok {
+			c = next
+			next++
+			byLabel[l] = c
+		}
+		cluster[i] = c
+	}
+	stats.InitialClusters = int(next)
+
+	// 2. Refine to count-stability: split clusters by the multiset of
+	// (child cluster, count) until a fixpoint.
+	sig := make([]uint64, n)
+	for pass := 0; pass < opt.maxRefinePasses(); pass++ {
+		stats.RefinePasses++
+		stats.Ops += int64(n)
+		if stats.Ops > opBudget {
+			stats.DNF = true
+			return nil, stats, ErrDNF
+		}
+		// Signature per node: hash of sorted (childCluster, count) pairs.
+		var pairs []childCount
+		for i := 0; i < n; i++ {
+			pairs = pairs[:0]
+			pairs = childClusterCounts(doc, xmldoc.NodeID(i), cluster, pairs)
+			sig[i] = hashPairs(pairs)
+		}
+		// Re-partition by (old cluster, signature).
+		type key struct {
+			old int32
+			sig uint64
+		}
+		ids := map[key]int32{}
+		newCluster := make([]int32, n)
+		var newNext int32
+		for i := 0; i < n; i++ {
+			k := key{cluster[i], sig[i]}
+			id, ok := ids[k]
+			if !ok {
+				id = newNext
+				newNext++
+				ids[k] = id
+			}
+			newCluster[i] = id
+		}
+		if int(newNext) == countClusters(cluster, next) {
+			cluster = newCluster
+			next = newNext
+			break
+		}
+		cluster = newCluster
+		next = newNext
+	}
+	stats.StableClusters = int(next)
+
+	// 3. Aggregate the cluster graph with count totals.
+	g := newMergeGraph(doc, cluster, int(next))
+
+	// 4. Greedy merging to budget.
+	rng := rand.New(rand.NewSource(opt.Seed))
+	cands := opt.mergeCandidates()
+	for g.sizeBytes() > opt.BudgetBytes && opt.BudgetBytes > 0 {
+		stats.Ops += int64(cands) * 8
+		if stats.Ops > opBudget {
+			stats.DNF = true
+			return nil, stats, ErrDNF
+		}
+		if !g.mergeStep(rng, cands) {
+			break // nothing mergeable (one cluster per label)
+		}
+		stats.Merges++
+	}
+
+	syn := g.finalize(doc.Dict(), cluster[0])
+	stats.FinalClusters = syn.NumClusters()
+	return syn, stats, nil
+}
+
+type childCount struct {
+	cluster int32
+	count   int32
+}
+
+// childClusterCounts returns sorted (child cluster, count) pairs for node.
+func childClusterCounts(doc *xmldoc.Document, node xmldoc.NodeID, cluster []int32, buf []childCount) []childCount {
+	for c := doc.FirstChild(node); c >= 0; c = doc.NextSibling(node, c) {
+		cl := cluster[c]
+		found := false
+		for i := range buf {
+			if buf[i].cluster == cl {
+				buf[i].count++
+				found = true
+				break
+			}
+		}
+		if !found {
+			buf = append(buf, childCount{cl, 1})
+		}
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i].cluster < buf[j].cluster })
+	return buf
+}
+
+func hashPairs(pairs []childCount) uint64 {
+	h := uint64(1469598103934665603)
+	const prime = 1099511628211
+	for _, p := range pairs {
+		h = (h ^ uint64(uint32(p.cluster))) * prime
+		h = (h ^ uint64(uint32(p.count))) * prime
+	}
+	return h
+}
+
+func countClusters(cluster []int32, upper int32) int {
+	seen := make([]bool, upper)
+	n := 0
+	for _, c := range cluster {
+		if !seen[c] {
+			seen[c] = true
+			n++
+		}
+	}
+	return n
+}

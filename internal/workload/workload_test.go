@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"testing"
+
+	"xseed/internal/datagen"
+	"xseed/internal/fixtures"
+	"xseed/internal/nok"
+	"xseed/internal/pathtree"
+	"xseed/internal/xmldoc"
+	"xseed/internal/xpath"
+)
+
+func setup(t *testing.T, xml string) (*pathtree.Tree, *nok.Evaluator) {
+	t.Helper()
+	dict := xmldoc.NewDict()
+	pb := pathtree.NewBuilder(dict)
+	doc, err := xmldoc.Build(xmldoc.NewParserString(xml), dict, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pb.Tree(), nok.New(doc)
+}
+
+func setupDataset(t *testing.T, name string) (*pathtree.Tree, *nok.Evaluator) {
+	t.Helper()
+	src, err := datagen.New(name, 0.002, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dict := xmldoc.NewDict()
+	pb := pathtree.NewBuilder(dict)
+	doc, err := xmldoc.Build(src, dict, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pb.Tree(), nok.New(doc)
+}
+
+func TestAllSimplePathsFigure2(t *testing.T) {
+	pt, ev := setup(t, fixtures.PaperFigure2)
+	qs := AllSimplePaths(pt, 0)
+	if len(qs) != 14 {
+		t.Fatalf("SP count = %d, want 14", len(qs))
+	}
+	for _, q := range qs {
+		if q.Class != xpath.SimplePath || !q.Path.IsSimple() {
+			t.Errorf("%s is not SP", q.Path)
+		}
+		// Stored actual must match evaluation.
+		if got := ev.Count(q.Path); got != q.Actual {
+			t.Errorf("%s: stored %d, evaluated %d", q.Path, q.Actual, got)
+		}
+	}
+	if got := AllSimplePaths(pt, 5); len(got) != 5 {
+		t.Errorf("max=5 returned %d", len(got))
+	}
+}
+
+func TestBranchingWorkload(t *testing.T) {
+	pt, ev := setupDataset(t, datagen.NameDBLP)
+	qs := Branching(pt, ev, Options{N: 50, Seed: 9, RequireNonEmpty: true})
+	if len(qs) != 50 {
+		t.Fatalf("generated %d queries, want 50", len(qs))
+	}
+	branching := 0
+	for _, q := range qs {
+		c := q.Path.Classify()
+		if c == xpath.ComplexPath {
+			t.Errorf("BP workload contains complex query %s", q.Path)
+		}
+		if c == xpath.BranchingPath {
+			branching++
+		}
+		if q.Actual <= 0 {
+			t.Errorf("trivial query %s (actual %d)", q.Path, q.Actual)
+		}
+		if got := q.Path.MaxPredsPerStep(); got > 1 {
+			t.Errorf("%s has %d preds per step, max 1", q.Path, got)
+		}
+	}
+	if branching < len(qs)/4 {
+		t.Errorf("only %d/%d queries actually branch", branching, len(qs))
+	}
+}
+
+func TestComplexWorkload(t *testing.T) {
+	pt, ev := setupDataset(t, datagen.NameXMark)
+	qs := Complex(pt, ev, Options{N: 50, Seed: 9, RequireNonEmpty: true})
+	if len(qs) != 50 {
+		t.Fatalf("generated %d queries, want 50", len(qs))
+	}
+	nonEmpty := 0
+	for _, q := range qs {
+		if q.Path.Classify() != xpath.ComplexPath {
+			t.Errorf("CP workload contains %v query %s", q.Path.Classify(), q.Path)
+		}
+		if q.Actual > 0 {
+			nonEmpty++
+		}
+	}
+	// RequireNonEmpty is best effort (bounded retries), but the vast
+	// majority must be non-trivial.
+	if nonEmpty < len(qs)*8/10 {
+		t.Errorf("only %d/%d non-empty", nonEmpty, len(qs))
+	}
+}
+
+func TestMultiPredicateWorkloads(t *testing.T) {
+	pt, ev := setupDataset(t, datagen.NameDBLP)
+	qs := Branching(pt, ev, Options{N: 80, Seed: 3, MaxPredsPerStep: 2, PredProb: 0.9})
+	max := 0
+	for _, q := range qs {
+		if m := q.Path.MaxPredsPerStep(); m > max {
+			max = m
+		}
+	}
+	if max != 2 {
+		t.Errorf("2BP workload max preds = %d, want 2", max)
+	}
+	qs3 := Branching(pt, ev, Options{N: 80, Seed: 3, MaxPredsPerStep: 3, PredProb: 0.9})
+	max = 0
+	for _, q := range qs3 {
+		if m := q.Path.MaxPredsPerStep(); m > max {
+			max = m
+		}
+	}
+	if max != 3 {
+		t.Errorf("3BP workload max preds = %d, want 3", max)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	pt, ev := setup(t, fixtures.PaperFigure2)
+	a := Branching(pt, ev, Options{N: 20, Seed: 5})
+	b := Branching(pt, ev, Options{N: 20, Seed: 5})
+	for i := range a {
+		if a[i].Path.String() != b[i].Path.String() {
+			t.Fatalf("query %d differs: %s vs %s", i, a[i].Path, b[i].Path)
+		}
+	}
+	c := Branching(pt, ev, Options{N: 20, Seed: 6})
+	same := true
+	for i := range a {
+		if a[i].Path.String() != c[i].Path.String() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical workloads")
+	}
+}
+
+func TestQueriesParseableAndEvaluable(t *testing.T) {
+	pt, ev := setup(t, fixtures.PaperFigure2)
+	for _, q := range Complex(pt, ev, Options{N: 40, Seed: 11}) {
+		s := q.Path.String()
+		if _, err := xpath.Parse(s); err != nil {
+			t.Errorf("generated query %q does not re-parse: %v", s, err)
+		}
+	}
+}

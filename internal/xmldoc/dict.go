@@ -1,0 +1,52 @@
+// Package xmldoc provides the XML document substrate shared by every other
+// component: a label dictionary, a streaming open/close element event model,
+// a succinct preorder-array document storage (our rendition of the NoK
+// physical storage the paper builds on), an encoding/xml parsing adapter,
+// and per-document structural statistics (the Table 2 columns).
+package xmldoc
+
+// LabelID is a dense integer identifier for an element label (tag name).
+type LabelID = int32
+
+// Dict interns element labels to dense LabelIDs. A single Dict is shared by
+// all structures built from one document (storage, path tree, kernel,
+// synopses) so label IDs are comparable across them.
+type Dict struct {
+	ids   map[string]LabelID
+	names []string
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{ids: make(map[string]LabelID)}
+}
+
+// Intern returns the LabelID for name, assigning the next dense ID on first
+// sight.
+func (d *Dict) Intern(name string) LabelID {
+	if id, ok := d.ids[name]; ok {
+		return id
+	}
+	id := LabelID(len(d.names))
+	d.ids[name] = id
+	d.names = append(d.names, name)
+	return id
+}
+
+// Lookup returns the LabelID for name without interning. ok is false if the
+// label has never been seen.
+func (d *Dict) Lookup(name string) (id LabelID, ok bool) {
+	id, ok = d.ids[name]
+	return id, ok
+}
+
+// Name returns the label string for id. It panics on an out-of-range id,
+// which indicates a caller bug (an id from a different dictionary).
+func (d *Dict) Name(id LabelID) string { return d.names[id] }
+
+// Len returns the number of distinct labels interned.
+func (d *Dict) Len() int { return len(d.names) }
+
+// Names returns the interned labels in ID order. The caller must not modify
+// the returned slice.
+func (d *Dict) Names() []string { return d.names }

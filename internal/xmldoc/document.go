@@ -1,0 +1,238 @@
+package xmldoc
+
+import (
+	"errors"
+	"fmt"
+
+	"xseed/internal/counterstack"
+)
+
+// NodeID identifies a node by its preorder position in the document.
+// The document root element is node 0. The pseudo document root (the
+// XPath "/" context above the root element) is represented by VirtualRoot.
+type NodeID int32
+
+// VirtualRoot is the pseudo node above the document root element used as the
+// initial evaluation context for absolute path expressions.
+const VirtualRoot NodeID = -1
+
+// Document is a succinct read-only XML document: elements in preorder with,
+// per node, the label and the subtree size (number of nodes in the subtree
+// including the node itself). First-child / next-sibling / subtree-range
+// navigation is O(1) arithmetic and evaluation algorithms reduce to forward
+// scans over the arrays — the property the NoK storage scheme [Zhang et al.,
+// ICDE 2004] provides and that the XSEED paper's evaluator relies on.
+type Document struct {
+	dict   *Dict
+	labels []LabelID
+	size   []int32
+
+	stats Stats
+}
+
+// Stats summarizes document structure; these are the per-dataset columns of
+// the paper's Table 2.
+type Stats struct {
+	Nodes       int64   // total element count
+	MaxDepth    int     // deepest element (root = 1)
+	AvgRecLevel float64 // mean over nodes of the node recursion level (Definition 1)
+	MaxRecLevel int     // document recursion level (DRL)
+	TextBytes   int64   // approximate serialized size ("<l>...</l>" per element)
+}
+
+// Dict returns the document's label dictionary.
+func (d *Document) Dict() *Dict { return d.dict }
+
+// NumNodes returns the number of elements.
+func (d *Document) NumNodes() int { return len(d.labels) }
+
+// Stats returns the document's structural statistics.
+func (d *Document) Stats() Stats { return d.stats }
+
+// Label returns the label of node n.
+func (d *Document) Label(n NodeID) LabelID { return d.labels[n] }
+
+// LabelName returns the label string of node n.
+func (d *Document) LabelName(n NodeID) string { return d.dict.Name(d.labels[n]) }
+
+// SubtreeSize returns the number of nodes in the subtree rooted at n,
+// including n.
+func (d *Document) SubtreeSize(n NodeID) int32 { return d.size[n] }
+
+// SubtreeEnd returns the preorder position one past the last node of n's
+// subtree; the subtree occupies [n, SubtreeEnd(n)).
+func (d *Document) SubtreeEnd(n NodeID) NodeID { return n + NodeID(d.size[n]) }
+
+// FirstChild returns n's first child, or -1 if n is a leaf. For the virtual
+// root it returns the document root element.
+func (d *Document) FirstChild(n NodeID) NodeID {
+	if n == VirtualRoot {
+		if len(d.labels) == 0 {
+			return -1
+		}
+		return 0
+	}
+	if d.size[n] > 1 {
+		return n + 1
+	}
+	return -1
+}
+
+// NextSibling returns the sibling following c under parent n, or -1.
+func (d *Document) NextSibling(n, c NodeID) NodeID {
+	next := c + NodeID(d.size[c])
+	if n == VirtualRoot {
+		return -1 // the root element has no siblings
+	}
+	if next < d.SubtreeEnd(n) {
+		return next
+	}
+	return -1
+}
+
+// Builder is a Sink that constructs a Document and its statistics from an
+// event stream.
+type Builder struct {
+	dict   *Dict
+	labels []LabelID
+	size   []int32
+	open   []int32 // stack of open node positions
+
+	cs        *counterstack.Stack[LabelID]
+	recSum    int64
+	maxRec    int
+	maxDepth  int
+	textBytes int64
+	err       error
+}
+
+// NewBuilder returns a builder writing into a document that will use dict.
+func NewBuilder(dict *Dict) *Builder {
+	return &Builder{dict: dict, cs: counterstack.New[LabelID]()}
+}
+
+// OpenElement implements Sink.
+func (b *Builder) OpenElement(label LabelID) {
+	if b.err != nil {
+		return
+	}
+	if len(b.open) == 0 && len(b.labels) > 0 {
+		b.err = errors.New("xmldoc: multiple top-level elements")
+		return
+	}
+	pos := int32(len(b.labels))
+	b.labels = append(b.labels, label)
+	b.size = append(b.size, 0)
+	b.open = append(b.open, pos)
+	b.cs.Push(label)
+	if lvl := b.cs.Level(); lvl > 0 {
+		b.recSum += int64(lvl)
+		if lvl > b.maxRec {
+			b.maxRec = lvl
+		}
+	}
+	if depth := len(b.open); depth > b.maxDepth {
+		b.maxDepth = depth
+	}
+	b.textBytes += int64(len(b.dict.Name(label)))*2 + 5
+}
+
+// CloseElement implements Sink.
+func (b *Builder) CloseElement(label LabelID) {
+	if b.err != nil {
+		return
+	}
+	if len(b.open) == 0 {
+		b.err = errors.New("xmldoc: close event with no open element")
+		return
+	}
+	pos := b.open[len(b.open)-1]
+	if b.labels[pos] != label {
+		b.err = fmt.Errorf("xmldoc: close event for %q does not match open %q",
+			b.dict.Name(label), b.dict.Name(b.labels[pos]))
+		return
+	}
+	b.open = b.open[:len(b.open)-1]
+	b.size[pos] = int32(len(b.labels)) - pos
+	b.cs.Pop(label)
+}
+
+// Document finalizes and returns the built document.
+func (b *Builder) Document() (*Document, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.open) != 0 {
+		return nil, fmt.Errorf("xmldoc: %d elements left open", len(b.open))
+	}
+	if len(b.labels) == 0 {
+		return nil, errors.New("xmldoc: empty document")
+	}
+	d := &Document{dict: b.dict, labels: b.labels, size: b.size}
+	d.stats = Stats{
+		Nodes:       int64(len(b.labels)),
+		MaxDepth:    b.maxDepth,
+		AvgRecLevel: float64(b.recSum) / float64(len(b.labels)),
+		MaxRecLevel: b.maxRec,
+		TextBytes:   b.textBytes,
+	}
+	return d, nil
+}
+
+// Build constructs a Document from a source, interning labels into dict.
+// Extra sinks receive the same event stream in the same pass (Figure 1 of
+// the paper: one parse feeds storage, path tree, and kernel).
+func Build(src Source, dict *Dict, extra ...Sink) (*Document, error) {
+	b := NewBuilder(dict)
+	var sink Sink = b
+	if len(extra) > 0 {
+		sink = MultiSink(append([]Sink{b}, extra...)...)
+	}
+	if err := src.Emit(dict, sink); err != nil {
+		return nil, err
+	}
+	return b.Document()
+}
+
+// Events replays the document as an event stream, making a built Document
+// usable as a Source (e.g., to construct a synopsis from an already-loaded
+// document).
+func (d *Document) Emit(dict *Dict, sink Sink) error {
+	if dict != d.dict {
+		// Re-intern through the target dictionary to keep the contract that
+		// the stream's IDs belong to dict.
+		var emit func(n NodeID)
+		emit = func(n NodeID) {
+			id := dict.Intern(d.dict.Name(d.labels[n]))
+			sink.OpenElement(id)
+			for c := d.FirstChild(n); c >= 0; c = d.NextSibling(n, c) {
+				emit(c)
+			}
+			sink.CloseElement(id)
+		}
+		emit(0)
+		return nil
+	}
+	// Fast path: same dictionary; iterative preorder walk over the arrays.
+	type frame struct {
+		node NodeID
+		end  NodeID
+	}
+	var stack []frame
+	n := NodeID(0)
+	limit := NodeID(len(d.labels))
+	for n < limit || len(stack) > 0 {
+		for len(stack) > 0 && n >= stack[len(stack)-1].end {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			sink.CloseElement(d.labels[top.node])
+		}
+		if n >= limit {
+			continue
+		}
+		sink.OpenElement(d.labels[n])
+		stack = append(stack, frame{n, d.SubtreeEnd(n)})
+		n++
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package xmldoc
+
+import (
+	"bufio"
+	"io"
+)
+
+// Sink consumes a stream of element open/close events. Well-formed streams
+// open and close elements in properly nested order with exactly one
+// top-level element. All label IDs refer to the Dict the stream was bound
+// to.
+type Sink interface {
+	OpenElement(label LabelID)
+	CloseElement(label LabelID)
+}
+
+// Source produces a document's event stream into a sink, interning labels
+// into dict. Sources must be replayable: Emit may be called multiple times
+// and must produce the identical stream each time (generators are seeded;
+// parsers re-read their input).
+type Source interface {
+	Emit(dict *Dict, sink Sink) error
+}
+
+// multiSink fans one event stream out to several sinks in order.
+type multiSink []Sink
+
+func (m multiSink) OpenElement(label LabelID) {
+	for _, s := range m {
+		s.OpenElement(label)
+	}
+}
+
+func (m multiSink) CloseElement(label LabelID) {
+	for _, s := range m {
+		s.CloseElement(label)
+	}
+}
+
+// MultiSink returns a sink that forwards every event to each of sinks in
+// order. This is how the paper's Figure 1 single-parse construction is
+// realized: one pass feeds the document storage, the path tree, and the
+// XSEED kernel simultaneously.
+func MultiSink(sinks ...Sink) Sink {
+	return multiSink(sinks)
+}
+
+// XMLWriter is a sink that serializes the event stream as XML text. It is
+// used by the dataset generators to write document files for external tools
+// and for measuring textual dataset size.
+type XMLWriter struct {
+	w    *bufio.Writer
+	dict *Dict
+	err  error
+}
+
+// NewXMLWriter returns a sink writing XML text to w using dict for label
+// names. Call Flush when the stream is complete.
+func NewXMLWriter(w io.Writer, dict *Dict) *XMLWriter {
+	return &XMLWriter{w: bufio.NewWriterSize(w, 1<<16), dict: dict}
+}
+
+func (x *XMLWriter) OpenElement(label LabelID) {
+	if x.err != nil {
+		return
+	}
+	x.w.WriteByte('<')
+	x.w.WriteString(x.dict.Name(label))
+	_, x.err = x.w.Write([]byte{'>'})
+}
+
+func (x *XMLWriter) CloseElement(label LabelID) {
+	if x.err != nil {
+		return
+	}
+	x.w.WriteString("</")
+	x.w.WriteString(x.dict.Name(label))
+	_, x.err = x.w.Write([]byte{'>'})
+}
+
+// Flush flushes buffered output and reports the first error encountered.
+func (x *XMLWriter) Flush() error {
+	if x.err != nil {
+		return x.err
+	}
+	return x.w.Flush()
+}
+
+// CountingSink counts events; useful for sizing streams without storing
+// them.
+type CountingSink struct {
+	Opens  int64
+	Closes int64
+	// TextBytes approximates the serialized XML size of the stream:
+	// "<name>" + "</name>" per element.
+	TextBytes int64
+
+	dict *Dict
+}
+
+// NewCountingSink returns a sink that tallies events. dict may be nil, in
+// which case TextBytes stays zero.
+func NewCountingSink(dict *Dict) *CountingSink { return &CountingSink{dict: dict} }
+
+func (c *CountingSink) OpenElement(label LabelID) {
+	c.Opens++
+	if c.dict != nil {
+		c.TextBytes += int64(len(c.dict.Name(label))) + 2
+	}
+}
+
+func (c *CountingSink) CloseElement(label LabelID) {
+	c.Closes++
+	if c.dict != nil {
+		c.TextBytes += int64(len(c.dict.Name(label))) + 3
+	}
+}

@@ -1,0 +1,121 @@
+package xmldoc
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Parser is a Source that reads XML text with encoding/xml and emits element
+// events. Character data, comments, processing instructions and directives
+// are skipped; only element structure is retained, matching the paper's
+// focus on structural constraints.
+type Parser struct {
+	// open returns a fresh reader over the XML text each time the source is
+	// replayed.
+	open func() (io.ReadCloser, error)
+
+	// Attributes, when true, surfaces each attribute as a childless element
+	// labeled "@name" under its owner element, so attribute-structure
+	// queries can be expressed with the same path language.
+	Attributes bool
+
+	// Strict aborts on malformed XML when true (default); when false the
+	// parser applies encoding/xml's lenient settings (AutoClose, permissive
+	// entities), which real-world datasets such as DBLP need.
+	Strict bool
+
+	// Fragment permits multiple top-level elements. Document construction
+	// still requires a single root, but fragment streams are valid input
+	// for subtree-level synopsis updates.
+	Fragment bool
+}
+
+// NewParserBytes returns a parser over an in-memory XML document.
+func NewParserBytes(data []byte) *Parser {
+	return &Parser{
+		open: func() (io.ReadCloser, error) {
+			return io.NopCloser(bytes.NewReader(data)), nil
+		},
+		Strict: true,
+	}
+}
+
+// NewParserString returns a parser over an XML string.
+func NewParserString(data string) *Parser {
+	return &Parser{
+		open: func() (io.ReadCloser, error) {
+			return io.NopCloser(strings.NewReader(data)), nil
+		},
+		Strict: true,
+	}
+}
+
+// NewParserFile returns a parser that (re)opens the file at path on each
+// emit.
+func NewParserFile(path string) *Parser {
+	return &Parser{
+		open:   func() (io.ReadCloser, error) { return os.Open(path) },
+		Strict: true,
+	}
+}
+
+// Emit implements Source.
+func (p *Parser) Emit(dict *Dict, sink Sink) error {
+	r, err := p.open()
+	if err != nil {
+		return fmt.Errorf("xmldoc: open input: %w", err)
+	}
+	defer r.Close()
+
+	dec := xml.NewDecoder(r)
+	if !p.Strict {
+		dec.Strict = false
+		dec.AutoClose = xml.HTMLAutoClose
+	}
+	depth := 0
+	seenRoot := false
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("xmldoc: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if depth == 0 && seenRoot && !p.Fragment {
+				return fmt.Errorf("xmldoc: multiple root elements (second: %q)", t.Name.Local)
+			}
+			seenRoot = true
+			depth++
+			id := dict.Intern(t.Name.Local)
+			sink.OpenElement(id)
+			if p.Attributes {
+				for _, a := range t.Attr {
+					aid := dict.Intern("@" + a.Name.Local)
+					sink.OpenElement(aid)
+					sink.CloseElement(aid)
+				}
+			}
+		case xml.EndElement:
+			depth--
+			sink.CloseElement(dict.Intern(t.Name.Local))
+		}
+	}
+	if depth != 0 {
+		return fmt.Errorf("xmldoc: unbalanced document (%d unclosed elements)", depth)
+	}
+	return nil
+}
+
+// Parse is a convenience wrapper: parse XML text into a Document with a
+// fresh dictionary.
+func Parse(data string) (*Document, error) {
+	dict := NewDict()
+	return Build(NewParserString(data), dict)
+}

@@ -1,0 +1,237 @@
+package xmldoc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"xseed/internal/fixtures"
+)
+
+// paperFig2 is the XML tree of the paper's Figure 2(a); see
+// internal/fixtures for the derivation.
+const paperFig2 = fixtures.PaperFigure2
+
+func mustParse(t *testing.T, s string) *Document {
+	t.Helper()
+	d, err := Parse(s)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return d
+}
+
+func TestParseSimple(t *testing.T) {
+	d := mustParse(t, "<a><b><c/></b><b/></a>")
+	if got := d.NumNodes(); got != 4 {
+		t.Fatalf("NumNodes = %d, want 4", got)
+	}
+	if got := d.LabelName(0); got != "a" {
+		t.Errorf("root label = %q, want a", got)
+	}
+	if got := d.SubtreeSize(0); got != 4 {
+		t.Errorf("SubtreeSize(root) = %d, want 4", got)
+	}
+	// children of root: positions 1 ("b" with child) and 3 ("b" leaf)
+	c1 := d.FirstChild(0)
+	if c1 != 1 || d.LabelName(c1) != "b" {
+		t.Fatalf("FirstChild(root) = %d (%s), want 1 (b)", c1, d.LabelName(c1))
+	}
+	c2 := d.NextSibling(0, c1)
+	if c2 != 3 || d.LabelName(c2) != "b" {
+		t.Fatalf("NextSibling = %d, want 3", c2)
+	}
+	if got := d.NextSibling(0, c2); got != -1 {
+		t.Errorf("NextSibling past last = %d, want -1", got)
+	}
+	if got := d.FirstChild(c2); got != -1 {
+		t.Errorf("FirstChild(leaf) = %d, want -1", got)
+	}
+	if got := d.FirstChild(VirtualRoot); got != 0 {
+		t.Errorf("FirstChild(VirtualRoot) = %d, want 0", got)
+	}
+	if got := d.NextSibling(VirtualRoot, 0); got != -1 {
+		t.Errorf("root must have no siblings, got %d", got)
+	}
+}
+
+func TestStatsOnPaperFigure2(t *testing.T) {
+	d := mustParse(t, paperFig2)
+	st := d.Stats()
+	if st.Nodes != fixtures.PaperFigure2Nodes {
+		t.Errorf("Nodes = %d, want %d", st.Nodes, fixtures.PaperFigure2Nodes)
+	}
+	// Deepest path is a/c/s/s/s/p: depth 6.
+	if st.MaxDepth != 6 {
+		t.Errorf("MaxDepth = %d, want 6", st.MaxDepth)
+	}
+	// Paths through nested s reach recursion level 2.
+	if st.MaxRecLevel != 2 {
+		t.Errorf("MaxRecLevel = %d, want 2", st.MaxRecLevel)
+	}
+	if st.AvgRecLevel <= 0 || st.AvgRecLevel >= 1 {
+		t.Errorf("AvgRecLevel = %f, want in (0,1)", st.AvgRecLevel)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"unclosed", "<a><b></a>"},
+		{"two roots", "<a/><b/>"},
+		{"text only", "hello"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Parse(tc.in); err == nil {
+				t.Errorf("Parse(%q) succeeded, want error", tc.in)
+			}
+		})
+	}
+}
+
+func TestAttributesOption(t *testing.T) {
+	p := NewParserString(`<a id="1"><b href="x"/></a>`)
+	p.Attributes = true
+	dict := NewDict()
+	d, err := Build(p, dict)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if d.NumNodes() != 4 {
+		t.Fatalf("NumNodes = %d, want 4 (a, @id, b, @href)", d.NumNodes())
+	}
+	if _, ok := dict.Lookup("@id"); !ok {
+		t.Error("attribute label @id not interned")
+	}
+}
+
+func TestDictIntern(t *testing.T) {
+	d := NewDict()
+	a := d.Intern("a")
+	b := d.Intern("b")
+	if a == b {
+		t.Fatal("distinct labels share an id")
+	}
+	if got := d.Intern("a"); got != a {
+		t.Errorf("re-intern changed id: %d != %d", got, a)
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+	if d.Name(a) != "a" || d.Name(b) != "b" {
+		t.Error("Name round-trip failed")
+	}
+	if _, ok := d.Lookup("zzz"); ok {
+		t.Error("Lookup of unseen label reported ok")
+	}
+}
+
+func TestDocumentEmitRoundTrip(t *testing.T) {
+	d := mustParse(t, paperFig2)
+	// Re-build a second document from the first one's event stream.
+	dict2 := NewDict()
+	d2, err := Build(d, dict2)
+	if err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	if d2.NumNodes() != d.NumNodes() {
+		t.Fatalf("rebuild node count %d != %d", d2.NumNodes(), d.NumNodes())
+	}
+	for i := 0; i < d.NumNodes(); i++ {
+		if d.LabelName(NodeID(i)) != d2.LabelName(NodeID(i)) {
+			t.Fatalf("label mismatch at %d: %s != %s", i, d.LabelName(NodeID(i)), d2.LabelName(NodeID(i)))
+		}
+		if d.SubtreeSize(NodeID(i)) != d2.SubtreeSize(NodeID(i)) {
+			t.Fatalf("size mismatch at %d", i)
+		}
+	}
+	// Same-dictionary replay must also work (fast path).
+	cs := NewCountingSink(d.Dict())
+	if err := d.Emit(d.Dict(), cs); err != nil {
+		t.Fatalf("same-dict emit: %v", err)
+	}
+	if cs.Opens != int64(d.NumNodes()) || cs.Closes != int64(d.NumNodes()) {
+		t.Fatalf("emit counts: %d opens %d closes, want %d", cs.Opens, cs.Closes, d.NumNodes())
+	}
+}
+
+func TestXMLWriterRoundTrip(t *testing.T) {
+	d := mustParse(t, paperFig2)
+	var buf bytes.Buffer
+	w := NewXMLWriter(&buf, d.Dict())
+	if err := d.Emit(d.Dict(), w); err != nil {
+		t.Fatalf("emit: %v", err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	d2, err := Parse(buf.String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if d2.NumNodes() != d.NumNodes() {
+		t.Errorf("round-trip nodes %d != %d", d2.NumNodes(), d.NumNodes())
+	}
+}
+
+func TestMultiSinkOrder(t *testing.T) {
+	dict := NewDict()
+	var events []string
+	rec := func(tag string) Sink {
+		return sinkFuncs{
+			open:  func(l LabelID) { events = append(events, tag+"+"+dict.Name(l)) },
+			close: func(l LabelID) { events = append(events, tag+"-"+dict.Name(l)) },
+		}
+	}
+	ms := MultiSink(rec("A"), rec("B"))
+	ms.OpenElement(dict.Intern("x"))
+	ms.CloseElement(dict.Intern("x"))
+	want := "A+x B+x A-x B-x"
+	if got := strings.Join(events, " "); got != want {
+		t.Errorf("event order = %q, want %q", got, want)
+	}
+}
+
+type sinkFuncs struct {
+	open, close func(LabelID)
+}
+
+func (s sinkFuncs) OpenElement(l LabelID)  { s.open(l) }
+func (s sinkFuncs) CloseElement(l LabelID) { s.close(l) }
+
+func TestBuilderMismatchedClose(t *testing.T) {
+	b := NewBuilder(NewDict())
+	dict := b.dict
+	b.OpenElement(dict.Intern("a"))
+	b.CloseElement(dict.Intern("b")) // mismatch
+	if _, err := b.Document(); err == nil {
+		t.Error("mismatched close not reported")
+	}
+}
+
+func TestDeepDocument(t *testing.T) {
+	// 1000-deep single-label chain: recursion level 999.
+	var sb strings.Builder
+	const depth = 1000
+	for i := 0; i < depth; i++ {
+		sb.WriteString("<x>")
+	}
+	for i := 0; i < depth; i++ {
+		sb.WriteString("</x>")
+	}
+	d := mustParse(t, sb.String())
+	st := d.Stats()
+	if st.Nodes != depth {
+		t.Errorf("Nodes = %d, want %d", st.Nodes, depth)
+	}
+	if st.MaxRecLevel != depth-1 {
+		t.Errorf("MaxRecLevel = %d, want %d", st.MaxRecLevel, depth-1)
+	}
+	if st.MaxDepth != depth {
+		t.Errorf("MaxDepth = %d, want %d", st.MaxDepth, depth)
+	}
+}

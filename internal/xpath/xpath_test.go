@@ -1,0 +1,235 @@
+package xpath
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseSimple(t *testing.T) {
+	q := MustParse("/a/c/s/s/t")
+	if len(q.Steps) != 5 {
+		t.Fatalf("steps = %d, want 5", len(q.Steps))
+	}
+	for i, want := range []string{"a", "c", "s", "s", "t"} {
+		if q.Steps[i].Label != want || q.Steps[i].Axis != Child || q.Steps[i].Wildcard {
+			t.Errorf("step %d = %+v, want child::%s", i, q.Steps[i], want)
+		}
+	}
+	if got := q.Classify(); got != SimplePath {
+		t.Errorf("class = %v, want SP", got)
+	}
+	if q.IsRecursive() {
+		t.Error("simple path reported recursive")
+	}
+	if got := q.String(); got != "/a/c/s/s/t" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestParsePaperSampleQuery(t *testing.T) {
+	// The sample CP query from Section 6.1.
+	q := MustParse("//regions/australia/item[shipping]/location")
+	if len(q.Steps) != 4 {
+		t.Fatalf("steps = %d, want 4", len(q.Steps))
+	}
+	if q.Steps[0].Axis != Descendant {
+		t.Error("first step should be descendant axis")
+	}
+	if len(q.Steps[2].Preds) != 1 {
+		t.Fatalf("item should have 1 predicate")
+	}
+	pred := q.Steps[2].Preds[0]
+	if len(pred.Steps) != 1 || pred.Steps[0].Label != "shipping" || pred.Steps[0].Axis != Child {
+		t.Errorf("predicate = %+v, want child::shipping", pred.Steps[0])
+	}
+	if got := q.Classify(); got != ComplexPath {
+		t.Errorf("class = %v, want CP", got)
+	}
+	if got := q.String(); got != "//regions/australia/item[shipping]/location" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestParseBranching(t *testing.T) {
+	q := MustParse("/dblp/article[pages]/publisher")
+	if got := q.Classify(); got != BranchingPath {
+		t.Errorf("class = %v, want BP", got)
+	}
+	if got := q.MaxPredsPerStep(); got != 1 {
+		t.Errorf("MaxPredsPerStep = %d, want 1", got)
+	}
+}
+
+func TestParseNestedAndMultiPredicates(t *testing.T) {
+	q := MustParse("/a/b[c/e][.//d]/f[g[h]]")
+	if got := q.MaxPredsPerStep(); got != 2 {
+		t.Errorf("MaxPredsPerStep = %d, want 2", got)
+	}
+	b := q.Steps[1]
+	if len(b.Preds) != 2 {
+		t.Fatalf("b preds = %d, want 2", len(b.Preds))
+	}
+	if b.Preds[0].Steps[0].Label != "c" || b.Preds[0].Steps[1].Label != "e" {
+		t.Errorf("first pred = %v", b.Preds[0])
+	}
+	if b.Preds[1].Steps[0].Axis != Descendant || b.Preds[1].Steps[0].Label != "d" {
+		t.Errorf("second pred should be .//d, got %v", b.Preds[1].Steps[0])
+	}
+	f := q.Steps[2]
+	if len(f.Preds) != 1 || len(f.Preds[0].Steps[0].Preds) != 1 {
+		t.Error("nested predicate g[h] not parsed")
+	}
+	if got := q.String(); got != "/a/b[c/e][.//d]/f[g[h]]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestParseWildcard(t *testing.T) {
+	q := MustParse("/a/*/b")
+	if !q.Steps[1].Wildcard {
+		t.Error("wildcard not parsed")
+	}
+	if got := q.Classify(); got != ComplexPath {
+		t.Errorf("class = %v, want CP (wildcards are complex)", got)
+	}
+	if got := q.String(); got != "/a/*/b" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "a/b", "/", "//", "/a[", "/a[]", "/a[b", "/a]b", "/a//",
+		"/a[b]]", "/a/[b]", "/a b",
+	}
+	for _, in := range bad {
+		if q, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) = %v, want error", in, q)
+		}
+	}
+}
+
+func TestQRL(t *testing.T) {
+	cases := []struct {
+		in  string
+		qrl int
+		rec bool
+	}{
+		{"/a/b/c", 0, false},
+		{"/s/s/s", 0, false}, // /-only is never recursive
+		{"//s", 0, false},
+		{"//s//s", 1, true},
+		{"//s//s//s", 2, true},
+		{"//s/s", 0, false},
+		{"//*//*", 1, true}, // recursive even on non-recursive documents
+		{"//a//b", 0, false},
+		{"//a[.//b//b]/c", 1, true}, // recursion inside a predicate counts
+		{"//s[x]//s", 1, true},
+		{"//s//t[//s]", 0, false}, // predicate s is on a different query-tree path? No: rooted path s,t,s — but t breaks the s//s chain only if axis matters; both s have //-axis on the same rooted path
+	}
+	for _, tc := range cases {
+		q := MustParse(tc.in)
+		if got := q.QRL(); got != tc.qrl && tc.in != "//s//t[//s]" {
+			t.Errorf("QRL(%q) = %d, want %d", tc.in, got, tc.qrl)
+		}
+		if tc.in == "//s//t[//s]" {
+			// Both //s NodeTests lie on the rooted query-tree path
+			// s → t → s, so QRL is 1.
+			if got := q.QRL(); got != 1 {
+				t.Errorf("QRL(%q) = %d, want 1", tc.in, got)
+			}
+			continue
+		}
+		if got := q.IsRecursive(); got != tc.rec {
+			t.Errorf("IsRecursive(%q) = %v, want %v", tc.in, got, tc.rec)
+		}
+	}
+}
+
+func TestLabels(t *testing.T) {
+	q := MustParse("/a/b/c")
+	got := q.Labels()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Labels = %v, want %v", got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Labels on non-simple path did not panic")
+		}
+	}()
+	MustParse("//a").Labels()
+}
+
+func TestCloneIndependence(t *testing.T) {
+	q := MustParse("/a/b[c]/d")
+	c := q.Clone()
+	c.Steps[1].Preds[0].Steps[0].Label = "zzz"
+	if q.Steps[1].Preds[0].Steps[0].Label != "c" {
+		t.Error("Clone shares predicate storage with original")
+	}
+	if q.String() == c.String() {
+		t.Error("clone edit did not change rendering")
+	}
+}
+
+// TestRoundTripProperty: parsing the String() of a parsed query yields the
+// same rendering (fixed point after one parse).
+func TestRoundTripProperty(t *testing.T) {
+	inputs := []string{
+		"/a", "//a", "/a/b", "/a//b", "/a/*", "//*",
+		"/a[b]", "/a[b][c]", "/a[b/c]/d", "/a[.//b]/c",
+		"//site/regions//item[shipping][incategory]/location",
+		"/a/b[c[d[e]]]/f//g[.//h]",
+	}
+	for _, in := range inputs {
+		q := MustParse(in)
+		s := q.String()
+		q2, err := Parse(s)
+		if err != nil {
+			t.Errorf("re-parse %q: %v", s, err)
+			continue
+		}
+		if s2 := q2.String(); s2 != s {
+			t.Errorf("round trip %q -> %q -> %q", in, s, s2)
+		}
+	}
+}
+
+// TestQuickParseNeverPanics feeds arbitrary short strings to the parser; it
+// must return an error or a query, never panic.
+func TestQuickParseNeverPanics(t *testing.T) {
+	f := func(s string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		if len(s) > 64 {
+			s = s[:64]
+		}
+		q, err := Parse(s)
+		if err == nil && q == nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassifyPredicateComplexity(t *testing.T) {
+	// A //-axis inside a predicate makes the whole query complex.
+	q := MustParse("/a/b[.//c]/d")
+	if got := q.Classify(); got != ComplexPath {
+		t.Errorf("class = %v, want CP", got)
+	}
+	// A wildcard inside a predicate too.
+	q = MustParse("/a/b[*]/d")
+	if got := q.Classify(); got != ComplexPath {
+		t.Errorf("class = %v, want CP", got)
+	}
+}

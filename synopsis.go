@@ -1,0 +1,319 @@
+package xseed
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"xseed/internal/estimate"
+	"xseed/internal/het"
+	"xseed/internal/kernel"
+	"xseed/internal/xmldoc"
+	"xseed/internal/xpath"
+)
+
+// Config controls synopsis construction. The zero value (or a nil *Config)
+// builds a kernel with a 1BP hyper-edge table under the paper's default
+// settings.
+type Config struct {
+	// HET enables the hyper-edge table layer. Nil means Default1BP.
+	HET *HETConfig
+
+	// CardThreshold prunes estimator traversal of expanded-path-tree nodes
+	// whose estimated cardinality is at or below it. The paper uses 0 for
+	// ordinary documents and 20 for the highly recursive Treebank.
+	CardThreshold float64
+
+	// MaxEPTNodes caps the expanded path tree (safety bound; 0 = 1<<20).
+	MaxEPTNodes int
+
+	// ReuseEPT caches the expanded path tree across estimates. Off by
+	// default (the paper regenerates per query); enable for long-lived
+	// optimizers.
+	ReuseEPT bool
+}
+
+// HETConfig controls hyper-edge table pre-computation and budget.
+type HETConfig struct {
+	// Disable skips HET construction entirely (bare kernel).
+	Disable bool
+
+	// FeedbackOnly starts from an empty table populated exclusively by
+	// Feedback calls (no pre-computation pass over the document).
+	FeedbackOnly bool
+
+	// MBP is the maximum branching predicates per pattern (1 is the
+	// paper's recommended tradeoff; 2-3 cost combinatorially more).
+	MBP int
+
+	// BselThreshold limits branching-candidate enumeration (paper: 0.1
+	// default, 0.001 for Treebank). 0 means 0.1.
+	BselThreshold float64
+
+	// BudgetBytes bounds the resident HET size (<= 0: unlimited).
+	BudgetBytes int
+
+	// MaxCandidatesPerNode caps pattern enumeration per path tree node
+	// (0 = unlimited).
+	MaxCandidatesPerNode int
+}
+
+// Default1BP is the paper's recommended HET setting.
+func Default1BP() *HETConfig { return &HETConfig{MBP: 1} }
+
+// Synopsis is an XSEED synopsis: kernel plus optional hyper-edge table.
+type Synopsis struct {
+	kern *kernel.Kernel
+	tab  *het.Table
+	est  *estimate.Estimator
+	opt  estimate.Options
+}
+
+// BuildSynopsis constructs a synopsis for the document. cfg may be nil for
+// defaults (kernel + 1BP HET, unlimited budget).
+func BuildSynopsis(d *Document, cfg *Config) (*Synopsis, error) {
+	if cfg == nil {
+		cfg = &Config{}
+	}
+	hcfg := cfg.HET
+	if hcfg == nil {
+		hcfg = Default1BP()
+	}
+	opt := estimate.Options{
+		CardThreshold: cfg.CardThreshold,
+		MaxEPTNodes:   cfg.MaxEPTNodes,
+		ReuseEPT:      cfg.ReuseEPT,
+	}
+	s := &Synopsis{kern: d.kern, opt: opt}
+	switch {
+	case hcfg.Disable:
+		// bare kernel
+	case hcfg.FeedbackOnly:
+		tab := het.New(hcfg.BudgetBytes)
+		s.tab = tab
+		s.opt.HET = tab
+	default:
+		tab, _ := het.Precompute(d.doc, d.pt, d.kern, het.PrecomputeOptions{
+			MBP:                  hcfg.MBP,
+			BselThreshold:        hcfg.BselThreshold,
+			MaxCandidatesPerNode: hcfg.MaxCandidatesPerNode,
+			Budget:               hcfg.BudgetBytes,
+			EstimateOptions:      opt,
+		})
+		s.tab = tab
+		s.opt.HET = tab
+	}
+	s.est = estimate.New(s.kern, s.opt)
+	return s, nil
+}
+
+// KernelOnly builds a synopsis with no HET (the paper's "XSEED kernel"
+// configuration in Table 3).
+func KernelOnly(d *Document, cfg *Config) (*Synopsis, error) {
+	c := Config{}
+	if cfg != nil {
+		c = *cfg
+	}
+	c.HET = &HETConfig{Disable: true}
+	return BuildSynopsis(d, &c)
+}
+
+// Estimate returns the estimated cardinality of the query.
+func (s *Synopsis) Estimate(query string) (float64, error) {
+	q, err := xpath.Parse(query)
+	if err != nil {
+		return 0, err
+	}
+	return s.est.Estimate(q), nil
+}
+
+// EstimateQuery estimates a pre-parsed query.
+func (s *Synopsis) EstimateQuery(q *Query) float64 { return s.est.Estimate(q.p) }
+
+// EstimateStreaming estimates with the single-pass, bounded-memory matcher
+// that consumes the traveler's event stream directly (the execution style
+// of the paper's Algorithm 3). Queries whose predicates are not single
+// child-axis name steps fall back to the standard matcher; the streamed
+// flag reports which path ran.
+func (s *Synopsis) EstimateStreaming(query string) (est float64, streamed bool, err error) {
+	q, err := xpath.Parse(query)
+	if err != nil {
+		return 0, false, err
+	}
+	if v, ok := estimate.StreamEstimate(s.kern, q, s.opt); ok {
+		return v, true, nil
+	}
+	return s.est.Estimate(q), false, nil
+}
+
+// SizeBytes returns the synopsis memory footprint: kernel plus resident
+// HET entries.
+func (s *Synopsis) SizeBytes() int {
+	n := s.kern.SizeBytes()
+	if s.tab != nil {
+		n += s.tab.SizeBytes()
+	}
+	return n
+}
+
+// KernelSizeBytes returns the kernel's size alone.
+func (s *Synopsis) KernelSizeBytes() int { return s.kern.SizeBytes() }
+
+// HETSizeBytes returns the resident hyper-edge table size (0 without HET).
+func (s *Synopsis) HETSizeBytes() int {
+	if s.tab == nil {
+		return 0
+	}
+	return s.tab.SizeBytes()
+}
+
+// HETEntries returns (resident, total) hyper-edge counts.
+func (s *Synopsis) HETEntries() (resident, total int) {
+	if s.tab == nil {
+		return 0, 0
+	}
+	return s.tab.NumResident(), s.tab.NumEntries()
+}
+
+// SetBudget adapts the synopsis to a total memory budget in bytes: the
+// kernel is fixed; the hyper-edge table keeps its highest-error entries in
+// the remainder (the paper's dynamic reconfiguration). A budget at or below
+// the kernel size empties the resident HET.
+func (s *Synopsis) SetBudget(totalBytes int) {
+	if s.tab == nil {
+		return
+	}
+	rest := totalBytes - s.kern.SizeBytes()
+	if rest < 1 {
+		rest = 1 // het treats <=0 as unlimited; 1 byte admits nothing
+	}
+	s.tab.SetBudget(rest)
+	s.est.Invalidate()
+}
+
+// Feedback records an executed query's actual cardinality into the HET
+// (self-tuning; paper Figure 1). It is a no-op on kernel-only synopses.
+func (s *Synopsis) Feedback(query string, actual float64) error {
+	if s.tab == nil {
+		return nil
+	}
+	q, err := xpath.Parse(query)
+	if err != nil {
+		return err
+	}
+	estBefore := s.est.Estimate(q)
+	base := 0.0
+	if !q.IsSimple() {
+		base = s.est.Estimate(het.StripPreds(q))
+	}
+	s.tab.Feedback(q, actual, estBefore, base)
+	s.est.Invalidate()
+	return nil
+}
+
+// AddSubtree incrementally maintains the kernel after inserting the XML
+// subtree(s) in xml under the element path contextPath (labels from the
+// root, e.g. ["dblp"]). Estimates reflect the update immediately; the HET
+// keeps its recorded actuals (the paper's lazy maintenance — rebuild or
+// re-feedback to refresh them).
+func (s *Synopsis) AddSubtree(contextPath []string, xml string) error {
+	p := xmldoc.NewParserString(xml)
+	p.Fragment = true
+	if err := s.kern.AddSubtree(contextPath, p); err != nil {
+		return err
+	}
+	s.est.Invalidate()
+	return nil
+}
+
+// RemoveSubtree incrementally maintains the kernel after deleting the XML
+// subtree(s) in xml from under contextPath.
+func (s *Synopsis) RemoveSubtree(contextPath []string, xml string) error {
+	p := xmldoc.NewParserString(xml)
+	p.Fragment = true
+	if err := s.kern.RemoveSubtree(contextPath, p); err != nil {
+		return err
+	}
+	s.est.Invalidate()
+	return nil
+}
+
+// EPTStats reports the size of the expanded path tree generated by the most
+// recent estimate (the paper's Section 6.4 metric).
+func (s *Synopsis) EPTStats() (nodes int, truncated bool) {
+	st := s.est.LastEPTStats()
+	return st.Nodes, st.Truncated
+}
+
+// KernelString renders the kernel's edges in the paper's notation, for
+// debugging.
+func (s *Synopsis) KernelString() string { return s.kern.String() }
+
+// WriteTo serializes the synopsis (kernel and full HET). It implements
+// io.WriterTo.
+func (s *Synopsis) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	n, err := s.kern.WriteTo(w)
+	total += n
+	if err != nil {
+		return total, err
+	}
+	var flag [1]byte
+	if s.tab != nil {
+		flag[0] = 1
+	}
+	m, err := w.Write(flag[:])
+	total += int64(m)
+	if err != nil {
+		return total, err
+	}
+	if s.tab != nil {
+		n, err = s.tab.WriteTo(w)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	var opts [17]byte
+	binary.LittleEndian.PutUint64(opts[0:], uint64(int64(s.opt.CardThreshold*1e6)))
+	binary.LittleEndian.PutUint64(opts[8:], uint64(int64(s.opt.MaxEPTNodes)))
+	if s.opt.ReuseEPT {
+		opts[16] = 1
+	}
+	m, err = w.Write(opts[:])
+	total += int64(m)
+	return total, err
+}
+
+// ReadSynopsis deserializes a synopsis written by WriteTo.
+func ReadSynopsis(r io.Reader) (*Synopsis, error) {
+	br := bufio.NewReader(r)
+	dict := xmldoc.NewDict()
+	k, err := kernel.Read(br, dict)
+	if err != nil {
+		return nil, err
+	}
+	var flag [1]byte
+	if _, err := io.ReadFull(br, flag[:]); err != nil {
+		return nil, fmt.Errorf("xseed: synopsis flags: %w", err)
+	}
+	s := &Synopsis{kern: k}
+	if flag[0] == 1 {
+		tab, err := het.Read(br)
+		if err != nil {
+			return nil, err
+		}
+		s.tab = tab
+		s.opt.HET = tab
+	}
+	var opts [17]byte
+	if _, err := io.ReadFull(br, opts[:]); err != nil {
+		return nil, fmt.Errorf("xseed: synopsis options: %w", err)
+	}
+	s.opt.CardThreshold = float64(int64(binary.LittleEndian.Uint64(opts[0:]))) / 1e6
+	s.opt.MaxEPTNodes = int(int64(binary.LittleEndian.Uint64(opts[8:])))
+	s.opt.ReuseEPT = opts[16] == 1
+	s.est = estimate.New(s.kern, s.opt)
+	return s, nil
+}

@@ -1,0 +1,94 @@
+package xseed
+
+import (
+	"errors"
+
+	"xseed/internal/treesketch"
+	"xseed/internal/xpath"
+)
+
+// TreeSketch is the comparison synopsis of Polyzotis, Garofalakis and
+// Ioannidis (SIGMOD 2004), reimplemented as the paper's baseline:
+// count-stable partition refinement compressed to a memory budget by greedy
+// merging. See internal/treesketch for fidelity notes.
+type TreeSketch struct {
+	syn *treesketch.Synopsis
+}
+
+// TreeSketchInfo reports construction effort.
+type TreeSketchInfo struct {
+	RefinePasses   int
+	StableClusters int
+	FinalClusters  int
+	Merges         int
+	DNF            bool // construction exceeded its operation budget
+}
+
+// ErrTreeSketchDNF is returned when TreeSketch construction exceeds its
+// operation budget — the behaviour the paper reports as "DNF" on Treebank.
+var ErrTreeSketchDNF = errors.New("xseed: TreeSketch construction did not finish within the operation budget")
+
+// TreeSketchOptions configure construction; the zero value uses defaults.
+type TreeSketchOptions struct {
+	// OpBudget bounds construction work; 0 means 1<<30 elementary
+	// operations.
+	OpBudget int64
+	// Seed drives merge-candidate sampling.
+	Seed int64
+}
+
+// BuildTreeSketch constructs a TreeSketch synopsis of the document within
+// the byte budget.
+func BuildTreeSketch(d *Document, budgetBytes int, opts ...TreeSketchOptions) (*TreeSketch, TreeSketchInfo, error) {
+	var o TreeSketchOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	syn, stats, err := treesketch.Build(d.doc, treesketch.Options{
+		BudgetBytes: budgetBytes,
+		OpBudget:    o.OpBudget,
+		Seed:        o.Seed,
+	})
+	info := TreeSketchInfo{
+		RefinePasses:   stats.RefinePasses,
+		StableClusters: stats.StableClusters,
+		FinalClusters:  stats.FinalClusters,
+		Merges:         stats.Merges,
+		DNF:            stats.DNF,
+	}
+	if err != nil {
+		if errors.Is(err, treesketch.ErrDNF) {
+			return nil, info, ErrTreeSketchDNF
+		}
+		return nil, info, err
+	}
+	return &TreeSketch{syn: syn}, info, nil
+}
+
+// Estimate returns the estimated cardinality of the query.
+func (t *TreeSketch) Estimate(query string) (float64, error) {
+	q, err := xpath.Parse(query)
+	if err != nil {
+		return 0, err
+	}
+	return t.syn.Estimate(q), nil
+}
+
+// EstimateQuery estimates a pre-parsed query.
+func (t *TreeSketch) EstimateQuery(q *Query) float64 { return t.syn.Estimate(q.p) }
+
+// SizeBytes returns the synopsis size.
+func (t *TreeSketch) SizeBytes() int { return t.syn.SizeBytes() }
+
+// CardinalityEstimator is the common interface of the XSEED synopsis and
+// the TreeSketch baseline.
+type CardinalityEstimator interface {
+	Estimate(query string) (float64, error)
+	EstimateQuery(q *Query) float64
+	SizeBytes() int
+}
+
+var (
+	_ CardinalityEstimator = (*Synopsis)(nil)
+	_ CardinalityEstimator = (*TreeSketch)(nil)
+)

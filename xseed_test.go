@@ -1,0 +1,427 @@
+package xseed
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xseed/internal/fixtures"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func fig2Doc(t *testing.T) *Document {
+	t.Helper()
+	d, err := ParseXMLString(fixtures.PaperFigure2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestParseAndStats(t *testing.T) {
+	d := fig2Doc(t)
+	st := d.Stats()
+	if st.Nodes != fixtures.PaperFigure2Nodes {
+		t.Errorf("Nodes = %d", st.Nodes)
+	}
+	if st.MaxRecLevel != 2 || st.Labels != 6 || st.PathCount != 14 {
+		t.Errorf("stats = %+v", st)
+	}
+	if d.NumNodes() != fixtures.PaperFigure2Nodes {
+		t.Errorf("NumNodes = %d", d.NumNodes())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := ParseXMLString("<a><b></a>"); err == nil {
+		t.Error("malformed XML accepted")
+	}
+	if _, err := LoadFile("/nonexistent/file.xml"); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := Generate("bogus", 1, 0); err == nil {
+		t.Error("bogus dataset accepted")
+	}
+	if _, err := ParseQuery("not a query"); err == nil {
+		t.Error("bad query accepted")
+	}
+}
+
+func TestParseXMLReader(t *testing.T) {
+	d, err := ParseXML(strings.NewReader(fixtures.PaperFigure2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumNodes() != fixtures.PaperFigure2Nodes {
+		t.Errorf("NumNodes = %d", d.NumNodes())
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "doc.xml")
+	if err := os.WriteFile(path, []byte(fixtures.PaperFigure2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumNodes() != fixtures.PaperFigure2Nodes {
+		t.Errorf("NumNodes = %d", d.NumNodes())
+	}
+}
+
+func TestCountAndEstimateAgree(t *testing.T) {
+	d := fig2Doc(t)
+	syn, err := BuildSynopsis(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{
+		"/a/c/s/p", "//s//s//p", "/a/c/s[t]/p", "//p", "/a/c/s/s/t",
+	} {
+		actual, err := d.Count(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := syn.Estimate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// With a full 1BP HET on this small document the estimates are
+		// exact or near-exact.
+		if math.Abs(est-float64(actual)) > 1 {
+			t.Errorf("%s: est %g, actual %d", q, est, actual)
+		}
+	}
+}
+
+func TestKernelOnlyVsHET(t *testing.T) {
+	d, err := ParseXMLString(fixtures.PaperFigure4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err := KernelOnly(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := BuildSynopsis(d, &Config{HET: &HETConfig{MBP: 1, BselThreshold: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.HETSizeBytes() != 0 {
+		t.Error("kernel-only synopsis has HET bytes")
+	}
+	if full.HETSizeBytes() == 0 {
+		t.Error("full synopsis has empty HET")
+	}
+	actual, _ := d.Count("/a/b/d/e")
+	bareEst, _ := bare.Estimate("/a/b/d/e")
+	fullEst, _ := full.Estimate("/a/b/d/e")
+	if !approx(bareEst, 20.0*5/14, 1e-9) {
+		t.Errorf("bare = %g, want Example 4's 7.14", bareEst)
+	}
+	if !approx(fullEst, float64(actual), 1e-9) {
+		t.Errorf("full = %g, want %d", fullEst, actual)
+	}
+}
+
+func TestSetBudgetShrinksHET(t *testing.T) {
+	d, err := Generate("dblp", 0.001, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := BuildSynopsis(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullSize := syn.SizeBytes()
+	resident, total := syn.HETEntries()
+	if resident == 0 || total == 0 {
+		t.Fatalf("HET entries: %d/%d", resident, total)
+	}
+	syn.SetBudget(syn.KernelSizeBytes() + 64)
+	if got := syn.SizeBytes(); got >= fullSize {
+		t.Errorf("SetBudget did not shrink: %d >= %d", got, fullSize)
+	}
+	r2, _ := syn.HETEntries()
+	if r2 > 4 {
+		t.Errorf("resident after tiny budget = %d", r2)
+	}
+	// Estimates still work.
+	if _, err := syn.Estimate("/dblp/article"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFeedbackImprovesEstimate(t *testing.T) {
+	d, err := ParseXMLString(fixtures.PaperFigure4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := BuildSynopsis(d, &Config{HET: &HETConfig{MBP: 0}}) // paths only
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := "/a/b/d[f]/e"
+	actual, _ := d.Count(q)
+	before, _ := syn.Estimate(q)
+	if err := syn.Feedback(q, float64(actual)); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := syn.Estimate(q)
+	if math.Abs(after-float64(actual)) > math.Abs(before-float64(actual)) {
+		t.Errorf("feedback worsened: before %g after %g actual %d", before, after, actual)
+	}
+}
+
+func TestIncrementalUpdate(t *testing.T) {
+	d := fig2Doc(t)
+	syn, err := KernelOnly(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := syn.Estimate("/a/u")
+	if !approx(before, 1, 1e-9) {
+		t.Fatalf("|/a/u| = %g", before)
+	}
+	if err := syn.AddSubtree([]string{"a"}, "<u/><u/>"); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := syn.Estimate("/a/u")
+	if !approx(after, 3, 1e-9) {
+		t.Errorf("|/a/u| after add = %g, want 3", after)
+	}
+	if err := syn.RemoveSubtree([]string{"a"}, "<u/><u/>"); err != nil {
+		t.Fatal(err)
+	}
+	restored, _ := syn.Estimate("/a/u")
+	if !approx(restored, 1, 1e-9) {
+		t.Errorf("|/a/u| after remove = %g, want 1", restored)
+	}
+}
+
+func TestSynopsisSerializationRoundTrip(t *testing.T) {
+	d, err := ParseXMLString(fixtures.PaperFigure4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := BuildSynopsis(d, &Config{HET: &HETConfig{MBP: 1, BselThreshold: 0.5}, CardThreshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := syn.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo returned %d, wrote %d", n, buf.Len())
+	}
+	loaded, err := ReadSynopsis(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{"/a/b/d/e", "/a/b/d[f]/e", "//d//e", "/a/c/d"} {
+		a, _ := syn.Estimate(q)
+		b, _ := loaded.Estimate(q)
+		if !approx(a, b, 1e-9) {
+			t.Errorf("%s: loaded %g != original %g", q, b, a)
+		}
+	}
+	if loaded.KernelSizeBytes() != syn.KernelSizeBytes() {
+		t.Error("kernel size changed across serialization")
+	}
+}
+
+func TestReadSynopsisGarbage(t *testing.T) {
+	if _, err := ReadSynopsis(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestTreeSketchBaseline(t *testing.T) {
+	d := fig2Doc(t)
+	ts, info, err := BuildTreeSketch(d, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.DNF {
+		t.Error("unexpected DNF")
+	}
+	est, err := ts.Estimate("//p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(est, 17, 1e-6) {
+		t.Errorf("|//p| = %g, want 17 (exact under count-stability)", est)
+	}
+	if ts.SizeBytes() <= 0 {
+		t.Error("SizeBytes = 0")
+	}
+	// DNF path.
+	if _, info, err := BuildTreeSketch(d, 64, TreeSketchOptions{OpBudget: 5}); err != ErrTreeSketchDNF || !info.DNF {
+		t.Errorf("err = %v, info = %+v; want DNF", err, info)
+	}
+}
+
+func TestEstimateStreaming(t *testing.T) {
+	d := fig2Doc(t)
+	syn, err := BuildSynopsis(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{"/a/c/s/p", "//s//s//p", "/a/c/s[t]/p", "//*"} {
+		want, _ := syn.Estimate(q)
+		got, streamed, err := syn.EstimateStreaming(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !streamed {
+			t.Errorf("%s: expected streaming path", q)
+		}
+		if !approx(got, want, 1e-9) {
+			t.Errorf("%s: streaming %g != standard %g", q, got, want)
+		}
+	}
+	// Unsupported shape falls back.
+	want, _ := syn.Estimate("/a/c[s/s]/t")
+	got, streamed, err := syn.EstimateStreaming("/a/c[s/s]/t")
+	if err != nil || streamed || !approx(got, want, 1e-9) {
+		t.Errorf("fallback: got %g streamed %v err %v, want %g", got, streamed, err, want)
+	}
+	if _, _, err := syn.EstimateStreaming("((("); err == nil {
+		t.Error("parse error not propagated")
+	}
+}
+
+func TestWithoutPredicates(t *testing.T) {
+	q := MustParseQuery("/a/b[c][d]/e[f]")
+	if got := q.WithoutPredicates().String(); got != "/a/b/e" {
+		t.Errorf("WithoutPredicates = %s", got)
+	}
+	if q.String() != "/a/b[c][d]/e[f]" {
+		t.Error("original mutated")
+	}
+}
+
+func TestFeedbackOnlySynopsis(t *testing.T) {
+	d := fig2Doc(t)
+	syn, err := BuildSynopsis(d, &Config{HET: &HETConfig{FeedbackOnly: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, total := syn.HETEntries(); r != 0 || total != 0 {
+		t.Fatalf("feedback-only synopsis starts with %d/%d entries", r, total)
+	}
+	// Feedback populates it.
+	if err := syn.Feedback("/a/c/s[t]/p", 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, total := syn.HETEntries(); total != 1 {
+		t.Errorf("entries after feedback = %d, want 1", total)
+	}
+	got, _ := syn.Estimate("/a/c/s[t]/p")
+	if !approx(got, 4, 0.5) {
+		t.Errorf("estimate after feedback = %g, want ≈4", got)
+	}
+}
+
+func TestQueryAPI(t *testing.T) {
+	q := MustParseQuery("//regions/australia/item[shipping]/location")
+	if q.Class() != "CP" {
+		t.Errorf("Class = %s", q.Class())
+	}
+	if q.IsRecursive() {
+		t.Error("not recursive")
+	}
+	if q.String() != "//regions/australia/item[shipping]/location" {
+		t.Errorf("String = %s", q)
+	}
+	if _, ok := q.Actual(); ok {
+		t.Error("hand-parsed query claims an actual")
+	}
+	r := MustParseQuery("//s//s")
+	if !r.IsRecursive() {
+		t.Error("//s//s should be recursive")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseQuery on garbage did not panic")
+		}
+	}()
+	MustParseQuery("((")
+}
+
+func TestWorkloadAPI(t *testing.T) {
+	d, err := Generate("xmark", 0.002, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := d.SimplePathQueries(0)
+	if len(sp) == 0 {
+		t.Fatal("no SP queries")
+	}
+	for _, q := range sp[:min(5, len(sp))] {
+		act, ok := q.Actual()
+		if !ok {
+			t.Fatalf("%s has no actual", q)
+		}
+		got, _ := d.Count(q.String())
+		if got != act {
+			t.Errorf("%s: actual %d, recount %d", q, act, got)
+		}
+	}
+	bp, err := d.RandomWorkload("BP", 10, 1, 5)
+	if err != nil || len(bp) != 10 {
+		t.Fatalf("BP workload: %v, %d", err, len(bp))
+	}
+	cp, err := d.RandomWorkload("cp", 10, 1, 5)
+	if err != nil || len(cp) != 10 {
+		t.Fatalf("CP workload: %v, %d", err, len(cp))
+	}
+	if _, err := d.RandomWorkload("XX", 1, 1, 1); err == nil {
+		t.Error("bad class accepted")
+	}
+}
+
+func TestWriteXMLRoundTrip(t *testing.T) {
+	d := fig2Doc(t)
+	var buf bytes.Buffer
+	if err := d.WriteXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ParseXMLString(buf.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.NumNodes() != d.NumNodes() {
+		t.Errorf("round trip %d != %d", d2.NumNodes(), d.NumNodes())
+	}
+}
+
+func TestEPTStats(t *testing.T) {
+	d := fig2Doc(t)
+	syn, _ := KernelOnly(d, nil)
+	if _, err := syn.Estimate("//p"); err != nil {
+		t.Fatal(err)
+	}
+	nodes, truncated := syn.EPTStats()
+	if nodes != 14 || truncated {
+		t.Errorf("EPT stats = %d/%v, want 14/false", nodes, truncated)
+	}
+	if !strings.Contains(syn.KernelString(), "(s,p) = (5:9, 1:2, 2:3)") {
+		t.Error("KernelString missing paper edge")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -21,6 +21,11 @@
 //
 //	xseed ept      -xml doc.xml [-threshold 0]
 //	    Dump the expanded path tree as annotated XML (paper Section 4).
+//
+//	xseed serve    [-addr :8080] [-cache 4096] [-budget 0] [-synopsis name=path]...
+//	    Run the xseedd estimation server (same daemon as cmd/xseedd):
+//	    a synopsis registry with a sharded estimate cache behind an HTTP
+//	    JSON API. See the xseedd command documentation for the endpoints.
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 	"xseed"
 	"xseed/internal/estimate"
 	"xseed/internal/kernel"
+	"xseed/internal/server"
 	"xseed/internal/xmldoc"
 )
 
@@ -52,13 +58,17 @@ func main() {
 		runCompare(args)
 	case "ept":
 		runEPT(args)
+	case "serve":
+		if err := server.RunCLI("xseed serve", args); err != nil {
+			fail(err)
+		}
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: xseed {stats|build|estimate|eval|compare|ept} [flags] [query...]")
+	fmt.Fprintln(os.Stderr, "usage: xseed {stats|build|estimate|eval|compare|ept|serve} [flags] [query...]")
 	os.Exit(2)
 }
 

@@ -1,0 +1,37 @@
+// Command xseedd is the XSEED estimation daemon: a long-lived HTTP server
+// managing many named synopses concurrently, with a sharded cache of
+// estimate results in front of them.
+//
+//	xseedd [-addr :8080] [-cache 4096] [-budget 0] [-synopsis name=path]...
+//
+// Each -synopsis flag preloads one synopsis at startup from either a file
+// written by `xseed build` or a raw XML document. The HTTP API (see
+// internal/server) then supports creating, estimating against, tuning, and
+// snapshotting synopses at runtime:
+//
+//	POST   /synopses                      build/load a named synopsis
+//	GET    /synopses                      list synopses
+//	GET    /synopses/{name}               one synopsis's stats
+//	DELETE /synopses/{name}               drop a synopsis
+//	POST   /synopses/{name}/estimate      single or batched estimates
+//	POST   /synopses/{name}/feedback      record an actual cardinality
+//	POST   /synopses/{name}/subtree       incremental add/remove update
+//	GET    /synopses/{name}/snapshot      download serialized synopsis
+//	PUT    /synopses/{name}/snapshot      upload serialized synopsis
+//	GET    /stats                         sizes, cache hit rate, accuracy
+//	GET    /healthz                       liveness
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"xseed/internal/server"
+)
+
+func main() {
+	if err := server.RunCLI("xseedd", os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "xseedd:", err)
+		os.Exit(1)
+	}
+}

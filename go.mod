@@ -1,0 +1,3 @@
+module xseed
+
+go 1.22

@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+)
+
+// Online is a concurrency-safe, constant-memory accumulator of the Section
+// 6.3 error metrics, for long-running servers that observe (estimate,
+// actual) pairs as feedback arrives. Unlike Accumulator it does not retain
+// samples, so OPD (which needs all pairs) is not available.
+type Online struct {
+	mu    sync.Mutex
+	n     int64
+	sumA  float64 // Σ actual
+	sumA2 float64 // Σ actual²
+	ssRes float64 // Σ (actual-est)²
+}
+
+// Add records one observation.
+func (o *Online) Add(est, actual float64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.n++
+	o.sumA += actual
+	o.sumA2 += actual * actual
+	d := actual - est
+	o.ssRes += d * d
+}
+
+// OnlineStats is a consistent snapshot of the accumulated metrics.
+type OnlineStats struct {
+	N          int64   `json:"n"`
+	RMSE       float64 `json:"rmse"`
+	NRMSE      float64 `json:"nrmse"`
+	R2         float64 `json:"r2"`
+	MeanActual float64 `json:"meanActual"`
+}
+
+// N returns the number of observations.
+func (o *Online) N() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.n
+}
+
+// Snapshot returns all metrics under one lock acquisition.
+func (o *Online) Snapshot() OnlineStats {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	st := OnlineStats{N: o.n}
+	if o.n == 0 {
+		return st
+	}
+	fn := float64(o.n)
+	st.RMSE = math.Sqrt(o.ssRes / fn)
+	st.MeanActual = o.sumA / fn
+	if st.MeanActual != 0 {
+		st.NRMSE = st.RMSE / st.MeanActual
+	}
+	// Σ(a-ā)² = Σa² - n·ā²
+	ssTot := o.sumA2 - fn*st.MeanActual*st.MeanActual
+	switch {
+	case ssTot > 0:
+		st.R2 = 1 - o.ssRes/ssTot
+	case o.ssRes == 0:
+		st.R2 = 1
+	}
+	return st
+}
+
+// RMSE returns sqrt(Σ(aᵢ-eᵢ)²/n).
+func (o *Online) RMSE() float64 { return o.Snapshot().RMSE }
+
+// NRMSE returns RMSE divided by the mean actual result size.
+func (o *Online) NRMSE() float64 { return o.Snapshot().NRMSE }
+
+// R2 returns the coefficient of determination of estimates against actuals.
+func (o *Online) R2() float64 { return o.Snapshot().R2 }

@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestOnlineMatchesAccumulator cross-checks the constant-memory accumulator
+// against the reference implementation on the same samples.
+func TestOnlineMatchesAccumulator(t *testing.T) {
+	samples := [][2]float64{
+		{10, 12}, {5, 5}, {100, 80}, {0.5, 1}, {7, 0}, {42, 40}, {3, 9},
+	}
+	var ref Accumulator
+	var on Online
+	for _, s := range samples {
+		ref.Add(s[0], s[1])
+		on.Add(s[0], s[1])
+	}
+	st := on.Snapshot()
+	if st.N != int64(ref.N()) {
+		t.Fatalf("N = %d, want %d", st.N, ref.N())
+	}
+	for _, c := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"RMSE", st.RMSE, ref.RMSE()},
+		{"NRMSE", st.NRMSE, ref.NRMSE()},
+		{"R2", st.R2, ref.R2()},
+		{"MeanActual", st.MeanActual, ref.MeanActual()},
+	} {
+		if math.Abs(c.got-c.want) > 1e-9*math.Max(1, math.Abs(c.want)) {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestOnlineEmptyAndDegenerate(t *testing.T) {
+	var on Online
+	st := on.Snapshot()
+	if st.N != 0 || st.RMSE != 0 || st.NRMSE != 0 || st.R2 != 0 {
+		t.Fatalf("empty snapshot = %+v", st)
+	}
+	// All actuals identical and matched: R² is 1 by convention.
+	var perfect Online
+	perfect.Add(4, 4)
+	perfect.Add(4, 4)
+	if r2 := perfect.R2(); r2 != 1 {
+		t.Fatalf("R2 on perfect constant = %v, want 1", r2)
+	}
+	// All actuals identical but unmatched: R² is 0 by convention.
+	var off Online
+	off.Add(5, 4)
+	off.Add(3, 4)
+	if r2 := off.R2(); r2 != 0 {
+		t.Fatalf("R2 on unmatched constant = %v, want 0", r2)
+	}
+}
+
+func TestOnlineConcurrent(t *testing.T) {
+	var on Online
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				on.Add(1, 2)
+				on.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if n := on.N(); n != 8000 {
+		t.Fatalf("N = %d, want 8000", n)
+	}
+}

@@ -5,6 +5,20 @@ import (
 	"testing/quick"
 )
 
+func TestStringMatchesIncremental(t *testing.T) {
+	// String over a rendered path equals the incremental AddLabel hash the
+	// HET uses, so cache keys and table keys share one hash family.
+	if got, want := String("/a/b/c"), Path("a", "b", "c"); got != want {
+		t.Fatalf("String(\"/a/b/c\") = %#x, Path(a,b,c) = %#x", got, want)
+	}
+	if String("") != Basis {
+		t.Fatalf("String(\"\") = %#x, want Basis %#x", String(""), Basis)
+	}
+	if String("a") == String("b") {
+		t.Fatal("distinct strings collide trivially")
+	}
+}
+
 func TestIncrementality(t *testing.T) {
 	// Path must equal chained AddLabel (the paper's incHash contract).
 	h := Basis

@@ -1,0 +1,169 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"xseed"
+)
+
+var benchState struct {
+	once    sync.Once
+	err     error
+	doc     *xseed.Document
+	syn     *xseed.Synopsis
+	queries []string
+}
+
+// benchSetup builds one XMark synopsis and a simple-path workload, shared
+// across the latency test and the benchmarks.
+func benchSetup(t testing.TB) (*xseed.Synopsis, []string) {
+	benchState.once.Do(func() {
+		doc, err := xseed.Generate("xmark", 0.01, 1)
+		if err != nil {
+			benchState.err = err
+			return
+		}
+		syn, err := xseed.BuildSynopsis(doc, nil)
+		if err != nil {
+			benchState.err = err
+			return
+		}
+		var queries []string
+		for _, q := range doc.SimplePathQueries(16) {
+			queries = append(queries, q.String())
+		}
+		benchState.doc, benchState.syn, benchState.queries = doc, syn, queries
+	})
+	if benchState.err != nil {
+		t.Fatal(benchState.err)
+	}
+	if len(benchState.queries) == 0 {
+		t.Fatal("no benchmark queries")
+	}
+	return benchState.syn, benchState.queries
+}
+
+func percentile50(durations []time.Duration) time.Duration {
+	sort.Slice(durations, func(i, j int) bool { return durations[i] < durations[j] })
+	return durations[len(durations)/2]
+}
+
+// TestWarmCacheBeatsUncachedP50 asserts the acceptance criterion: the p50
+// per-query latency of the batched estimate endpoint on a warm cache is
+// below the uncached Synopsis.Estimate path.
+func TestWarmCacheBeatsUncachedP50(t *testing.T) {
+	syn, queries := benchSetup(t)
+
+	s := New(Config{CacheCapacity: 4096})
+	if _, err := s.Registry().Add("xmark", syn, "bench"); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// One large batch repeats the query set, the shape of optimizer traffic;
+	// per-query latency is the request duration over the batch size.
+	const reps = 64
+	batch := make([]string, 0, reps*len(queries))
+	for i := 0; i < reps; i++ {
+		batch = append(batch, queries...)
+	}
+	body, err := json.Marshal(EstimateRequest{Queries: batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func() {
+		resp, err := ts.Client().Post(ts.URL+"/synopses/xmark/estimate", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out EstimateResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || len(out.Results) != len(batch) {
+			t.Fatalf("batch estimate: status %d, %d results", resp.StatusCode, len(out.Results))
+		}
+	}
+	post() // warm the cache
+
+	const rounds = 20
+	warm := make([]time.Duration, 0, rounds)
+	for i := 0; i < rounds; i++ {
+		start := time.Now()
+		post()
+		warm = append(warm, time.Since(start)/time.Duration(len(batch)))
+	}
+
+	uncached := make([]time.Duration, 0, rounds*len(queries))
+	for i := 0; i < rounds; i++ {
+		for _, q := range queries {
+			start := time.Now()
+			if _, err := syn.Estimate(q); err != nil {
+				t.Fatal(err)
+			}
+			uncached = append(uncached, time.Since(start))
+		}
+	}
+
+	warmP50, uncachedP50 := percentile50(warm), percentile50(uncached)
+	t.Logf("p50 per-query latency: warm cache %v, uncached Synopsis.Estimate %v", warmP50, uncachedP50)
+	if warmP50 >= uncachedP50 {
+		t.Fatalf("warm-cache p50 %v not below uncached p50 %v", warmP50, uncachedP50)
+	}
+}
+
+// BenchmarkEstimateUncached is the library path every miss pays.
+func BenchmarkEstimateUncached(b *testing.B) {
+	syn, queries := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := syn.Estimate(queries[i%len(queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimateWarmCache is the registry path on repeat traffic.
+func BenchmarkEstimateWarmCache(b *testing.B) {
+	syn, queries := benchSetup(b)
+	r := NewRegistry(4096, 0)
+	if _, err := r.Add("xmark", syn, "bench"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := r.EstimateBatch("xmark", queries, false); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Estimate("xmark", queries[i%len(queries)], false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimateBatchWarmCache amortizes parse + lock over a batch.
+func BenchmarkEstimateBatchWarmCache(b *testing.B) {
+	syn, queries := benchSetup(b)
+	r := NewRegistry(4096, 0)
+	if _, err := r.Add("xmark", syn, "bench"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := r.EstimateBatch("xmark", queries, false); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.EstimateBatch("xmark", queries, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"xseed/internal/pathhash"
+)
+
+// numShards is the number of independently locked cache shards. Shard
+// selection hashes the full (synopsis, query) key, so concurrent estimate
+// traffic — even against a single synopsis — spreads across locks.
+const numShards = 16
+
+// EstimateResult is a cached estimate.
+type EstimateResult struct {
+	Est      float64
+	Streamed bool
+}
+
+type cacheKey struct {
+	syn   string
+	query string // normalized (parsed and re-rendered) form
+}
+
+type cacheEntry struct {
+	key cacheKey
+	val EstimateResult
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	items map[cacheKey]*list.Element
+}
+
+// Cache is a sharded LRU cache of estimate results keyed on (synopsis
+// scope, normalized query string). It serves repeat estimates without
+// touching the kernel/EPT machinery or the synopsis locks. Invalidation is
+// the registry's job: mutations version the synopsis scope (Entry.cacheScope),
+// making old entries unreachable so they age out of the LRU.
+type Cache struct {
+	shards   [numShards]cacheShard
+	perShard int
+	hits     atomic.Int64
+	misses   atomic.Int64
+}
+
+// NewCache returns a cache holding at most capacity entries in total
+// (rounded up to a multiple of the shard count; capacity <= 0 picks a
+// default of 4096).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	per := (capacity + numShards - 1) / numShards
+	c := &Cache{perShard: per}
+	for i := range c.shards {
+		c.shards[i].ll = list.New()
+		c.shards[i].items = make(map[cacheKey]*list.Element)
+	}
+	return c
+}
+
+func (c *Cache) shardFor(k cacheKey) *cacheShard {
+	h := pathhash.String(k.syn)
+	h = pathhash.AddLabel(h, k.query)
+	return &c.shards[h%numShards]
+}
+
+// Get returns the cached result for (syn, query), if present.
+func (c *Cache) Get(syn, query string) (EstimateResult, bool) {
+	k := cacheKey{syn, query}
+	s := c.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[k]; ok {
+		s.ll.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*cacheEntry).val, true
+	}
+	c.misses.Add(1)
+	return EstimateResult{}, false
+}
+
+// Put stores a result, evicting the shard's least recently used entry when
+// the shard is full.
+func (c *Cache) Put(syn, query string, v EstimateResult) {
+	k := cacheKey{syn, query}
+	s := c.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[k]; ok {
+		el.Value.(*cacheEntry).val = v
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.items[k] = s.ll.PushFront(&cacheEntry{key: k, val: v})
+	if s.ll.Len() > c.perShard {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// CacheStats is a point-in-time view of cache effectiveness.
+type CacheStats struct {
+	Entries int     `json:"entries"`
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hitRate"`
+}
+
+// Stats reports entry count and hit/miss counters.
+func (c *Cache) Stats() CacheStats {
+	var st CacheStats
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Entries += s.ll.Len()
+		s.mu.Unlock()
+	}
+	st.Hits = c.hits.Load()
+	st.Misses = c.misses.Load()
+	if total := st.Hits + st.Misses; total > 0 {
+		st.HitRate = float64(st.Hits) / float64(total)
+	}
+	return st
+}

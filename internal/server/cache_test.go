@@ -1,0 +1,86 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheGetPut(t *testing.T) {
+	c := NewCache(64)
+	if _, ok := c.Get("s", "/a/b"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("s", "/a/b", EstimateResult{Est: 7})
+	v, ok := c.Get("s", "/a/b")
+	if !ok || v.Est != 7 {
+		t.Fatalf("got %v %v, want 7 true", v, ok)
+	}
+	// Same query under another synopsis is a distinct key.
+	if _, ok := c.Get("other", "/a/b"); ok {
+		t.Fatal("key leaked across synopses")
+	}
+	// Overwrite.
+	c.Put("s", "/a/b", EstimateResult{Est: 9, Streamed: true})
+	v, _ = c.Get("s", "/a/b")
+	if v.Est != 9 || !v.Streamed {
+		t.Fatalf("overwrite lost: %v", v)
+	}
+	st := c.Stats()
+	if st.Entries != 1 || st.Hits != 2 || st.Misses != 2 {
+		t.Fatalf("stats = %+v, want entries=1 hits=2 misses=2", st)
+	}
+	if st.HitRate != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", st.HitRate)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// Capacity numShards means one entry per shard: inserting two keys that
+	// land in the same shard must evict the older one.
+	c := NewCache(numShards)
+	var a, b string
+	keys := make(map[uint32]string)
+	for i := 0; ; i++ {
+		q := fmt.Sprintf("/q%d", i)
+		k := cacheKey{"s", q}
+		idx := uint32(0)
+		for j := range c.shards {
+			if c.shardFor(k) == &c.shards[j] {
+				idx = uint32(j)
+				break
+			}
+		}
+		if prev, ok := keys[idx]; ok {
+			a, b = prev, q
+			break
+		}
+		keys[idx] = q
+	}
+	c.Put("s", a, EstimateResult{Est: 1})
+	c.Put("s", b, EstimateResult{Est: 2})
+	if _, ok := c.Get("s", a); ok {
+		t.Fatalf("%s should have been evicted by %s", a, b)
+	}
+	if v, ok := c.Get("s", b); !ok || v.Est != 2 {
+		t.Fatalf("%s missing after eviction of %s", b, a)
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(256)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				q := fmt.Sprintf("/q%d", i%64)
+				c.Put("s", q, EstimateResult{Est: float64(i)})
+				c.Get("s", q)
+				c.Stats()
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,38 @@
+package server
+
+import (
+	"context"
+	"flag"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// RunCLI parses daemon flags and serves until SIGINT/SIGTERM, shutting down
+// gracefully. It backs both the xseedd binary and `xseed serve`.
+func RunCLI(name string, args []string) error {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	cache := fs.Int("cache", 4096, "estimate cache capacity (entries)")
+	budget := fs.Int("budget", 0, "aggregate synopsis memory budget in bytes (0 = unlimited)")
+	dataDir := fs.String("data-dir", "", "directory the HTTP xmlFile/synopsisFile sources may read (empty = disabled)")
+	var preloads []string
+	fs.Func("synopsis", "preload `name=path` (synopsis file or XML; repeatable)", func(v string) error {
+		preloads = append(preloads, v)
+		return nil
+	})
+	fs.Parse(args)
+
+	srv := New(Config{
+		Addr:                 *addr,
+		CacheCapacity:        *cache,
+		AggregateBudgetBytes: *budget,
+		DataDir:              *dataDir,
+	})
+	if err := Preload(srv.Registry(), preloads); err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return srv.Run(ctx)
+}

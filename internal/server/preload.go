@@ -1,0 +1,52 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"xseed"
+)
+
+// Preload registers synopses before the server starts listening. Each spec
+// is name=path, where path is either a serialized synopsis from
+// `xseed build` (loaded with ReadSynopsis) or an XML document (parsed and
+// summarized with default settings). The two are distinguished by trying
+// the synopsis format first.
+func Preload(reg *Registry, specs []string) error {
+	for _, spec := range specs {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || path == "" {
+			return fmt.Errorf("preload spec %q: want name=path", spec)
+		}
+		syn, source, err := loadAny(path)
+		if err != nil {
+			return fmt.Errorf("preload %s: %w", name, err)
+		}
+		if _, err := reg.Add(name, syn, source); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func loadAny(path string) (*xseed.Synopsis, string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	syn, serr := xseed.ReadSynopsis(f)
+	f.Close()
+	if serr == nil {
+		return syn, "file " + path, nil
+	}
+	doc, xerr := xseed.LoadFile(path)
+	if xerr != nil {
+		return nil, "", fmt.Errorf("not a synopsis (%v) nor XML (%v)", serr, xerr)
+	}
+	syn, err = xseed.BuildSynopsis(doc, nil)
+	if err != nil {
+		return nil, "", err
+	}
+	return syn, "xml file " + path, nil
+}

@@ -1,0 +1,449 @@
+// Package server is the xseedd serving subsystem: a concurrent registry of
+// named XSEED synopses, a sharded LRU cache of estimate results, and an
+// HTTP JSON API over both.
+//
+// The registry is the concurrency boundary around the xseed library, which
+// is itself not safe for mixed reads and writes: each synopsis is guarded
+// by an RWMutex so estimates run in parallel (read side) while feedback,
+// subtree updates, and budget changes take the write side. The estimate
+// cache sits in front of the locks entirely — a warm hit never touches the
+// synopsis or the kernel/EPT machinery.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xseed"
+	"xseed/internal/metrics"
+)
+
+// ErrNotFound and ErrExists classify registry failures for the HTTP layer
+// (matched with errors.Is, never by message text).
+var (
+	ErrNotFound = errors.New("not found")
+	ErrExists   = errors.New("already exists")
+)
+
+// Entry is one registered synopsis plus its lock and serving counters.
+type Entry struct {
+	name    string
+	id      uint64        // registry-unique; scopes this entry's cache keys
+	ver     atomic.Uint64 // bumped on every estimate-changing mutation
+	source  string        // human-readable provenance ("xml upload", "dataset xmark", ...)
+	created time.Time
+
+	mu  sync.RWMutex // estimates take RLock; feedback/updates/budget take Lock
+	syn *xseed.Synopsis
+
+	lastBudget int // last SetBudget applied by rebalancing; guarded by mu
+
+	estimates atomic.Int64 // uncached estimates served
+	feedbacks atomic.Int64
+	updates   atomic.Int64
+	acc       *metrics.Online // accuracy observed via feedback
+}
+
+// Synopsis returns the underlying synopsis. Callers must hold the entry's
+// lock discipline themselves; it exists for tests and trusted callers.
+func (e *Entry) Synopsis() *xseed.Synopsis { return e.syn }
+
+// cacheScope is the cache's synopsis identifier for this entry: name plus
+// the entry's registry-unique id plus its mutation version. Invalidation is
+// a version bump — O(1), no cache scan — after which every previously
+// cached (or in-flight) fill is unreachable and ages out of the LRU. The id
+// covers replacement: when a name is Put over or deleted and re-registered,
+// the new entry's scope shares nothing with the old one's.
+func (e *Entry) cacheScope() string {
+	return fmt.Sprintf("%s\x00%d\x00%d", e.name, e.id, e.ver.Load())
+}
+
+// invalidate makes all cached estimates for this entry unreachable. Callers
+// must hold e.mu exclusively (it marks a mutation of the synopsis).
+func (e *Entry) invalidate() { e.ver.Add(1) }
+
+// Registry manages named synopses under an aggregate memory budget.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry
+	budget  int // aggregate bytes across all synopses; 0 = unlimited
+	ids     atomic.Uint64
+
+	cache *Cache
+}
+
+// NewRegistry returns a registry whose estimate cache holds cacheCapacity
+// entries (<= 0 for the default) and whose synopses together target
+// aggregateBudgetBytes of memory (0 = unlimited). Kernels are irreducible:
+// when their sizes alone exceed the budget, hyper-edge tables are emptied
+// but the kernels stay resident.
+func NewRegistry(cacheCapacity, aggregateBudgetBytes int) *Registry {
+	return &Registry{
+		entries: make(map[string]*Entry),
+		budget:  aggregateBudgetBytes,
+		cache:   NewCache(cacheCapacity),
+	}
+}
+
+// Add registers a synopsis under name. It fails if the name is taken.
+func (r *Registry) Add(name string, syn *xseed.Synopsis, source string) (*Entry, error) {
+	if name == "" {
+		return nil, fmt.Errorf("synopsis name must be non-empty")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; ok {
+		return nil, fmt.Errorf("synopsis %q %w", name, ErrExists)
+	}
+	e := r.newEntry(name, syn, source)
+	r.entries[name] = e
+	r.rebalanceLocked()
+	return e, nil
+}
+
+// Put registers or replaces the synopsis under name. The replacement gets a
+// fresh cache scope, so estimates cached against the old synopsis — even by
+// requests still in flight — are unreachable afterwards.
+func (r *Registry) Put(name string, syn *xseed.Synopsis, source string) (*Entry, error) {
+	if name == "" {
+		return nil, fmt.Errorf("synopsis name must be non-empty")
+	}
+	r.mu.Lock()
+	e := r.newEntry(name, syn, source)
+	r.entries[name] = e
+	r.rebalanceLocked()
+	r.mu.Unlock()
+	return e, nil
+}
+
+func (r *Registry) newEntry(name string, syn *xseed.Synopsis, source string) *Entry {
+	e := &Entry{
+		name:    name,
+		id:      r.ids.Add(1),
+		source:  source,
+		created: time.Now(),
+		syn:     syn,
+		acc:     &metrics.Online{},
+	}
+	return e
+}
+
+// Get returns the entry for name.
+func (r *Registry) Get(name string) (*Entry, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("synopsis %q %w", name, ErrNotFound)
+	}
+	return e, nil
+}
+
+// Delete removes the synopsis. Its cached estimates become unreachable
+// (the scope dies with the entry's id) and age out of the LRU.
+func (r *Registry) Delete(name string) error {
+	r.mu.Lock()
+	_, ok := r.entries[name]
+	if ok {
+		delete(r.entries, name)
+		r.rebalanceLocked()
+	}
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("synopsis %q %w", name, ErrNotFound)
+	}
+	return nil
+}
+
+// rebalanceLocked redistributes the aggregate budget across the registered
+// synopses: each keeps its kernel and receives an equal share of whatever
+// budget remains for its hyper-edge table (the paper's dynamic
+// reconfiguration, applied fleet-wide). Caller holds r.mu.
+func (r *Registry) rebalanceLocked() {
+	if r.budget <= 0 || len(r.entries) == 0 {
+		return
+	}
+	// Kernel sizes are read under each entry's read lock — a concurrent
+	// subtree update mutates the kernel under that same lock. The sizes may
+	// be slightly stale by the time budgets are applied below; the budget
+	// is a target, not an invariant, so that is acceptable.
+	kernels := 0
+	sizes := make(map[*Entry]int, len(r.entries))
+	for _, e := range r.entries {
+		e.mu.RLock()
+		k := e.syn.KernelSizeBytes()
+		e.mu.RUnlock()
+		sizes[e] = k
+		kernels += k
+	}
+	share := (r.budget - kernels) / len(r.entries)
+	if share < 0 {
+		share = 0
+	}
+	for _, e := range r.entries {
+		target := sizes[e] + share
+		e.mu.Lock()
+		if target != e.lastBudget {
+			e.lastBudget = target
+			e.syn.SetBudget(target)
+			if e.syn.HasHET() {
+				// Admitting or evicting HET entries changes estimates; an
+				// unchanged target is skipped entirely so membership churn
+				// doesn't flush warm caches for nothing.
+				e.invalidate()
+			}
+		}
+		e.mu.Unlock()
+	}
+}
+
+// SetAggregateBudget changes the fleet-wide budget and rebalances.
+func (r *Registry) SetAggregateBudget(bytes int) {
+	r.mu.Lock()
+	r.budget = bytes
+	r.rebalanceLocked()
+	r.mu.Unlock()
+}
+
+// EstimateItem is the outcome of estimating one query of a batch.
+type EstimateItem struct {
+	Query    string  `json:"query"`
+	Estimate float64 `json:"estimate"`
+	Cached   bool    `json:"cached"`
+	Streamed bool    `json:"streamed,omitempty"`
+	Error    string  `json:"error,omitempty"`
+}
+
+// Estimate estimates a single query against the named synopsis, consulting
+// the cache first. streaming selects the single-pass bounded-memory matcher
+// with fallback to the standard matcher.
+func (r *Registry) Estimate(name, query string, streaming bool) (EstimateItem, error) {
+	items, err := r.EstimateBatch(name, []string{query}, streaming)
+	if err != nil {
+		return EstimateItem{}, err
+	}
+	return items[0], nil
+}
+
+// EstimateBatch estimates queries in order against the named synopsis. The
+// batch amortizes overhead: queries are parsed and checked against the
+// cache up front, and all cache misses run under a single read-lock
+// acquisition. Per-query parse errors are reported in the item, not as a
+// batch error.
+func (r *Registry) EstimateBatch(name string, queries []string, streaming bool) ([]EstimateItem, error) {
+	e, err := r.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	scope := e.cacheScope()
+	items := make([]EstimateItem, len(queries))
+	type miss struct {
+		q       *xseed.Query
+		indices []int // item positions sharing this normalized query
+	}
+	var order []string // normalized miss queries, first-seen order
+	misses := make(map[string]*miss)
+	for i, raw := range queries {
+		q, err := xseed.ParseQuery(raw)
+		if err != nil {
+			items[i] = EstimateItem{Query: raw, Error: err.Error()}
+			continue
+		}
+		// The cache key is the normalized (parsed, re-rendered) query, so
+		// spelling variants of one query share an entry. Streaming-mode
+		// results are keyed separately: the single-pass matcher can produce
+		// slightly different values than the standard one, and a cached
+		// answer must come from the matcher the caller asked for.
+		norm := q.String()
+		items[i].Query = norm
+		if streaming {
+			norm = "stream\x00" + norm
+		}
+		if m, ok := misses[norm]; ok { // duplicate within the batch
+			m.indices = append(m.indices, i)
+			continue
+		}
+		if v, ok := r.cache.Get(scope, norm); ok {
+			items[i].Estimate, items[i].Streamed, items[i].Cached = v.Est, v.Streamed, true
+			continue
+		}
+		misses[norm] = &miss{q: q, indices: []int{i}}
+		order = append(order, norm)
+	}
+	if len(order) == 0 {
+		return items, nil
+	}
+	e.mu.RLock()
+	for _, norm := range order {
+		m := misses[norm]
+		var v EstimateResult
+		if streaming {
+			v.Est, v.Streamed = e.syn.EstimateStreamingQuery(m.q)
+		} else {
+			v.Est = e.syn.EstimateQuery(m.q)
+		}
+		for _, i := range m.indices {
+			items[i].Estimate, items[i].Streamed = v.Est, v.Streamed
+		}
+		// Fill the cache while still holding the read lock: an in-place
+		// mutation of this entry (feedback, subtree update, rebalance)
+		// bumps the entry version inside its write-lock critical section,
+		// so it either finished before we locked (we computed the fresh
+		// value, scope is current) or will retire this whole scope after
+		// we unlock. Entry replacement is covered by the id in the scope.
+		r.cache.Put(scope, norm, v)
+	}
+	e.mu.RUnlock()
+	e.estimates.Add(int64(len(order)))
+	return items, nil
+}
+
+// Feedback records an executed query's actual cardinality into the named
+// synopsis (self-tuning) and the entry's accuracy accumulator, then drops
+// the synopsis's cached estimates.
+func (r *Registry) Feedback(name, query string, actual float64) error {
+	e, err := r.Get(name)
+	if err != nil {
+		return err
+	}
+	q, err := xseed.ParseQuery(query)
+	if err != nil {
+		return err
+	}
+	if !e.syn.HasHET() {
+		// Kernel-only: feedback cannot change the synopsis, so record the
+		// accuracy observation under the read lock and keep the cache warm.
+		e.mu.RLock()
+		est := e.syn.EstimateQuery(q)
+		e.mu.RUnlock()
+		e.acc.Add(est, actual)
+		e.feedbacks.Add(1)
+		return nil
+	}
+	e.mu.Lock()
+	est := e.syn.FeedbackQuery(q, actual)
+	e.invalidate()
+	e.mu.Unlock()
+	e.acc.Add(est, actual)
+	e.feedbacks.Add(1)
+	return nil
+}
+
+// AddSubtree incrementally maintains the named synopsis after an insertion
+// and drops its cached estimates.
+func (r *Registry) AddSubtree(name string, contextPath []string, xml string) error {
+	return r.updateSubtree(name, contextPath, xml, true)
+}
+
+// RemoveSubtree incrementally maintains the named synopsis after a deletion
+// and drops its cached estimates.
+func (r *Registry) RemoveSubtree(name string, contextPath []string, xml string) error {
+	return r.updateSubtree(name, contextPath, xml, false)
+}
+
+func (r *Registry) updateSubtree(name string, contextPath []string, xml string, add bool) error {
+	e, err := r.Get(name)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	if add {
+		err = e.syn.AddSubtree(contextPath, xml)
+	} else {
+		err = e.syn.RemoveSubtree(contextPath, xml)
+	}
+	if err == nil {
+		e.invalidate()
+	}
+	e.mu.Unlock()
+	if err == nil {
+		e.updates.Add(1)
+	}
+	return err
+}
+
+// SynopsisInfo is the served view of one registered synopsis.
+type SynopsisInfo struct {
+	Name           string              `json:"name"`
+	Source         string              `json:"source"`
+	Created        time.Time           `json:"created"`
+	KernelBytes    int                 `json:"kernelBytes"`
+	HETBytes       int                 `json:"hetBytes"`
+	TotalBytes     int                 `json:"totalBytes"`
+	HETResident    int                 `json:"hetResident"`
+	HETTotal       int                 `json:"hetTotal"`
+	Estimates      int64               `json:"estimates"`
+	Feedbacks      int64               `json:"feedbacks"`
+	SubtreeUpdates int64               `json:"subtreeUpdates"`
+	Accuracy       metrics.OnlineStats `json:"accuracy"`
+}
+
+// Info snapshots one entry's stats.
+func (e *Entry) Info() SynopsisInfo {
+	e.mu.RLock()
+	kern := e.syn.KernelSizeBytes()
+	het := e.syn.HETSizeBytes()
+	total := e.syn.SizeBytes()
+	resident, all := e.syn.HETEntries()
+	e.mu.RUnlock()
+	return SynopsisInfo{
+		Name:           e.name,
+		Source:         e.source,
+		Created:        e.created,
+		KernelBytes:    kern,
+		HETBytes:       het,
+		TotalBytes:     total,
+		HETResident:    resident,
+		HETTotal:       all,
+		Estimates:      e.estimates.Load(),
+		Feedbacks:      e.feedbacks.Load(),
+		SubtreeUpdates: e.updates.Load(),
+		Accuracy:       e.acc.Snapshot(),
+	}
+}
+
+// List returns info for every registered synopsis, sorted by name.
+func (r *Registry) List() []SynopsisInfo {
+	r.mu.RLock()
+	entries := make([]*Entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	out := make([]SynopsisInfo, len(entries))
+	for i, e := range entries {
+		out[i] = e.Info()
+	}
+	return out
+}
+
+// Stats is the server-wide stats payload.
+type Stats struct {
+	Synopses        []SynopsisInfo `json:"synopses"`
+	TotalBytes      int            `json:"totalBytes"`
+	AggregateBudget int            `json:"aggregateBudget"`
+	Cache           CacheStats     `json:"cache"`
+}
+
+// Stats snapshots the whole registry.
+func (r *Registry) Stats() Stats {
+	infos := r.List()
+	total := 0
+	for _, in := range infos {
+		total += in.TotalBytes
+	}
+	r.mu.RLock()
+	budget := r.budget
+	r.mu.RUnlock()
+	return Stats{
+		Synopses:        infos,
+		TotalBytes:      total,
+		AggregateBudget: budget,
+		Cache:           r.cache.Stats(),
+	}
+}

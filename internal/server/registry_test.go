@@ -1,0 +1,507 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"xseed"
+	"xseed/internal/fixtures"
+)
+
+func buildFixtureSynopsis(t testing.TB, cfg *xseed.Config) (*xseed.Document, *xseed.Synopsis) {
+	t.Helper()
+	doc, err := xseed.ParseXMLString(fixtures.PaperFigure2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := xseed.BuildSynopsis(doc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc, syn
+}
+
+func TestRegistryAddGetDelete(t *testing.T) {
+	_, syn := buildFixtureSynopsis(t, nil)
+	r := NewRegistry(0, 0)
+	if _, err := r.Add("fig2", syn, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Add("fig2", syn, "test"); err == nil {
+		t.Fatal("duplicate Add succeeded")
+	}
+	if _, err := r.Get("fig2"); err != nil {
+		t.Fatal(err)
+	}
+	infos := r.List()
+	if len(infos) != 1 || infos[0].Name != "fig2" || infos[0].KernelBytes <= 0 {
+		t.Fatalf("List = %+v", infos)
+	}
+	if err := r.Delete("fig2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Delete("fig2"); err == nil {
+		t.Fatal("second Delete succeeded")
+	}
+	if _, err := r.Get("fig2"); err == nil {
+		t.Fatal("Get after Delete succeeded")
+	}
+}
+
+func TestRegistryEstimateCaching(t *testing.T) {
+	doc, syn := buildFixtureSynopsis(t, nil)
+	r := NewRegistry(0, 0)
+	if _, err := r.Add("fig2", syn, "test"); err != nil {
+		t.Fatal(err)
+	}
+	const q = "/a/c/s"
+	first, err := r.Estimate("fig2", q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first estimate was served from an empty cache")
+	}
+	actual, _ := doc.Count(q)
+	if first.Estimate <= 0 {
+		t.Fatalf("estimate %v for %s (actual %d)", first.Estimate, q, actual)
+	}
+	second, err := r.Estimate("fig2", q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached || second.Estimate != first.Estimate {
+		t.Fatalf("second = %+v, want cached repeat of %v", second, first.Estimate)
+	}
+	// A spelling variant normalizes to the same key.
+	variant, err := r.Estimate("fig2", "/a/c/s", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !variant.Cached {
+		t.Fatalf("normalized variant missed the cache: %+v", variant)
+	}
+	// Streaming mode is keyed separately and reports its matcher.
+	stream, err := r.Estimate("fig2", q, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stream.Cached {
+		t.Fatal("streaming estimate hit the standard-matcher cache entry")
+	}
+}
+
+func TestRegistryPutReplacesCacheGeneration(t *testing.T) {
+	_, syn := buildFixtureSynopsis(t, nil)
+	r := NewRegistry(0, 0)
+	if _, err := r.Add("fig2", syn, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Estimate("fig2", "/a/u", false); err != nil {
+		t.Fatal(err)
+	}
+	// Replace the synopsis with one built from a different document; the
+	// old warm cache must be unreachable for the new entry.
+	doc2, err := xseed.ParseXMLString("<a><u/><u/><u/></a>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn2, err := xseed.BuildSynopsis(doc2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Put("fig2", syn2, "replacement"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Estimate("fig2", "/a/u", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cached {
+		t.Fatal("estimate after Put served the replaced synopsis's cache entry")
+	}
+	if got.Estimate != 3 {
+		t.Fatalf("estimate after Put = %v, want 3 from the replacement", got.Estimate)
+	}
+	// Delete + re-Add under the same name must likewise start cold.
+	if err := r.Delete("fig2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Add("fig2", syn, "test"); err != nil {
+		t.Fatal(err)
+	}
+	again, err := r.Estimate("fig2", "/a/u", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Cached || again.Estimate != 1 {
+		t.Fatalf("estimate after re-Add = %+v, want cold 1", again)
+	}
+}
+
+func TestRegistryKernelOnlyFeedbackKeepsCacheWarm(t *testing.T) {
+	_, syn := buildFixtureSynopsis(t, &xseed.Config{HET: &xseed.HETConfig{Disable: true}})
+	r := NewRegistry(0, 0)
+	if _, err := r.Add("bare", syn, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Estimate("bare", "/a/u", false); err != nil {
+		t.Fatal(err)
+	}
+	// Feedback on a kernel-only synopsis can't change estimates, so it must
+	// not dump the warm cache; the accuracy observation is still recorded.
+	if err := r.Feedback("bare", "/a/u", 1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Estimate("bare", "/a/u", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Cached {
+		t.Fatal("kernel-only feedback invalidated a still-valid cache")
+	}
+	e, _ := r.Get("bare")
+	info := e.Info()
+	if info.Feedbacks != 1 || info.Accuracy.N != 1 {
+		t.Fatalf("info = %+v, want feedback recorded", info)
+	}
+}
+
+func TestRegistryFeedbackInvalidatesAndTunes(t *testing.T) {
+	doc, syn := buildFixtureSynopsis(t, nil)
+	r := NewRegistry(0, 0)
+	if _, err := r.Add("fig2", syn, "test"); err != nil {
+		t.Fatal(err)
+	}
+	const q = "/a/c/s/s/t"
+	actual, err := doc.Count(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Estimate("fig2", q, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Feedback("fig2", q, float64(actual)); err != nil {
+		t.Fatal(err)
+	}
+	after, err := r.Estimate("fig2", q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Cached {
+		t.Fatal("estimate after feedback served stale cache entry")
+	}
+	if after.Estimate != float64(actual) {
+		t.Fatalf("post-feedback estimate = %v, want exact actual %d", after.Estimate, actual)
+	}
+	e, _ := r.Get("fig2")
+	if n := e.Info().Accuracy.N; n != 1 {
+		t.Fatalf("accuracy N = %d, want 1", n)
+	}
+}
+
+func TestRegistrySubtreeUpdateInvalidates(t *testing.T) {
+	// Kernel-only: with an HET, precomputed path cardinalities legitimately
+	// shadow the updated kernel (the paper's lazy maintenance), which would
+	// hide the cache-invalidation behavior this test is about.
+	_, syn := buildFixtureSynopsis(t, &xseed.Config{HET: &xseed.HETConfig{Disable: true}})
+	r := NewRegistry(0, 0)
+	if _, err := r.Add("fig2", syn, "test"); err != nil {
+		t.Fatal(err)
+	}
+	before, err := r.Estimate("fig2", "/a/u", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddSubtree("fig2", []string{"a"}, "<u/>"); err != nil {
+		t.Fatal(err)
+	}
+	after, err := r.Estimate("fig2", "/a/u", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Cached {
+		t.Fatal("estimate after subtree update served stale cache entry")
+	}
+	if after.Estimate != before.Estimate+1 {
+		t.Fatalf("estimate after adding one <u/>: %v, want %v", after.Estimate, before.Estimate+1)
+	}
+	if err := r.RemoveSubtree("fig2", []string{"a"}, "<u/>"); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := r.Estimate("fig2", "/a/u", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Estimate != before.Estimate {
+		t.Fatalf("estimate after remove: %v, want %v", restored.Estimate, before.Estimate)
+	}
+}
+
+func TestRegistryAggregateBudget(t *testing.T) {
+	_, syn1 := buildFixtureSynopsis(t, nil)
+	_, syn2 := buildFixtureSynopsis(t, nil)
+	if syn1.HETSizeBytes() == 0 {
+		t.Fatal("fixture synopsis has no HET; budget test is vacuous")
+	}
+	r := NewRegistry(0, 0)
+	if _, err := r.Add("a", syn1, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Add("b", syn2, "test"); err != nil {
+		t.Fatal(err)
+	}
+	// Shrink the fleet to exactly its kernels: every HET must be evicted.
+	kernels := syn1.KernelSizeBytes() + syn2.KernelSizeBytes()
+	r.SetAggregateBudget(kernels)
+	if n := syn1.HETSizeBytes() + syn2.HETSizeBytes(); n != 0 {
+		t.Fatalf("resident HET bytes after kernel-only budget: %d, want 0", n)
+	}
+	// Restore headroom: rebalance re-admits entries up to the new budget.
+	r.SetAggregateBudget(kernels + 1<<20)
+	if syn1.HETSizeBytes() == 0 || syn2.HETSizeBytes() == 0 {
+		t.Fatal("HET not re-admitted after budget increase")
+	}
+	st := r.Stats()
+	if st.AggregateBudget != kernels+1<<20 || st.TotalBytes <= 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRegistryRebalanceInvalidatesCache(t *testing.T) {
+	doc, syn := buildFixtureSynopsis(t, nil)
+	r := NewRegistry(0, 0)
+	if _, err := r.Add("fig2", syn, "test"); err != nil {
+		t.Fatal(err)
+	}
+	// Teach the HET an exact cardinality and warm the cache with it.
+	const q = "/a/c/s/s/t"
+	actual, _ := doc.Count(q)
+	if err := r.Feedback("fig2", q, float64(actual)); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := r.Estimate("fig2", q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Estimate != float64(actual) {
+		t.Fatalf("tuned estimate = %v, want %d", warm.Estimate, actual)
+	}
+	// Shrinking the aggregate budget to the kernel evicts the HET; the
+	// warm cache must not keep serving the HET-backed value.
+	r.SetAggregateBudget(syn.KernelSizeBytes())
+	cold, err := r.Estimate("fig2", q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cached {
+		t.Fatal("estimate after rebalance served a pre-rebalance cache entry")
+	}
+}
+
+// TestRegistryRebalanceConcurrentWithUpdates races registry membership
+// churn (which rebalances and reads kernel sizes) against kernel mutations
+// on an existing entry; meaningful under -race.
+func TestRegistryRebalanceConcurrentWithUpdates(t *testing.T) {
+	_, syn := buildFixtureSynopsis(t, nil)
+	r := NewRegistry(0, 64<<10)
+	if _, err := r.Add("fig2", syn, "test"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			if err := r.AddSubtree("fig2", []string{"a"}, "<u/>"); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := r.RemoveSubtree("fig2", []string{"a"}, "<u/>"); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			_, other := buildFixtureSynopsis(t, nil)
+			if _, err := r.Add("churn", other, "test"); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := r.Delete("churn"); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func TestRegistryBatchDeduplicatesMisses(t *testing.T) {
+	_, syn := buildFixtureSynopsis(t, nil)
+	r := NewRegistry(0, 0)
+	e, err := r.Add("fig2", syn, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three spellings of one query plus one distinct query: the synopsis
+	// must be consulted exactly twice, and all items must be answered.
+	items, err := r.EstimateBatch("fig2", []string{"/a/c/s", "/a/c/s", "/a/c/s", "/a/u"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range items {
+		if it.Error != "" || it.Estimate <= 0 {
+			t.Fatalf("item %d = %+v", i, it)
+		}
+	}
+	if items[0].Estimate != items[1].Estimate || items[1].Estimate != items[2].Estimate {
+		t.Fatalf("duplicate queries disagree: %+v", items[:3])
+	}
+	if n := e.Info().Estimates; n != 2 {
+		t.Fatalf("uncached estimates = %d, want 2 (deduplicated)", n)
+	}
+}
+
+// TestRegistryPersistRoundtrip proves estimates are identical before and
+// after a serialize→load cycle, served through the registry.
+func TestRegistryPersistRoundtrip(t *testing.T) {
+	doc, syn := buildFixtureSynopsis(t, nil)
+	queries := []string{"/a/c/s", "/a/c/s/s/t", "//s//p", "/a/c/s[p]/t", "//s[t]", "/a/*/s"}
+	// Tune the synopsis first so the roundtrip also covers HET state.
+	r := NewRegistry(0, 0)
+	if _, err := r.Add("orig", syn, "test"); err != nil {
+		t.Fatal(err)
+	}
+	actual, _ := doc.Count("/a/c/s")
+	if err := r.Feedback("orig", "/a/c/s", float64(actual)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := syn.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := xseed.ReadSynopsis(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Add("loaded", loaded, "roundtrip"); err != nil {
+		t.Fatal(err)
+	}
+	want, err := r.EstimateBatch("orig", queries, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.EstimateBatch("loaded", queries, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range queries {
+		if want[i].Error != "" || got[i].Error != "" {
+			t.Fatalf("query %s errored: %q / %q", queries[i], want[i].Error, got[i].Error)
+		}
+		if want[i].Estimate != got[i].Estimate {
+			t.Errorf("%s: original %v, loaded %v", queries[i], want[i].Estimate, got[i].Estimate)
+		}
+	}
+}
+
+// TestRegistryConcurrentHammer drives one registry entry with parallel
+// estimates, feedback, and subtree updates; run under -race it proves the
+// RWMutex discipline makes the non-thread-safe library serve safely.
+func TestRegistryConcurrentHammer(t *testing.T) {
+	doc, syn := buildFixtureSynopsis(t, nil)
+	r := NewRegistry(512, 0)
+	if _, err := r.Add("fig2", syn, "test"); err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{"/a/c/s", "/a/c/s/s/t", "//s//p", "/a/c/s[p]/t", "//s[t]", "/a/u", "/a/*/s"}
+	actual, _ := doc.Count("/a/c/s")
+
+	var wg sync.WaitGroup
+	const rounds = 60
+	// Parallel estimators, mixing batch, single, and streaming calls.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if _, err := r.EstimateBatch("fig2", queries, i%3 == 0); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := r.Estimate("fig2", queries[(g+i)%len(queries)], false); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	// Feedback writer.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			if err := r.Feedback("fig2", "/a/c/s", float64(actual)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	// Subtree updater (balanced add/remove keeps the kernel consistent).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			if err := r.AddSubtree("fig2", []string{"a"}, "<u/>"); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := r.RemoveSubtree("fig2", []string{"a"}, "<u/>"); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	// Stats readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			r.Stats()
+		}
+	}()
+	wg.Wait()
+
+	// The document is back to its original shape; a fresh estimate must
+	// agree with a never-hammered synopsis.
+	_, control := buildFixtureSynopsis(t, nil)
+	got, err := r.Estimate("fig2", "/a/u", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := control.Estimate("/a/u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Estimate != want {
+		t.Fatalf("post-hammer /a/u estimate = %v, want %v", got.Estimate, want)
+	}
+}
+
+func TestPreloadSpecErrors(t *testing.T) {
+	r := NewRegistry(0, 0)
+	for _, bad := range []string{"noequals", "=path", "name="} {
+		if err := Preload(r, []string{bad}); err == nil {
+			t.Errorf("Preload(%q) succeeded", bad)
+		}
+	}
+	if err := Preload(r, []string{fmt.Sprintf("x=%s", t.TempDir()+"/missing.xsd")}); err == nil {
+		t.Error("Preload of missing file succeeded")
+	}
+}

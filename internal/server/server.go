@@ -1,0 +1,443 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"xseed"
+)
+
+// Config configures an xseedd server.
+type Config struct {
+	Addr                 string // listen address, e.g. ":8080"
+	CacheCapacity        int    // estimate cache entries (0 = default 4096)
+	AggregateBudgetBytes int    // total synopsis memory budget (0 = unlimited)
+
+	// DataDir is the only directory the xmlFile/synopsisFile create sources
+	// may read from; requested paths are resolved inside it. Empty disables
+	// file sources over HTTP entirely (inline XML, datasets, and snapshot
+	// uploads still work) — the API is otherwise an arbitrary-file-read
+	// oracle for anyone who can reach the listen address.
+	DataDir string
+
+	Log *log.Logger
+}
+
+// Server is the xseedd HTTP server: a registry plus its JSON API.
+type Server struct {
+	reg     *Registry
+	http    *http.Server
+	dataDir string
+	log     *log.Logger
+}
+
+// New builds a server around a fresh registry.
+func New(cfg Config) *Server {
+	if cfg.Addr == "" {
+		cfg.Addr = ":8080"
+	}
+	if cfg.Log == nil {
+		cfg.Log = log.New(os.Stderr, "xseedd: ", log.LstdFlags)
+	}
+	s := &Server{
+		reg:     NewRegistry(cfg.CacheCapacity, cfg.AggregateBudgetBytes),
+		dataDir: cfg.DataDir,
+		log:     cfg.Log,
+	}
+	s.http = &http.Server{Addr: cfg.Addr, Handler: s.Handler()}
+	return s
+}
+
+// Registry returns the server's registry (for preloading synopses).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Handler returns the server's routes, independent of any listener — this
+// is what httptest mounts in the end-to-end tests.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /synopses", s.handleList)
+	mux.HandleFunc("POST /synopses", s.handleCreate)
+	mux.HandleFunc("GET /synopses/{name}", s.handleGet)
+	mux.HandleFunc("DELETE /synopses/{name}", s.handleDelete)
+	mux.HandleFunc("POST /synopses/{name}/estimate", s.handleEstimate)
+	mux.HandleFunc("POST /synopses/{name}/feedback", s.handleFeedback)
+	mux.HandleFunc("POST /synopses/{name}/subtree", s.handleSubtree)
+	mux.HandleFunc("GET /synopses/{name}/snapshot", s.handleSnapshotGet)
+	mux.HandleFunc("PUT /synopses/{name}/snapshot", s.handleSnapshotPut)
+	return mux
+}
+
+// Run serves until ctx is cancelled, then shuts down gracefully, draining
+// in-flight requests for up to 10 seconds.
+func (s *Server) Run(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.http.Addr)
+	if err != nil {
+		return err
+	}
+	s.log.Printf("listening on %s", ln.Addr())
+	errc := make(chan error, 1)
+	go func() { errc <- s.http.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.log.Printf("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.http.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+// statusFor maps registry errors onto HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrExists):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func readBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return false
+	}
+	return true
+}
+
+// SynopsisConfig mirrors xseed.Config/xseed.HETConfig for the JSON API.
+type SynopsisConfig struct {
+	KernelOnly    bool    `json:"kernelOnly,omitempty"`
+	FeedbackOnly  bool    `json:"feedbackOnly,omitempty"`
+	MBP           int     `json:"mbp,omitempty"`
+	BselThreshold float64 `json:"bselThreshold,omitempty"`
+	BudgetBytes   int     `json:"budgetBytes,omitempty"`
+	CardThreshold float64 `json:"cardThreshold,omitempty"`
+	ReuseEPT      bool    `json:"reuseEPT,omitempty"`
+}
+
+func (c *SynopsisConfig) toConfig() *xseed.Config {
+	if c == nil {
+		return nil
+	}
+	cfg := &xseed.Config{CardThreshold: c.CardThreshold, ReuseEPT: c.ReuseEPT}
+	switch {
+	case c.KernelOnly:
+		cfg.HET = &xseed.HETConfig{Disable: true}
+	default:
+		cfg.HET = &xseed.HETConfig{
+			FeedbackOnly:  c.FeedbackOnly,
+			MBP:           c.MBP,
+			BselThreshold: c.BselThreshold,
+			BudgetBytes:   c.BudgetBytes,
+		}
+		if cfg.HET.MBP == 0 {
+			cfg.HET.MBP = 1
+		}
+	}
+	return cfg
+}
+
+// CreateRequest builds a synopsis from exactly one source: inline XML, an
+// XML file on the server's disk, a generated dataset, or a serialized
+// synopsis file written by `xseed build` or a snapshot download.
+type CreateRequest struct {
+	Name string `json:"name"`
+
+	XML          string  `json:"xml,omitempty"`
+	XMLFile      string  `json:"xmlFile,omitempty"`
+	Dataset      string  `json:"dataset,omitempty"`
+	Factor       float64 `json:"factor,omitempty"`
+	Seed         int64   `json:"seed,omitempty"`
+	SynopsisFile string  `json:"synopsisFile,omitempty"`
+
+	Config *SynopsisConfig `json:"config,omitempty"`
+}
+
+// resolveDataPath confines a client-supplied file path to dataDir: the path
+// is treated as relative to dataDir and cleaned with a forced leading slash
+// first, so ".." segments cannot escape it.
+func resolveDataPath(dataDir, p string) (string, error) {
+	if dataDir == "" {
+		return "", fmt.Errorf("file sources are disabled (start the server with -data-dir)")
+	}
+	return filepath.Join(dataDir, filepath.Clean("/"+p)), nil
+}
+
+func (req *CreateRequest) build(dataDir string) (*xseed.Synopsis, string, error) {
+	sources := 0
+	for _, set := range []bool{req.XML != "", req.XMLFile != "", req.Dataset != "", req.SynopsisFile != ""} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, "", fmt.Errorf("specify exactly one of xml, xmlFile, dataset, synopsisFile")
+	}
+	var (
+		doc    *xseed.Document
+		source string
+		err    error
+	)
+	switch {
+	case req.SynopsisFile != "":
+		path, err := resolveDataPath(dataDir, req.SynopsisFile)
+		if err != nil {
+			return nil, "", err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		syn, err := xseed.ReadSynopsis(f)
+		if err != nil {
+			return nil, "", err
+		}
+		return syn, "file " + req.SynopsisFile, nil
+	case req.XML != "":
+		doc, err = xseed.ParseXMLString(req.XML)
+		source = "xml upload"
+	case req.XMLFile != "":
+		var path string
+		if path, err = resolveDataPath(dataDir, req.XMLFile); err != nil {
+			return nil, "", err
+		}
+		doc, err = xseed.LoadFile(path)
+		source = "xml file " + req.XMLFile
+	default:
+		factor := req.Factor
+		if factor == 0 {
+			factor = 1
+		}
+		doc, err = xseed.Generate(req.Dataset, factor, req.Seed)
+		source = fmt.Sprintf("dataset %s ×%g", req.Dataset, factor)
+	}
+	if err != nil {
+		return nil, "", err
+	}
+	syn, err := xseed.BuildSynopsis(doc, req.Config.toConfig())
+	if err != nil {
+		return nil, "", err
+	}
+	return syn, source, nil
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	if !readBody(w, r, &req) {
+		return
+	}
+	if req.Name == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing name"))
+		return
+	}
+	// Racy early uniqueness check: building a synopsis can cost seconds of
+	// CPU, so reject an already-taken name before paying for it. Add below
+	// remains the authoritative check.
+	if _, err := s.reg.Get(req.Name); err == nil {
+		writeErr(w, http.StatusConflict, fmt.Errorf("synopsis %q %w", req.Name, ErrExists))
+		return
+	}
+	syn, source, err := req.build(s.dataDir)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	e, err := s.reg.Add(req.Name, syn, source)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, e.Info())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.List())
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	e, err := s.reg.Get(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, e.Info())
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.reg.Delete(r.PathValue("name")); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// EstimateRequest carries one query or a batch. Streaming selects the
+// single-pass matcher (with automatic fallback per query).
+type EstimateRequest struct {
+	Query     string   `json:"query,omitempty"`
+	Queries   []string `json:"queries,omitempty"`
+	Streaming bool     `json:"streaming,omitempty"`
+}
+
+// EstimateResponse answers an estimate request; Results holds one item per
+// query in request order.
+type EstimateResponse struct {
+	Results []EstimateItem `json:"results"`
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req EstimateRequest
+	if !readBody(w, r, &req) {
+		return
+	}
+	queries := req.Queries
+	if req.Query != "" {
+		queries = append([]string{req.Query}, queries...)
+	}
+	if len(queries) == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing query or queries"))
+		return
+	}
+	items, err := s.reg.EstimateBatch(r.PathValue("name"), queries, req.Streaming)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, EstimateResponse{Results: items})
+}
+
+// FeedbackRequest records an executed query's actual cardinality.
+type FeedbackRequest struct {
+	Query  string  `json:"query"`
+	Actual float64 `json:"actual"`
+}
+
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	var req FeedbackRequest
+	if !readBody(w, r, &req) {
+		return
+	}
+	if req.Query == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing query"))
+		return
+	}
+	if err := s.reg.Feedback(r.PathValue("name"), req.Query, req.Actual); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// SubtreeRequest applies an incremental document update to the kernel.
+type SubtreeRequest struct {
+	Op      string   `json:"op"` // "add" or "remove"
+	Context []string `json:"context"`
+	XML     string   `json:"xml"`
+}
+
+func (s *Server) handleSubtree(w http.ResponseWriter, r *http.Request) {
+	var req SubtreeRequest
+	if !readBody(w, r, &req) {
+		return
+	}
+	name := r.PathValue("name")
+	var err error
+	switch req.Op {
+	case "add":
+		err = s.reg.AddSubtree(name, req.Context, req.XML)
+	case "remove":
+		err = s.reg.RemoveSubtree(name, req.Context, req.XML)
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("op must be \"add\" or \"remove\""))
+		return
+	}
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
+	e, err := s.reg.Get(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	// Serialize into memory under the read lock, write to the client after
+	// releasing it: streaming WriteTo directly to a slow client would pin
+	// the entry lock (and, through rebalancing, potentially the whole
+	// registry) for the duration of the download.
+	var buf bytes.Buffer
+	e.mu.RLock()
+	_, err = e.syn.WriteTo(&buf)
+	e.mu.RUnlock()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		s.log.Printf("snapshot %s: %v", e.name, err)
+	}
+}
+
+func (s *Server) handleSnapshotPut(w http.ResponseWriter, r *http.Request) {
+	syn, err := xseed.ReadSynopsis(io.LimitReader(r.Body, 256<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	e, err := s.reg.Put(r.PathValue("name"), syn, "snapshot upload")
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, e.Info())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.Stats())
+}

@@ -63,6 +63,13 @@ type HETConfig struct {
 func Default1BP() *HETConfig { return &HETConfig{MBP: 1} }
 
 // Synopsis is an XSEED synopsis: kernel plus optional hyper-edge table.
+//
+// Concurrency: Estimate, EstimateQuery, EstimateStreaming, and the size
+// accessors are safe to call concurrently with each other. Mutating calls —
+// Feedback, AddSubtree, RemoveSubtree, SetBudget — are not safe to run
+// concurrently with anything, including estimates; callers that interleave
+// them must serialize externally (e.g. an RWMutex with estimates on the
+// read side), which is what xseed/internal/server does.
 type Synopsis struct {
 	kern *kernel.Kernel
 	tab  *het.Table
@@ -147,6 +154,14 @@ func (s *Synopsis) EstimateStreaming(query string) (est float64, streamed bool, 
 	return s.est.Estimate(q), false, nil
 }
 
+// EstimateStreamingQuery is EstimateStreaming for a pre-parsed query.
+func (s *Synopsis) EstimateStreamingQuery(q *Query) (est float64, streamed bool) {
+	if v, ok := estimate.StreamEstimate(s.kern, q.p, s.opt); ok {
+		return v, true
+	}
+	return s.est.Estimate(q.p), false
+}
+
 // SizeBytes returns the synopsis memory footprint: kernel plus resident
 // HET entries.
 func (s *Synopsis) SizeBytes() int {
@@ -195,22 +210,34 @@ func (s *Synopsis) SetBudget(totalBytes int) {
 // Feedback records an executed query's actual cardinality into the HET
 // (self-tuning; paper Figure 1). It is a no-op on kernel-only synopses.
 func (s *Synopsis) Feedback(query string, actual float64) error {
-	if s.tab == nil {
-		return nil
-	}
 	q, err := xpath.Parse(query)
 	if err != nil {
 		return err
 	}
-	estBefore := s.est.Estimate(q)
-	base := 0.0
-	if !q.IsSimple() {
-		base = s.est.Estimate(het.StripPreds(q))
-	}
-	s.tab.Feedback(q, actual, estBefore, base)
-	s.est.Invalidate()
+	s.FeedbackQuery(&Query{p: q}, actual)
 	return nil
 }
+
+// FeedbackQuery is Feedback for a pre-parsed query. It returns the estimate
+// the synopsis produced before absorbing the feedback (0 without an HET), so
+// servers tracking accuracy don't have to pay for a second estimate.
+func (s *Synopsis) FeedbackQuery(q *Query, actual float64) (estBefore float64) {
+	if s.tab == nil {
+		return 0
+	}
+	estBefore = s.est.Estimate(q.p)
+	base := 0.0
+	if !q.p.IsSimple() {
+		base = s.est.Estimate(het.StripPreds(q.p))
+	}
+	s.tab.Feedback(q.p, actual, estBefore, base)
+	s.est.Invalidate()
+	return estBefore
+}
+
+// HasHET reports whether the synopsis carries a hyper-edge table (even one
+// whose resident set is currently empty under a tight budget).
+func (s *Synopsis) HasHET() bool { return s.tab != nil }
 
 // AddSubtree incrementally maintains the kernel after inserting the XML
 // subtree(s) in xml under the element path contextPath (labels from the

@@ -1,0 +1,124 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// benchmark report on stdout, for CI artifacts (BENCH_ci.json):
+//
+//	go test -bench . -benchtime 1x -run '^$' ./... | benchjson > BENCH_ci.json
+//
+// Each benchmark line becomes {op, iters, ns_per_op, bytes_per_op,
+// allocs_per_op, extra{...}}; goos/goarch/cpu/pkg context lines are captured
+// into the report header. The tool exits non-zero if the stream contains no
+// benchmark lines or contains a FAIL line, so a broken bench run fails the
+// CI job instead of uploading an empty artifact.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Op          string             `json:"op"`
+	Pkg         string             `json:"pkg,omitempty"`
+	Iters       int64              `json:"iters"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is the BENCH_ci.json payload.
+type Report struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	rep := Report{Results: []Result{}}
+	failed := false
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseBenchLine(line); ok {
+				r.Pkg = pkg
+				rep.Results = append(rep.Results, r)
+			}
+		case strings.HasPrefix(line, "FAIL"), strings.HasPrefix(line, "--- FAIL"):
+			failed = true
+			fmt.Fprintln(os.Stderr, "benchjson:", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read stdin:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchjson: bench stream contains failures")
+		os.Exit(1)
+	}
+	if len(rep.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines in input")
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses a line like
+//
+//	BenchmarkFoo-8   123   4567 ns/op   89 B/op   2 allocs/op   1.5 MB/s
+//
+// Fields alternate value/unit after the iteration count; unknown units land
+// in Extra.
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Op: fields[0], Iters: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		default:
+			if r.Extra == nil {
+				r.Extra = map[string]float64{}
+			}
+			r.Extra[fields[i+1]] = v
+		}
+	}
+	return r, true
+}

@@ -22,10 +22,12 @@
 //	xseed ept      -xml doc.xml [-threshold 0]
 //	    Dump the expanded path tree as annotated XML (paper Section 4).
 //
-//	xseed serve    [-addr :8080] [-cache 4096] [-budget 0] [-synopsis name=path]...
+//	xseed serve    [-addr :8080] [-cache 4096] [-budget 0] [-store-dir DIR]
+//	               [-synopsis name=path]...
 //	    Run the xseedd estimation server (same daemon as cmd/xseedd):
 //	    a synopsis registry with a sharded estimate cache behind an HTTP
-//	    JSON API. See the xseedd command documentation for the endpoints.
+//	    JSON API, persisted to -store-dir when given. See the xseedd
+//	    command documentation for the endpoints and store flags.
 package main
 
 import (

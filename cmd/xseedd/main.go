@@ -1,13 +1,28 @@
 // Command xseedd is the XSEED estimation daemon: a long-lived HTTP server
 // managing many named synopses concurrently, with a sharded cache of
-// estimate results in front of them.
+// estimate results in front of them and an optional durable store behind
+// them.
 //
 //	xseedd [-addr :8080] [-cache 4096] [-budget 0] [-synopsis name=path]...
+//	       [-store-dir DIR] [-store-compact-ratio 0.5]
+//	       [-store-compact-interval 15s] [-store-fsync]
+//	xseedd -store-fsck -store-dir DIR
 //
 // Each -synopsis flag preloads one synopsis at startup from either a file
-// written by `xseed build` or a raw XML document. The HTTP API (see
-// internal/server) then supports creating, estimating against, tuning, and
-// snapshotting synopses at runtime:
+// written by `xseed build` or a raw XML document.
+//
+// With -store-dir the daemon is restart-safe: every registered synopsis is
+// persisted as a base snapshot plus an append-only delta log (feedback,
+// subtree updates, and budget changes cost O(delta) bytes each, not a full
+// snapshot rewrite), a background compactor folds grown logs into fresh
+// bases, and on start the whole registry is reloaded from the store's
+// manifest with deltas replayed — tolerating the torn log tail a kill -9
+// leaves behind. -store-fsck validates a store directory (manifest,
+// snapshot loads, delta checksums, full replay) and exits, for use as a CI
+// or pre-start smoke check.
+//
+// The HTTP API (see internal/server) supports creating, estimating against,
+// tuning, and snapshotting synopses at runtime:
 //
 //	POST   /synopses                      build/load a named synopsis
 //	GET    /synopses                      list synopses
@@ -18,7 +33,8 @@
 //	POST   /synopses/{name}/subtree       incremental add/remove update
 //	GET    /synopses/{name}/snapshot      download serialized synopsis
 //	PUT    /synopses/{name}/snapshot      upload serialized synopsis
-//	GET    /stats                         sizes, cache hit rate, accuracy
+//	POST   /v1/admin/compact              fold delta logs into fresh bases
+//	GET    /stats                         sizes, cache hit rate, accuracy, store
 //	GET    /healthz                       liveness
 package main
 

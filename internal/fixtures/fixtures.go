@@ -1,7 +1,22 @@
 // Package fixtures holds the paper's running examples as shared test data:
 // the Figure 2(a) XML tree (whose XSEED kernel is Figure 2(b)) and the
-// Figure 4 kernel used by Examples 4 and 5 and Table 1.
+// Figure 4 kernel used by Examples 4 and 5 and Table 1 — plus a checked-in
+// v1 synopsis snapshot guarding serialization back-compat.
 package fixtures
+
+import _ "embed"
+
+// SynopsisV1 is a synopsis snapshot in the v1 stream format (no "XSNP"
+// header; the stream begins with the kernel's "XSK1" magic), written by the
+// pre-versioning build from PaperFigure2 with default config plus two
+// feedback calls: ("/a/c/s/s/t", 2) and ("//s//p", 14). It is frozen
+// byte-for-byte: xseed.ReadSynopsis must keep loading it unchanged, because
+// real deployments hold snapshots written by old builds. Expected state:
+// 14/14 HET entries; estimates /a/c/s/s/t=2, //s//p=14, /a/c/s=5,
+// //s//s//p=5.
+//
+//go:embed testdata/synopsis_v1.snap
+var SynopsisV1 []byte
 
 // PaperFigure2 is an XML instance consistent with the paper's Figure 2:
 // building its XSEED kernel yields exactly the edge labels of Figure 2(b):

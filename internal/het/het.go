@@ -156,32 +156,39 @@ func (t *Table) rebuild() {
 // correlated backward selectivity computed against baseEstimate, the
 // synopsis estimate of the same query without the predicates. Other query
 // shapes are ignored (the paper's HET covers SP and leaf-level branching).
-func (t *Table) Feedback(q *xpath.Path, actual, estimate, baseEstimate float64) {
+//
+// The upserted entry is returned with applied=true so callers can persist
+// the table mutation as a delta (re-applying it with Add reproduces the
+// table state without re-estimating); ignored shapes return applied=false.
+func (t *Table) Feedback(q *xpath.Path, actual, estimate, baseEstimate float64) (delta Entry, applied bool) {
 	if q.IsSimple() {
 		labels := q.Labels()
-		t.Add(Entry{
+		delta = Entry{
 			Hash: pathhash.Path(labels...),
 			Card: actual,
 			Err:  abs(estimate - actual),
-		})
-		return
+		}
+		t.Add(delta)
+		return delta, true
 	}
 	parent, preds, next, ok := leafBranchShape(q)
 	if !ok || baseEstimate <= 0 {
-		return
+		return Entry{}, false
 	}
 	corr := actual / baseEstimate
 	if corr > 1 {
 		corr = 1
 	}
-	t.Add(Entry{
+	delta = Entry{
 		Hash:    pathhash.Pattern(parent, preds, next),
 		Pattern: true,
 		Card:    actual,
 		Bsel:    corr,
 		BselOK:  true,
 		Err:     abs(estimate - actual),
-	})
+	}
+	t.Add(delta)
+	return delta, true
 }
 
 // leafBranchShape recognizes queries of the form

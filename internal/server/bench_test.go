@@ -61,7 +61,10 @@ func percentile50(durations []time.Duration) time.Duration {
 func TestWarmCacheBeatsUncachedP50(t *testing.T) {
 	syn, queries := benchSetup(t)
 
-	s := New(Config{CacheCapacity: 4096})
+	s, err := New(Config{CacheCapacity: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := s.Registry().Add("xmark", syn, "bench"); err != nil {
 		t.Fatal(err)
 	}

@@ -3,19 +3,31 @@ package server
 import (
 	"context"
 	"flag"
+	"fmt"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
+
+	"xseed/internal/store"
 )
 
 // RunCLI parses daemon flags and serves until SIGINT/SIGTERM, shutting down
-// gracefully. It backs both the xseedd binary and `xseed serve`.
+// gracefully (draining requests, then flushing the store). It backs both the
+// xseedd binary and `xseed serve`. Startup failures — a taken port, an
+// unreadable store, a bad preload — are returned to the caller, which exits
+// non-zero with the error on stderr.
 func RunCLI(name string, args []string) error {
 	fs := flag.NewFlagSet(name, flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	cache := fs.Int("cache", 4096, "estimate cache capacity (entries)")
 	budget := fs.Int("budget", 0, "aggregate synopsis memory budget in bytes (0 = unlimited)")
 	dataDir := fs.String("data-dir", "", "directory the HTTP xmlFile/synopsisFile sources may read (empty = disabled)")
+	storeDir := fs.String("store-dir", "", "durable store directory: persist synopses and reload them on start (empty = in-memory only)")
+	compactRatio := fs.Float64("store-compact-ratio", 0, "compact when delta log exceeds this ratio of the base snapshot (0 = default 0.5)")
+	compactIvl := fs.Duration("store-compact-interval", 0, "background compaction check interval (0 = default 15s)")
+	storeFsync := fs.Bool("store-fsync", false, "fsync the delta log after every append (survives machine crashes, not just process crashes)")
+	fsck := fs.Bool("store-fsck", false, "validate -store-dir (manifest, snapshot loads, delta checksums and replay), print a report, and exit")
 	var preloads []string
 	fs.Func("synopsis", "preload `name=path` (synopsis file or XML; repeatable)", func(v string) error {
 		preloads = append(preloads, v)
@@ -23,13 +35,36 @@ func RunCLI(name string, args []string) error {
 	})
 	fs.Parse(args)
 
-	srv := New(Config{
+	if *fsck {
+		if *storeDir == "" {
+			return fmt.Errorf("-store-fsck requires -store-dir")
+		}
+		rep, err := store.Fsck(*storeDir)
+		if err != nil {
+			return err
+		}
+		rep.WriteReport(os.Stdout)
+		if !rep.OK {
+			return fmt.Errorf("store %s failed fsck", *storeDir)
+		}
+		return nil
+	}
+
+	srv, err := New(Config{
 		Addr:                 *addr,
 		CacheCapacity:        *cache,
 		AggregateBudgetBytes: *budget,
 		DataDir:              *dataDir,
+		StoreDir:             *storeDir,
+		StoreCompactRatio:    *compactRatio,
+		StoreCompactInterval: time.Duration(*compactIvl),
+		StoreFsync:           *storeFsync,
 	})
+	if err != nil {
+		return err
+	}
 	if err := Preload(srv.Registry(), preloads); err != nil {
+		srv.Close()
 		return err
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

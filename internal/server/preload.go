@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"strings"
@@ -13,17 +14,26 @@ import (
 // `xseed build` (loaded with ReadSynopsis) or an XML document (parsed and
 // summarized with default settings). The two are distinguished by trying
 // the synopsis format first.
+//
+// A name that is already registered is skipped, not an error: with a store
+// dir, every restart restores the persisted synopses before preloading, and
+// the restored copy (which carries absorbed feedback the file does not) must
+// win — otherwise `-store-dir` plus `-synopsis` would boot exactly once and
+// then fail forever with "already exists".
 func Preload(reg *Registry, specs []string) error {
 	for _, spec := range specs {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok || name == "" || path == "" {
 			return fmt.Errorf("preload spec %q: want name=path", spec)
 		}
+		if _, err := reg.Get(name); err == nil {
+			continue
+		}
 		syn, source, err := loadAny(path)
 		if err != nil {
 			return fmt.Errorf("preload %s: %w", name, err)
 		}
-		if _, err := reg.Add(name, syn, source); err != nil {
+		if _, err := reg.Add(name, syn, source); err != nil && !errors.Is(err, ErrExists) {
 			return err
 		}
 	}

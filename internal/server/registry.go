@@ -13,6 +13,8 @@ package server
 import (
 	"errors"
 	"fmt"
+	"io"
+	"log"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -20,6 +22,7 @@ import (
 
 	"xseed"
 	"xseed/internal/metrics"
+	"xseed/internal/store"
 )
 
 // ErrNotFound and ErrExists classify registry failures for the HTTP layer
@@ -39,6 +42,14 @@ type Entry struct {
 
 	mu  sync.RWMutex // estimates take RLock; feedback/updates/budget take Lock
 	syn *xseed.Synopsis
+
+	// retired flips (under the registry lock) when this entry leaves the
+	// registry map — replaced by Put or removed by Delete. A mutation that
+	// captured the entry before that must not persist its delta: the store
+	// log for this name now belongs to the successor's generation, and a
+	// stale record replayed onto the successor's base would diverge the
+	// restarted daemon from the live one.
+	retired atomic.Bool
 
 	lastBudget int // last SetBudget applied by rebalancing; guarded by mu
 
@@ -74,6 +85,20 @@ type Registry struct {
 	ids     atomic.Uint64
 
 	cache *Cache
+
+	// st, when attached, makes every registry mutation durable: new and
+	// replaced synopses get a full base snapshot, while feedback, subtree
+	// updates, and budget changes append O(delta) records to the synopsis's
+	// log inside the same critical section that applied them in memory (so
+	// the log order is the apply order). Nil means no persistence.
+	st  *store.Store
+	log *log.Logger
+
+	// registerMu serializes Add/Put registrations end to end so the store's
+	// base-write order for a name always matches the registry's map-update
+	// order (two racing Puts of one name must not commit their manifests in
+	// the opposite order of their map swaps).
+	registerMu sync.Mutex
 }
 
 // NewRegistry returns a registry whose estimate cache holds cacheCapacity
@@ -86,21 +111,130 @@ func NewRegistry(cacheCapacity, aggregateBudgetBytes int) *Registry {
 		entries: make(map[string]*Entry),
 		budget:  aggregateBudgetBytes,
 		cache:   NewCache(cacheCapacity),
+		log:     log.New(io.Discard, "", 0),
 	}
 }
 
-// Add registers a synopsis under name. It fails if the name is taken.
-func (r *Registry) Add(name string, syn *xseed.Synopsis, source string) (*Entry, error) {
-	if name == "" {
+// AttachStore makes subsequent mutations durable. Attach after Restore-ing
+// recovered synopses so recovery itself is not re-persisted.
+func (r *Registry) AttachStore(st *store.Store, lg *log.Logger) {
+	r.mu.Lock()
+	r.st = st
+	if lg != nil {
+		r.log = lg
+	}
+	r.mu.Unlock()
+}
+
+// Store returns the attached store (nil when the registry is ephemeral).
+func (r *Registry) Store() *store.Store {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.st
+}
+
+// Restore registers a synopsis recovered from the store without writing a
+// new base snapshot. The cache-scope version resumes from the persisted
+// counter — today that is belt-and-braces (the estimate cache and the scope's
+// entry id are both per-process, so no pre-crash scope can be presented) and
+// doubles as a durable mutation count; it becomes load-bearing if the cache
+// ever moves out of process.
+func (r *Registry) Restore(l store.Loaded) (*Entry, error) {
+	if l.Name == "" {
 		return nil, fmt.Errorf("synopsis name must be non-empty")
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, ok := r.entries[name]; ok {
+	if _, ok := r.entries[l.Name]; ok {
+		return nil, fmt.Errorf("synopsis %q %w", l.Name, ErrExists)
+	}
+	e := r.newEntry(l.Name, l.Syn, l.Source)
+	if !l.Created.IsZero() {
+		e.created = l.Created
+	}
+	e.ver.Store(l.Ver)
+	e.lastBudget = l.Budget
+	r.entries[l.Name] = e
+	r.rebalanceLocked()
+	return e, nil
+}
+
+// Add registers a synopsis under name. It fails if the name is taken.
+func (r *Registry) Add(name string, syn *xseed.Synopsis, source string) (*Entry, error) {
+	return r.register(name, syn, source, false)
+}
+
+// register is the shared Add/Put path. It reserves the name under the
+// registry lock but writes the base snapshot — a full serialize + fsync,
+// which can also wait out an in-flight compaction of the same name — while
+// holding only the entry's write lock (plus registerMu against other
+// registrations), so estimate and feedback traffic to other synopses does
+// not queue behind one synopsis's base write.
+func (r *Registry) register(name string, syn *xseed.Synopsis, source string, replace bool) (*Entry, error) {
+	if name == "" {
+		return nil, fmt.Errorf("synopsis name must be non-empty")
+	}
+	r.registerMu.Lock()
+	defer r.registerMu.Unlock()
+
+	r.mu.Lock()
+	old, exists := r.entries[name]
+	if exists && !replace {
+		r.mu.Unlock()
 		return nil, fmt.Errorf("synopsis %q %w", name, ErrExists)
 	}
 	e := r.newEntry(name, syn, source)
+	st := r.st
+	// Reserve the name with the entry write-locked: concurrent estimates and
+	// mutations of it queue until the base snapshot is on disk, so no delta
+	// can be appended to a log that does not exist yet. The replaced entry is
+	// retired in the same critical section, so any mutation that captured it
+	// earlier skips persistence once it runs.
+	e.mu.Lock()
+	if exists {
+		old.retired.Store(true)
+	}
 	r.entries[name] = e
+	r.mu.Unlock()
+
+	if exists {
+		// Drain: a mutation already inside the old entry's critical section
+		// (it saw retired == false) may still be appending to the old
+		// generation's log. Wait it out before SaveBase truncates the log
+		// for the new generation, so its record dies with the old base
+		// instead of leaking into the new one.
+		old.mu.Lock()
+		//lint:ignore SA2001 empty critical section is the drain
+		old.mu.Unlock()
+	}
+
+	var saveErr error
+	if st != nil {
+		if err := st.SaveBase(name, syn, source, e.created, e.lastBudget, e.ver.Load()); err != nil {
+			saveErr = fmt.Errorf("persist synopsis %q: %w", name, err)
+		}
+	}
+	e.mu.Unlock()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if saveErr != nil {
+		// Unwind the reservation (Delete is excluded by registerMu, so it is
+		// still ours). A failed replacement reinstates the old entry rather
+		// than leaving the name serving nothing: the store still holds the
+		// old generation, so live and disk reconverge. Any feedback the old
+		// entry absorbed while retired skipped persistence — the same
+		// "applied but not persisted" outcome its caller was already told
+		// about.
+		e.retired.Store(true)
+		if exists {
+			old.retired.Store(false)
+			r.entries[name] = old
+		} else {
+			delete(r.entries, name)
+		}
+		return nil, saveErr
+	}
 	r.rebalanceLocked()
 	return e, nil
 }
@@ -109,15 +243,7 @@ func (r *Registry) Add(name string, syn *xseed.Synopsis, source string) (*Entry,
 // fresh cache scope, so estimates cached against the old synopsis — even by
 // requests still in flight — are unreachable afterwards.
 func (r *Registry) Put(name string, syn *xseed.Synopsis, source string) (*Entry, error) {
-	if name == "" {
-		return nil, fmt.Errorf("synopsis name must be non-empty")
-	}
-	r.mu.Lock()
-	e := r.newEntry(name, syn, source)
-	r.entries[name] = e
-	r.rebalanceLocked()
-	r.mu.Unlock()
-	return e, nil
+	return r.register(name, syn, source, true)
 }
 
 func (r *Registry) newEntry(name string, syn *xseed.Synopsis, source string) *Entry {
@@ -144,17 +270,30 @@ func (r *Registry) Get(name string) (*Entry, error) {
 }
 
 // Delete removes the synopsis. Its cached estimates become unreachable
-// (the scope dies with the entry's id) and age out of the LRU.
+// (the scope dies with the entry's id) and age out of the LRU, and its
+// persisted state is removed from the store. It takes registerMu so a
+// concurrent re-Add of the same name cannot write its new generation
+// between our map removal and our store removal — st.Remove would then wipe
+// the new registration's persistence while it stays live.
 func (r *Registry) Delete(name string) error {
+	r.registerMu.Lock()
+	defer r.registerMu.Unlock()
 	r.mu.Lock()
-	_, ok := r.entries[name]
+	e, ok := r.entries[name]
+	st := r.st
 	if ok {
+		e.retired.Store(true)
 		delete(r.entries, name)
 		r.rebalanceLocked()
 	}
 	r.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("synopsis %q %w", name, ErrNotFound)
+	}
+	if st != nil {
+		if err := st.Remove(name); err != nil {
+			return fmt.Errorf("synopsis removed but store cleanup failed: %w", err)
+		}
 	}
 	return nil
 }
@@ -163,6 +302,13 @@ func (r *Registry) Delete(name string) error {
 // synopses: each keeps its kernel and receives an equal share of whatever
 // budget remains for its hyper-edge table (the paper's dynamic
 // reconfiguration, applied fleet-wide). Caller holds r.mu.
+//
+// Known tradeoff: this runs under the registry-wide lock and takes each
+// entry's lock in turn (appending a tiny budget delta when persisting), so
+// with an aggregate budget set, a registry-shape change that overlaps a
+// long entry critical section — e.g. a base snapshot being written — stalls
+// the registry for that duration. Budget application is kept atomic for
+// simplicity; making it async is a ROADMAP item.
 func (r *Registry) rebalanceLocked() {
 	if r.budget <= 0 || len(r.entries) == 0 {
 		return
@@ -195,6 +341,11 @@ func (r *Registry) rebalanceLocked() {
 				// unchanged target is skipped entirely so membership churn
 				// doesn't flush warm caches for nothing.
 				e.invalidate()
+			}
+			if r.st != nil {
+				if err := r.st.AppendBudget(e.name, target); err != nil {
+					r.log.Printf("persist budget for %q: %v", e.name, err)
+				}
 			}
 		}
 		e.mu.Unlock()
@@ -324,12 +475,29 @@ func (r *Registry) Feedback(name, query string, actual float64) error {
 		e.feedbacks.Add(1)
 		return nil
 	}
+	r.mu.RLock()
+	st := r.st
+	r.mu.RUnlock()
 	e.mu.Lock()
-	est := e.syn.FeedbackQuery(q, actual)
-	e.invalidate()
+	est, delta, applied := e.syn.FeedbackQueryDelta(q, actual)
+	var persistErr error
+	if applied {
+		e.invalidate()
+		if st != nil && !e.retired.Load() {
+			// Append inside the critical section: a concurrent feedback to
+			// the same path must reach the log in the order it reached the
+			// table, or replay could resurrect the older value. A retired
+			// entry (replaced or deleted while this request was in flight)
+			// skips the append — the log now belongs to its successor.
+			persistErr = st.AppendFeedback(name, delta)
+		}
+	}
 	e.mu.Unlock()
 	e.acc.Add(est, actual)
 	e.feedbacks.Add(1)
+	if persistErr != nil {
+		return fmt.Errorf("feedback applied but not persisted: %w", persistErr)
+	}
 	return nil
 }
 
@@ -350,6 +518,10 @@ func (r *Registry) updateSubtree(name string, contextPath []string, xml string, 
 	if err != nil {
 		return err
 	}
+	r.mu.RLock()
+	st := r.st
+	r.mu.RUnlock()
+	var persistErr error
 	e.mu.Lock()
 	if add {
 		err = e.syn.AddSubtree(contextPath, xml)
@@ -358,12 +530,19 @@ func (r *Registry) updateSubtree(name string, contextPath []string, xml string, 
 	}
 	if err == nil {
 		e.invalidate()
+		if st != nil && !e.retired.Load() {
+			persistErr = st.AppendSubtree(name, add, contextPath, xml)
+		}
 	}
 	e.mu.Unlock()
-	if err == nil {
-		e.updates.Add(1)
+	if err != nil {
+		return err
 	}
-	return err
+	e.updates.Add(1)
+	if persistErr != nil {
+		return fmt.Errorf("subtree update applied but not persisted: %w", persistErr)
+	}
+	return nil
 }
 
 // SynopsisInfo is the served view of one registered synopsis.
@@ -428,6 +607,7 @@ type Stats struct {
 	TotalBytes      int            `json:"totalBytes"`
 	AggregateBudget int            `json:"aggregateBudget"`
 	Cache           CacheStats     `json:"cache"`
+	Store           *store.Stats   `json:"store,omitempty"` // nil when not persisting
 }
 
 // Stats snapshots the whole registry.
@@ -439,11 +619,17 @@ func (r *Registry) Stats() Stats {
 	}
 	r.mu.RLock()
 	budget := r.budget
+	st := r.st
 	r.mu.RUnlock()
-	return Stats{
+	out := Stats{
 		Synopses:        infos,
 		TotalBytes:      total,
 		AggregateBudget: budget,
 		Cache:           r.cache.Stats(),
 	}
+	if st != nil {
+		ss := st.Stats()
+		out.Store = &ss
+	}
+	return out
 }

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"xseed"
+	"xseed/internal/store"
 )
 
 // Config configures an xseedd server.
@@ -30,6 +31,18 @@ type Config struct {
 	// oracle for anyone who can reach the listen address.
 	DataDir string
 
+	// StoreDir enables durability: registered synopses are persisted there
+	// (base snapshots + delta logs, see internal/store) and reloaded on
+	// start. Empty keeps the registry in memory only.
+	StoreDir string
+
+	// StoreCompactRatio and StoreCompactInterval tune the background
+	// compactor (zero values: store defaults of 0.5 and 15s). StoreFsync
+	// syncs the delta log on every append.
+	StoreCompactRatio    float64
+	StoreCompactInterval time.Duration
+	StoreFsync           bool
+
 	Log *log.Logger
 }
 
@@ -38,11 +51,15 @@ type Server struct {
 	reg     *Registry
 	http    *http.Server
 	dataDir string
+	st      *store.Store // nil when not persisting
+	compact time.Duration
 	log     *log.Logger
 }
 
-// New builds a server around a fresh registry.
-func New(cfg Config) *Server {
+// New builds a server around a fresh registry. With cfg.StoreDir set it
+// opens the store and recovers every persisted synopsis — base snapshot plus
+// delta-log replay — before the server accepts traffic.
+func New(cfg Config) (*Server, error) {
 	if cfg.Addr == "" {
 		cfg.Addr = ":8080"
 	}
@@ -52,10 +69,44 @@ func New(cfg Config) *Server {
 	s := &Server{
 		reg:     NewRegistry(cfg.CacheCapacity, cfg.AggregateBudgetBytes),
 		dataDir: cfg.DataDir,
+		compact: cfg.StoreCompactInterval,
 		log:     cfg.Log,
 	}
+	if cfg.StoreDir != "" {
+		st, err := store.Open(cfg.StoreDir, store.Options{
+			CompactRatio: cfg.StoreCompactRatio,
+			Fsync:        cfg.StoreFsync,
+			Log:          cfg.Log,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("open store %s: %w", cfg.StoreDir, err)
+		}
+		loaded, err := st.LoadAll()
+		if err != nil {
+			st.Close()
+			return nil, fmt.Errorf("recover store %s: %w", cfg.StoreDir, err)
+		}
+		for _, l := range loaded {
+			if _, err := s.reg.Restore(l); err != nil {
+				st.Close()
+				return nil, fmt.Errorf("restore %q: %w", l.Name, err)
+			}
+			cfg.Log.Printf("restored synopsis %q (%s, %d replayed deltas)", l.Name, l.Source, l.Replay)
+		}
+		s.reg.AttachStore(st, cfg.Log)
+		s.st = st
+	}
 	s.http = &http.Server{Addr: cfg.Addr, Handler: s.Handler()}
-	return s
+	return s, nil
+}
+
+// Close releases the store (flushing delta logs). Run does this on shutdown;
+// callers that never Run (tests mounting Handler) should Close themselves.
+func (s *Server) Close() error {
+	if s.st == nil {
+		return nil
+	}
+	return s.st.Close()
 }
 
 // Registry returns the server's registry (for preloading synopses).
@@ -79,34 +130,49 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /synopses/{name}/subtree", s.handleSubtree)
 	mux.HandleFunc("GET /synopses/{name}/snapshot", s.handleSnapshotGet)
 	mux.HandleFunc("PUT /synopses/{name}/snapshot", s.handleSnapshotPut)
+	mux.HandleFunc("POST /v1/admin/compact", s.handleCompact)
 	return mux
 }
 
-// Run serves until ctx is cancelled, then shuts down gracefully, draining
-// in-flight requests for up to 10 seconds.
+// Run serves until ctx is cancelled, then shuts down gracefully: in-flight
+// requests drain for up to 10 seconds, and the store's delta logs are
+// flushed and closed last. A listener that cannot bind (port taken,
+// privileged port, bad address) is a hard error returned to the caller —
+// never exit silently leaving the caller to discover a daemon that isn't
+// there.
 func (s *Server) Run(ctx context.Context) error {
 	ln, err := net.Listen("tcp", s.http.Addr)
 	if err != nil {
-		return err
+		s.Close()
+		return fmt.Errorf("listen: %w", err)
 	}
 	s.log.Printf("listening on %s", ln.Addr())
+	if s.st != nil {
+		go s.st.StartCompactor(ctx, s.compact)
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- s.http.Serve(ln) }()
+	serveErr := func(err error) error {
+		if cerr := s.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		return err
+	}
 	select {
 	case err := <-errc:
-		return err
+		return serveErr(err)
 	case <-ctx.Done():
 	}
 	s.log.Printf("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := s.http.Shutdown(shutdownCtx); err != nil {
-		return err
+		return serveErr(err)
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
-		return err
+		return serveErr(err)
 	}
-	return nil
+	return serveErr(nil)
 }
 
 type apiError struct {
@@ -440,4 +506,45 @@ func (s *Server) handleSnapshotPut(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.reg.Stats())
+}
+
+// CompactResponse reports a manual compaction sweep.
+type CompactResponse struct {
+	Compacted []string    `json:"compacted"`
+	Store     store.Stats `json:"store"`
+}
+
+// handleCompact folds delta logs into fresh base snapshots on demand:
+// POST /v1/admin/compact[?synopsis=name] compacts one synopsis or, without
+// the parameter, every one with a non-empty log.
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if s.st == nil {
+		writeErr(w, http.StatusConflict, fmt.Errorf("server has no store (start with -store-dir)"))
+		return
+	}
+	var names []string
+	if name := r.URL.Query().Get("synopsis"); name != "" {
+		if _, err := s.reg.Get(name); err != nil {
+			writeErr(w, statusFor(err), err)
+			return
+		}
+		names = []string{name}
+	} else {
+		for _, info := range s.reg.List() {
+			names = append(names, info.Name)
+		}
+	}
+	resp := CompactResponse{Compacted: []string{}}
+	for _, name := range names {
+		folded, err := s.st.CompactNow(name)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		if folded {
+			resp.Compacted = append(resp.Compacted, name)
+		}
+	}
+	resp.Store = s.st.Stats()
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -18,7 +18,10 @@ import (
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(Config{CacheCapacity: 1024})
+	s, err := New(Config{CacheCapacity: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -122,7 +125,10 @@ func TestHTTPCreateListGetDelete(t *testing.T) {
 	if err := os.WriteFile(dataDir+"/doc.xml", []byte(fixtures.PaperFigure2), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	ds := New(Config{DataDir: dataDir})
+	ds, err := New(Config{DataDir: dataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
 	dts := httptest.NewServer(ds.Handler())
 	defer dts.Close()
 	if resp := doJSON(t, dts.Client(), "POST", dts.URL+"/synopses",

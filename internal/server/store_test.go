@@ -1,0 +1,504 @@
+package server
+
+import (
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"xseed"
+	"xseed/internal/fixtures"
+)
+
+// newStoreServer builds a server persisting to dir. Callers that simulate a
+// crash simply abandon it (no Close) — delta appends are unbuffered O_APPEND
+// writes, which is exactly what a kill -9 leaves behind.
+func newStoreServer(t *testing.T, dir string) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(Config{CacheCapacity: 1024, StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func estimateHTTP(t *testing.T, ts *httptest.Server, name, query string) float64 {
+	t.Helper()
+	var resp EstimateResponse
+	r := doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/"+name+"/estimate",
+		EstimateRequest{Query: query}, &resp)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("estimate %s %s: status %d", name, query, r.StatusCode)
+	}
+	if resp.Results[0].Error != "" {
+		t.Fatalf("estimate %s: %s", query, resp.Results[0].Error)
+	}
+	return resp.Results[0].Estimate
+}
+
+// TestServerStoreRestart is the end-to-end durability path over HTTP: a
+// daemon with a store dir is "killed" (abandoned un-flushed) and a new one
+// on the same dir must reload the registry from the manifest, replay the
+// deltas, and serve identical estimates.
+func TestServerStoreRestart(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newStoreServer(t, dir)
+	createFixture(t, ts, "fig2")
+
+	// Mutate through every persisted path: feedback, subtree, and a second
+	// synopsis via snapshot upload.
+	for q, actual := range map[string]float64{"/a/c/s/s/t": 2, "/a/c/s[t]/p": 7} {
+		if r := doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/feedback",
+			FeedbackRequest{Query: q, Actual: actual}, nil); r.StatusCode != http.StatusNoContent {
+			t.Fatalf("feedback: status %d", r.StatusCode)
+		}
+	}
+	if r := doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/subtree",
+		SubtreeRequest{Op: "add", Context: []string{"a"}, XML: "<u/><u/>"}, nil); r.StatusCode != http.StatusNoContent {
+		t.Fatalf("subtree: status %d", r.StatusCode)
+	}
+	queries := []string{"/a/c/s/s/t", "/a/c/s[t]/p", "/a/u", "//s//p"}
+	want := make([]float64, len(queries))
+	for i, q := range queries {
+		want[i] = estimateHTTP(t, ts, "fig2", q)
+	}
+
+	// "kill -9": no graceful shutdown, no store close.
+	ts.Close()
+
+	s2, ts2 := newStoreServer(t, dir)
+	defer s2.Close()
+	infos := s2.Registry().List()
+	if len(infos) != 1 || infos[0].Name != "fig2" || infos[0].Source != "xml upload" {
+		t.Fatalf("restarted registry = %+v", infos)
+	}
+	for i, q := range queries {
+		if got := estimateHTTP(t, ts2, "fig2", q); got != want[i] {
+			t.Errorf("%s: post-restart %g, pre-kill %g", q, got, want[i])
+		}
+	}
+}
+
+// TestRegistryCrashRecoveryHammer is the acceptance criterion: kill -9 in
+// the middle of a concurrent feedback hammer, restart, and every fed-back
+// query must estimate exactly as it did at the moment of death.
+func TestRegistryCrashRecoveryHammer(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := s.Registry()
+	d, err := xseed.ParseXMLString(fixtures.PaperFigure2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := xseed.BuildSynopsis(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Add("fig2", syn, "hammer"); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []string{"/a/c/s/s/t", "/a/c/s", "/a/c/p", "/a/t", "/a/c/s/p", "/a/c/s/s", "/a/c/t", "/a/c/s[t]/p"}
+	const workers, rounds = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				q := queries[(w+i)%len(queries)]
+				if err := reg.Feedback("fig2", q, float64(1+(w*rounds+i)%17)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	e, err := reg.Get("fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, len(queries))
+	for i, q := range queries {
+		want[i], err = e.Synopsis().Estimate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if info := e.Info(); info.Feedbacks != workers*rounds {
+		t.Fatalf("hammer applied %d feedbacks, want %d", info.Feedbacks, workers*rounds)
+	}
+
+	// Die without flushing, restart on the same dir.
+	s2, err := New(Config{StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	e2, err := s2.Registry().Get("fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		got, err := e2.Synopsis().Estimate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want[i] {
+			t.Errorf("%s: post-restart %g != pre-kill %g", q, got, want[i])
+		}
+	}
+}
+
+// TestDeleteAndReplacePersist covers the other registry shapes: a deleted
+// synopsis stays deleted across restart, and a snapshot PUT replacement
+// restarts as the replacement.
+func TestDeleteAndReplacePersist(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newStoreServer(t, dir)
+	createFixture(t, ts, "keep")
+	createFixture(t, ts, "drop")
+
+	req, _ := http.NewRequest("DELETE", ts.URL+"/synopses/drop", nil)
+	if resp, err := ts.Client().Do(req); err != nil || resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: %v %v", resp, err)
+	}
+
+	// Replace "keep" with a Figure-4 synopsis via snapshot upload.
+	d, err := xseed.ParseXMLString(fixtures.PaperFigure4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn4, err := xseed.BuildSynopsis(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if _, err := syn4.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	putReq, _ := http.NewRequest("PUT", ts.URL+"/synopses/keep/snapshot", strings.NewReader(buf.String()))
+	if resp, err := ts.Client().Do(putReq); err != nil || resp.StatusCode != http.StatusCreated {
+		t.Fatalf("snapshot put: %v %v", resp, err)
+	}
+	wantD := estimateHTTP(t, ts, "keep", "/a/b/d")
+	ts.Close()
+
+	s2, ts2 := newStoreServer(t, dir)
+	defer s2.Close()
+	if _, err := s2.Registry().Get("drop"); err == nil {
+		t.Error("deleted synopsis resurrected by restart")
+	}
+	if got := estimateHTTP(t, ts2, "keep", "/a/b/d"); got != wantD {
+		t.Errorf("replaced synopsis: post-restart %g, want %g", got, wantD)
+	}
+}
+
+func TestAdminCompact(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newStoreServer(t, dir)
+	defer s.Close()
+	createFixture(t, ts, "fig2")
+	for i := 0; i < 5; i++ {
+		doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/feedback",
+			FeedbackRequest{Query: "/a/c/s/s/t", Actual: float64(2 + i)}, nil)
+	}
+	want := estimateHTTP(t, ts, "fig2", "/a/c/s/s/t")
+
+	var resp CompactResponse
+	if r := doJSON(t, ts.Client(), "POST", ts.URL+"/v1/admin/compact", nil, &resp); r.StatusCode != http.StatusOK {
+		t.Fatalf("compact: status %d", r.StatusCode)
+	}
+	if len(resp.Compacted) != 1 || resp.Compacted[0] != "fig2" {
+		t.Errorf("compacted = %v", resp.Compacted)
+	}
+	if len(resp.Store.Synopses) != 1 || resp.Store.Synopses[0].DeltaBytes != 0 || resp.Store.Synopses[0].Compactions != 1 {
+		t.Errorf("store stats after compact = %+v", resp.Store.Synopses)
+	}
+	if got := estimateHTTP(t, ts, "fig2", "/a/c/s/s/t"); got != want {
+		t.Errorf("compaction changed estimate: %g != %g", got, want)
+	}
+
+	// Stats exposes the store section.
+	var stats Stats
+	doJSON(t, ts.Client(), "GET", ts.URL+"/stats", nil, &stats)
+	if stats.Store == nil || len(stats.Store.Synopses) != 1 {
+		t.Errorf("stats.store = %+v", stats.Store)
+	}
+
+	// Unknown synopsis 404s; a store-less server 409s.
+	if r := doJSON(t, ts.Client(), "POST", ts.URL+"/v1/admin/compact?synopsis=nope", nil, nil); r.StatusCode != http.StatusNotFound {
+		t.Errorf("compact unknown: status %d", r.StatusCode)
+	}
+	_, plain := newTestServer(t)
+	if r := doJSON(t, plain.Client(), "POST", plain.URL+"/v1/admin/compact", nil, nil); r.StatusCode != http.StatusConflict {
+		t.Errorf("compact without store: status %d", r.StatusCode)
+	}
+}
+
+// TestPutRetiresOldEntry pins the replacement protocol: an entry leaving
+// the registry (Put replacement or Delete) is marked retired so mutations
+// that captured it earlier skip persisting into the successor's log.
+func TestPutRetiresOldEntry(t *testing.T) {
+	s, err := New(Config{StoreDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	reg := s.Registry()
+	build := func() *xseed.Synopsis {
+		d, err := xseed.ParseXMLString(fixtures.PaperFigure2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		syn, err := xseed.BuildSynopsis(d, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return syn
+	}
+	if _, err := reg.Add("x", build(), "v1"); err != nil {
+		t.Fatal(err)
+	}
+	old, err := reg.Get("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Put("x", build(), "v2"); err != nil {
+		t.Fatal(err)
+	}
+	if !old.retired.Load() {
+		t.Error("replaced entry not retired")
+	}
+	cur, err := reg.Get("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.retired.Load() {
+		t.Error("live entry marked retired")
+	}
+	if err := reg.Delete("x"); err != nil {
+		t.Fatal(err)
+	}
+	if !cur.retired.Load() {
+		t.Error("deleted entry not retired")
+	}
+}
+
+// TestPutFeedbackRaceRecovery races snapshot replacements against feedback
+// on the same name, then restarts from the store: the recovered synopsis
+// must estimate exactly like the live winner (a stale entry's delta leaking
+// into the new generation's log would diverge them).
+func TestPutFeedbackRaceRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := s.Registry()
+	build := func() *xseed.Synopsis {
+		d, err := xseed.ParseXMLString(fixtures.PaperFigure2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		syn, err := xseed.BuildSynopsis(d, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return syn
+	}
+	if _, err := reg.Add("x", build(), "v0"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if _, err := reg.Put("x", build(), "replacement"); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			// Feedback may race a replacement; only hard failures matter.
+			if err := reg.Feedback("x", "/a/c/s/s/t", float64(1+i%7)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	live, err := reg.Get("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{"/a/c/s/s/t", "/a/c/s", "//s//p"}
+	want := make([]float64, len(queries))
+	for i, q := range queries {
+		if want[i], err = live.Synopsis().Estimate(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s2, err := New(Config{StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	rec, err := s2.Registry().Get("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		got, err := rec.Synopsis().Estimate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want[i] {
+			t.Errorf("%s: recovered %g != live %g", q, got, want[i])
+		}
+	}
+}
+
+// TestPreloadWithStoreRestart pins the -store-dir + -synopsis combination:
+// on restart the restored synopsis (which carries absorbed feedback) must
+// win over the preload spec instead of failing with "already exists".
+func TestPreloadWithStoreRestart(t *testing.T) {
+	dir := t.TempDir()
+	xmlPath := dir + "/fig2.xml"
+	if err := os.WriteFile(xmlPath, []byte(fixtures.PaperFigure2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	specs := []string{"fig2=" + xmlPath}
+	storeDir := t.TempDir()
+
+	s, err := New(Config{StoreDir: storeDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Preload(s.Registry(), specs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Registry().Feedback("fig2", "/a/c/s/s/t", 2); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(Config{StoreDir: storeDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if err := Preload(s2.Registry(), specs); err != nil {
+		t.Fatalf("second boot with same preload: %v", err)
+	}
+	e, err := s2.Registry().Get("fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Synopsis().Estimate("/a/c/s/s/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("restored synopsis lost to preload: estimate %g, want fed-back 2", got)
+	}
+}
+
+// TestRunListenError pins the satellite fix: a taken port must surface as a
+// non-nil error from Run/RunCLI (which main prints to stderr with exit 1),
+// never a silent exit.
+func TestRunListenError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	addr := ln.Addr().String()
+	err = RunCLI("test", []string{"-addr", addr})
+	if err == nil {
+		t.Fatal("RunCLI on a taken port returned nil")
+	}
+	if !strings.Contains(err.Error(), "listen") {
+		t.Errorf("error %q does not mention the listener", err)
+	}
+}
+
+// TestRunCLIFsck drives the -store-fsck mode end to end.
+func TestRunCLIFsck(t *testing.T) {
+	if err := RunCLI("test", []string{"-store-fsck"}); err == nil {
+		t.Error("-store-fsck without -store-dir succeeded")
+	}
+	dir := t.TempDir()
+	s, ts := newStoreServer(t, dir)
+	createFixture(t, ts, "fig2")
+	doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/feedback",
+		FeedbackRequest{Query: "/a/c/s/s/t", Actual: 2}, nil)
+	s.Close()
+	ts.Close()
+	if err := RunCLI("test", []string{"-store-fsck", "-store-dir", dir}); err != nil {
+		t.Errorf("fsck of healthy store: %v", err)
+	}
+	if err := RunCLI("test", []string{"-store-fsck", "-store-dir", t.TempDir()}); err == nil {
+		t.Error("fsck of store-less dir succeeded")
+	}
+}
+
+// TestStoreBudgetRebalancePersists: registering a second synopsis under an
+// aggregate budget rebalances the first; the budget deltas must survive
+// restart so the resident HET sets (and therefore estimates) match.
+func TestStoreBudgetRebalancePersists(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{StoreDir: dir, AggregateBudgetBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := s.Registry()
+	for _, name := range []string{"one", "two"} {
+		d, err := xseed.ParseXMLString(fixtures.PaperFigure2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		syn, err := xseed.BuildSynopsis(d, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := reg.Add(name, syn, "test"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wantRes [2]int
+	for i, name := range []string{"one", "two"} {
+		e, _ := reg.Get(name)
+		wantRes[i], _ = e.Synopsis().HETEntries()
+	}
+
+	s2, err := New(Config{StoreDir: dir, AggregateBudgetBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for i, name := range []string{"one", "two"} {
+		e, err := s2.Registry().Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := e.Synopsis().HETEntries(); got != wantRes[i] {
+			t.Errorf("%s: resident HET after restart = %d, want %d", name, got, wantRes[i])
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Compaction folds a synopsis's delta log into a fresh base snapshot so the
+// log stays short and restart replay stays cheap. It works entirely from
+// disk — the log is the source of truth for every mutation already applied
+// in memory — so it never takes the serving registry's locks and runs
+// concurrently with live traffic:
+//
+//  1. Under the synopsis's lock, note the current sequence N and the log
+//     size L. Appends continue freely after.
+//  2. Rebuild the synopsis from base-N plus the first L bytes of delta-N.log
+//     and write it as base-(N+1) (temp + rename). This is the slow part and
+//     holds no locks.
+//  3. Under the lock again: copy whatever the log gained past L into
+//     delta-(N+1).log, flip the manifest to sequence N+1 (the atomic commit
+//     point), swap the append handle, and delete the old generation.
+//
+// A crash before the flip leaves generation N untouched (the new files are
+// stale debris removed at next open); a crash after leaves generation N+1
+// complete. No window loses or double-applies a delta.
+
+// CompactNow compacts one synopsis immediately, regardless of ratio,
+// reporting whether a fold actually happened: an empty delta log is skipped
+// (false, nil) rather than folded.
+func (st *Store) CompactNow(name string) (bool, error) {
+	s, err := st.syn(name)
+	if err != nil {
+		return false, err
+	}
+
+	// genMu keeps SaveBase/Remove (and another CompactNow) from changing
+	// the generation while this one is in flight; appends proceed under mu.
+	s.genMu.Lock()
+	defer s.genMu.Unlock()
+
+	s.mu.Lock()
+	if s.log == nil || s.logSize == 0 {
+		s.mu.Unlock()
+		return false, nil
+	}
+	s.compacting = true
+	seq := s.seq
+	limit := s.logSize
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.compacting = false
+		s.mu.Unlock()
+	}()
+
+	st.manMu.Lock()
+	me, ok := st.man.Synopses[name]
+	var meCopy ManifestEntry
+	if ok {
+		meCopy = *me
+	}
+	st.manMu.Unlock()
+	if !ok {
+		return false, fmt.Errorf("store: compact %q: not in manifest", name)
+	}
+
+	// Step 2: rebuild from disk and write the next generation's base.
+	syn, res, budget, err := loadFrom(s.dir, &meCopy, limit)
+	if err != nil {
+		return false, fmt.Errorf("store: compact %q: %w", name, err)
+	}
+	if res.Torn {
+		// Open truncates torn tails before any append, so a live store's log
+		// is never torn; seeing one here means the file changed under us.
+		return false, fmt.Errorf("store: compact %q: log has a torn tail (%s); refusing", name, res.TornWhy)
+	}
+	newSeq := seq + 1
+	baseN, err := writeBase(s.dir, newSeq, syn)
+	if err != nil {
+		return false, fmt.Errorf("store: compact %q: %w", name, err)
+	}
+
+	// Step 3: commit under the append lock.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	suffix := s.logSize - limit
+	if err := copyLogSuffix(
+		filepath.Join(s.dir, deltaFile(seq)), limit, suffix,
+		filepath.Join(s.dir, deltaFile(newSeq)),
+	); err != nil {
+		os.Remove(filepath.Join(s.dir, baseFile(newSeq)))
+		return false, fmt.Errorf("store: compact %q: carry log suffix: %w", name, err)
+	}
+	if err := st.flipManifest(name, &ManifestEntry{
+		Dir:     meCopy.Dir,
+		Seq:     newSeq,
+		Source:  meCopy.Source,
+		Created: meCopy.Created,
+		Budget:  budget,
+		Ver:     meCopy.Ver + uint64(res.Records),
+	}); err != nil {
+		os.Remove(filepath.Join(s.dir, baseFile(newSeq)))
+		os.Remove(filepath.Join(s.dir, deltaFile(newSeq)))
+		return false, fmt.Errorf("store: compact %q: %w", name, err)
+	}
+	s.seq = newSeq
+	s.baseSize = baseN
+	s.deltaCount -= int64(res.Records)
+	s.compactions++
+	if err := s.openLog(); err != nil {
+		// The manifest already points at the new generation; leaving the old
+		// handle open would silently append acknowledged mutations to a file
+		// recovery will never read. Fail stop instead: with no open log,
+		// every subsequent append errors loudly and the caller surfaces it.
+		s.log.Close()
+		s.log = nil
+		s.logSize = 0
+		return true, fmt.Errorf("store: compact %q: reopen log: %w", name, err)
+	}
+	os.Remove(filepath.Join(s.dir, baseFile(seq)))
+	os.Remove(filepath.Join(s.dir, deltaFile(seq)))
+	st.opts.Log.Printf("store: compacted %s: folded %d records (%d bytes) into base seq %d (%d bytes), carried %d bytes",
+		name, res.Records, limit, newSeq, baseN, suffix)
+	return true, nil
+}
+
+// copyLogSuffix writes src[off : off+n] to dst (temp + rename + fsync). The
+// suffix always lies on a record boundary: off and the size were both
+// observed under the append lock, and appends are whole-record writes.
+func copyLogSuffix(src string, off, n int64, dst string) error {
+	if n < 0 {
+		return fmt.Errorf("negative suffix %d", n)
+	}
+	var data []byte
+	if n > 0 {
+		f, err := os.Open(src)
+		if err != nil {
+			return err
+		}
+		data = make([]byte, n)
+		if _, err := f.ReadAt(data, off); err != nil && err != io.EOF {
+			f.Close()
+			return err
+		}
+		f.Close()
+	}
+	return writeFileAtomic(dst, data)
+}
+
+// maybeCompact compacts every synopsis whose delta log has outgrown the
+// configured ratio of its base size. Errors are logged, not fatal — the next
+// tick retries.
+func (st *Store) maybeCompact() {
+	st.mu.Lock()
+	names := make([]string, 0, len(st.syns))
+	for name := range st.syns {
+		names = append(names, name)
+	}
+	st.mu.Unlock()
+	for _, name := range names {
+		s, err := st.syn(name)
+		if err != nil {
+			continue
+		}
+		s.mu.Lock()
+		logSize, baseSize, busy := s.logSize, s.baseSize, s.compacting
+		s.mu.Unlock()
+		if busy || logSize < st.opts.CompactMinBytes {
+			continue
+		}
+		if float64(logSize) <= st.opts.CompactRatio*float64(baseSize) {
+			continue
+		}
+		if _, err := st.CompactNow(name); err != nil {
+			st.opts.Log.Printf("%v", err)
+		}
+	}
+}
+
+// StartCompactor runs the background compactor until ctx is cancelled,
+// checking ratios every interval (<= 0: a 15s default).
+func (st *Store) StartCompactor(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = 15 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			st.maybeCompact()
+		}
+	}
+}

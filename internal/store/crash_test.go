@@ -1,0 +1,156 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCompactionConcurrentWithAppends hammers feedback appends while
+// compactions run, then recovers from disk cold and checks the recovered
+// synopsis estimates every fed-back query exactly like the live one: the
+// suffix-carry in CompactNow must not lose or reorder records appended while
+// a fold was in flight.
+func TestCompactionConcurrentWithAppends(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	syn := buildFig2(t)
+	if err := st.SaveBase("fig2", syn, "test", time.Now(), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []string{"/a/c/s/s/t", "/a/c/s", "/a/c/p", "/a/t", "/a/c/s/p", "/a/c/s/s", "/a/c/t", "/a/u"}
+	var synMu sync.Mutex // plays the registry's entry lock: apply+append atomically
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := st.CompactNow("fig2"); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	const workers, rounds = 4, 100
+	var fwg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		fwg.Add(1)
+		go func(w int) {
+			defer fwg.Done()
+			for i := 0; i < rounds; i++ {
+				q := queries[(w+i)%len(queries)]
+				synMu.Lock()
+				feedback(t, st, "fig2", syn, q, float64(1+(w*rounds+i)%13))
+				synMu.Unlock()
+			}
+		}(w)
+	}
+	fwg.Wait()
+	close(stop)
+	wg.Wait()
+
+	want := estimates(t, syn, queries...)
+	st.Close()
+
+	st2 := openStore(t, dir)
+	defer st2.Close()
+	loaded, err := st2.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded[0].Torn {
+		t.Error("live-process log reads as torn")
+	}
+	got := estimates(t, loaded[0].Syn, queries...)
+	for i, q := range queries {
+		if got[i] != want[i] {
+			t.Errorf("%s: recovered %g, want %g", q, got[i], want[i])
+		}
+	}
+}
+
+// TestManyGenerations runs repeated compact/append cycles to shake out
+// sequence bookkeeping across many generations.
+func TestManyGenerations(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	syn := buildFig2(t)
+	if err := st.SaveBase("fig2", syn, "test", time.Now(), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 10; g++ {
+		feedback(t, st, "fig2", syn, "/a/c/s/s/t", float64(g+1))
+		if folded, err := st.CompactNow("fig2"); err != nil || !folded {
+			t.Fatalf("generation %d: folded=%v err=%v", g, folded, err)
+		}
+	}
+	if seq := st.Stats().Synopses[0].Seq; seq != 11 {
+		t.Errorf("seq = %d, want 11", seq)
+	}
+	want := estimates(t, syn, probeQueries...)
+	st.Close()
+	st2 := openStore(t, dir)
+	defer st2.Close()
+	loaded, err := st2.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := estimates(t, loaded[0].Syn, probeQueries...)
+	for i := range probeQueries {
+		if got[i] != want[i] {
+			t.Errorf("%s: recovered %g, want %g", probeQueries[i], got[i], want[i])
+		}
+	}
+}
+
+// TestMultipleSynopses exercises the manifest with several entries and
+// name→directory sanitization for hostile names.
+func TestMultipleSynopses(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	names := []string{"plain", "with/slash", "with space", "../escape"}
+	for i, name := range names {
+		syn := buildFig2(t)
+		if err := st.SaveBase(name, syn, fmt.Sprintf("src-%d", i), time.Now(), 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		feedback(t, st, name, syn, "/a/c/s/s/t", float64(i+2))
+	}
+	st.Close()
+
+	st2 := openStore(t, dir)
+	defer st2.Close()
+	loaded, err := st2.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(names) {
+		t.Fatalf("recovered %d synopses, want %d", len(loaded), len(names))
+	}
+	byName := map[string]Loaded{}
+	for _, l := range loaded {
+		byName[l.Name] = l
+	}
+	for i, name := range names {
+		l, ok := byName[name]
+		if !ok {
+			t.Errorf("missing %q", name)
+			continue
+		}
+		got, err := l.Syn.Estimate("/a/c/s/s/t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != float64(i+2) {
+			t.Errorf("%q: estimate %g, want %d", name, got, i+2)
+		}
+	}
+}

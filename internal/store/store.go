@@ -1,0 +1,537 @@
+// Package store is xseedd's durability layer: a manifest-backed directory of
+// versioned synopsis snapshots with append-only delta logs, so a
+// feedback-heavy daemon persists each mutation in O(delta) bytes instead of
+// rewriting full synopses, and reloads its whole registry after a crash.
+//
+// Layout:
+//
+//	<dir>/manifest.json                    the persistent registry
+//	<dir>/synopses/<sanitized>/
+//	    base-<seq>.xsyn                    full snapshot (versioned stream)
+//	    delta-<seq>.log                    checksummed mutation log since base
+//
+// Writes are crash-safe by construction: bases and the manifest are written
+// to temp files and renamed; delta records are framed, checksummed, and
+// appended in single writes, and recovery tolerates a torn tail. Compaction
+// (see compact.go) folds a log into a fresh base under a new sequence number
+// and flips the manifest last, so every crash window leaves either the old
+// (base, log) pair or the new one fully intact.
+package store
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"xseed"
+)
+
+// Options tunes a store.
+type Options struct {
+	// CompactRatio triggers background compaction when a synopsis's delta
+	// log exceeds ratio × its base snapshot size. <= 0 means the default
+	// 0.5; tests set it high to disable ratio-driven compaction.
+	CompactRatio float64
+
+	// CompactMinBytes is the delta-log size below which ratio compaction is
+	// skipped regardless (folding a few hundred bytes of deltas buys
+	// nothing). <= 0 means the default 4096.
+	CompactMinBytes int64
+
+	// Fsync syncs the delta log after every append. Off by default: an
+	// O_APPEND write survives kill -9 without it (the page cache belongs to
+	// the kernel, not the process); only a machine crash needs per-record
+	// fsync, and feedback-heavy traffic cannot afford one per mutation.
+	Fsync bool
+
+	Log *log.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.CompactRatio <= 0 {
+		o.CompactRatio = 0.5
+	}
+	if o.CompactMinBytes <= 0 {
+		o.CompactMinBytes = 4096
+	}
+	if o.Log == nil {
+		o.Log = log.New(io.Discard, "", 0)
+	}
+	return o
+}
+
+// Store is an open store directory. All methods are safe for concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu   sync.Mutex // guards syns map membership
+	syns map[string]*synStore
+
+	manMu sync.Mutex // guards manifest state + file; acquired after a synStore.mu
+	man   *Manifest
+}
+
+// synStore is one synopsis's open persistence state. Its mutex serializes
+// appends with each other and with compaction's file swap; the caller-side
+// mutation order (the registry's per-entry lock) is preserved because
+// appends happen inside that critical section.
+type synStore struct {
+	name string
+	dir  string // absolute
+
+	// genMu serializes generation changes — SaveBase, Remove, CompactNow —
+	// with each other for this synopsis (two of them interleaving could both
+	// claim sequence seq+1 and clobber each other's files). Appends only
+	// need mu. Lock order: genMu, then mu, then Store.manMu.
+	genMu sync.Mutex
+
+	mu          sync.Mutex
+	seq         uint64
+	log         *os.File // delta-<seq>.log, opened O_APPEND
+	logSize     int64
+	deltaCount  int64 // records appended or replayed since base
+	baseSize    int64
+	compacting  bool
+	compactions int64
+}
+
+// Open opens (creating if needed) a store rooted at dir.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(filepath.Join(dir, "synopses"), 0o755); err != nil {
+		return nil, err
+	}
+	man, err := readManifest(dir)
+	if os.IsNotExist(err) {
+		man = &Manifest{Version: manifestVersion, Synopses: make(map[string]*ManifestEntry)}
+		if err := writeManifest(dir, man); err != nil {
+			return nil, err
+		}
+	} else if err != nil {
+		return nil, err
+	}
+	st := &Store{dir: dir, opts: opts, man: man, syns: make(map[string]*synStore)}
+	for name, me := range man.Synopses {
+		s := &synStore{name: name, dir: filepath.Join(dir, "synopses", me.Dir), seq: me.Seq}
+		cleanStale(s.dir, me.Seq, opts.Log)
+		if err := s.truncateTorn(opts.Log); err != nil {
+			return nil, fmt.Errorf("store: recover log for %q: %w", name, err)
+		}
+		if err := s.openLog(); err != nil {
+			return nil, fmt.Errorf("store: open log for %q: %w", name, err)
+		}
+		if fi, err := os.Stat(filepath.Join(s.dir, baseFile(me.Seq))); err == nil {
+			s.baseSize = fi.Size()
+		}
+		st.syns[name] = s
+	}
+	return st, nil
+}
+
+// truncateTorn scans the current delta log and truncates it to its trusted
+// prefix. A torn tail must be cut off before the log is reopened O_APPEND:
+// records appended after garbage would themselves be unreachable — replay
+// stops at the first malformed record — so every later mutation would be
+// silently lost at the restart after next. Truncating also means a live
+// store's log is never torn, so compaction never has to refuse one.
+func (s *synStore) truncateTorn(lg *log.Logger) error {
+	path := filepath.Join(s.dir, deltaFile(s.seq))
+	res, err := scanLogFile(path, -1, nil)
+	if err != nil {
+		return err
+	}
+	s.deltaCount = int64(res.Records)
+	if res.Trailing == 0 {
+		return nil
+	}
+	lg.Printf("store: %s: truncating torn delta log tail (%s): dropping %d bytes after %d trusted records",
+		s.name, res.TornWhy, res.Trailing, res.Records)
+	return os.Truncate(path, res.Good)
+}
+
+// Dir returns the store's root directory.
+func (st *Store) Dir() string { return st.dir }
+
+// cleanStale removes temp files and base/delta files from sequences other
+// than the live one — debris from a crash mid-compaction. The manifest flip
+// is the commit point, so anything off-sequence is either an abandoned new
+// generation (crash before the flip) or a superseded old one (crash after).
+func cleanStale(dir string, liveSeq uint64, lg *log.Logger) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		name := e.Name()
+		keep := name == baseFile(liveSeq) || name == deltaFile(liveSeq)
+		if keep {
+			continue
+		}
+		lg.Printf("store: removing stale %s", filepath.Join(dir, name))
+		os.Remove(filepath.Join(dir, name))
+	}
+}
+
+// openLog opens (creating if needed) the current delta log for appending and
+// records its size. Caller owns s.mu or exclusive access.
+func (s *synStore) openLog() error {
+	f, err := os.OpenFile(filepath.Join(s.dir, deltaFile(s.seq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if s.log != nil {
+		s.log.Close()
+	}
+	s.log = f
+	s.logSize = fi.Size()
+	return nil
+}
+
+func (st *Store) syn(name string) (*synStore, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.syns[name]
+	if !ok {
+		return nil, fmt.Errorf("store: synopsis %q not persisted", name)
+	}
+	return s, nil
+}
+
+// Loaded is one synopsis recovered by LoadAll.
+type Loaded struct {
+	Name    string
+	Syn     *xseed.Synopsis
+	Source  string
+	Created time.Time
+	Budget  int    // last applied SetBudget total (0 = never)
+	Ver     uint64 // cache-scope version to resume from
+	Replay  int    // delta records replayed on top of the base
+	Torn    bool   // the log still ends torn (Open truncates tails, so
+	// this only fires if the file changed after open)
+}
+
+// LoadAll recovers every synopsis in the manifest: reads its base snapshot,
+// replays its delta log (tolerating a torn tail), and returns them in name
+// order. A synopsis whose base is unreadable is a hard error — silently
+// dropping registered data is worse than refusing to start.
+func (st *Store) LoadAll() ([]Loaded, error) {
+	st.manMu.Lock()
+	names := st.man.names()
+	st.manMu.Unlock()
+	out := make([]Loaded, 0, len(names))
+	for _, name := range names {
+		l, err := st.loadOne(name)
+		if err != nil {
+			return nil, fmt.Errorf("store: load %q: %w", name, err)
+		}
+		out = append(out, l)
+	}
+	return out, nil
+}
+
+func (st *Store) loadOne(name string) (Loaded, error) {
+	st.manMu.Lock()
+	me, ok := st.man.Synopses[name]
+	if ok {
+		cp := *me
+		me = &cp
+	}
+	st.manMu.Unlock()
+	if !ok {
+		return Loaded{}, fmt.Errorf("not in manifest")
+	}
+	s, err := st.syn(name)
+	if err != nil {
+		return Loaded{}, err
+	}
+	syn, res, budget, err := loadFrom(s.dir, me, -1)
+	if err != nil {
+		return Loaded{}, err
+	}
+	s.mu.Lock()
+	s.deltaCount = int64(res.Records)
+	s.mu.Unlock()
+	if res.Torn {
+		st.opts.Log.Printf("store: %s: delta log torn tail (%s); trusting %d bytes / %d records", name, res.TornWhy, res.Good, res.Records)
+	}
+	return Loaded{
+		Name:    name,
+		Syn:     syn,
+		Source:  me.Source,
+		Created: me.Created,
+		Budget:  budget,
+		Ver:     me.Ver + uint64(res.Records),
+		Replay:  res.Records,
+		Torn:    res.Torn,
+	}, nil
+}
+
+// loadFrom builds a synopsis from a directory's base snapshot plus at most
+// limit bytes of its delta log (-1: the whole log). It is the one recovery
+// path, shared by startup, compaction, and fsck.
+func loadFrom(dir string, me *ManifestEntry, limit int64) (*xseed.Synopsis, replayResult, int, error) {
+	f, err := os.Open(filepath.Join(dir, baseFile(me.Seq)))
+	if err != nil {
+		return nil, replayResult{}, 0, err
+	}
+	syn, err := xseed.ReadSynopsis(f)
+	f.Close()
+	if err != nil {
+		return nil, replayResult{}, 0, fmt.Errorf("base snapshot: %w", err)
+	}
+	budget := me.Budget
+	res, err := scanLogFile(filepath.Join(dir, deltaFile(me.Seq)), limit, func(rec deltaRecord) error {
+		if rec.Op == opBudget {
+			budget = rec.Bytes
+		}
+		return applyRecord(syn, rec)
+	})
+	if err != nil {
+		return nil, res, 0, err
+	}
+	return syn, res, budget, nil
+}
+
+// SaveBase persists a full snapshot of the synopsis as a fresh generation:
+// new base file, empty delta log, manifest flipped last. It both registers a
+// new synopsis and replaces an existing one (snapshot upload, compaction's
+// final step reuses the same sequencing). The caller must guarantee syn is
+// not concurrently mutated (the registry serializes this on its entry lock).
+func (st *Store) SaveBase(name string, syn *xseed.Synopsis, source string, created time.Time, budget int, ver uint64) error {
+	st.mu.Lock()
+	s, ok := st.syns[name]
+	if !ok {
+		s = &synStore{name: name, dir: filepath.Join(st.dir, "synopses", dirFor(name))}
+		st.syns[name] = s
+	}
+	st.mu.Unlock()
+
+	s.genMu.Lock()
+	defer s.genMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return err
+	}
+	newSeq := s.seq + 1
+	n, err := writeBase(s.dir, newSeq, syn)
+	if err != nil {
+		return err
+	}
+	// Fresh empty delta log for the new generation.
+	lf, err := os.OpenFile(filepath.Join(s.dir, deltaFile(newSeq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := st.flipManifest(name, &ManifestEntry{
+		Dir:     filepath.Base(s.dir),
+		Seq:     newSeq,
+		Source:  source,
+		Created: created,
+		Budget:  budget,
+		Ver:     ver,
+	}); err != nil {
+		lf.Close()
+		return err
+	}
+	oldSeq := s.seq
+	if s.log != nil {
+		s.log.Close()
+	}
+	s.log = lf
+	s.logSize = 0
+	s.deltaCount = 0
+	s.baseSize = n
+	s.seq = newSeq
+	if oldSeq != newSeq {
+		os.Remove(filepath.Join(s.dir, baseFile(oldSeq)))
+		os.Remove(filepath.Join(s.dir, deltaFile(oldSeq)))
+	}
+	return nil
+}
+
+func writeBase(dir string, seq uint64, syn *xseed.Synopsis) (int64, error) {
+	path := filepath.Join(dir, baseFile(seq))
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	n, err := syn.WriteTo(f)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return 0, err
+	}
+	return n, syncDir(dir)
+}
+
+// flipManifest atomically updates (or, with me == nil, removes) one entry.
+func (st *Store) flipManifest(name string, me *ManifestEntry) error {
+	st.manMu.Lock()
+	defer st.manMu.Unlock()
+	if me == nil {
+		delete(st.man.Synopses, name)
+	} else {
+		st.man.Synopses[name] = me
+	}
+	return writeManifest(st.dir, st.man)
+}
+
+// AppendFeedback persists one feedback-driven HET mutation in O(delta)
+// bytes. Call it inside the same critical section that applied the mutation
+// in memory, so the log order matches the apply order.
+func (st *Store) AppendFeedback(name string, d xseed.HETDelta) error {
+	return st.append(name, deltaRecord{Op: opFeedback, HET: &d})
+}
+
+// AppendSubtree persists an incremental subtree add or remove.
+func (st *Store) AppendSubtree(name string, add bool, contextPath []string, xml string) error {
+	op := opRemove
+	if add {
+		op = opAdd
+	}
+	return st.append(name, deltaRecord{Op: op, Context: contextPath, XML: xml})
+}
+
+// AppendBudget persists a SetBudget call (registry rebalancing).
+func (st *Store) AppendBudget(name string, totalBytes int) error {
+	return st.append(name, deltaRecord{Op: opBudget, Bytes: totalBytes})
+}
+
+func (st *Store) append(name string, rec deltaRecord) error {
+	s, err := st.syn(name)
+	if err != nil {
+		return err
+	}
+	buf, err := encodeRecord(rec)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return fmt.Errorf("store: synopsis %q has no open log", name)
+	}
+	if _, err := s.log.Write(buf); err != nil {
+		return fmt.Errorf("store: append %s delta for %q: %w", rec.Op, name, err)
+	}
+	if st.opts.Fsync {
+		if err := s.log.Sync(); err != nil {
+			return err
+		}
+	}
+	s.logSize += int64(len(buf))
+	s.deltaCount++
+	return nil
+}
+
+// Remove forgets a synopsis: manifest first (the commit point), then its
+// directory.
+func (st *Store) Remove(name string) error {
+	st.mu.Lock()
+	s, ok := st.syns[name]
+	if ok {
+		delete(st.syns, name)
+	}
+	st.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	s.genMu.Lock()
+	defer s.genMu.Unlock()
+	s.mu.Lock()
+	if s.log != nil {
+		s.log.Close()
+		s.log = nil
+	}
+	s.mu.Unlock()
+	if err := st.flipManifest(name, nil); err != nil {
+		return err
+	}
+	return os.RemoveAll(s.dir)
+}
+
+// Close flushes and closes every delta log. The store is unusable after.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	syns := make([]*synStore, 0, len(st.syns))
+	for _, s := range st.syns {
+		syns = append(syns, s)
+	}
+	st.mu.Unlock()
+	var first error
+	for _, s := range syns {
+		s.mu.Lock()
+		if s.log != nil {
+			if err := s.log.Sync(); err != nil && first == nil {
+				first = err
+			}
+			if err := s.log.Close(); err != nil && first == nil {
+				first = err
+			}
+			s.log = nil
+		}
+		s.mu.Unlock()
+	}
+	return first
+}
+
+// SynopsisStats is the persistence state of one synopsis.
+type SynopsisStats struct {
+	Name         string `json:"name"`
+	Seq          uint64 `json:"seq"`
+	BaseBytes    int64  `json:"baseBytes"`
+	DeltaBytes   int64  `json:"deltaBytes"`
+	DeltaRecords int64  `json:"deltaRecords"`
+	Compactions  int64  `json:"compactions"`
+}
+
+// Stats is the store-wide stats payload served under /stats.
+type Stats struct {
+	Dir      string          `json:"dir"`
+	Synopses []SynopsisStats `json:"synopses"`
+}
+
+// Stats snapshots every synopsis's persistence state, sorted by name.
+func (st *Store) Stats() Stats {
+	st.manMu.Lock()
+	names := st.man.names()
+	st.manMu.Unlock()
+	out := Stats{Dir: st.dir}
+	for _, name := range names {
+		s, err := st.syn(name)
+		if err != nil {
+			continue
+		}
+		s.mu.Lock()
+		out.Synopses = append(out.Synopses, SynopsisStats{
+			Name:         name,
+			Seq:          s.seq,
+			BaseBytes:    s.baseSize,
+			DeltaBytes:   s.logSize,
+			DeltaRecords: s.deltaCount,
+			Compactions:  s.compactions,
+		})
+		s.mu.Unlock()
+	}
+	return out
+}

@@ -222,17 +222,67 @@ func (s *Synopsis) Feedback(query string, actual float64) error {
 // the synopsis produced before absorbing the feedback (0 without an HET), so
 // servers tracking accuracy don't have to pay for a second estimate.
 func (s *Synopsis) FeedbackQuery(q *Query, actual float64) (estBefore float64) {
+	estBefore, _, _ = s.FeedbackQueryDelta(q, actual)
+	return estBefore
+}
+
+// HETDelta is the persistable effect of one feedback call on the hyper-edge
+// table: re-applying it with ApplyHETDelta reproduces the table mutation
+// without re-running estimation, which is what makes O(delta) durability
+// possible (internal/store appends these to a log instead of rewriting the
+// synopsis).
+type HETDelta struct {
+	Hash    uint32  `json:"hash"`
+	Pattern bool    `json:"pattern,omitempty"`
+	Card    float64 `json:"card"`
+	Bsel    float64 `json:"bsel,omitempty"`
+	BselOK  bool    `json:"bselOK,omitempty"`
+	Err     float64 `json:"err,omitempty"`
+}
+
+// FeedbackQueryDelta is FeedbackQuery exposing the HET mutation it caused.
+// applied is false when the synopsis has no HET or the query shape is one
+// the HET ignores (nothing changed; cached estimates stay valid).
+func (s *Synopsis) FeedbackQueryDelta(q *Query, actual float64) (estBefore float64, delta HETDelta, applied bool) {
 	if s.tab == nil {
-		return 0
+		return 0, HETDelta{}, false
 	}
 	estBefore = s.est.Estimate(q.p)
 	base := 0.0
 	if !q.p.IsSimple() {
 		base = s.est.Estimate(het.StripPreds(q.p))
 	}
-	s.tab.Feedback(q.p, actual, estBefore, base)
+	e, applied := s.tab.Feedback(q.p, actual, estBefore, base)
+	if !applied {
+		return estBefore, HETDelta{}, false
+	}
 	s.est.Invalidate()
-	return estBefore
+	return estBefore, HETDelta{
+		Hash:    e.Hash,
+		Pattern: e.Pattern,
+		Card:    e.Card,
+		Bsel:    e.Bsel,
+		BselOK:  e.BselOK,
+		Err:     e.Err,
+	}, true
+}
+
+// ApplyHETDelta re-applies a recorded feedback delta (log replay during
+// recovery). It is idempotent: the entry upserts by (hash, kind). A no-op on
+// kernel-only synopses.
+func (s *Synopsis) ApplyHETDelta(d HETDelta) {
+	if s.tab == nil {
+		return
+	}
+	s.tab.Add(het.Entry{
+		Hash:    d.Hash,
+		Pattern: d.Pattern,
+		Card:    d.Card,
+		Bsel:    d.Bsel,
+		BselOK:  d.BselOK,
+		Err:     d.Err,
+	})
+	s.est.Invalidate()
 }
 
 // HasHET reports whether the synopsis carries a hyper-edge table (even one
@@ -277,10 +327,26 @@ func (s *Synopsis) EPTStats() (nodes int, truncated bool) {
 // debugging.
 func (s *Synopsis) KernelString() string { return s.kern.String() }
 
-// WriteTo serializes the synopsis (kernel and full HET). It implements
-// io.WriterTo.
+// Synopsis stream format. Version 1 (the seed format) had no header of its
+// own: the stream began directly with the kernel's "XSK1" magic, so the
+// format could never evolve without breaking every reader. Version 2 prefixes
+// a 5-byte header — magic "XSNP" plus a version byte — ahead of the same
+// body. ReadSynopsis still accepts v1 streams (it sniffs the kernel magic),
+// so snapshots written by older builds keep loading byte-for-byte.
+var synMagic = [4]byte{'X', 'S', 'N', 'P'}
+
+// SnapshotVersion is the synopsis stream version WriteTo emits.
+const SnapshotVersion = 2
+
+// WriteTo serializes the synopsis (kernel and full HET) in the current
+// versioned stream format. It implements io.WriterTo.
 func (s *Synopsis) WriteTo(w io.Writer) (int64, error) {
 	var total int64
+	hn, err := w.Write(append(synMagic[:], SnapshotVersion))
+	total += int64(hn)
+	if err != nil {
+		return total, err
+	}
 	n, err := s.kern.WriteTo(w)
 	total += n
 	if err != nil {
@@ -313,9 +379,26 @@ func (s *Synopsis) WriteTo(w io.Writer) (int64, error) {
 	return total, err
 }
 
-// ReadSynopsis deserializes a synopsis written by WriteTo.
+// ReadSynopsis deserializes a synopsis written by WriteTo: the current
+// versioned stream, or a bare v1 stream from a pre-versioning build.
 func ReadSynopsis(r io.Reader) (*Synopsis, error) {
 	br := bufio.NewReader(r)
+	head, err := br.Peek(4)
+	if err != nil {
+		return nil, fmt.Errorf("xseed: synopsis header: %w", err)
+	}
+	if [4]byte(head) == synMagic {
+		var hdr [5]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return nil, fmt.Errorf("xseed: synopsis header: %w", err)
+		}
+		if v := hdr[4]; v != SnapshotVersion {
+			return nil, fmt.Errorf("xseed: unsupported synopsis format version %d (this build reads v1 and v%d)", v, SnapshotVersion)
+		}
+	}
+	// Anything else falls through to the kernel reader: a v1 stream starts
+	// with the kernel magic "XSK1" and loads unchanged; garbage fails there
+	// with its usual "bad magic" error.
 	dict := xmldoc.NewDict()
 	k, err := kernel.Read(br, dict)
 	if err != nil {

@@ -242,6 +242,117 @@ func TestReadSynopsisGarbage(t *testing.T) {
 	if _, err := ReadSynopsis(bytes.NewReader([]byte("junk"))); err == nil {
 		t.Error("garbage accepted")
 	}
+	if _, err := ReadSynopsis(bytes.NewReader([]byte("xy"))); err == nil {
+		t.Error("short input accepted")
+	}
+	// A future format version must be rejected with a version message, not
+	// misparsed as a kernel.
+	if _, err := ReadSynopsis(bytes.NewReader([]byte{'X', 'S', 'N', 'P', 99})); err == nil ||
+		!strings.Contains(err.Error(), "version 99") {
+		t.Errorf("future version error = %v", err)
+	}
+}
+
+// TestSnapshotWriteToVersioned pins the v2 stream header so the on-disk
+// format cannot drift silently.
+func TestSnapshotWriteToVersioned(t *testing.T) {
+	d := fig2Doc(t)
+	syn, err := BuildSynopsis(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := syn.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	head := buf.Bytes()[:5]
+	want := []byte{'X', 'S', 'N', 'P', SnapshotVersion}
+	if !bytes.Equal(head, want) {
+		t.Fatalf("stream header = %v, want %v", head, want)
+	}
+}
+
+// TestReadSynopsisV1Fixture guards back-compat: the checked-in v1 snapshot
+// (written byte-for-byte by the pre-versioning build, no format header) must
+// keep loading under the versioned reader with its state intact.
+func TestReadSynopsisV1Fixture(t *testing.T) {
+	if len(fixtures.SynopsisV1) == 0 {
+		t.Fatal("empty v1 fixture")
+	}
+	if !bytes.HasPrefix(fixtures.SynopsisV1, []byte("XSK1")) {
+		t.Fatalf("fixture is not a v1 stream (starts %q)", fixtures.SynopsisV1[:4])
+	}
+	syn, err := ReadSynopsis(bytes.NewReader(fixtures.SynopsisV1))
+	if err != nil {
+		t.Fatalf("v1 snapshot no longer loads: %v", err)
+	}
+	resident, total := syn.HETEntries()
+	if resident != 14 || total != 14 {
+		t.Errorf("HET entries = %d/%d, want 14/14", resident, total)
+	}
+	for q, want := range map[string]float64{
+		"/a/c/s/s/t": 2,  // fed back into the fixture
+		"//s//p":     14, // fed back into the fixture
+		"/a/c/s":     5,
+		"//s//s//p":  5,
+	} {
+		got, err := syn.Estimate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approx(got, want, 1e-9) {
+			t.Errorf("%s = %g, want %g", q, got, want)
+		}
+	}
+	// A v1 load re-serializes in the current format and must round-trip.
+	var buf bytes.Buffer
+	if _, err := syn.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ReadSynopsis(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := syn.Estimate("//s//p")
+	b, _ := again.Estimate("//s//p")
+	if !approx(a, b, 1e-9) {
+		t.Errorf("v1→v2 round trip changed estimate: %g != %g", b, a)
+	}
+}
+
+// TestFeedbackDeltaReplay asserts the durability contract behind O(delta)
+// persistence: applying the extracted HETDelta to a second synopsis
+// reproduces the fed-back synopsis's estimates without re-estimation.
+func TestFeedbackDeltaReplay(t *testing.T) {
+	build := func() *Synopsis {
+		d := fig2Doc(t)
+		syn, err := BuildSynopsis(d, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return syn
+	}
+	fed, replica := build(), build()
+	// One simple path (stores an actual cardinality) and one leaf-branching
+	// pattern (stores a correlated backward selectivity).
+	for q, actual := range map[string]float64{"/a/c/s/s/t": 2, "/a/c/s[t]/p": 7} {
+		pq, err := ParseQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, delta, applied := fed.FeedbackQueryDelta(pq, actual)
+		if !applied {
+			t.Fatalf("feedback %s not applied", q)
+		}
+		replica.ApplyHETDelta(delta)
+	}
+	for _, q := range []string{"/a/c/s/s/t", "/a/c/s[t]/p", "/a/c/s", "//s//s//p"} {
+		a, _ := fed.Estimate(q)
+		b, _ := replica.Estimate(q)
+		if !approx(a, b, 1e-9) {
+			t.Errorf("%s: replica %g != fed %g", q, b, a)
+		}
+	}
 }
 
 func TestTreeSketchBaseline(t *testing.T) {

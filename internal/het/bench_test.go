@@ -1,0 +1,60 @@
+package het
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// seededTable builds a table holding n entries with pseudorandom errors, the
+// shape of a long-lived feedback-driven HET.
+func seededTable(n int, budget int) (*Table, *rand.Rand) {
+	rng := rand.New(rand.NewSource(1))
+	tab := New(budget)
+	entries := make([]Entry, n)
+	for i := range entries {
+		entries[i] = Entry{
+			Hash: uint32(i + 1),
+			Card: float64(rng.Intn(1000)),
+			Err:  rng.Float64() * 100,
+		}
+	}
+	tab.AddBatch(entries)
+	return tab, rng
+}
+
+// BenchmarkTableAdd10kUpsert is sustained query feedback against a warm
+// ~10k-entry table: every Add hits an existing (hash, kind) with a slightly
+// changed error, the common self-tuning case.
+func BenchmarkTableAdd10kUpsert(b *testing.B) {
+	const n = 10_000
+	tab, rng := seededTable(n, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := uint32(rng.Intn(n) + 1)
+		tab.Add(Entry{Hash: h, Card: float64(i), Err: rng.Float64() * 100})
+	}
+}
+
+// BenchmarkTableAdd10kInsert grows the table with brand-new entries starting
+// from ~10k, the cold half of the feedback workload.
+func BenchmarkTableAdd10kInsert(b *testing.B) {
+	const n = 10_000
+	tab, rng := seededTable(n, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Add(Entry{Hash: uint32(n + 1 + i), Card: float64(i), Err: rng.Float64()})
+	}
+}
+
+// BenchmarkTableSetBudget is the per-entry cost the registry's budget
+// rebalancer pays while holding the entry's write lock.
+func BenchmarkTableSetBudget(b *testing.B) {
+	const n = 10_000
+	tab, _ := seededTable(n, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.SetBudget((n/2 + i%1000) * EntrySize)
+	}
+}

@@ -34,7 +34,22 @@ type Entry struct {
 	Err     float64 // |estimate - actual| priority; not part of EntrySize
 }
 
+// tkey identifies an entry: path and pattern hashes live in separate
+// namespaces.
+type tkey struct {
+	hash    uint32
+	pattern bool
+}
+
 // Table is a hyper-edge table. The zero value is unusable; use New.
+//
+// all stays sorted by Err descending at all times, maintained incrementally:
+// an Add binary-searches for the rank position and shifts only the span
+// between the entry's old and new slots, instead of re-sorting the whole
+// table per feedback. Residency is then just the prefix all[:limit], so
+// SetBudget — the paper's dynamic reconfiguration, which the serving layer's
+// rebalancer calls while holding a synopsis's write lock — is O(1) rather
+// than a full map rebuild.
 type Table struct {
 	budget int
 
@@ -42,23 +57,23 @@ type Table struct {
 	// storage").
 	all []Entry
 
-	// resident lookups for the in-budget prefix of all.
-	paths    map[uint32]int // hash -> index into all
-	patterns map[uint32]int
+	// idx locates every entry (resident or not) by (hash, kind).
+	idx map[tkey]int
+
+	// limit is the resident prefix length: all[:limit] fits the budget.
+	limit int
 }
 
 // New returns an empty table with the given memory budget in bytes. A
 // budget <= 0 keeps every entry resident.
 func New(budgetBytes int) *Table {
-	t := &Table{budget: budgetBytes}
-	t.rebuild()
-	return t
+	return &Table{budget: budgetBytes, idx: make(map[tkey]int)}
 }
 
 // LookupPath implements estimate.HET.
 func (t *Table) LookupPath(h uint32) (card, bsel float64, bselOK, ok bool) {
-	i, ok := t.paths[h]
-	if !ok {
+	i, ok := t.idx[tkey{h, false}]
+	if !ok || i >= t.limit {
 		return 0, 0, false, false
 	}
 	e := &t.all[i]
@@ -67,8 +82,8 @@ func (t *Table) LookupPath(h uint32) (card, bsel float64, bselOK, ok bool) {
 
 // LookupPattern implements estimate.HET.
 func (t *Table) LookupPattern(h uint32) (bsel float64, ok bool) {
-	i, ok := t.patterns[h]
-	if !ok {
+	i, ok := t.idx[tkey{h, true}]
+	if !ok || i >= t.limit {
 		return 0, false
 	}
 	e := &t.all[i]
@@ -78,45 +93,92 @@ func (t *Table) LookupPattern(h uint32) (bsel float64, ok bool) {
 	return e.Bsel, true
 }
 
-// Add inserts or replaces an entry (same hash and kind) and re-ranks.
+// Add upserts an entry by (hash, kind), keeping rank order. An incoming
+// entry that carries no backward selectivity (BselOK false — card-only query
+// feedback) merges with an existing one instead of replacing it wholesale:
+// the precomputed Bsel survives, only the cardinality and error refresh.
+// This merge runs identically during delta-log replay (ApplyHETDelta calls
+// Add), so recovered tables match live ones.
 func (t *Table) Add(e Entry) {
-	for i := range t.all {
-		if t.all[i].Hash == e.Hash && t.all[i].Pattern == e.Pattern {
-			t.all[i] = e
-			t.rerank()
-			return
+	k := tkey{e.Hash, e.Pattern}
+	if i, ok := t.idx[k]; ok {
+		if old := &t.all[i]; !e.BselOK && old.BselOK {
+			e.Bsel, e.BselOK = old.Bsel, old.BselOK
 		}
+		t.all[i] = e
+		t.reposition(i)
+		return
 	}
-	t.all = append(t.all, e)
-	t.rerank()
+	// New entry: insert after any equal-Err entries (the order a stable
+	// append-then-sort would produce).
+	pos := sort.Search(len(t.all), func(i int) bool { return t.all[i].Err < e.Err })
+	t.all = append(t.all, Entry{})
+	copy(t.all[pos+1:], t.all[pos:])
+	t.all[pos] = e
+	for j := pos; j < len(t.all); j++ {
+		t.idx[tkey{t.all[j].Hash, t.all[j].Pattern}] = j
+	}
+	t.limit = t.residentLimit()
 }
 
-// AddBatch inserts many entries at once (no per-entry re-ranking).
+// reposition restores rank order after the entry at i changed its error,
+// shifting only the entries between its old and new positions.
+func (t *Table) reposition(i int) {
+	e := t.all[i]
+	if i > 0 && t.all[i-1].Err < e.Err {
+		// Error grew: move left, past strictly smaller errors only.
+		j := sort.Search(i, func(p int) bool { return t.all[p].Err < e.Err })
+		copy(t.all[j+1:i+1], t.all[j:i])
+		t.all[j] = e
+		for p := j; p <= i; p++ {
+			t.idx[tkey{t.all[p].Hash, t.all[p].Pattern}] = p
+		}
+		return
+	}
+	if i < len(t.all)-1 && e.Err < t.all[i+1].Err {
+		// Error shrank: move right, past strictly larger-or-equal errors.
+		j := i + sort.Search(len(t.all)-i-1, func(p int) bool { return t.all[i+1+p].Err < e.Err })
+		copy(t.all[i:j], t.all[i+1:j+1])
+		t.all[j] = e
+		for p := i; p <= j; p++ {
+			t.idx[tkey{t.all[p].Hash, t.all[p].Pattern}] = p
+		}
+	}
+}
+
+// AddBatch inserts many entries at once with a single sort (the precompute
+// and deserialization path). Entries are assumed unique by (hash, kind);
+// duplicates keep one index winner, as the old per-prefix map rebuild did.
 func (t *Table) AddBatch(entries []Entry) {
 	t.all = append(t.all, entries...)
-	t.rerank()
+	sort.SliceStable(t.all, func(i, j int) bool { return t.all[i].Err > t.all[j].Err })
+	t.idx = make(map[tkey]int, len(t.all))
+	for i := range t.all {
+		t.idx[tkey{t.all[i].Hash, t.all[i].Pattern}] = i
+	}
+	t.limit = t.residentLimit()
 }
 
 // SetBudget changes the resident memory budget in bytes and recomputes the
 // resident set. This is the "dynamic reconfiguration" the paper describes:
 // entries can be dropped or readmitted at any time without touching the
-// kernel.
+// kernel. Residency is a prefix of the ranked table, so this is O(1).
 func (t *Table) SetBudget(bytes int) {
 	t.budget = bytes
-	t.rebuild()
+	t.limit = t.residentLimit()
 }
 
 // Budget returns the configured budget in bytes (<= 0: unlimited).
 func (t *Table) Budget() int { return t.budget }
 
 // SizeBytes returns the resident size under EntrySize accounting.
-func (t *Table) SizeBytes() int { return (len(t.paths) + len(t.patterns)) * EntrySize }
+func (t *Table) SizeBytes() int { return t.limit * EntrySize }
 
 // NumEntries returns the total number of known entries (resident or not).
 func (t *Table) NumEntries() int { return len(t.all) }
 
 // NumResident returns the number of resident entries.
-func (t *Table) NumResident() int { return len(t.paths) + len(t.patterns) }
+func (t *Table) NumResident() int { return t.limit }
 
 // Entries returns a copy of all entries in rank order, for inspection.
 func (t *Table) Entries() []Entry {
@@ -125,28 +187,14 @@ func (t *Table) Entries() []Entry {
 	return out
 }
 
-func (t *Table) rerank() {
-	sort.SliceStable(t.all, func(i, j int) bool { return t.all[i].Err > t.all[j].Err })
-	t.rebuild()
-}
-
-func (t *Table) rebuild() {
+func (t *Table) residentLimit() int {
 	limit := len(t.all)
 	if t.budget > 0 {
 		if max := t.budget / EntrySize; max < limit {
 			limit = max
 		}
 	}
-	t.paths = make(map[uint32]int, limit)
-	t.patterns = make(map[uint32]int, limit)
-	for i := 0; i < limit; i++ {
-		e := &t.all[i]
-		if e.Pattern {
-			t.patterns[e.Hash] = i
-		} else {
-			t.paths[e.Hash] = i
-		}
-	}
+	return limit
 }
 
 // Feedback records an executed query's actual cardinality (paper Figure 1:

@@ -373,3 +373,107 @@ func TestStripPreds(t *testing.T) {
 		t.Errorf("original mutated: %q", q.String())
 	}
 }
+
+// TestFeedbackPreservesPrecomputedBsel pins the merge-on-upsert fix: a
+// card-only query feedback (the simple-path branch builds an entry with
+// BselOK=false) must not wipe a path's precomputed backward selectivity —
+// only the cardinality and error refresh.
+func TestFeedbackPreservesPrecomputedBsel(t *testing.T) {
+	tab := New(0)
+	h := pathhash.Path("a", "b")
+	tab.Add(Entry{Hash: h, Card: 10, Bsel: 0.5, BselOK: true, Err: 3})
+
+	q := xpath.MustParse("/a/b")
+	delta, applied := tab.Feedback(q, 12, 10, 0)
+	if !applied || delta.BselOK {
+		t.Fatalf("feedback delta = %+v applied=%v, want card-only applied", delta, applied)
+	}
+	card, bsel, bselOK, ok := tab.LookupPath(h)
+	if !ok {
+		t.Fatal("entry lost after feedback")
+	}
+	if card != 12 {
+		t.Errorf("card = %g, want fed-back 12", card)
+	}
+	if !bselOK || bsel != 0.5 {
+		t.Errorf("bsel = %g ok=%v after card-only feedback, want precomputed 0.5 preserved", bsel, bselOK)
+	}
+	// Replaying the recorded delta onto a copy of the pre-feedback table
+	// converges to the same merged state (what the store's log replay does).
+	replay := New(0)
+	replay.Add(Entry{Hash: h, Card: 10, Bsel: 0.5, BselOK: true, Err: 3})
+	replay.Add(delta)
+	rc, rb, rok, _ := replay.LookupPath(h)
+	if rc != card || rb != bsel || rok != bselOK {
+		t.Errorf("replayed entry = (%g, %g, %v), live = (%g, %g, %v)", rc, rb, rok, card, bsel, bselOK)
+	}
+	// An entry that does carry a selectivity still replaces wholesale.
+	tab.Add(Entry{Hash: h, Card: 20, Bsel: 0.9, BselOK: true, Err: 1})
+	if _, bsel, _, _ := tab.LookupPath(h); bsel != 0.9 {
+		t.Errorf("bsel = %g after full upsert, want 0.9", bsel)
+	}
+}
+
+// TestTableIncrementalRankOrder cross-checks the incremental rank
+// maintenance against a from-scratch rebuild over a randomized workload of
+// inserts, upserts, and budget changes.
+func TestTableIncrementalRankOrder(t *testing.T) {
+	tab := New(8 * EntrySize)
+	ref := make(map[tkey]Entry)
+	rnd := uint32(1)
+	next := func() uint32 { rnd = rnd*1664525 + 1013904223; return rnd }
+	for i := 0; i < 2000; i++ {
+		e := Entry{
+			Hash:    next()%64 + 1,
+			Pattern: next()%2 == 0,
+			Card:    float64(next() % 100),
+			Err:     float64(next() % 50),
+		}
+		tab.Add(e)
+		k := tkey{e.Hash, e.Pattern}
+		if old, ok := ref[k]; ok && !e.BselOK && old.BselOK {
+			e.Bsel, e.BselOK = old.Bsel, old.BselOK
+		}
+		ref[k] = e
+		if i%97 == 0 {
+			tab.SetBudget(int(next()%16+1) * EntrySize)
+		}
+	}
+	all := tab.Entries()
+	if len(all) != len(ref) {
+		t.Fatalf("table has %d entries, reference %d", len(all), len(ref))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Err < all[i].Err {
+			t.Fatalf("rank order violated at %d: %g < %g", i, all[i-1].Err, all[i].Err)
+		}
+	}
+	for i, e := range all {
+		want, ok := ref[tkey{e.Hash, e.Pattern}]
+		if !ok || want.Card != e.Card || want.Err != e.Err {
+			t.Errorf("entry %d (%x,%v) = %+v, want %+v", i, e.Hash, e.Pattern, e, want)
+		}
+	}
+	// The resident set is exactly the in-budget prefix.
+	wantRes := tab.Budget() / EntrySize
+	if wantRes > len(all) {
+		wantRes = len(all)
+	}
+	if tab.NumResident() != wantRes {
+		t.Errorf("resident = %d, want %d", tab.NumResident(), wantRes)
+	}
+	for i, e := range all {
+		var ok bool
+		if e.Pattern {
+			if !e.BselOK {
+				continue // unservable regardless of residency
+			}
+			_, ok = tab.LookupPattern(e.Hash)
+		} else {
+			_, _, _, ok = tab.LookupPath(e.Hash)
+		}
+		if got, want := ok, i < wantRes; got != want {
+			t.Errorf("entry %d resident=%v, want %v", i, got, want)
+		}
+	}
+}

@@ -153,6 +153,45 @@ func BenchmarkEstimateWarmCache(b *testing.B) {
 	}
 }
 
+// BenchmarkEstimateDuringRebalance measures the serving path while a
+// background goroutine churns the aggregate budget — the CI artifact's
+// contention number. The budget flips invalidate the cache, so most
+// estimates pay the full lock + estimator path while rebalance plans are
+// being created and applied around them.
+func BenchmarkEstimateDuringRebalance(b *testing.B) {
+	syn, queries := benchSetup(b)
+	r := NewRegistry(4096, 1<<20)
+	r.StartRebalancer()
+	defer r.Close()
+	if _, err := r.Add("xmark", syn, "bench"); err != nil {
+		b.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r.SetAggregateBudget(1<<20 + (i%2)*4096)
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Estimate("xmark", queries[i%len(queries)], false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+}
+
 // BenchmarkEstimateBatchWarmCache amortizes parse + lock over a batch.
 func BenchmarkEstimateBatchWarmCache(b *testing.B) {
 	syn, queries := benchSetup(b)

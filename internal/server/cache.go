@@ -31,6 +31,7 @@ type cacheEntry struct {
 
 type cacheShard struct {
 	mu    sync.Mutex
+	cap   int        // max entries this shard holds (0: shard is disabled)
 	ll    *list.List // front = most recently used
 	items map[cacheKey]*list.Element
 }
@@ -41,22 +42,28 @@ type cacheShard struct {
 // the registry's job: mutations version the synopsis scope (Entry.cacheScope),
 // making old entries unreachable so they age out of the LRU.
 type Cache struct {
-	shards   [numShards]cacheShard
-	perShard int
-	hits     atomic.Int64
-	misses   atomic.Int64
+	shards [numShards]cacheShard
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
 // NewCache returns a cache holding at most capacity entries in total
-// (rounded up to a multiple of the shard count; capacity <= 0 picks a
-// default of 4096).
+// (capacity <= 0 picks a default of 4096). Capacity is distributed across
+// the shards with the remainder spread one entry at a time, so the total is
+// honored exactly: a capacity of 1 holds at most 1 entry, not one per shard.
+// Shards left with zero capacity never admit entries, which costs hit rate
+// at tiny capacities but keeps the configured memory bound true.
 func NewCache(capacity int) *Cache {
 	if capacity <= 0 {
 		capacity = 4096
 	}
-	per := (capacity + numShards - 1) / numShards
-	c := &Cache{perShard: per}
+	base, rem := capacity/numShards, capacity%numShards
+	c := &Cache{}
 	for i := range c.shards {
+		c.shards[i].cap = base
+		if i < rem {
+			c.shards[i].cap++
+		}
 		c.shards[i].ll = list.New()
 		c.shards[i].items = make(map[cacheKey]*list.Element)
 	}
@@ -96,8 +103,11 @@ func (c *Cache) Put(syn, query string, v EstimateResult) {
 		s.ll.MoveToFront(el)
 		return
 	}
+	if s.cap == 0 {
+		return
+	}
 	s.items[k] = s.ll.PushFront(&cacheEntry{key: k, val: v})
-	if s.ll.Len() > c.perShard {
+	if s.ll.Len() > s.cap {
 		oldest := s.ll.Back()
 		s.ll.Remove(oldest)
 		delete(s.items, oldest.Value.(*cacheEntry).key)

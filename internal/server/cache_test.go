@@ -67,6 +67,43 @@ func TestCacheLRUEviction(t *testing.T) {
 	}
 }
 
+// TestCacheCapacityBound pins the satellite fix: the configured capacity is
+// a true total bound, not a per-shard round-up (capacity 1 used to inflate
+// to one entry per shard, 16 resident).
+func TestCacheCapacityBound(t *testing.T) {
+	for _, capacity := range []int{1, 2, 7, numShards, 33, 100} {
+		c := NewCache(capacity)
+		for i := 0; i < 500; i++ {
+			c.Put("s", fmt.Sprintf("/q%d", i), EstimateResult{Est: float64(i)})
+		}
+		if got := c.Stats().Entries; got > capacity {
+			t.Errorf("capacity %d: %d resident entries", capacity, got)
+		}
+	}
+	// A tiny cache still serves: a key landing in the one live shard sticks.
+	c := NewCache(1)
+	var kept string
+	for i := 0; ; i++ {
+		q := fmt.Sprintf("/q%d", i)
+		if c.shardFor(cacheKey{"s", q}) == &c.shards[0] {
+			kept = q
+			break
+		}
+	}
+	c.Put("s", kept, EstimateResult{Est: 42})
+	if v, ok := c.Get("s", kept); !ok || v.Est != 42 {
+		t.Fatalf("capacity-1 cache lost its only admissible entry: %v %v", v, ok)
+	}
+	// Keys hashing to zero-capacity shards are refused, not crashed on.
+	for i := 0; i < 64; i++ {
+		q := fmt.Sprintf("/z%d", i)
+		c.Put("s", q, EstimateResult{Est: 1})
+	}
+	if got := c.Stats().Entries; got > 1 {
+		t.Fatalf("capacity-1 cache holds %d entries", got)
+	}
+}
+
 func TestCacheConcurrent(t *testing.T) {
 	c := NewCache(256)
 	var wg sync.WaitGroup

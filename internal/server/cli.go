@@ -13,10 +13,11 @@ import (
 )
 
 // RunCLI parses daemon flags and serves until SIGINT/SIGTERM, shutting down
-// gracefully (draining requests, then flushing the store). It backs both the
-// xseedd binary and `xseed serve`. Startup failures — a taken port, an
-// unreadable store, a bad preload — are returned to the caller, which exits
-// non-zero with the error on stderr.
+// gracefully: in-flight requests drain first, then the background budget
+// rebalancer (so planned budgets and their persisted deltas land), and the
+// store flushes last. It backs both the xseedd binary and `xseed serve`.
+// Startup failures — a taken port, an unreadable store, a bad preload — are
+// returned to the caller, which exits non-zero with the error on stderr.
 func RunCLI(name string, args []string) error {
 	fs := flag.NewFlagSet(name, flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")

@@ -8,6 +8,13 @@
 // subtree updates, and budget changes take the write side. The estimate
 // cache sits in front of the locks entirely — a warm hit never touches the
 // synopsis or the kernel/EPT machinery.
+//
+// Budget rebalancing is split into planning and application: registry-shape
+// changes compute per-entry targets under the registry lock (no entry locks
+// taken) and a background worker applies them under each entry's own lock,
+// so a slow critical section on one synopsis never stalls estimates to the
+// others. Budgets are therefore eventually applied; /stats exposes the plan
+// and applied generations.
 package server
 
 import (
@@ -51,7 +58,19 @@ type Entry struct {
 	// restarted daemon from the live one.
 	retired atomic.Bool
 
-	lastBudget int // last SetBudget applied by rebalancing; guarded by mu
+	// kernBytes mirrors syn.KernelSizeBytes() so the rebalance planner can
+	// snapshot kernel sizes under r.mu without touching entry locks (the
+	// whole point of planning: never block the registry on a slow entry
+	// critical section). Updated after every subtree mutation.
+	kernBytes atomic.Int64
+
+	// lastBudget is the last SetBudget applied by rebalancing: 0 = never
+	// touched (the synopsis keeps its build-time budget), -1 = fleet budget
+	// explicitly lifted. Guarded by mu, like budgetGen — the planner
+	// deliberately never reads it (apply-time decisions under mu are what
+	// keep lift plans race-free against in-flight constraining plans).
+	lastBudget int
+	budgetGen  uint64 // rebalance plan generation of lastBudget; guarded by mu
 
 	estimates atomic.Int64 // uncached estimates served
 	feedbacks atomic.Int64
@@ -82,7 +101,11 @@ type Registry struct {
 	mu      sync.RWMutex
 	entries map[string]*Entry
 	budget  int // aggregate bytes across all synopses; 0 = unlimited
-	ids     atomic.Uint64
+	// everBudgeted flips when a constraining plan is created (or a
+	// constrained synopsis is restored); until then a zero budget plans
+	// nothing, so budget-less registries pay no rebalance overhead.
+	everBudgeted bool
+	ids          atomic.Uint64
 
 	cache *Cache
 
@@ -99,6 +122,44 @@ type Registry struct {
 	// order (two racing Puts of one name must not commit their manifests in
 	// the opposite order of their map swaps).
 	registerMu sync.Mutex
+
+	// registerHook, when set, runs inside register's base-snapshot critical
+	// section (new entry write-locked, registerMu held). Test-only: it is
+	// how the contention tests stall a registration the way a slow fsync or
+	// an in-flight compaction of the same name would.
+	registerHook func(name string)
+
+	// Budget rebalancing is asynchronous when the worker is running (see
+	// StartRebalancer): registry-shape changes plan under r.mu — a cheap
+	// snapshot of entry pointers and atomically-read kernel sizes — and the
+	// worker applies SetBudget/AppendBudget per entry under only that
+	// entry's lock. rebalGen stamps each plan (bumped under r.mu, so plans
+	// are totally ordered by registry state); rebalApplied trails it and the
+	// two together expose progress in /stats. pending is a one-plan
+	// coalescing slot: a burst of shape changes overwrites it and the worker
+	// applies only the newest plan. Without the worker (Restore during
+	// recovery, bare registries in tests) plans apply synchronously on the
+	// caller, preserving the old apply-before-return contract.
+	rebalGen     atomic.Uint64
+	rebalApplied atomic.Uint64
+	rebalMu      sync.Mutex // guards the fields below; never held while applying
+	rebalCond    *sync.Cond // signaled on new plan, plan applied, and close
+	pending      *rebalPlan
+	rebalOn      bool // worker goroutine is running
+	rebalClosed  bool
+	rebalWG      sync.WaitGroup
+}
+
+// rebalPlan is one planned redistribution of the aggregate budget: the
+// per-entry targets computed from a snapshot of the registry's shape.
+type rebalPlan struct {
+	gen     uint64
+	targets []rebalTarget
+}
+
+type rebalTarget struct {
+	e      *Entry
+	target int // total budget bytes for this entry's SetBudget
 }
 
 // NewRegistry returns a registry whose estimate cache holds cacheCapacity
@@ -107,12 +168,260 @@ type Registry struct {
 // when their sizes alone exceed the budget, hyper-edge tables are emptied
 // but the kernels stay resident.
 func NewRegistry(cacheCapacity, aggregateBudgetBytes int) *Registry {
-	return &Registry{
+	r := &Registry{
 		entries: make(map[string]*Entry),
 		budget:  aggregateBudgetBytes,
 		cache:   NewCache(cacheCapacity),
 		log:     log.New(io.Discard, "", 0),
 	}
+	r.rebalCond = sync.NewCond(&r.rebalMu)
+	return r
+}
+
+// StartRebalancer launches the background budget rebalancer. Before it runs
+// — and again after Close — budget plans apply synchronously on the caller,
+// which is what registry recovery (Restore) relies on. Idempotent.
+func (r *Registry) StartRebalancer() {
+	r.rebalMu.Lock()
+	defer r.rebalMu.Unlock()
+	if r.rebalOn || r.rebalClosed {
+		return
+	}
+	r.rebalOn = true
+	r.rebalWG.Add(1)
+	go r.rebalanceWorker()
+}
+
+// Close drains the rebalancer: any pending budget plan is applied — and its
+// budget deltas appended to the store — before Close returns, so a graceful
+// shutdown can flush the store afterwards without losing planned budgets.
+// The registry stays usable; later shape changes rebalance synchronously.
+func (r *Registry) Close() {
+	r.rebalMu.Lock()
+	if !r.rebalClosed {
+		r.rebalClosed = true
+		r.rebalCond.Broadcast()
+	}
+	r.rebalMu.Unlock()
+	r.rebalWG.Wait()
+}
+
+func (r *Registry) rebalanceWorker() {
+	defer r.rebalWG.Done()
+	for {
+		r.rebalMu.Lock()
+		for r.pending == nil && !r.rebalClosed {
+			r.rebalCond.Wait()
+		}
+		p := r.pending
+		r.pending = nil
+		if p == nil {
+			// Closed with nothing pending: flip rebalOn inside this critical
+			// section so a dispatch that lost the race falls back to applying
+			// synchronously instead of parking a plan nobody will pick up.
+			r.rebalOn = false
+			r.rebalMu.Unlock()
+			return
+		}
+		r.rebalMu.Unlock()
+		r.applyPlan(p)
+	}
+}
+
+// planRebalanceLocked computes per-entry budget targets from the current
+// registry shape: each synopsis keeps its kernel and gets an equal share of
+// the remaining aggregate budget for its hyper-edge table (the paper's
+// dynamic reconfiguration, applied fleet-wide). With no aggregate budget
+// (unlimited), the plan lifts the bound (target -1) from entries a previous
+// rebalance constrained; synopses never touched keep their build-time
+// budgets. Caller holds r.mu. Kernel sizes and last budgets come from the
+// entries' atomic mirrors, so planning never blocks on an entry's critical
+// section; they may be slightly stale, which is fine — a budget is a
+// target, not an invariant.
+func (r *Registry) planRebalanceLocked() *rebalPlan {
+	if len(r.entries) == 0 {
+		return nil
+	}
+	if r.budget <= 0 {
+		if !r.everBudgeted {
+			return nil
+		}
+		// Every entry gets the lift target; whether an entry was actually
+		// constrained is decided at apply time under its own lock (deciding
+		// here from lastBudget would race an in-flight constraining plan and
+		// could leave a synopsis pinned at a tight budget forever).
+		targets := make([]rebalTarget, 0, len(r.entries))
+		for _, e := range r.entries {
+			targets = append(targets, rebalTarget{e: e, target: -1})
+		}
+		return &rebalPlan{gen: r.rebalGen.Add(1), targets: targets}
+	}
+	r.everBudgeted = true
+	kernels := 0
+	targets := make([]rebalTarget, 0, len(r.entries))
+	for _, e := range r.entries {
+		k := int(e.kernBytes.Load())
+		targets = append(targets, rebalTarget{e: e, target: k})
+		kernels += k
+	}
+	share := (r.budget - kernels) / len(targets)
+	if share < 0 {
+		share = 0
+	}
+	for i := range targets {
+		targets[i].target += share
+	}
+	return &rebalPlan{gen: r.rebalGen.Add(1), targets: targets}
+}
+
+// dispatch hands a plan to the worker (coalescing: a newer plan overwrites
+// an unapplied older one — never the reverse, since planning under r.mu and
+// dispatching here are separate steps and two shape changes can reach this
+// point out of order) or, with no worker running, applies it inline.
+// Callers must not hold r.mu.
+func (r *Registry) dispatch(p *rebalPlan) {
+	if p == nil {
+		return
+	}
+	r.rebalMu.Lock()
+	if r.rebalOn {
+		if r.pending == nil || p.gen > r.pending.gen {
+			r.pending = p
+		}
+		r.rebalCond.Broadcast()
+		r.rebalMu.Unlock()
+		return
+	}
+	r.rebalMu.Unlock()
+	r.applyPlan(p)
+}
+
+// applyPlan applies one plan's SetBudget targets, taking only each entry's
+// lock in turn — never r.mu, so a slow entry critical section (a base
+// snapshot fsync, a stuck feedback) never touches the serving path. A first
+// pass TryLocks, so a wedged entry delays only its own budget, not the rest
+// of the plan's; the second pass waits the stragglers out, still yielding
+// to a superseding plan (whose targets are fresher for every entry).
+// Entries that retired since planning are skipped. Budget deltas append
+// inside the entry critical section, so replay order still equals apply
+// order.
+func (r *Registry) applyPlan(p *rebalPlan) {
+	r.mu.RLock()
+	st, lg := r.st, r.log
+	r.mu.RUnlock()
+	var busy []rebalTarget
+	superseded := func() bool { return r.rebalGen.Load() > p.gen }
+	for _, t := range p.targets {
+		if superseded() {
+			busy = nil
+			break
+		}
+		if !r.applyTarget(st, lg, p, t, false) {
+			busy = append(busy, t)
+		}
+	}
+	for _, t := range busy {
+		if superseded() {
+			break
+		}
+		r.applyTarget(st, lg, p, t, true)
+	}
+	// Advance the applied generation (a superseded plan counts as applied:
+	// its successor covers every entry) and wake drain waiters.
+	for {
+		cur := r.rebalApplied.Load()
+		if cur >= p.gen || r.rebalApplied.CompareAndSwap(cur, p.gen) {
+			break
+		}
+	}
+	r.rebalMu.Lock()
+	r.rebalCond.Broadcast()
+	r.rebalMu.Unlock()
+}
+
+// applyTarget applies one entry's budget target. With block unset it only
+// tries the entry lock, reporting false when the entry is busy; with block
+// set it waits, polling so a plan superseded mid-wait aborts instead of
+// pinning the worker to a stalled entry.
+func (r *Registry) applyTarget(st *store.Store, lg *log.Logger, p *rebalPlan, t rebalTarget, block bool) bool {
+	e := t.e
+	if e.retired.Load() {
+		return true
+	}
+	if !e.mu.TryLock() {
+		if !block {
+			return false
+		}
+		for !e.mu.TryLock() {
+			if r.rebalGen.Load() > p.gen {
+				return true
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	defer e.mu.Unlock()
+	if e.retired.Load() || e.budgetGen > p.gen {
+		return true
+	}
+	e.budgetGen = p.gen
+	if t.target < 0 && e.lastBudget == 0 {
+		// Lift target on an entry no fleet rebalance ever constrained: keep
+		// its build-time budget. Read under e.mu, so it cannot race the
+		// constraining write it exists to observe.
+		return true
+	}
+	if t.target != e.lastBudget {
+		e.lastBudget = t.target
+		e.syn.SetBudget(t.target)
+		if e.syn.HasHET() {
+			// Admitting or evicting HET entries changes estimates; an
+			// unchanged target is skipped entirely so membership churn
+			// doesn't flush warm caches for nothing.
+			e.invalidate()
+		}
+		if st != nil && !e.retired.Load() {
+			if err := st.AppendBudget(e.name, t.target); err != nil {
+				lg.Printf("persist budget for %q: %v", e.name, err)
+			}
+		}
+	}
+	return true
+}
+
+// waitRebalanced blocks until every budget plan created so far has been
+// applied (or superseded by an applied successor). Tests use it to observe
+// the eventually-applied budget state deterministically.
+func (r *Registry) waitRebalanced() {
+	target := r.rebalGen.Load()
+	r.rebalMu.Lock()
+	defer r.rebalMu.Unlock()
+	for r.rebalApplied.Load() < target {
+		r.rebalCond.Wait()
+	}
+}
+
+// RebalanceStats is the /stats view of budget-rebalance progress: Gen is the
+// newest plan, AppliedGen the newest applied one; Pending > 0 means targets
+// are still in flight to some entries.
+type RebalanceStats struct {
+	Async      bool   `json:"async"`
+	Gen        uint64 `json:"gen"`
+	AppliedGen uint64 `json:"appliedGen"`
+	Pending    uint64 `json:"pending"`
+}
+
+// RebalanceStats snapshots rebalance progress.
+func (r *Registry) RebalanceStats() RebalanceStats {
+	r.rebalMu.Lock()
+	on := r.rebalOn
+	r.rebalMu.Unlock()
+	gen := r.rebalGen.Load()
+	applied := r.rebalApplied.Load()
+	st := RebalanceStats{Async: on, Gen: gen, AppliedGen: applied}
+	if gen > applied {
+		st.Pending = gen - applied
+	}
+	return st
 }
 
 // AttachStore makes subsequent mutations durable. Attach after Restore-ing
@@ -138,14 +447,17 @@ func (r *Registry) Store() *store.Store {
 // counter — today that is belt-and-braces (the estimate cache and the scope's
 // entry id are both per-process, so no pre-crash scope can be presented) and
 // doubles as a durable mutation count; it becomes load-bearing if the cache
-// ever moves out of process.
+// ever moves out of process. Recovery runs before StartRebalancer, so the
+// rebalance each Restore triggers applies synchronously: when the last
+// synopsis is restored, every budget matches what a fresh plan over the full
+// registry would assign, with no worker racing the replay.
 func (r *Registry) Restore(l store.Loaded) (*Entry, error) {
 	if l.Name == "" {
 		return nil, fmt.Errorf("synopsis name must be non-empty")
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if _, ok := r.entries[l.Name]; ok {
+		r.mu.Unlock()
 		return nil, fmt.Errorf("synopsis %q %w", l.Name, ErrExists)
 	}
 	e := r.newEntry(l.Name, l.Syn, l.Source)
@@ -154,8 +466,13 @@ func (r *Registry) Restore(l store.Loaded) (*Entry, error) {
 	}
 	e.ver.Store(l.Ver)
 	e.lastBudget = l.Budget
+	if l.Budget != 0 {
+		r.everBudgeted = true
+	}
 	r.entries[l.Name] = e
-	r.rebalanceLocked()
+	p := r.planRebalanceLocked()
+	r.mu.Unlock()
+	r.dispatch(p)
 	return e, nil
 }
 
@@ -208,6 +525,9 @@ func (r *Registry) register(name string, syn *xseed.Synopsis, source string, rep
 		old.mu.Unlock()
 	}
 
+	if r.registerHook != nil {
+		r.registerHook(name)
+	}
 	var saveErr error
 	if st != nil {
 		if err := st.SaveBase(name, syn, source, e.created, e.lastBudget, e.ver.Load()); err != nil {
@@ -217,7 +537,6 @@ func (r *Registry) register(name string, syn *xseed.Synopsis, source string, rep
 	e.mu.Unlock()
 
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if saveErr != nil {
 		// Unwind the reservation (Delete is excluded by registerMu, so it is
 		// still ours). A failed replacement reinstates the old entry rather
@@ -233,9 +552,19 @@ func (r *Registry) register(name string, syn *xseed.Synopsis, source string, rep
 		} else {
 			delete(r.entries, name)
 		}
+		// Replan over the unwound membership: a plan created during the
+		// register window computed its shares against the doomed entry, and
+		// the worker will skip that entry as retired — without a fresh plan
+		// the reinstated synopsis would keep a stale budget while /stats
+		// reported the rebalance settled.
+		p := r.planRebalanceLocked()
+		r.mu.Unlock()
+		r.dispatch(p)
 		return nil, saveErr
 	}
-	r.rebalanceLocked()
+	p := r.planRebalanceLocked()
+	r.mu.Unlock()
+	r.dispatch(p)
 	return e, nil
 }
 
@@ -255,6 +584,7 @@ func (r *Registry) newEntry(name string, syn *xseed.Synopsis, source string) *En
 		syn:     syn,
 		acc:     &metrics.Online{},
 	}
+	e.kernBytes.Store(int64(syn.KernelSizeBytes()))
 	return e
 }
 
@@ -281,15 +611,17 @@ func (r *Registry) Delete(name string) error {
 	r.mu.Lock()
 	e, ok := r.entries[name]
 	st := r.st
+	var p *rebalPlan
 	if ok {
 		e.retired.Store(true)
 		delete(r.entries, name)
-		r.rebalanceLocked()
+		p = r.planRebalanceLocked()
 	}
 	r.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("synopsis %q %w", name, ErrNotFound)
 	}
+	r.dispatch(p)
 	if st != nil {
 		if err := st.Remove(name); err != nil {
 			return fmt.Errorf("synopsis removed but store cleanup failed: %w", err)
@@ -298,66 +630,15 @@ func (r *Registry) Delete(name string) error {
 	return nil
 }
 
-// rebalanceLocked redistributes the aggregate budget across the registered
-// synopses: each keeps its kernel and receives an equal share of whatever
-// budget remains for its hyper-edge table (the paper's dynamic
-// reconfiguration, applied fleet-wide). Caller holds r.mu.
-//
-// Known tradeoff: this runs under the registry-wide lock and takes each
-// entry's lock in turn (appending a tiny budget delta when persisting), so
-// with an aggregate budget set, a registry-shape change that overlaps a
-// long entry critical section — e.g. a base snapshot being written — stalls
-// the registry for that duration. Budget application is kept atomic for
-// simplicity; making it async is a ROADMAP item.
-func (r *Registry) rebalanceLocked() {
-	if r.budget <= 0 || len(r.entries) == 0 {
-		return
-	}
-	// Kernel sizes are read under each entry's read lock — a concurrent
-	// subtree update mutates the kernel under that same lock. The sizes may
-	// be slightly stale by the time budgets are applied below; the budget
-	// is a target, not an invariant, so that is acceptable.
-	kernels := 0
-	sizes := make(map[*Entry]int, len(r.entries))
-	for _, e := range r.entries {
-		e.mu.RLock()
-		k := e.syn.KernelSizeBytes()
-		e.mu.RUnlock()
-		sizes[e] = k
-		kernels += k
-	}
-	share := (r.budget - kernels) / len(r.entries)
-	if share < 0 {
-		share = 0
-	}
-	for _, e := range r.entries {
-		target := sizes[e] + share
-		e.mu.Lock()
-		if target != e.lastBudget {
-			e.lastBudget = target
-			e.syn.SetBudget(target)
-			if e.syn.HasHET() {
-				// Admitting or evicting HET entries changes estimates; an
-				// unchanged target is skipped entirely so membership churn
-				// doesn't flush warm caches for nothing.
-				e.invalidate()
-			}
-			if r.st != nil {
-				if err := r.st.AppendBudget(e.name, target); err != nil {
-					r.log.Printf("persist budget for %q: %v", e.name, err)
-				}
-			}
-		}
-		e.mu.Unlock()
-	}
-}
-
-// SetAggregateBudget changes the fleet-wide budget and rebalances.
+// SetAggregateBudget changes the fleet-wide budget and rebalances. With the
+// background rebalancer running it returns as soon as the plan is computed;
+// the per-synopsis budgets are applied eventually (watch /stats).
 func (r *Registry) SetAggregateBudget(bytes int) {
 	r.mu.Lock()
 	r.budget = bytes
-	r.rebalanceLocked()
+	p := r.planRebalanceLocked()
 	r.mu.Unlock()
+	r.dispatch(p)
 }
 
 // EstimateItem is the outcome of estimating one query of a batch.
@@ -530,6 +811,7 @@ func (r *Registry) updateSubtree(name string, contextPath []string, xml string, 
 	}
 	if err == nil {
 		e.invalidate()
+		e.kernBytes.Store(int64(e.syn.KernelSizeBytes()))
 		if st != nil && !e.retired.Load() {
 			persistErr = st.AppendSubtree(name, add, contextPath, xml)
 		}
@@ -606,6 +888,7 @@ type Stats struct {
 	Synopses        []SynopsisInfo `json:"synopses"`
 	TotalBytes      int            `json:"totalBytes"`
 	AggregateBudget int            `json:"aggregateBudget"`
+	Rebalance       RebalanceStats `json:"rebalance"`
 	Cache           CacheStats     `json:"cache"`
 	Store           *store.Stats   `json:"store,omitempty"` // nil when not persisting
 }
@@ -625,6 +908,7 @@ func (r *Registry) Stats() Stats {
 		Synopses:        infos,
 		TotalBytes:      total,
 		AggregateBudget: budget,
+		Rebalance:       r.RebalanceStats(),
 		Cache:           r.cache.Stats(),
 	}
 	if st != nil {

@@ -96,13 +96,21 @@ func New(cfg Config) (*Server, error) {
 		s.reg.AttachStore(st, cfg.Log)
 		s.st = st
 	}
+	// Start the async budget rebalancer only after recovery: Restore's
+	// rebalances must apply synchronously so the registry's budgets are
+	// settled (and match a fresh plan over the full fleet) before traffic.
+	s.reg.StartRebalancer()
 	s.http = &http.Server{Addr: cfg.Addr, Handler: s.Handler()}
 	return s, nil
 }
 
-// Close releases the store (flushing delta logs). Run does this on shutdown;
-// callers that never Run (tests mounting Handler) should Close themselves.
+// Close drains the registry's budget rebalancer, then releases the store
+// (flushing delta logs) — in that order, so budget deltas from a pending
+// rebalance reach the log before it is flushed and closed. Run does this on
+// shutdown; callers that never Run (tests mounting Handler) should Close
+// themselves.
 func (s *Server) Close() error {
+	s.reg.Close()
 	if s.st == nil {
 		return nil
 	}
@@ -131,6 +139,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /synopses/{name}/snapshot", s.handleSnapshotGet)
 	mux.HandleFunc("PUT /synopses/{name}/snapshot", s.handleSnapshotPut)
 	mux.HandleFunc("POST /v1/admin/compact", s.handleCompact)
+	mux.HandleFunc("POST /v1/admin/budget", s.handleBudget)
 	return mux
 }
 
@@ -506,6 +515,28 @@ func (s *Server) handleSnapshotPut(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.reg.Stats())
+}
+
+// BudgetRequest changes the fleet-wide memory budget at runtime (0 =
+// unlimited), the paper's dynamic reconfiguration as an operation.
+type BudgetRequest struct {
+	Bytes int `json:"bytes"`
+}
+
+// handleBudget re-targets the aggregate budget. The response carries the
+// rebalance generation the change planned; per-synopsis budgets are applied
+// asynchronously — poll /stats until rebalance.appliedGen reaches it.
+func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
+	var req BudgetRequest
+	if !readBody(w, r, &req) {
+		return
+	}
+	if req.Bytes < 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bytes must be >= 0"))
+		return
+	}
+	s.reg.SetAggregateBudget(req.Bytes)
+	writeJSON(w, http.StatusAccepted, s.reg.RebalanceStats())
 }
 
 // CompactResponse reports a manual compaction sweep.

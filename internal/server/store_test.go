@@ -481,6 +481,9 @@ func TestStoreBudgetRebalancePersists(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// Budgets are applied by the background rebalancer; drain it so the
+	// resident sets (and the persisted budget deltas) are settled.
+	reg.waitRebalanced()
 	var wantRes [2]int
 	for i, name := range []string{"one", "two"} {
 		e, _ := reg.Get(name)

@@ -70,6 +70,14 @@ func Default1BP() *HETConfig { return &HETConfig{MBP: 1} }
 // concurrently with anything, including estimates; callers that interleave
 // them must serialize externally (e.g. an RWMutex with estimates on the
 // read side), which is what xseed/internal/server does.
+//
+// Timing: a budget handed to SetBudget is a target, not an invariant — the
+// serving layer's rebalancer computes fleet-wide targets first and applies
+// them per synopsis afterwards, under only that synopsis's lock, so after a
+// fleet-level budget change each SetBudget lands eventually rather than
+// before the change returns. Within one synopsis the calls are still
+// strictly ordered by its lock, which is what keeps persisted budget deltas
+// replaying in apply order.
 type Synopsis struct {
 	kern *kernel.Kernel
 	tab  *het.Table
@@ -194,14 +202,21 @@ func (s *Synopsis) HETEntries() (resident, total int) {
 // SetBudget adapts the synopsis to a total memory budget in bytes: the
 // kernel is fixed; the hyper-edge table keeps its highest-error entries in
 // the remainder (the paper's dynamic reconfiguration). A budget at or below
-// the kernel size empties the resident HET.
+// the kernel size empties the resident HET; a negative budget removes the
+// bound entirely (every entry resident), which is how the serving layer
+// lifts a previously-imposed fleet budget.
 func (s *Synopsis) SetBudget(totalBytes int) {
 	if s.tab == nil {
 		return
 	}
+	if totalBytes < 0 {
+		s.tab.SetBudget(0) // het treats <=0 as unlimited
+		s.est.Invalidate()
+		return
+	}
 	rest := totalBytes - s.kern.SizeBytes()
 	if rest < 1 {
-		rest = 1 // het treats <=0 as unlimited; 1 byte admits nothing
+		rest = 1 // 1 byte admits nothing (0 would mean unlimited)
 	}
 	s.tab.SetBudget(rest)
 	s.est.Invalidate()

@@ -1,0 +1,180 @@
+// Package api is the public wire contract of the xseedd estimation API:
+// the request, response, and error types every versioned /v1 route
+// marshals, shared verbatim by the server (xseed/internal/server) and the
+// Go SDK (xseed/client). It has no dependencies beyond the standard
+// library and the XPath parser's error type, so optimizer-embedded clients
+// — and future transports such as gRPC — can reuse it without pulling in
+// the synopsis machinery.
+//
+// # Versioning
+//
+// Every route lives under /v1 (see Routes). The original unversioned paths
+// from before the contract was public remain mounted as thin aliases that
+// serve identical bodies plus a "Deprecation: true" header and a Link to
+// their /v1 successor; new clients should never use them.
+//
+// # Batch estimates and partial success
+//
+// POST /v1/synopses/{name}/estimate is batch-first: one request carries N
+// queries and the response carries exactly N EstimateItems in request
+// order. A query that fails to parse does not fail the batch — the request
+// still returns 200 and the failed query's item carries a typed Error
+// (CodeParseError, with the byte offset in its ParseDetail) while every
+// other item carries its estimate. Whole-request errors (unknown synopsis,
+// undecodable body, canceled context) use the non-2xx ErrorResponse
+// envelope instead.
+package api
+
+import "time"
+
+// SynopsisConfig mirrors the synopsis construction knobs
+// (xseed.Config/xseed.HETConfig) for the JSON API.
+type SynopsisConfig struct {
+	KernelOnly    bool    `json:"kernelOnly,omitempty"`
+	FeedbackOnly  bool    `json:"feedbackOnly,omitempty"`
+	MBP           int     `json:"mbp,omitempty"`
+	BselThreshold float64 `json:"bselThreshold,omitempty"`
+	BudgetBytes   int     `json:"budgetBytes,omitempty"`
+	CardThreshold float64 `json:"cardThreshold,omitempty"`
+	ReuseEPT      bool    `json:"reuseEPT,omitempty"`
+}
+
+// CreateRequest builds a synopsis from exactly one source: inline XML, an
+// XML file on the server's disk (confined to its -data-dir), a generated
+// dataset, or a serialized synopsis file written by `xseed build` or a
+// snapshot download.
+type CreateRequest struct {
+	Name string `json:"name"`
+
+	XML          string  `json:"xml,omitempty"`
+	XMLFile      string  `json:"xmlFile,omitempty"`
+	Dataset      string  `json:"dataset,omitempty"`
+	Factor       float64 `json:"factor,omitempty"`
+	Seed         int64   `json:"seed,omitempty"`
+	SynopsisFile string  `json:"synopsisFile,omitempty"`
+
+	Config *SynopsisConfig `json:"config,omitempty"`
+}
+
+// EstimateRequest carries one query or a batch (Query, if set, is treated
+// as the first batch entry). Streaming selects the single-pass matcher
+// with automatic per-query fallback.
+type EstimateRequest struct {
+	Query     string   `json:"query,omitempty"`
+	Queries   []string `json:"queries,omitempty"`
+	Streaming bool     `json:"streaming,omitempty"`
+}
+
+// EstimateItem is the outcome of estimating one query of a batch: either
+// an estimate (with cache/matcher provenance) or a typed per-query error —
+// never both. Query is the normalized (parsed and re-rendered) form when
+// the query parsed, the raw input otherwise.
+type EstimateItem struct {
+	Query    string  `json:"query"`
+	Estimate float64 `json:"estimate"`
+	Cached   bool    `json:"cached,omitempty"`
+	Streamed bool    `json:"streamed,omitempty"`
+	Error    *Error  `json:"error,omitempty"`
+}
+
+// EstimateResponse answers an estimate request; Results holds one item per
+// query in request order (partial success: see the package comment).
+type EstimateResponse struct {
+	Results []EstimateItem `json:"results"`
+}
+
+// FeedbackRequest records an executed query's actual cardinality
+// (self-tuning feedback, paper Figure 1).
+type FeedbackRequest struct {
+	Query  string  `json:"query"`
+	Actual float64 `json:"actual"`
+}
+
+// SubtreeRequest applies an incremental document update to the kernel.
+type SubtreeRequest struct {
+	Op      string   `json:"op"` // "add" or "remove"
+	Context []string `json:"context"`
+	XML     string   `json:"xml"`
+}
+
+// BudgetRequest changes the fleet-wide memory budget at runtime (0 =
+// unlimited).
+type BudgetRequest struct {
+	Bytes int `json:"bytes"`
+}
+
+// AccuracyStats is the running accuracy a synopsis observed via feedback.
+type AccuracyStats struct {
+	N          int64   `json:"n"`
+	RMSE       float64 `json:"rmse"`
+	NRMSE      float64 `json:"nrmse"`
+	R2         float64 `json:"r2"`
+	MeanActual float64 `json:"meanActual"`
+}
+
+// SynopsisInfo is the served view of one registered synopsis.
+type SynopsisInfo struct {
+	Name           string        `json:"name"`
+	Source         string        `json:"source"`
+	Created        time.Time     `json:"created"`
+	KernelBytes    int           `json:"kernelBytes"`
+	HETBytes       int           `json:"hetBytes"`
+	TotalBytes     int           `json:"totalBytes"`
+	HETResident    int           `json:"hetResident"`
+	HETTotal       int           `json:"hetTotal"`
+	Estimates      int64         `json:"estimates"`
+	Feedbacks      int64         `json:"feedbacks"`
+	SubtreeUpdates int64         `json:"subtreeUpdates"`
+	Accuracy       AccuracyStats `json:"accuracy"`
+}
+
+// CacheStats is a point-in-time view of estimate-cache effectiveness.
+type CacheStats struct {
+	Entries int     `json:"entries"`
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hitRate"`
+}
+
+// RebalanceStats is the /v1/stats view of budget-rebalance progress: Gen is
+// the newest plan, AppliedGen the newest applied one; Pending > 0 means
+// targets are still in flight to some entries.
+type RebalanceStats struct {
+	Async      bool   `json:"async"`
+	Gen        uint64 `json:"gen"`
+	AppliedGen uint64 `json:"appliedGen"`
+	Pending    uint64 `json:"pending"`
+}
+
+// StoreSynopsisStats is the persistence state of one synopsis.
+type StoreSynopsisStats struct {
+	Name         string `json:"name"`
+	Seq          uint64 `json:"seq"`
+	BaseBytes    int64  `json:"baseBytes"`
+	DeltaBytes   int64  `json:"deltaBytes"`
+	DeltaRecords int64  `json:"deltaRecords"`
+	Compactions  int64  `json:"compactions"`
+}
+
+// StoreStats is the durable store's stats payload (absent when the daemon
+// runs without -store-dir).
+type StoreStats struct {
+	Dir      string               `json:"dir"`
+	Synopses []StoreSynopsisStats `json:"synopses"`
+}
+
+// Stats is the server-wide stats payload.
+type Stats struct {
+	Synopses        []SynopsisInfo `json:"synopses"`
+	TotalBytes      int            `json:"totalBytes"`
+	AggregateBudget int            `json:"aggregateBudget"`
+	Rebalance       RebalanceStats `json:"rebalance"`
+	Cache           CacheStats     `json:"cache"`
+	Store           *StoreStats    `json:"store,omitempty"` // nil when not persisting
+}
+
+// CompactResponse reports a manual compaction sweep.
+type CompactResponse struct {
+	Compacted []string   `json:"compacted"`
+	Store     StoreStats `json:"store"`
+}

@@ -1,0 +1,63 @@
+package api
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Route describes one versioned endpoint of the estimation API: the
+// method, the /v1 path pattern, the deprecated unversioned alias (empty
+// when the route never had one), and the wire types it speaks. The server
+// mounts its mux from this table, so api/README.md (generated from
+// RoutesMarkdown) can never drift from what is actually served.
+type Route struct {
+	Method   string // HTTP method
+	Path     string // versioned pattern, e.g. /v1/synopses/{name}/estimate
+	Legacy   string // deprecated unversioned alias ("" = none)
+	Request  string // request wire type or body ("-" = none)
+	Response string // response wire type
+	Doc      string // one-line description
+}
+
+// Routes is the authoritative endpoint table of API version 1.
+func Routes() []Route {
+	return []Route{
+		{"GET", "/v1/healthz", "/healthz", "-", `"ok"`, "liveness probe"},
+		{"GET", "/v1/stats", "/stats", "-", "Stats", "registry, cache, rebalance, and store statistics"},
+		{"GET", "/v1/synopses", "/synopses", "-", "[]SynopsisInfo", "list registered synopses"},
+		{"POST", "/v1/synopses", "/synopses", "CreateRequest", "SynopsisInfo", "build and register a synopsis from one source"},
+		{"GET", "/v1/synopses/{name}", "/synopses/{name}", "-", "SynopsisInfo", "one synopsis's stats"},
+		{"DELETE", "/v1/synopses/{name}", "/synopses/{name}", "-", "-", "unregister a synopsis (and drop its persisted state)"},
+		{"POST", "/v1/synopses/{name}/estimate", "/synopses/{name}/estimate", "EstimateRequest", "EstimateResponse", "batch cardinality estimates (partial success per query)"},
+		{"POST", "/v1/synopses/{name}/feedback", "/synopses/{name}/feedback", "FeedbackRequest", "-", "record an executed query's actual cardinality"},
+		{"POST", "/v1/synopses/{name}/subtree", "/synopses/{name}/subtree", "SubtreeRequest", "-", "incremental kernel maintenance after a document update"},
+		{"GET", "/v1/synopses/{name}/snapshot", "/synopses/{name}/snapshot", "-", "binary stream", "download the serialized synopsis"},
+		{"PUT", "/v1/synopses/{name}/snapshot", "/synopses/{name}/snapshot", "binary stream", "SynopsisInfo", "register (or replace) a synopsis from a snapshot"},
+		{"POST", "/v1/admin/budget", "", "BudgetRequest", "RebalanceStats", "re-target the aggregate memory budget (applied asynchronously)"},
+		{"POST", "/v1/admin/compact", "", "-", "CompactResponse", "fold delta logs into fresh base snapshots (?synopsis=name for one)"},
+	}
+}
+
+// RoutesMarkdown renders the route table as the GitHub-flavored markdown
+// table embedded in api/README.md; a test keeps the file in sync.
+func RoutesMarkdown() string {
+	var b strings.Builder
+	b.WriteString("| Method | /v1 path | Legacy alias | Request | Response | Description |\n")
+	b.WriteString("|---|---|---|---|---|---|\n")
+	for _, r := range Routes() {
+		legacy := "—"
+		if r.Legacy != "" {
+			legacy = "`" + r.Legacy + "`"
+		}
+		fmt.Fprintf(&b, "| %s | `%s` | %s | %s | %s | %s |\n",
+			r.Method, r.Path, legacy, code(r.Request), code(r.Response), r.Doc)
+	}
+	return b.String()
+}
+
+func code(s string) string {
+	if s == "-" {
+		return "—"
+	}
+	return "`" + s + "`"
+}

@@ -1,0 +1,99 @@
+package xseed_test
+
+// Experiment benchmarks: one per table and figure of the paper's
+// evaluation (Section 6), each regenerating the corresponding rows at a
+// reduced scale and logging them (run with -bench . -v to see the tables;
+// cmd/xseedbench runs the same experiments at arbitrary scale). They live
+// in the external test package because internal/experiments itself links
+// against the root xseed package (the unified Estimator interface).
+
+import (
+	"bytes"
+	"testing"
+
+	"xseed/internal/experiments"
+)
+
+// benchCfg keeps experiment benchmarks fast enough for `go test -bench .`;
+// use cmd/xseedbench for larger scales.
+var benchCfg = experiments.Config{Scale: 0.02, QueriesPerClass: 100, Seed: 1}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		rows, err := experiments.Table2(benchCfg, &buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 5 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+		if i == 0 {
+			b.Log("\n" + buf.String())
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		rows, err := experiments.Table3(benchCfg, &buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+		if i == 0 {
+			b.Log("\n" + buf.String())
+		}
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		rows, err := experiments.Figure5(benchCfg, &buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+		if i == 0 {
+			b.Log("\n" + buf.String())
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		rows, err := experiments.Figure6(benchCfg, &buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+		if i == 0 {
+			b.Log("\n" + buf.String())
+		}
+	}
+}
+
+func BenchmarkSection64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		rows, err := experiments.Section64(benchCfg, &buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 5 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+		if i == 0 {
+			b.Log("\n" + buf.String())
+		}
+	}
+}

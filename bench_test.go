@@ -1,11 +1,9 @@
 package xseed
 
-// Benchmark harness: one benchmark per table and figure of the paper's
-// evaluation (Section 6), each regenerating the corresponding rows at a
-// reduced scale and logging them (run with -bench . -v to see the tables;
-// cmd/xseedbench runs the same experiments at arbitrary scale), plus
-// micro-benchmarks of the primitive operations (construction, estimation,
+// Micro-benchmarks of the primitive operations (construction, estimation,
 // exact evaluation, serialization) that the paper's timing claims rest on.
+// The per-table/figure experiment benchmarks live in
+// bench_experiments_test.go (external test package).
 
 import (
 	"bytes"
@@ -13,97 +11,12 @@ import (
 
 	"xseed/internal/counterstack"
 	"xseed/internal/estimate"
-	"xseed/internal/experiments"
 	"xseed/internal/het"
 	"xseed/internal/kernel"
 	"xseed/internal/nok"
 	"xseed/internal/xmldoc"
 	"xseed/internal/xpath"
 )
-
-// benchCfg keeps experiment benchmarks fast enough for `go test -bench .`;
-// use cmd/xseedbench for larger scales.
-var benchCfg = experiments.Config{Scale: 0.02, QueriesPerClass: 100, Seed: 1}
-
-func BenchmarkTable2(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		var buf bytes.Buffer
-		rows, err := experiments.Table2(benchCfg, &buf)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if len(rows) != 5 {
-			b.Fatalf("rows = %d", len(rows))
-		}
-		if i == 0 {
-			b.Log("\n" + buf.String())
-		}
-	}
-}
-
-func BenchmarkTable3(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		var buf bytes.Buffer
-		rows, err := experiments.Table3(benchCfg, &buf)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if len(rows) != 4 {
-			b.Fatalf("rows = %d", len(rows))
-		}
-		if i == 0 {
-			b.Log("\n" + buf.String())
-		}
-	}
-}
-
-func BenchmarkFigure5(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		var buf bytes.Buffer
-		rows, err := experiments.Figure5(benchCfg, &buf)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if len(rows) != 3 {
-			b.Fatalf("rows = %d", len(rows))
-		}
-		if i == 0 {
-			b.Log("\n" + buf.String())
-		}
-	}
-}
-
-func BenchmarkFigure6(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		var buf bytes.Buffer
-		rows, err := experiments.Figure6(benchCfg, &buf)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if len(rows) != 3 {
-			b.Fatalf("rows = %d", len(rows))
-		}
-		if i == 0 {
-			b.Log("\n" + buf.String())
-		}
-	}
-}
-
-func BenchmarkSection64(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		var buf bytes.Buffer
-		rows, err := experiments.Section64(benchCfg, &buf)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if len(rows) != 5 {
-			b.Fatalf("rows = %d", len(rows))
-		}
-		if i == 0 {
-			b.Log("\n" + buf.String())
-		}
-	}
-}
 
 // --- Micro-benchmarks -----------------------------------------------------
 

@@ -1,0 +1,121 @@
+// Command clientsmoke is the CI client↔server end-to-end smoke: pointed at
+// a live xseedd, it drives the full SDK surface — create from a generated
+// dataset, batch estimates, typed-error mapping for a bogus query and a
+// missing synopsis, feedback self-tuning verified against exact local
+// cardinalities, and context cancellation — and exits non-zero on the
+// first deviation from the wire contract.
+//
+// Usage: clientsmoke -addr http://127.0.0.1:PORT
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"xseed"
+	"xseed/api"
+	"xseed/client"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "xseedd base URL")
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("clientsmoke: ")
+	if err := run(*addr); err != nil {
+		log.Print(err)
+		os.Exit(1)
+	}
+	fmt.Println("clientsmoke: ok")
+}
+
+func run(addr string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	c, err := client.New(addr, client.WithRetry(20, 250*time.Millisecond))
+	if err != nil {
+		return err
+	}
+
+	// Health (with retries: the daemon may still be binding its port).
+	if err := c.Health(ctx); err != nil {
+		return fmt.Errorf("health: %w", err)
+	}
+
+	// Create from a generated dataset.
+	const name = "smoke-xmark"
+	c.Delete(ctx, name) // tolerate a previous partial run
+	info, err := c.Create(ctx, api.CreateRequest{Name: name, Dataset: "xmark", Factor: 0.005, Seed: 7})
+	if err != nil {
+		return fmt.Errorf("create: %w", err)
+	}
+	if info.KernelBytes <= 0 {
+		return fmt.Errorf("create info = %+v", info)
+	}
+
+	// Batch estimate with a bogus query in the middle: partial success with
+	// a typed parse error carrying the offset.
+	syn := c.Synopsis(name)
+	queries := []string{"//person", "/site/open_auctions]broken", "//item[shipping]/location"}
+	res, err := syn.EstimateBatch(ctx, queries)
+	if err != nil {
+		return fmt.Errorf("batch estimate: %w", err)
+	}
+	if len(res) != 3 || res[0].Err != nil || res[0].Estimate <= 0 || res[2].Err != nil || res[2].Estimate <= 0 {
+		return fmt.Errorf("batch results = %+v", res)
+	}
+	var apiErr *api.Error
+	if !errors.As(res[1].Err, &apiErr) || apiErr.Code != api.CodeParseError {
+		return fmt.Errorf("bogus query error = %v, want code %s", res[1].Err, api.CodeParseError)
+	}
+	if d, ok := apiErr.ParseDetail(); !ok || d.Offset != len("/site/open_auctions") {
+		return fmt.Errorf("parse detail = %+v (ok=%v), want offset %d", apiErr, ok, len("/site/open_auctions"))
+	}
+
+	// Typed not-found for an unknown synopsis.
+	if _, err := c.Synopsis("no-such-synopsis").EstimateBatch(ctx, []string{"//person"}); !errors.As(err, &apiErr) || apiErr.Code != api.CodeNotFound {
+		return fmt.Errorf("unknown synopsis error = %v, want code %s", err, api.CodeNotFound)
+	}
+
+	// Feedback self-tuning, verified against the exact cardinality computed
+	// from the identical locally generated document.
+	doc, err := xseed.Generate("xmark", 0.005, 7)
+	if err != nil {
+		return err
+	}
+	actual, err := doc.Count("//person")
+	if err != nil {
+		return err
+	}
+	if err := syn.Feedback(ctx, "//person", float64(actual)); err != nil {
+		return fmt.Errorf("feedback: %w", err)
+	}
+	est, err := xseed.Estimate(ctx, syn, "//person")
+	if err != nil {
+		return err
+	}
+	if est != float64(actual) {
+		return fmt.Errorf("post-feedback estimate = %v, want exact %d", est, actual)
+	}
+
+	// Cancellation: a canceled context surfaces as context.Canceled.
+	cctx, ccancel := context.WithCancel(ctx)
+	ccancel()
+	if _, err := syn.EstimateBatch(cctx, []string{"//person"}); !errors.Is(err, context.Canceled) {
+		return fmt.Errorf("canceled batch = %v, want context.Canceled", err)
+	}
+
+	// Clean up and confirm the typed not-found on re-delete.
+	if err := c.Delete(ctx, name); err != nil {
+		return fmt.Errorf("delete: %w", err)
+	}
+	if err := c.Delete(ctx, name); !errors.As(err, &apiErr) || apiErr.Code != api.CodeNotFound {
+		return fmt.Errorf("double delete = %v, want code %s", err, api.CodeNotFound)
+	}
+	return nil
+}

@@ -1,5 +1,12 @@
 // Command xseedbench runs the paper's experiments (Tables 2-3, Figures 5-6,
 // Section 6.4) at a configurable scale and prints paper-style tables.
+//
+// The accuracy experiments (table3, fig5, fig6) estimate through the
+// unified xseed.Estimator interface; -remote selects the client-SDK
+// backend against a live xseedd (each measured synopsis is uploaded as a
+// snapshot and estimated over the wire), so the same tables verify the
+// serving path end to end. Construction-timing experiments and the
+// TreeSketch baseline always run embedded.
 package main
 
 import (
@@ -17,6 +24,7 @@ func main() {
 	queries := flag.Int("queries", 200, "random queries per workload class (paper: 1000)")
 	seed := flag.Int64("seed", 1, "deterministic seed for datasets and workloads")
 	tsops := flag.Int64("ts-op-budget", 0, "TreeSketch construction op budget (0 = default 3e8; exceeding reports DNF)")
+	remote := flag.String("remote", "", "xseedd address (host:port or URL); accuracy estimates run via the client SDK instead of embedded")
 	flag.Parse()
 
 	cfg := experiments.Config{
@@ -24,6 +32,7 @@ func main() {
 		QueriesPerClass:    *queries,
 		Seed:               *seed,
 		TreeSketchOpBudget: *tsops,
+		Remote:             *remote,
 	}
 
 	run := func(name string, f func() error) {

@@ -21,21 +21,28 @@
 // snapshot loads, delta checksums, full replay) and exits, for use as a CI
 // or pre-start smoke check.
 //
-// The HTTP API (see internal/server) supports creating, estimating against,
-// tuning, and snapshotting synopses at runtime:
+// The HTTP API supports creating, estimating against, tuning, and
+// snapshotting synopses at runtime. Its wire contract — versioned /v1
+// routes, request/response types, and the typed error taxonomy — is the
+// public xseed/api package (see api/README.md for the route table), and
+// xseed/client is the Go SDK over it:
 //
-//	POST   /synopses                      build/load a named synopsis
-//	GET    /synopses                      list synopses
-//	GET    /synopses/{name}               one synopsis's stats
-//	DELETE /synopses/{name}               drop a synopsis
-//	POST   /synopses/{name}/estimate      single or batched estimates
-//	POST   /synopses/{name}/feedback      record an actual cardinality
-//	POST   /synopses/{name}/subtree       incremental add/remove update
-//	GET    /synopses/{name}/snapshot      download serialized synopsis
-//	PUT    /synopses/{name}/snapshot      upload serialized synopsis
-//	POST   /v1/admin/compact              fold delta logs into fresh bases
-//	GET    /stats                         sizes, cache hit rate, accuracy, store
-//	GET    /healthz                       liveness
+//	POST   /v1/synopses                      build/load a named synopsis
+//	GET    /v1/synopses                      list synopses
+//	GET    /v1/synopses/{name}               one synopsis's stats
+//	DELETE /v1/synopses/{name}               drop a synopsis
+//	POST   /v1/synopses/{name}/estimate      batched estimates (partial success)
+//	POST   /v1/synopses/{name}/feedback      record an actual cardinality
+//	POST   /v1/synopses/{name}/subtree       incremental add/remove update
+//	GET    /v1/synopses/{name}/snapshot      download serialized synopsis
+//	PUT    /v1/synopses/{name}/snapshot      upload serialized synopsis
+//	POST   /v1/admin/budget                  re-target the aggregate budget
+//	POST   /v1/admin/compact                 fold delta logs into fresh bases
+//	GET    /v1/stats                         sizes, cache hit rate, accuracy, store
+//	GET    /v1/healthz                       liveness
+//
+// The pre-versioning unversioned paths remain as deprecated aliases
+// (identical bodies plus a Deprecation header).
 package main
 
 import (

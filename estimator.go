@@ -1,0 +1,106 @@
+package xseed
+
+import (
+	"context"
+	"fmt"
+
+	"xseed/api"
+)
+
+// Result is the outcome of estimating one query of a batch through an
+// Estimator: either an estimate (with provenance) or a per-query error —
+// never both. Err, when set, is an *api.Error regardless of backend, so a
+// parse failure's byte offset is recoverable the same way (via
+// api.Error.ParseDetail) whether the estimate ran embedded or against a
+// remote xseedd.
+type Result struct {
+	Query    string  // normalized query (raw input when it failed to parse)
+	Estimate float64 // estimated cardinality
+	Cached   bool    // answered from a server-side estimate cache
+	Streamed bool    // the single-pass streaming matcher produced it
+	Err      error   // per-query failure (*api.Error), nil on success
+}
+
+// Estimator is the unified estimation surface a cost-based optimizer codes
+// against: batch cardinality estimates plus execution feedback, with
+// per-call context. Both the embedded backend (NewLocalEstimator around a
+// *Synopsis) and the remote one (xseed/client.Client against a live
+// xseedd) implement it, so callers switch between in-process and served
+// synopses without touching estimation code.
+//
+// EstimateBatch returns one Result per query in request order; a query
+// that fails to parse sets that Result's Err and never fails the batch
+// (partial-success semantics, shared with POST /v1/synopses/{name}/estimate).
+// A whole-call error means no estimates were produced — a canceled
+// context, an unreachable server, an unknown synopsis.
+type Estimator interface {
+	EstimateBatch(ctx context.Context, queries []string) ([]Result, error)
+	Feedback(ctx context.Context, query string, actual float64) error
+}
+
+// LocalEstimator adapts a *Synopsis to the Estimator interface.
+//
+// Concurrency follows the synopsis it wraps: EstimateBatch calls are safe
+// with each other, but not with Feedback (or any other synopsis mutation);
+// callers that interleave them serialize externally, exactly as for
+// *Synopsis. The served registry (xseed/internal/server) does that locking
+// for the remote backend.
+type LocalEstimator struct {
+	syn *Synopsis
+}
+
+// NewLocalEstimator wraps a synopsis as the embedded Estimator backend.
+func NewLocalEstimator(s *Synopsis) *LocalEstimator {
+	return &LocalEstimator{syn: s}
+}
+
+// EstimateBatch estimates the queries in order, honoring ctx between
+// queries. Parse failures are per-query (typed *api.Error with the offset
+// in the detail); cancellation fails the whole call.
+func (l *LocalEstimator) EstimateBatch(ctx context.Context, queries []string) ([]Result, error) {
+	out := make([]Result, len(queries))
+	for i, raw := range queries {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		q, err := ParseQuery(raw)
+		if err != nil {
+			out[i] = Result{Query: raw, Err: api.WrapError(err, api.CodeBadRequest)}
+			continue
+		}
+		out[i] = Result{Query: q.String(), Estimate: l.syn.EstimateQuery(q)}
+	}
+	return out, nil
+}
+
+// Feedback records an executed query's actual cardinality into the
+// synopsis (self-tuning).
+func (l *LocalEstimator) Feedback(ctx context.Context, query string, actual float64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	q, err := ParseQuery(query)
+	if err != nil {
+		return api.WrapError(err, api.CodeBadRequest)
+	}
+	l.syn.FeedbackQuery(q, actual)
+	return nil
+}
+
+// Estimate is a single-query convenience over any Estimator: it returns
+// the one estimate or its error (per-query or whole-call).
+func Estimate(ctx context.Context, e Estimator, query string) (float64, error) {
+	res, err := e.EstimateBatch(ctx, []string{query})
+	if err != nil {
+		return 0, err
+	}
+	if len(res) != 1 {
+		return 0, fmt.Errorf("xseed: estimator returned %d results for 1 query", len(res))
+	}
+	if res[0].Err != nil {
+		return 0, res[0].Err
+	}
+	return res[0].Estimate, nil
+}
+
+var _ Estimator = (*LocalEstimator)(nil)

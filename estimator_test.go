@@ -1,0 +1,86 @@
+package xseed
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"xseed/api"
+)
+
+const estimatorTestXML = "<a><c><s><t/><p/></s><s><s><t/></s></s></c><c><s><t/></s></c></a>"
+
+func TestLocalEstimatorBatchAndFeedback(t *testing.T) {
+	doc, err := ParseXMLString(estimatorTestXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := BuildSynopsis(doc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := NewLocalEstimator(syn)
+	ctx := context.Background()
+
+	res, err := est.EstimateBatch(ctx, []string{"/a/c/s", "/a/c[s]???", "//s//t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("results = %+v", res)
+	}
+	if res[0].Err != nil || res[0].Estimate <= 0 {
+		t.Errorf("res[0] = %+v", res[0])
+	}
+	var apiErr *api.Error
+	if !errors.As(res[1].Err, &apiErr) || apiErr.Code != api.CodeParseError {
+		t.Errorf("res[1].Err = %v, want typed parse_error", res[1].Err)
+	}
+	if d, ok := apiErr.ParseDetail(); !ok || d.Offset <= 0 {
+		t.Errorf("parse detail = %+v ok=%v", d, ok)
+	}
+	if res[2].Err != nil || res[2].Estimate <= 0 {
+		t.Errorf("res[2] = %+v", res[2])
+	}
+
+	// Feedback through the interface tunes the synopsis like direct calls.
+	actual, err := doc.Count("/a/c/s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := est.Feedback(ctx, "/a/c/s", float64(actual)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Estimate(ctx, est, "/a/c/s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != float64(actual) {
+		t.Errorf("post-feedback estimate = %v, want %d", got, actual)
+	}
+
+	// The single-query helper surfaces per-query errors as call errors.
+	if _, err := Estimate(ctx, est, "broken ["); err == nil {
+		t.Error("Estimate of a broken query succeeded")
+	}
+}
+
+func TestLocalEstimatorCancellation(t *testing.T) {
+	doc, err := ParseXMLString(estimatorTestXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := BuildSynopsis(doc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := NewLocalEstimator(syn)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := est.EstimateBatch(ctx, []string{"/a/c/s"}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled batch = %v, want context.Canceled", err)
+	}
+	if err := est.Feedback(ctx, "/a/c/s", 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled feedback = %v, want context.Canceled", err)
+	}
+}

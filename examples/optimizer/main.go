@@ -8,89 +8,78 @@
 //
 // and, more generally, must decide for each twig which predicate to check
 // first: the cost of a navigational plan is dominated by how many elements
-// survive each step. The "optimizer" below scores plans with synopsis
-// estimates, picks the cheapest, and we then verify the decision against
-// exact cardinalities — without the synopsis, every candidate would need a
-// full document scan to cost.
+// survive each step. The "optimizer" (internal/optdemo) scores plans
+// through the unified xseed.Estimator interface, picks the cheapest, and
+// verifies the decision against exact cardinalities — without the
+// synopsis, every candidate would need a full document scan to cost.
 //
-// Run with: go run ./examples/optimizer
+// Run embedded:             go run ./examples/optimizer
+// Run against a live xseedd: go run ./examples/optimizer -remote localhost:8080
+//
+// With -remote the locally built synopsis is uploaded as a snapshot and
+// every estimate is served by the daemon through the client SDK; the
+// decisions are identical to the embedded run because the synopsis is.
 package main
 
 import (
+	"bytes"
+	"context"
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"xseed"
+	"xseed/client"
+	"xseed/internal/optdemo"
 )
 
-// plan is a predicate evaluation order for a two-predicate twig: check
-// First, then Second on the survivors.
-type plan struct {
-	First, Second string
-}
-
-// cost models a navigational evaluator: it pays |context| for the first
-// filter and |survivors of First| for the second.
-func cost(syn *xseed.Synopsis, base string, p plan) float64 {
-	all, _ := syn.Estimate(base)
-	firstSurvivors, _ := syn.Estimate(base + "[" + p.First + "]")
-	return all + firstSurvivors
-}
-
-func exactCost(d *xseed.Document, base string, p plan) float64 {
-	all, _ := d.Count(base)
-	firstSurvivors, _ := d.Count(base + "[" + p.First + "]")
-	return float64(all + firstSurvivors)
-}
-
 func main() {
+	remote := flag.String("remote", "", "xseedd address (host:port or URL); empty runs embedded")
+	flag.Parse()
+	// run, not main, owns the work so deferred cleanup (deleting the
+	// uploaded synopsis from the remote daemon) still happens on failure —
+	// log.Fatal would skip it.
+	if err := run(*remote); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(remote string) error {
+	ctx := context.Background()
 	d, err := xseed.Generate("xmark", 0.01, 7)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	syn, err := xseed.BuildSynopsis(d, nil)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("XMark document: %d elements; synopsis %d bytes (%.4f%% of document text)\n\n",
+	fmt.Printf("XMark document: %d elements; synopsis %d bytes (%.4f%% of document text)\n",
 		d.NumNodes(), syn.SizeBytes(),
 		100*float64(syn.SizeBytes())/float64(d.Stats().TextBytes))
 
-	cases := []struct {
-		base string
-		a, b string // the two predicates to order
-	}{
-		{"/site/open_auctions/open_auction", "bidder", "privacy"},
-		{"/site/open_auctions/open_auction", "reserve", "bidder"},
-		{"//person", "homepage", "creditcard"},
-		{"//item", "shipping", "mailbox"},
+	// Select the estimation backend: the embedded adapter, or the client
+	// SDK against a live daemon serving the same synopsis.
+	var est xseed.Estimator = xseed.NewLocalEstimator(syn)
+	if remote != "" {
+		c, err := client.New(remote)
+		if err != nil {
+			return err
+		}
+		var blob bytes.Buffer
+		if _, err := syn.WriteTo(&blob); err != nil {
+			return err
+		}
+		if _, err := c.SnapshotPut(ctx, "optimizer-demo", &blob); err != nil {
+			return fmt.Errorf("upload synopsis to %s: %w", remote, err)
+		}
+		defer c.Delete(ctx, "optimizer-demo")
+		est = c.Synopsis("optimizer-demo")
+		fmt.Printf("estimating remotely via %s\n", remote)
 	}
-	agree := 0
-	for _, c := range cases {
-		p1 := plan{c.a, c.b}
-		p2 := plan{c.b, c.a}
-		est1, est2 := cost(syn, c.base, p1), cost(syn, c.base, p2)
-		act1, act2 := exactCost(d, c.base, p1), exactCost(d, c.base, p2)
+	fmt.Println()
 
-		chosen, alt := p1, p2
-		if est2 < est1 {
-			chosen, alt = p2, p1
-		}
-		correct := (est2 < est1) == (act2 < act1)
-		if correct {
-			agree++
-		}
-		fmt.Printf("twig %s[%s][%s]\n", c.base, c.a, c.b)
-		fmt.Printf("  plan [%s]->[%s]: estimated cost %.0f (exact %.0f)\n",
-			p1.First, p1.Second, est1, act1)
-		fmt.Printf("  plan [%s]->[%s]: estimated cost %.0f (exact %.0f)\n",
-			p2.First, p2.Second, est2, act2)
-		verdict := "matches"
-		if !correct {
-			verdict = "DIFFERS FROM"
-		}
-		fmt.Printf("  optimizer picks [%s] first (over [%s]) — %s the exact-cost choice\n\n",
-			chosen.First, alt.First, verdict)
-	}
-	fmt.Printf("%d/%d plan choices match the exact-cost decision\n", agree, len(cases))
+	_, _, err = optdemo.Run(ctx, est, d, optdemo.DefaultCases(), os.Stdout)
+	return err
 }

@@ -13,18 +13,19 @@
 package experiments
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"time"
 
+	"xseed"
+	"xseed/client"
 	"xseed/internal/datagen"
-	"xseed/internal/estimate"
-	"xseed/internal/het"
 	"xseed/internal/kernel"
 	"xseed/internal/metrics"
 	"xseed/internal/nok"
 	"xseed/internal/pathtree"
-	"xseed/internal/treesketch"
 	"xseed/internal/workload"
 	"xseed/internal/xmldoc"
 )
@@ -46,6 +47,15 @@ type Config struct {
 	// reports DNF, reproducing the paper's 24-hour cutoff. Zero means
 	// 3e8 operations.
 	TreeSketchOpBudget int64
+
+	// Remote routes the accuracy experiments' XSEED estimates through a
+	// live xseedd at this address (host:port or URL): each synopsis under
+	// measurement is uploaded as a snapshot and estimated via the client
+	// SDK, so the numbers cover the full serving path. Empty estimates
+	// embedded. Construction-timing experiments (Table 2, Section 6.4) and
+	// the TreeSketch baseline — which xseedd does not serve — always run
+	// locally.
+	Remote string
 }
 
 func (c Config) scale() float64 {
@@ -159,8 +169,10 @@ func buildDataset(cfg Config, spec DatasetSpec) (*built, error) {
 	}, nil
 }
 
-// combinedWorkload is the Table 3 workload: all SP queries plus N random BP
-// and N random CP queries.
+// combinedWorkload is Section 6.4's internal-API copy of the combined
+// SP+BP+CP workload (same seeds and options as combinedQueries below, but
+// yielding workload.Query with parsed paths for the timing loops, which
+// never go through the Estimator seam). Keep the two in lockstep.
 func combinedWorkload(cfg Config, b *built) []workload.Query {
 	qs := workload.AllSimplePaths(b.pt, 0)
 	opt := workload.Options{N: cfg.queries(), Seed: cfg.Seed + 1, RequireNonEmpty: true}
@@ -170,49 +182,131 @@ func combinedWorkload(cfg Config, b *built) []workload.Query {
 	return qs
 }
 
-// estimator abstracts XSEED and TreeSketch for error measurement.
-type estimator interface {
-	estimate(q workload.Query) float64
-}
+// The accuracy experiments measure every synopsis — XSEED and the
+// TreeSketch baseline alike — through the unified xseed.Estimator
+// interface, the same surface optimizers code against. With Config.Remote
+// set, XSEED estimates are served by a live xseedd via the client SDK
+// instead of the embedded adapter; the numbers must not change, only the
+// transport.
 
-type xseedEstimator struct{ est *estimate.Estimator }
-
-func (x xseedEstimator) estimate(q workload.Query) float64 { return x.est.Estimate(q.Path) }
-
-type tsEstimator struct{ syn *treesketch.Synopsis }
-
-func (t tsEstimator) estimate(q workload.Query) float64 { return t.syn.Estimate(q.Path) }
-
-// measure runs a workload through an estimator and accumulates metrics.
-func measure(qs []workload.Query, e estimator) *metrics.Accumulator {
+// measure batch-estimates the workload through an Estimator and
+// accumulates error metrics against the queries' exact cardinalities.
+func measure(e xseed.Estimator, qs []*xseed.Query) (*metrics.Accumulator, error) {
+	strs := make([]string, len(qs))
+	for i, q := range qs {
+		strs[i] = q.String()
+	}
+	res, err := e.EstimateBatch(context.Background(), strs)
+	if err != nil {
+		return nil, err
+	}
 	var acc metrics.Accumulator
-	for _, q := range qs {
-		acc.Add(e.estimate(q), float64(q.Actual))
+	for i, r := range res {
+		if r.Err != nil {
+			return nil, fmt.Errorf("estimate %s: %w", strs[i], r.Err)
+		}
+		actual, _ := qs[i].Actual()
+		acc.Add(r.Estimate, float64(actual))
 	}
-	return &acc
+	return &acc, nil
 }
 
-// xseedWithBudget builds an XSEED estimator (kernel + HET precomputed with
-// MBP=1) whose total size fits budgetBytes; budgetBytes <= 0 means
+// ceEstimator adapts a bare CardinalityEstimator (the TreeSketch baseline)
+// to the Estimator interface for measurement; it has no feedback.
+type ceEstimator struct{ ce xseed.CardinalityEstimator }
+
+func (c ceEstimator) EstimateBatch(ctx context.Context, queries []string) ([]xseed.Result, error) {
+	out := make([]xseed.Result, len(queries))
+	for i, q := range queries {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		est, err := c.ce.Estimate(q)
+		out[i] = xseed.Result{Query: q, Estimate: est, Err: err}
+	}
+	return out, nil
+}
+
+func (c ceEstimator) Feedback(context.Context, string, float64) error {
+	return fmt.Errorf("experiments: baseline estimator accepts no feedback")
+}
+
+// estimatorFor selects the measurement backend for an XSEED synopsis: the
+// embedded adapter, or — when cfg.Remote is set — the client SDK bound to
+// a fresh snapshot upload of the synopsis on the remote daemon. cleanup
+// unregisters the upload.
+func (c Config) estimatorFor(name string, syn *xseed.Synopsis) (est xseed.Estimator, cleanup func(), err error) {
+	if c.Remote == "" {
+		return xseed.NewLocalEstimator(syn), func() {}, nil
+	}
+	cl, err := client.New(c.Remote)
+	if err != nil {
+		return nil, nil, err
+	}
+	var blob bytes.Buffer
+	if _, err := syn.WriteTo(&blob); err != nil {
+		return nil, nil, err
+	}
+	if _, err := cl.SnapshotPut(context.Background(), name, &blob); err != nil {
+		return nil, nil, fmt.Errorf("upload %q to %s: %w", name, c.Remote, err)
+	}
+	return cl.Synopsis(name), func() { cl.Delete(context.Background(), name) }, nil
+}
+
+// scaledSpec applies the configured scale to a paper spec's
+// scale-proportional knobs (CARD_THRESHOLD tracks dataset cardinalities).
+func scaledSpec(cfg Config, spec DatasetSpec) DatasetSpec {
+	spec.CardThreshold *= cfg.scale()
+	return spec
+}
+
+// rootDataset generates the dataset at the configured scale through the
+// public API; accuracy experiments build synopses and workloads from it.
+func rootDataset(cfg Config, spec DatasetSpec) (*xseed.Document, error) {
+	return xseed.Generate(spec.Generator, spec.Factor*cfg.scale(), cfg.Seed)
+}
+
+// synopsisWithBudget builds the paper's accuracy-experiment synopsis (1BP
+// HET) whose total size — kernel plus resident HET — fits totalBudget
+// bytes; totalBudget 0, or one too small to leave HET room, builds
 // kernel-only.
-func xseedWithBudget(b *built, budgetBytes int) (*estimate.Estimator, *het.Table, time.Duration) {
-	eopt := estimate.Options{CardThreshold: b.spec.CardThreshold, ReuseEPT: true}
-	if budgetBytes > 0 && budgetBytes <= b.kern.SizeBytes() {
-		budgetBytes = 0 // no room for any HET
+func synopsisWithBudget(d *xseed.Document, spec DatasetSpec, totalBudget int) (*xseed.Synopsis, error) {
+	base := &xseed.Config{CardThreshold: spec.CardThreshold, ReuseEPT: true}
+	kernelOnly, err := xseed.KernelOnly(d, base)
+	if err != nil {
+		return nil, err
 	}
-	if budgetBytes == 0 {
-		return estimate.New(b.kern, eopt), nil, 0
+	if totalBudget == 0 {
+		return kernelOnly, nil
 	}
-	start := time.Now()
-	tab, _ := het.Precompute(b.doc, b.pt, b.kern, het.PrecomputeOptions{
-		MBP:             1,
-		BselThreshold:   b.spec.BselThreshold,
-		Budget:          budgetBytes - b.kern.SizeBytes(),
-		EstimateOptions: eopt,
-	})
-	elapsed := time.Since(start)
-	eopt.HET = tab
-	return estimate.New(b.kern, eopt), tab, elapsed
+	hetBudget := totalBudget - kernelOnly.KernelSizeBytes()
+	if hetBudget <= 0 {
+		return kernelOnly, nil // no room for any HET
+	}
+	cfg := *base
+	cfg.HET = &xseed.HETConfig{
+		MBP:           1,
+		BselThreshold: spec.BselThreshold,
+		BudgetBytes:   hetBudget,
+	}
+	return xseed.BuildSynopsis(d, &cfg)
+}
+
+// combinedQueries is the Table 3 workload over the public API: all SP
+// queries plus N random BP and N random CP queries, each carrying its
+// exact cardinality.
+func combinedQueries(cfg Config, d *xseed.Document) ([]*xseed.Query, error) {
+	qs := d.SimplePathQueries(0)
+	bp, err := d.RandomWorkload("BP", cfg.queries(), 0, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	cp, err := d.RandomWorkload("CP", cfg.queries(), 0, cfg.Seed+2)
+	if err != nil {
+		return nil, err
+	}
+	qs = append(qs, bp...)
+	return append(qs, cp...), nil
 }
 
 func fmtDur(d time.Duration) string {

@@ -2,8 +2,11 @@ package experiments
 
 import (
 	"bytes"
+	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"xseed/internal/server"
 )
 
 // tinyCfg keeps experiment tests fast; assertions are structural (row
@@ -152,6 +155,45 @@ func TestSection64(t *testing.T) {
 		if r.AvgEstimate <= 0 || r.AvgActual <= 0 {
 			t.Errorf("%s: zero timings %+v", r.Dataset, r)
 		}
+	}
+}
+
+// TestFigure5RemoteMatchesLocal proves the Remote transport changes
+// nothing but the transport: the XSEED accuracy cells served by a live
+// xseedd (snapshot upload + client SDK batch estimates) are identical to
+// the embedded adapter's.
+func TestFigure5RemoteMatchesLocal(t *testing.T) {
+	local, err := Figure5(tinyCfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := server.New(server.Config{CacheCapacity: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+	rcfg := tinyCfg
+	rcfg.Remote = ts.URL
+	remote, err := Figure5(rcfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(local) != len(remote) {
+		t.Fatalf("rows: local %d, remote %d", len(local), len(remote))
+	}
+	for i := range local {
+		l, r := local[i], remote[i]
+		if l.Kernel != r.Kernel || l.XSeed != r.XSeed {
+			t.Errorf("%s: XSEED cells differ local/remote:\n  %+v\n  %+v", l.Class, l, r)
+		}
+	}
+	// The uploads were cleaned up.
+	if infos := s.Registry().List(); len(infos) != 0 {
+		t.Errorf("remote run leaked synopses: %+v", infos)
 	}
 }
 

@@ -4,9 +4,7 @@ import (
 	"io"
 	"time"
 
-	"xseed/internal/estimate"
-	"xseed/internal/het"
-	"xseed/internal/workload"
+	"xseed"
 )
 
 // Figure5Row is one query-class group of the paper's Figure 5 bar chart:
@@ -23,39 +21,67 @@ type Figure5Row struct {
 // Figure5 reproduces the paper's Figure 5: per-query-type errors on DBLP.
 // The paper's finding: TreeSketch beats XSEED only on BP queries, where the
 // pages/publisher sibling correlation sits above BSEL_THRESHOLD and escapes
-// the HET.
+// the HET. Estimates flow through the xseed.Estimator interface;
+// cfg.Remote serves the XSEED columns from a live xseedd.
 func Figure5(cfg Config, w io.Writer) ([]Figure5Row, error) {
 	spec, _ := specByKey("DBLP")
-	b, err := buildDataset(cfg, spec)
+	spec = scaledSpec(cfg, spec)
+	d, err := rootDataset(cfg, spec)
 	if err != nil {
 		return nil, err
 	}
 
-	sp := workload.AllSimplePaths(b.pt, 0)
-	opt := workload.Options{N: cfg.queries(), Seed: cfg.Seed + 1, RequireNonEmpty: true}
-	bp := workload.Branching(b.pt, b.ev, opt)
-	opt.Seed = cfg.Seed + 2
-	cp := workload.Complex(b.pt, b.ev, opt)
+	sp := d.SimplePathQueries(0)
+	bp, err := d.RandomWorkload("BP", cfg.queries(), 0, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	cp, err := d.RandomWorkload("CP", cfg.queries(), 0, cfg.Seed+2)
+	if err != nil {
+		return nil, err
+	}
 
-	bare, _, _ := xseedWithBudget(b, 0)
-	full, _, _ := xseedWithBudget(b, 50*1024)
-	sketch := func(qs []workload.Query) Table3Cell { return sketchCell(cfg, b, qs, 50*1024) }
+	bareSyn, err := synopsisWithBudget(d, spec, 0)
+	if err != nil {
+		return nil, err
+	}
+	fullSyn, err := synopsisWithBudget(d, spec, 50*1024)
+	if err != nil {
+		return nil, err
+	}
+	bare, bareCleanup, err := cfg.estimatorFor("f5-kernel", bareSyn)
+	if err != nil {
+		return nil, err
+	}
+	defer bareCleanup()
+	full, fullCleanup, err := cfg.estimatorFor("f5-50k", fullSyn)
+	if err != nil {
+		return nil, err
+	}
+	defer fullCleanup()
 
 	var rows []Figure5Row
 	fprintf(w, "Figure 5: estimation errors by query type on DBLP (RMSE, NRMSE)\n")
 	fprintf(w, "%-4s %6s | %-19s %-19s %-19s\n", "type", "#q", "kernel", "XSEED", "TreeSketch")
 	for _, group := range []struct {
 		class string
-		qs    []workload.Query
+		qs    []*xseed.Query
 	}{
 		{"SP", sp}, {"BP", bp}, {"CP", cp},
 	} {
-		row := Figure5Row{
-			Class:      group.class,
-			Queries:    len(group.qs),
-			Kernel:     cell(measure(group.qs, xseedEstimator{bare})),
-			XSeed:      cell(measure(group.qs, xseedEstimator{full})),
-			TreeSketch: sketch(group.qs),
+		row := Figure5Row{Class: group.class, Queries: len(group.qs)}
+		bacc, err := measure(bare, group.qs)
+		if err != nil {
+			return rows, err
+		}
+		row.Kernel = cell(bacc)
+		facc, err := measure(full, group.qs)
+		if err != nil {
+			return rows, err
+		}
+		row.XSeed = cell(facc)
+		if row.TreeSketch, err = sketchCell(cfg, d, group.qs, 50*1024); err != nil {
+			return rows, err
 		}
 		fprintf(w, "%-4s %6d | %-19s %-19s %-19s\n",
 			row.Class, row.Queries,
@@ -81,38 +107,50 @@ type Figure6Row struct {
 // construction time for only ~8% further reduction.
 func Figure6(cfg Config, w io.Writer) ([]Figure6Row, error) {
 	spec, _ := specByKey("DBLP")
-	b, err := buildDataset(cfg, spec)
+	d, err := rootDataset(cfg, spec)
 	if err != nil {
 		return nil, err
 	}
-	// 2BP workload: up to 2 predicates per step.
-	qs := workload.Branching(b.pt, b.ev, workload.Options{
-		N: cfg.queries(), Seed: cfg.Seed + 3, MaxPredsPerStep: 2,
-		PredProb: 0.7, RequireNonEmpty: true,
+	// 2BP workload: up to 2 predicates per step, predicate-rich.
+	qs, err := d.RandomWorkloadOpts("BP", xseed.WorkloadOptions{
+		N: cfg.queries(), Seed: cfg.Seed + 3, MaxPredsPerStep: 2, PredProb: 0.7,
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	var rows []Figure6Row
 	fprintf(w, "Figure 6: MBP settings on DBLP, 2BP workload (%d queries)\n", len(qs))
 	fprintf(w, "%-12s %12s %10s %12s %10s\n", "setting", "build-time", "entries", "RMSE", "NRMSE")
 	for _, mbp := range []int{0, 1, 2} {
-		eopt := estimate.Options{CardThreshold: spec.CardThreshold, ReuseEPT: true}
-		var est *estimate.Estimator
+		// The historical Figure 6 setting uses the paper-scale
+		// CARD_THRESHOLD (0 on DBLP) without per-scale adjustment.
+		base := &xseed.Config{CardThreshold: spec.CardThreshold, ReuseEPT: true}
 		row := Figure6Row{MBP: mbp}
+		var syn *xseed.Synopsis
 		if mbp == 0 {
-			est = estimate.New(b.kern, eopt)
+			if syn, err = xseed.KernelOnly(d, base); err != nil {
+				return rows, err
+			}
 		} else {
+			cfgS := *base
+			cfgS.HET = &xseed.HETConfig{MBP: mbp, BselThreshold: spec.BselThreshold}
 			start := time.Now()
-			tab, _ := het.Precompute(b.doc, b.pt, b.kern, het.PrecomputeOptions{
-				MBP:             mbp,
-				BselThreshold:   spec.BselThreshold,
-				EstimateOptions: eopt,
-			})
+			if syn, err = xseed.BuildSynopsis(d, &cfgS); err != nil {
+				return rows, err
+			}
 			row.BuildTime = time.Since(start)
-			row.Entries = tab.NumEntries()
-			eopt.HET = tab
-			est = estimate.New(b.kern, eopt)
+			_, row.Entries = syn.HETEntries()
 		}
-		acc := measure(qs, xseedEstimator{est})
+		est, cleanup, err := cfg.estimatorFor("f6-"+itoa(mbp)+"bp", syn)
+		if err != nil {
+			return rows, err
+		}
+		acc, err := measure(est, qs)
+		cleanup()
+		if err != nil {
+			return rows, err
+		}
 		row.RMSE = acc.RMSE()
 		row.NRMSE = acc.NRMSE()
 		name := "0BP (kernel)"

@@ -5,9 +5,8 @@ import (
 	"fmt"
 	"io"
 
+	"xseed"
 	"xseed/internal/metrics"
-	"xseed/internal/treesketch"
-	"xseed/internal/workload"
 )
 
 // Table3Cell is one (program setting, dataset) cell of the paper's Table 3.
@@ -37,7 +36,8 @@ var table3Datasets = []string{"DBLP", "XMark10", "XMark100", "Treebank.05"}
 
 // Table3 reproduces the paper's Table 3: error metrics of the XSEED kernel,
 // XSEED and TreeSketch at 25KB and 50KB memory budgets, over the combined
-// SP+BP+CP workload.
+// SP+BP+CP workload. Every estimate flows through the xseed.Estimator
+// interface; cfg.Remote serves the XSEED columns from a live xseedd.
 func Table3(cfg Config, w io.Writer) ([]Table3Row, error) {
 	var rows []Table3Row
 	fprintf(w, "Table 3: error metrics, combined SP+BP+CP workload (scale %.3g, %d queries/class)\n",
@@ -49,23 +49,49 @@ func Table3(cfg Config, w io.Writer) ([]Table3Row, error) {
 		if !ok {
 			continue
 		}
-		b, err := buildDataset(cfg, spec)
+		spec = scaledSpec(cfg, spec)
+		d, err := rootDataset(cfg, spec)
 		if err != nil {
 			return rows, err
 		}
-		qs := combinedWorkload(cfg, b)
+		qs, err := combinedQueries(cfg, d)
+		if err != nil {
+			return rows, err
+		}
 		row := Table3Row{Dataset: key, Queries: len(qs)}
 
-		bare, _, _ := xseedWithBudget(b, 0)
-		row.Kernel = cell(measure(qs, xseedEstimator{bare}))
+		xseedCell := func(budget int, name string) (Table3Cell, error) {
+			syn, err := synopsisWithBudget(d, spec, budget)
+			if err != nil {
+				return Table3Cell{}, err
+			}
+			est, cleanup, err := cfg.estimatorFor(name, syn)
+			if err != nil {
+				return Table3Cell{}, err
+			}
+			defer cleanup()
+			acc, err := measure(est, qs)
+			if err != nil {
+				return Table3Cell{}, err
+			}
+			return cell(acc), nil
+		}
+		if row.Kernel, err = xseedCell(0, "t3-"+key+"-kernel"); err != nil {
+			return rows, err
+		}
+		if row.XSeed25, err = xseedCell(25*1024, "t3-"+key+"-25k"); err != nil {
+			return rows, err
+		}
+		if row.XSeed50, err = xseedCell(50*1024, "t3-"+key+"-50k"); err != nil {
+			return rows, err
+		}
 
-		x25, _, _ := xseedWithBudget(b, 25*1024)
-		row.XSeed25 = cell(measure(qs, xseedEstimator{x25}))
-		x50, _, _ := xseedWithBudget(b, 50*1024)
-		row.XSeed50 = cell(measure(qs, xseedEstimator{x50}))
-
-		row.Sketch25 = sketchCell(cfg, b, qs, 25*1024)
-		row.Sketch50 = sketchCell(cfg, b, qs, 50*1024)
+		if row.Sketch25, err = sketchCell(cfg, d, qs, 25*1024); err != nil {
+			return rows, err
+		}
+		if row.Sketch50, err = sketchCell(cfg, d, qs, 50*1024); err != nil {
+			return rows, err
+		}
 
 		fprintf(w, "%-12s %6d | %-19s | %-19s %-19s | %-19s %-19s\n",
 			row.Dataset, row.Queries,
@@ -92,17 +118,23 @@ func renderCell(c Table3Cell) string {
 	return fmt.Sprintf("%.1f (%.2f%%)", c.RMSE, c.NRMSE*100)
 }
 
-func sketchCell(cfg Config, b *built, qs []workload.Query, budget int) Table3Cell {
-	syn, _, err := treesketch.Build(b.doc, treesketch.Options{
-		BudgetBytes: budget,
-		OpBudget:    cfg.tsOpBudget(),
-		Seed:        cfg.Seed,
+// sketchCell builds the TreeSketch baseline within budget and measures it
+// through the same Estimator seam (always embedded — xseedd serves XSEED
+// synopses, not TreeSketches).
+func sketchCell(cfg Config, d *xseed.Document, qs []*xseed.Query, budget int) (Table3Cell, error) {
+	ts, _, err := xseed.BuildTreeSketch(d, budget, xseed.TreeSketchOptions{
+		OpBudget: cfg.tsOpBudget(),
+		Seed:     cfg.Seed,
 	})
 	if err != nil {
-		if errors.Is(err, treesketch.ErrDNF) {
-			return Table3Cell{DNF: true}
+		if errors.Is(err, xseed.ErrTreeSketchDNF) {
+			return Table3Cell{DNF: true}, nil
 		}
-		return Table3Cell{DNF: true}
+		return Table3Cell{DNF: true}, nil
 	}
-	return cell(measure(qs, tsEstimator{syn}))
+	acc, err := measure(ceEstimator{ts}, qs)
+	if err != nil {
+		return Table3Cell{}, err
+	}
+	return cell(acc), nil
 }

@@ -1,0 +1,127 @@
+// Package optdemo is the core of examples/optimizer: a toy cost-based
+// plan choice driven purely through the xseed.Estimator interface, so the
+// same logic runs against an embedded synopsis or a remote xseedd (the
+// example's -remote flag) and an end-to-end test can prove both backends
+// produce identical decisions.
+package optdemo
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"xseed"
+)
+
+// Plan is a predicate evaluation order for a two-predicate twig: check
+// First, then Second on the survivors.
+type Plan struct {
+	First, Second string
+}
+
+// Case is one twig whose predicate order the optimizer must pick.
+type Case struct {
+	Base string // context path, e.g. //open_auction
+	A, B string // the two predicates to order
+}
+
+// DefaultCases are the XMark-flavored twigs the example scores.
+func DefaultCases() []Case {
+	return []Case{
+		{"/site/open_auctions/open_auction", "bidder", "privacy"},
+		{"/site/open_auctions/open_auction", "reserve", "bidder"},
+		{"//person", "homepage", "creditcard"},
+		{"//item", "shipping", "mailbox"},
+	}
+}
+
+// Decision records one case's outcome: estimated plan costs, the chosen
+// plan, and whether the choice matched the exact-cost decision.
+type Decision struct {
+	Case         Case
+	Cost1, Cost2 float64 // estimated costs of [A->B] and [B->A]
+	Chosen       Plan
+	Correct      bool
+}
+
+// cost models a navigational evaluator: it pays |context| for the first
+// filter and |survivors of First| for the second. Both cardinalities come
+// from the estimator in one batch.
+func cost(ctx context.Context, est xseed.Estimator, base string, p Plan) (float64, error) {
+	res, err := est.EstimateBatch(ctx, []string{base, base + "[" + p.First + "]"})
+	if err != nil {
+		return 0, err
+	}
+	for _, r := range res {
+		if r.Err != nil {
+			return 0, r.Err
+		}
+	}
+	return res[0].Estimate + res[1].Estimate, nil
+}
+
+func exactCost(d *xseed.Document, base string, p Plan) (float64, error) {
+	all, err := d.Count(base)
+	if err != nil {
+		return 0, err
+	}
+	firstSurvivors, err := d.Count(base + "[" + p.First + "]")
+	if err != nil {
+		return 0, err
+	}
+	return float64(all + firstSurvivors), nil
+}
+
+// Run scores every case's two candidate plans with est, picks the cheaper,
+// and verifies the pick against exact cardinalities from d. It renders the
+// paper-style report to w (nil discards) and returns the decisions plus
+// how many matched the exact-cost choice.
+func Run(ctx context.Context, est xseed.Estimator, d *xseed.Document, cases []Case, w io.Writer) ([]Decision, int, error) {
+	if w == nil {
+		w = io.Discard
+	}
+	agree := 0
+	out := make([]Decision, 0, len(cases))
+	for _, c := range cases {
+		p1 := Plan{c.A, c.B}
+		p2 := Plan{c.B, c.A}
+		est1, err := cost(ctx, est, c.Base, p1)
+		if err != nil {
+			return out, agree, fmt.Errorf("cost %s[%s]: %w", c.Base, p1.First, err)
+		}
+		est2, err := cost(ctx, est, c.Base, p2)
+		if err != nil {
+			return out, agree, fmt.Errorf("cost %s[%s]: %w", c.Base, p2.First, err)
+		}
+		act1, err := exactCost(d, c.Base, p1)
+		if err != nil {
+			return out, agree, err
+		}
+		act2, err := exactCost(d, c.Base, p2)
+		if err != nil {
+			return out, agree, err
+		}
+
+		chosen, alt := p1, p2
+		if est2 < est1 {
+			chosen, alt = p2, p1
+		}
+		correct := (est2 < est1) == (act2 < act1)
+		if correct {
+			agree++
+		}
+		out = append(out, Decision{Case: c, Cost1: est1, Cost2: est2, Chosen: chosen, Correct: correct})
+
+		fmt.Fprintf(w, "twig %s[%s][%s]\n", c.Base, c.A, c.B)
+		fmt.Fprintf(w, "  plan [%s]->[%s]: estimated cost %.0f (exact %.0f)\n", p1.First, p1.Second, est1, act1)
+		fmt.Fprintf(w, "  plan [%s]->[%s]: estimated cost %.0f (exact %.0f)\n", p2.First, p2.Second, est2, act2)
+		verdict := "matches"
+		if !correct {
+			verdict = "DIFFERS FROM"
+		}
+		fmt.Fprintf(w, "  optimizer picks [%s] first (over [%s]) — %s the exact-cost choice\n\n",
+			chosen.First, alt.First, verdict)
+	}
+	fmt.Fprintf(w, "%d/%d plan choices match the exact-cost decision\n", agree, len(cases))
+	return out, agree, nil
+}

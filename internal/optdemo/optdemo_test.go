@@ -1,0 +1,94 @@
+package optdemo
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"xseed"
+	"xseed/client"
+	"xseed/internal/server"
+)
+
+// TestLocalAndRemoteBackendsAgree is the acceptance end-to-end: the same
+// optimizer logic produces identical estimated costs and identical plan
+// choices whether its Estimator is the embedded adapter or the client SDK
+// against a live xseedd serving the same synopsis — including identical
+// rendered output.
+func TestLocalAndRemoteBackendsAgree(t *testing.T) {
+	ctx := context.Background()
+	d, err := xseed.Generate("xmark", 0.01, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := xseed.BuildSynopsis(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Embedded run.
+	var localOut bytes.Buffer
+	localDecisions, localAgree, err := Run(ctx, xseed.NewLocalEstimator(syn), d, DefaultCases(), &localOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Remote run: upload the identical synopsis to a live daemon and
+	// estimate through the SDK.
+	s, err := server.New(server.Config{CacheCapacity: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blob bytes.Buffer
+	if _, err := syn.WriteTo(&blob); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SnapshotPut(ctx, "optimizer-demo", &blob); err != nil {
+		t.Fatal(err)
+	}
+	var remoteOut bytes.Buffer
+	remoteDecisions, remoteAgree, err := Run(ctx, c.Synopsis("optimizer-demo"), d, DefaultCases(), &remoteOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if localAgree != remoteAgree || len(localDecisions) != len(remoteDecisions) {
+		t.Fatalf("agree local=%d remote=%d, decisions %d/%d",
+			localAgree, remoteAgree, len(localDecisions), len(remoteDecisions))
+	}
+	for i := range localDecisions {
+		l, r := localDecisions[i], remoteDecisions[i]
+		if l.Cost1 != r.Cost1 || l.Cost2 != r.Cost2 {
+			t.Errorf("case %d: estimated costs differ: local (%v, %v), remote (%v, %v)",
+				i, l.Cost1, l.Cost2, r.Cost1, r.Cost2)
+		}
+		if l.Chosen != r.Chosen || l.Correct != r.Correct {
+			t.Errorf("case %d: decision differs: local %+v, remote %+v", i, l, r)
+		}
+	}
+	if localOut.String() != remoteOut.String() {
+		t.Errorf("rendered reports differ:\nlocal:\n%s\nremote:\n%s", localOut.String(), remoteOut.String())
+	}
+
+	// The demo itself should make sense: the synopsis agrees with the
+	// exact-cost decision on most cases.
+	if localAgree < len(localDecisions)-1 {
+		t.Errorf("only %d/%d decisions match exact costs", localAgree, len(localDecisions))
+	}
+
+	// Cancellation flows through the interface: a canceled context aborts
+	// a remote run with the context's error.
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, _, err := Run(cctx, c.Synopsis("optimizer-demo"), d, DefaultCases(), nil); err == nil {
+		t.Error("canceled remote run succeeded")
+	}
+}

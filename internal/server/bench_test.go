@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -9,6 +10,7 @@ import (
 	"sync"
 	"testing"
 	"time"
+	"xseed/api"
 
 	"xseed"
 )
@@ -78,7 +80,7 @@ func TestWarmCacheBeatsUncachedP50(t *testing.T) {
 	for i := 0; i < reps; i++ {
 		batch = append(batch, queries...)
 	}
-	body, err := json.Marshal(EstimateRequest{Queries: batch})
+	body, err := json.Marshal(api.EstimateRequest{Queries: batch})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +89,7 @@ func TestWarmCacheBeatsUncachedP50(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var out EstimateResponse
+		var out api.EstimateResponse
 		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 			t.Fatal(err)
 		}
@@ -142,12 +144,12 @@ func BenchmarkEstimateWarmCache(b *testing.B) {
 	if _, err := r.Add("xmark", syn, "bench"); err != nil {
 		b.Fatal(err)
 	}
-	if _, err := r.EstimateBatch("xmark", queries, false); err != nil {
+	if _, err := r.EstimateBatch(context.Background(), "xmark", queries, false); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := r.Estimate("xmark", queries[i%len(queries)], false); err != nil {
+		if _, err := r.Estimate(context.Background(), "xmark", queries[i%len(queries)], false); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -183,7 +185,7 @@ func BenchmarkEstimateDuringRebalance(b *testing.B) {
 	}()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := r.Estimate("xmark", queries[i%len(queries)], false); err != nil {
+		if _, err := r.Estimate(context.Background(), "xmark", queries[i%len(queries)], false); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -199,12 +201,12 @@ func BenchmarkEstimateBatchWarmCache(b *testing.B) {
 	if _, err := r.Add("xmark", syn, "bench"); err != nil {
 		b.Fatal(err)
 	}
-	if _, err := r.EstimateBatch("xmark", queries, false); err != nil {
+	if _, err := r.EstimateBatch(context.Background(), "xmark", queries, false); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := r.EstimateBatch("xmark", queries, false); err != nil {
+		if _, err := r.EstimateBatch(context.Background(), "xmark", queries, false); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"xseed/api"
 	"xseed/internal/pathhash"
 )
 
@@ -114,17 +115,9 @@ func (c *Cache) Put(syn, query string, v EstimateResult) {
 	}
 }
 
-// CacheStats is a point-in-time view of cache effectiveness.
-type CacheStats struct {
-	Entries int     `json:"entries"`
-	Hits    int64   `json:"hits"`
-	Misses  int64   `json:"misses"`
-	HitRate float64 `json:"hitRate"`
-}
-
-// Stats reports entry count and hit/miss counters.
-func (c *Cache) Stats() CacheStats {
-	var st CacheStats
+// Stats reports entry count and hit/miss counters as the wire type.
+func (c *Cache) Stats() api.CacheStats {
+	var st api.CacheStats
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()

@@ -1,11 +1,13 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 	"testing"
 	"time"
+	"xseed/api"
 
 	"xseed"
 )
@@ -40,7 +42,7 @@ func TestRebalanceDoesNotStallUnrelatedEstimates(t *testing.T) {
 	if _, err := reg.Add("b", buildFig2(t), "test"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := reg.Estimate("b", "/a/c/s", false); err != nil {
+	if _, err := reg.Estimate(context.Background(), "b", "/a/c/s", false); err != nil {
 		t.Fatal(err)
 	}
 
@@ -80,7 +82,7 @@ func TestRebalanceDoesNotStallUnrelatedEstimates(t *testing.T) {
 	lat := make([]time.Duration, 0, rounds)
 	for i := 0; i < rounds; i++ {
 		start := time.Now()
-		if _, err := reg.Estimate("b", "/a/c/s", false); err != nil {
+		if _, err := reg.Estimate(context.Background(), "b", "/a/c/s", false); err != nil {
 			t.Fatal(err)
 		}
 		lat = append(lat, time.Since(start))
@@ -305,14 +307,14 @@ func TestRebalanceStatsJSON(t *testing.T) {
 	s, ts := newTestServer(t)
 	defer s.Close()
 	createFixture(t, ts, "fig2")
-	var st Stats
+	var st api.Stats
 	doJSON(t, ts.Client(), "GET", ts.URL+"/stats", nil, &st)
 	if !st.Rebalance.Async {
 		t.Errorf("stats.rebalance = %+v, want async worker reported", st.Rebalance)
 	}
 
-	var rb RebalanceStats
-	if r := doJSON(t, ts.Client(), "POST", ts.URL+"/v1/admin/budget", BudgetRequest{Bytes: 32 << 10}, &rb); r.StatusCode != 202 {
+	var rb api.RebalanceStats
+	if r := doJSON(t, ts.Client(), "POST", ts.URL+"/v1/admin/budget", api.BudgetRequest{Bytes: 32 << 10}, &rb); r.StatusCode != 202 {
 		t.Fatalf("budget change: status %d", r.StatusCode)
 	}
 	if rb.Gen == 0 {
@@ -323,7 +325,7 @@ func TestRebalanceStatsJSON(t *testing.T) {
 	if st.AggregateBudget != 32<<10 || st.Rebalance.AppliedGen < rb.Gen || st.Rebalance.Pending != 0 {
 		t.Errorf("stats after budget change = budget %d rebalance %+v", st.AggregateBudget, st.Rebalance)
 	}
-	if r := doJSON(t, ts.Client(), "POST", ts.URL+"/v1/admin/budget", BudgetRequest{Bytes: -1}, nil); r.StatusCode != 400 {
+	if r := doJSON(t, ts.Client(), "POST", ts.URL+"/v1/admin/budget", api.BudgetRequest{Bytes: -1}, nil); r.StatusCode != 400 {
 		t.Errorf("negative budget: status %d", r.StatusCode)
 	}
 }
@@ -381,7 +383,7 @@ func TestRebalanceConcurrentChurnHammer(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 120; i++ {
-			if _, err := reg.Estimate("base", "/a/c/s", false); err != nil {
+			if _, err := reg.Estimate(context.Background(), "base", "/a/c/s", false); err != nil {
 				t.Error(err)
 				return
 			}

@@ -18,6 +18,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"xseed"
+	"xseed/api"
 	"xseed/internal/metrics"
 	"xseed/internal/store"
 )
@@ -400,24 +402,16 @@ func (r *Registry) waitRebalanced() {
 	}
 }
 
-// RebalanceStats is the /stats view of budget-rebalance progress: Gen is the
-// newest plan, AppliedGen the newest applied one; Pending > 0 means targets
-// are still in flight to some entries.
-type RebalanceStats struct {
-	Async      bool   `json:"async"`
-	Gen        uint64 `json:"gen"`
-	AppliedGen uint64 `json:"appliedGen"`
-	Pending    uint64 `json:"pending"`
-}
-
-// RebalanceStats snapshots rebalance progress.
-func (r *Registry) RebalanceStats() RebalanceStats {
+// RebalanceStats snapshots rebalance progress (the /v1/stats "rebalance"
+// payload): Gen is the newest plan, AppliedGen the newest applied one;
+// Pending > 0 means targets are still in flight to some entries.
+func (r *Registry) RebalanceStats() api.RebalanceStats {
 	r.rebalMu.Lock()
 	on := r.rebalOn
 	r.rebalMu.Unlock()
 	gen := r.rebalGen.Load()
 	applied := r.rebalApplied.Load()
-	st := RebalanceStats{Async: on, Gen: gen, AppliedGen: applied}
+	st := api.RebalanceStats{Async: on, Gen: gen, AppliedGen: applied}
 	if gen > applied {
 		st.Pending = gen - applied
 	}
@@ -641,22 +635,13 @@ func (r *Registry) SetAggregateBudget(bytes int) {
 	r.dispatch(p)
 }
 
-// EstimateItem is the outcome of estimating one query of a batch.
-type EstimateItem struct {
-	Query    string  `json:"query"`
-	Estimate float64 `json:"estimate"`
-	Cached   bool    `json:"cached"`
-	Streamed bool    `json:"streamed,omitempty"`
-	Error    string  `json:"error,omitempty"`
-}
-
 // Estimate estimates a single query against the named synopsis, consulting
 // the cache first. streaming selects the single-pass bounded-memory matcher
 // with fallback to the standard matcher.
-func (r *Registry) Estimate(name, query string, streaming bool) (EstimateItem, error) {
-	items, err := r.EstimateBatch(name, []string{query}, streaming)
+func (r *Registry) Estimate(ctx context.Context, name, query string, streaming bool) (api.EstimateItem, error) {
+	items, err := r.EstimateBatch(ctx, name, []string{query}, streaming)
 	if err != nil {
-		return EstimateItem{}, err
+		return api.EstimateItem{}, err
 	}
 	return items[0], nil
 }
@@ -664,15 +649,21 @@ func (r *Registry) Estimate(name, query string, streaming bool) (EstimateItem, e
 // EstimateBatch estimates queries in order against the named synopsis. The
 // batch amortizes overhead: queries are parsed and checked against the
 // cache up front, and all cache misses run under a single read-lock
-// acquisition. Per-query parse errors are reported in the item, not as a
-// batch error.
-func (r *Registry) EstimateBatch(name string, queries []string, streaming bool) ([]EstimateItem, error) {
+// acquisition. Per-query parse errors are reported in the item — typed,
+// with the parse offset in the error detail — not as a batch error
+// (partial-success semantics, documented in xseed/api). Cancelling ctx
+// aborts the batch between per-query estimates and fails the whole call
+// with the context's error.
+func (r *Registry) EstimateBatch(ctx context.Context, name string, queries []string, streaming bool) ([]api.EstimateItem, error) {
 	e, err := r.Get(name)
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	scope := e.cacheScope()
-	items := make([]EstimateItem, len(queries))
+	items := make([]api.EstimateItem, len(queries))
 	type miss struct {
 		q       *xseed.Query
 		indices []int // item positions sharing this normalized query
@@ -682,7 +673,7 @@ func (r *Registry) EstimateBatch(name string, queries []string, streaming bool) 
 	for i, raw := range queries {
 		q, err := xseed.ParseQuery(raw)
 		if err != nil {
-			items[i] = EstimateItem{Query: raw, Error: err.Error()}
+			items[i] = api.EstimateItem{Query: raw, Error: api.WrapError(err, api.CodeBadRequest)}
 			continue
 		}
 		// The cache key is the normalized (parsed, re-rendered) query, so
@@ -711,6 +702,14 @@ func (r *Registry) EstimateBatch(name string, queries []string, streaming bool) 
 	}
 	e.mu.RLock()
 	for _, norm := range order {
+		// The read path honors cancellation between per-query estimates: a
+		// caller that gave up (or a server whose client went away) stops
+		// consuming CPU after the current query instead of finishing the
+		// batch into the void.
+		if err := ctx.Err(); err != nil {
+			e.mu.RUnlock()
+			return nil, err
+		}
 		m := misses[norm]
 		var v EstimateResult
 		if streaming {
@@ -827,31 +826,16 @@ func (r *Registry) updateSubtree(name string, contextPath []string, xml string, 
 	return nil
 }
 
-// SynopsisInfo is the served view of one registered synopsis.
-type SynopsisInfo struct {
-	Name           string              `json:"name"`
-	Source         string              `json:"source"`
-	Created        time.Time           `json:"created"`
-	KernelBytes    int                 `json:"kernelBytes"`
-	HETBytes       int                 `json:"hetBytes"`
-	TotalBytes     int                 `json:"totalBytes"`
-	HETResident    int                 `json:"hetResident"`
-	HETTotal       int                 `json:"hetTotal"`
-	Estimates      int64               `json:"estimates"`
-	Feedbacks      int64               `json:"feedbacks"`
-	SubtreeUpdates int64               `json:"subtreeUpdates"`
-	Accuracy       metrics.OnlineStats `json:"accuracy"`
-}
-
-// Info snapshots one entry's stats.
-func (e *Entry) Info() SynopsisInfo {
+// Info snapshots one entry's stats as the served wire type.
+func (e *Entry) Info() api.SynopsisInfo {
 	e.mu.RLock()
 	kern := e.syn.KernelSizeBytes()
 	het := e.syn.HETSizeBytes()
 	total := e.syn.SizeBytes()
 	resident, all := e.syn.HETEntries()
 	e.mu.RUnlock()
-	return SynopsisInfo{
+	acc := e.acc.Snapshot()
+	return api.SynopsisInfo{
 		Name:           e.name,
 		Source:         e.source,
 		Created:        e.created,
@@ -863,12 +847,18 @@ func (e *Entry) Info() SynopsisInfo {
 		Estimates:      e.estimates.Load(),
 		Feedbacks:      e.feedbacks.Load(),
 		SubtreeUpdates: e.updates.Load(),
-		Accuracy:       e.acc.Snapshot(),
+		Accuracy: api.AccuracyStats{
+			N:          acc.N,
+			RMSE:       acc.RMSE,
+			NRMSE:      acc.NRMSE,
+			R2:         acc.R2,
+			MeanActual: acc.MeanActual,
+		},
 	}
 }
 
 // List returns info for every registered synopsis, sorted by name.
-func (r *Registry) List() []SynopsisInfo {
+func (r *Registry) List() []api.SynopsisInfo {
 	r.mu.RLock()
 	entries := make([]*Entry, 0, len(r.entries))
 	for _, e := range r.entries {
@@ -876,25 +866,15 @@ func (r *Registry) List() []SynopsisInfo {
 	}
 	r.mu.RUnlock()
 	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
-	out := make([]SynopsisInfo, len(entries))
+	out := make([]api.SynopsisInfo, len(entries))
 	for i, e := range entries {
 		out[i] = e.Info()
 	}
 	return out
 }
 
-// Stats is the server-wide stats payload.
-type Stats struct {
-	Synopses        []SynopsisInfo `json:"synopses"`
-	TotalBytes      int            `json:"totalBytes"`
-	AggregateBudget int            `json:"aggregateBudget"`
-	Rebalance       RebalanceStats `json:"rebalance"`
-	Cache           CacheStats     `json:"cache"`
-	Store           *store.Stats   `json:"store,omitempty"` // nil when not persisting
-}
-
-// Stats snapshots the whole registry.
-func (r *Registry) Stats() Stats {
+// Stats snapshots the whole registry as the /v1/stats wire payload.
+func (r *Registry) Stats() api.Stats {
 	infos := r.List()
 	total := 0
 	for _, in := range infos {
@@ -904,7 +884,7 @@ func (r *Registry) Stats() Stats {
 	budget := r.budget
 	st := r.st
 	r.mu.RUnlock()
-	out := Stats{
+	out := api.Stats{
 		Synopses:        infos,
 		TotalBytes:      total,
 		AggregateBudget: budget,
@@ -912,7 +892,7 @@ func (r *Registry) Stats() Stats {
 		Cache:           r.cache.Stats(),
 	}
 	if st != nil {
-		ss := st.Stats()
+		ss := storeStatsAPI(st.Stats())
 		out.Store = &ss
 	}
 	return out

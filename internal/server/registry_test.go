@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -57,7 +58,7 @@ func TestRegistryEstimateCaching(t *testing.T) {
 		t.Fatal(err)
 	}
 	const q = "/a/c/s"
-	first, err := r.Estimate("fig2", q, false)
+	first, err := r.Estimate(context.Background(), "fig2", q, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestRegistryEstimateCaching(t *testing.T) {
 	if first.Estimate <= 0 {
 		t.Fatalf("estimate %v for %s (actual %d)", first.Estimate, q, actual)
 	}
-	second, err := r.Estimate("fig2", q, false)
+	second, err := r.Estimate(context.Background(), "fig2", q, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestRegistryEstimateCaching(t *testing.T) {
 		t.Fatalf("second = %+v, want cached repeat of %v", second, first.Estimate)
 	}
 	// A spelling variant normalizes to the same key.
-	variant, err := r.Estimate("fig2", "/a/c/s", false)
+	variant, err := r.Estimate(context.Background(), "fig2", "/a/c/s", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestRegistryEstimateCaching(t *testing.T) {
 		t.Fatalf("normalized variant missed the cache: %+v", variant)
 	}
 	// Streaming mode is keyed separately and reports its matcher.
-	stream, err := r.Estimate("fig2", q, true)
+	stream, err := r.Estimate(context.Background(), "fig2", q, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestRegistryPutReplacesCacheGeneration(t *testing.T) {
 	if _, err := r.Add("fig2", syn, "test"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Estimate("fig2", "/a/u", false); err != nil {
+	if _, err := r.Estimate(context.Background(), "fig2", "/a/u", false); err != nil {
 		t.Fatal(err)
 	}
 	// Replace the synopsis with one built from a different document; the
@@ -115,7 +116,7 @@ func TestRegistryPutReplacesCacheGeneration(t *testing.T) {
 	if _, err := r.Put("fig2", syn2, "replacement"); err != nil {
 		t.Fatal(err)
 	}
-	got, err := r.Estimate("fig2", "/a/u", false)
+	got, err := r.Estimate(context.Background(), "fig2", "/a/u", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestRegistryPutReplacesCacheGeneration(t *testing.T) {
 	if _, err := r.Add("fig2", syn, "test"); err != nil {
 		t.Fatal(err)
 	}
-	again, err := r.Estimate("fig2", "/a/u", false)
+	again, err := r.Estimate(context.Background(), "fig2", "/a/u", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestRegistryKernelOnlyFeedbackKeepsCacheWarm(t *testing.T) {
 	if _, err := r.Add("bare", syn, "test"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Estimate("bare", "/a/u", false); err != nil {
+	if _, err := r.Estimate(context.Background(), "bare", "/a/u", false); err != nil {
 		t.Fatal(err)
 	}
 	// Feedback on a kernel-only synopsis can't change estimates, so it must
@@ -155,7 +156,7 @@ func TestRegistryKernelOnlyFeedbackKeepsCacheWarm(t *testing.T) {
 	if err := r.Feedback("bare", "/a/u", 1); err != nil {
 		t.Fatal(err)
 	}
-	got, err := r.Estimate("bare", "/a/u", false)
+	got, err := r.Estimate(context.Background(), "bare", "/a/u", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,13 +181,13 @@ func TestRegistryFeedbackInvalidatesAndTunes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Estimate("fig2", q, false); err != nil {
+	if _, err := r.Estimate(context.Background(), "fig2", q, false); err != nil {
 		t.Fatal(err)
 	}
 	if err := r.Feedback("fig2", q, float64(actual)); err != nil {
 		t.Fatal(err)
 	}
-	after, err := r.Estimate("fig2", q, false)
+	after, err := r.Estimate(context.Background(), "fig2", q, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,14 +212,14 @@ func TestRegistrySubtreeUpdateInvalidates(t *testing.T) {
 	if _, err := r.Add("fig2", syn, "test"); err != nil {
 		t.Fatal(err)
 	}
-	before, err := r.Estimate("fig2", "/a/u", false)
+	before, err := r.Estimate(context.Background(), "fig2", "/a/u", false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := r.AddSubtree("fig2", []string{"a"}, "<u/>"); err != nil {
 		t.Fatal(err)
 	}
-	after, err := r.Estimate("fig2", "/a/u", false)
+	after, err := r.Estimate(context.Background(), "fig2", "/a/u", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +232,7 @@ func TestRegistrySubtreeUpdateInvalidates(t *testing.T) {
 	if err := r.RemoveSubtree("fig2", []string{"a"}, "<u/>"); err != nil {
 		t.Fatal(err)
 	}
-	restored, err := r.Estimate("fig2", "/a/u", false)
+	restored, err := r.Estimate(context.Background(), "fig2", "/a/u", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +283,7 @@ func TestRegistryRebalanceInvalidatesCache(t *testing.T) {
 	if err := r.Feedback("fig2", q, float64(actual)); err != nil {
 		t.Fatal(err)
 	}
-	warm, err := r.Estimate("fig2", q, false)
+	warm, err := r.Estimate(context.Background(), "fig2", q, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +293,7 @@ func TestRegistryRebalanceInvalidatesCache(t *testing.T) {
 	// Shrinking the aggregate budget to the kernel evicts the HET; the
 	// warm cache must not keep serving the HET-backed value.
 	r.SetAggregateBudget(syn.KernelSizeBytes())
-	cold, err := r.Estimate("fig2", q, false)
+	cold, err := r.Estimate(context.Background(), "fig2", q, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,12 +352,12 @@ func TestRegistryBatchDeduplicatesMisses(t *testing.T) {
 	}
 	// Three spellings of one query plus one distinct query: the synopsis
 	// must be consulted exactly twice, and all items must be answered.
-	items, err := r.EstimateBatch("fig2", []string{"/a/c/s", "/a/c/s", "/a/c/s", "/a/u"}, false)
+	items, err := r.EstimateBatch(context.Background(), "fig2", []string{"/a/c/s", "/a/c/s", "/a/c/s", "/a/u"}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i, it := range items {
-		if it.Error != "" || it.Estimate <= 0 {
+		if it.Error != nil || it.Estimate <= 0 {
 			t.Fatalf("item %d = %+v", i, it)
 		}
 	}
@@ -393,17 +394,17 @@ func TestRegistryPersistRoundtrip(t *testing.T) {
 	if _, err := r.Add("loaded", loaded, "roundtrip"); err != nil {
 		t.Fatal(err)
 	}
-	want, err := r.EstimateBatch("orig", queries, false)
+	want, err := r.EstimateBatch(context.Background(), "orig", queries, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := r.EstimateBatch("loaded", queries, false)
+	got, err := r.EstimateBatch(context.Background(), "loaded", queries, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := range queries {
-		if want[i].Error != "" || got[i].Error != "" {
-			t.Fatalf("query %s errored: %q / %q", queries[i], want[i].Error, got[i].Error)
+		if want[i].Error != nil || got[i].Error != nil {
+			t.Fatalf("query %s errored: %v / %v", queries[i], want[i].Error, got[i].Error)
 		}
 		if want[i].Estimate != got[i].Estimate {
 			t.Errorf("%s: original %v, loaded %v", queries[i], want[i].Estimate, got[i].Estimate)
@@ -431,11 +432,11 @@ func TestRegistryConcurrentHammer(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < rounds; i++ {
-				if _, err := r.EstimateBatch("fig2", queries, i%3 == 0); err != nil {
+				if _, err := r.EstimateBatch(context.Background(), "fig2", queries, i%3 == 0); err != nil {
 					t.Error(err)
 					return
 				}
-				if _, err := r.Estimate("fig2", queries[(g+i)%len(queries)], false); err != nil {
+				if _, err := r.Estimate(context.Background(), "fig2", queries[(g+i)%len(queries)], false); err != nil {
 					t.Error(err)
 					return
 				}
@@ -481,7 +482,7 @@ func TestRegistryConcurrentHammer(t *testing.T) {
 	// The document is back to its original shape; a fresh estimate must
 	// agree with a never-hammered synopsis.
 	_, control := buildFixtureSynopsis(t, nil)
-	got, err := r.Estimate("fig2", "/a/u", false)
+	got, err := r.Estimate(context.Background(), "fig2", "/a/u", false)
 	if err != nil {
 		t.Fatal(err)
 	}

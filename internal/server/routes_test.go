@@ -1,0 +1,230 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"xseed"
+	"xseed/api"
+	"xseed/internal/fixtures"
+)
+
+// normalizeBody makes two servers' responses comparable: JSON bodies are
+// re-marshaled with volatile fields (creation timestamps) stripped
+// recursively; non-JSON bodies compare raw.
+func normalizeBody(t *testing.T, b []byte) string {
+	t.Helper()
+	if len(bytes.TrimSpace(b)) == 0 {
+		return ""
+	}
+	var v any
+	if err := json.Unmarshal(b, &v); err != nil {
+		return string(b)
+	}
+	var strip func(any) any
+	strip = func(x any) any {
+		switch x := x.(type) {
+		case map[string]any:
+			delete(x, "created")
+			for k, v := range x {
+				x[k] = strip(v)
+			}
+		case []any:
+			for i := range x {
+				x[i] = strip(x[i])
+			}
+		}
+		return x
+	}
+	out, err := json.Marshal(strip(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// TestLegacyRouteAliases drives every deprecated unversioned path and its
+// /v1 twin through identical fresh servers and requires byte-identical
+// (normalized) bodies and statuses, plus the Deprecation header on the
+// legacy mount only. The table comes from api.Routes, so a new route with
+// a legacy alias is covered the day it is declared.
+func TestLegacyRouteAliases(t *testing.T) {
+	doc, err := xseed.ParseXMLString(fixtures.PaperFigure2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := xseed.BuildSynopsis(doc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snapshot bytes.Buffer
+	if _, err := syn.WriteTo(&snapshot); err != nil {
+		t.Fatal(err)
+	}
+
+	// Request bodies per "METHOD /v1/path" key; routes absent from the map
+	// send no body.
+	bodies := map[string][]byte{
+		"POST /v1/synopses":                 mustJSON(t, api.CreateRequest{Name: "new", XML: fixtures.PaperFigure2}),
+		"POST /v1/synopses/{name}/estimate": mustJSON(t, api.EstimateRequest{Queries: []string{"/a/c/s", "bogus ???", "//s//p"}}),
+		"POST /v1/synopses/{name}/feedback": mustJSON(t, api.FeedbackRequest{Query: "/a/c/s", Actual: 5}),
+		"POST /v1/synopses/{name}/subtree":  mustJSON(t, api.SubtreeRequest{Op: "add", Context: []string{"a"}, XML: "<u/>"}),
+		"PUT /v1/synopses/{name}/snapshot":  snapshot.Bytes(),
+	}
+
+	newSeeded := func() *httptest.Server {
+		s, err := New(Config{CacheCapacity: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := xseed.ParseXMLString(fixtures.PaperFigure2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fig2, err := xseed.BuildSynopsis(d, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Registry().Add("fig2", fig2, "xml upload"); err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(ts.Close)
+		t.Cleanup(func() { s.Close() })
+		return ts
+	}
+
+	aliased := 0
+	for _, rt := range api.Routes() {
+		if rt.Legacy == "" {
+			continue
+		}
+		aliased++
+		t.Run(rt.Method+" "+rt.Legacy, func(t *testing.T) {
+			// Two servers seeded identically: the mutating routes (create,
+			// feedback, subtree, snapshot put, delete) each run once per
+			// server, so the pair stays comparable.
+			v1Srv, legacySrv := newSeeded(), newSeeded()
+			key := rt.Method + " " + rt.Path
+			fill := func(p string) string { return strings.ReplaceAll(p, "{name}", "fig2") }
+
+			do := func(ts *httptest.Server, path string) (*http.Response, []byte) {
+				t.Helper()
+				var rd io.Reader
+				if b, ok := bodies[key]; ok {
+					rd = bytes.NewReader(b)
+				}
+				req, err := http.NewRequest(rt.Method, ts.URL+fill(path), rd)
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp, err := ts.Client().Do(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer resp.Body.Close()
+				data, err := io.ReadAll(resp.Body)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return resp, data
+			}
+
+			v1Resp, v1Body := do(v1Srv, rt.Path)
+			lgResp, lgBody := do(legacySrv, rt.Legacy)
+
+			if v1Resp.StatusCode != lgResp.StatusCode {
+				t.Errorf("status: v1 %d, legacy %d", v1Resp.StatusCode, lgResp.StatusCode)
+			}
+			if want, got := normalizeBody(t, v1Body), normalizeBody(t, lgBody); want != got {
+				t.Errorf("bodies differ:\n  v1:     %s\n  legacy: %s", want, got)
+			}
+			if dep := lgResp.Header.Get("Deprecation"); dep != "true" {
+				t.Errorf("legacy Deprecation header = %q, want \"true\"", dep)
+			}
+			if link := lgResp.Header.Get("Link"); !strings.Contains(link, "/v1"+fill(rt.Legacy)) || !strings.Contains(link, "successor-version") {
+				t.Errorf("legacy Link header = %q", link)
+			}
+			if dep := v1Resp.Header.Get("Deprecation"); dep != "" {
+				t.Errorf("/v1 route carries Deprecation header %q", dep)
+			}
+		})
+	}
+	if aliased < 10 {
+		t.Fatalf("only %d aliased routes exercised; the legacy surface shrank", aliased)
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestHTTPEstimatePartialSuccess locks the batch contract: a mid-batch
+// parse failure yields 200 with per-query typed errors — offset preserved —
+// alongside the successful estimates.
+func TestHTTPEstimatePartialSuccess(t *testing.T) {
+	_, ts := newTestServer(t)
+	createFixture(t, ts, "fig2")
+
+	var resp api.EstimateResponse
+	httpResp := doJSON(t, ts.Client(), "POST", ts.URL+"/v1/synopses/fig2/estimate",
+		api.EstimateRequest{Queries: []string{"/a/c/s", "/a/c[", "//s//p"}}, &resp)
+	if httpResp.StatusCode != http.StatusOK {
+		t.Fatalf("partial-success batch: status %d, want 200", httpResp.StatusCode)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("results = %+v", resp.Results)
+	}
+	if resp.Results[0].Error != nil || resp.Results[0].Estimate <= 0 {
+		t.Errorf("results[0] = %+v", resp.Results[0])
+	}
+	if resp.Results[2].Error != nil || resp.Results[2].Estimate <= 0 {
+		t.Errorf("results[2] = %+v", resp.Results[2])
+	}
+	bad := resp.Results[1]
+	if bad.Error == nil || bad.Error.Code != api.CodeParseError {
+		t.Fatalf("results[1] error = %+v, want %s", bad.Error, api.CodeParseError)
+	}
+	if d, ok := bad.Error.ParseDetail(); !ok || d.Offset != len("/a/c[") {
+		t.Errorf("parse detail = %+v ok=%v, want offset %d", d, ok, len("/a/c["))
+	}
+}
+
+// TestEstimateBatchCancellation proves the registry read path honors
+// context cancellation instead of estimating a dead request's batch.
+func TestEstimateBatchCancellation(t *testing.T) {
+	r := NewRegistry(0, 0)
+	doc, err := xseed.ParseXMLString(fixtures.PaperFigure2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := xseed.BuildSynopsis(doc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Add("fig2", syn, "test"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.EstimateBatch(ctx, "fig2", []string{"/a/c/s"}, false); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled batch returned %v, want context.Canceled", err)
+	}
+	// An unknown synopsis still reports not-found even when canceled —
+	// registry lookup precedes the context gate — and a live context works.
+	if _, err := r.EstimateBatch(context.Background(), "fig2", []string{"/a/c/s"}, false); err != nil {
+		t.Fatalf("live batch failed: %v", err)
+	}
+}

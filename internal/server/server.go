@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"xseed"
+	"xseed/api"
 	"xseed/internal/store"
 )
 
@@ -46,7 +47,9 @@ type Config struct {
 	Log *log.Logger
 }
 
-// Server is the xseedd HTTP server: a registry plus its JSON API.
+// Server is the xseedd HTTP server: a registry plus its JSON API. Its wire
+// contract — request/response/error shapes and the /v1 route table — is
+// the public xseed/api package; handlers marshal only api types.
 type Server struct {
 	reg     *Registry
 	http    *http.Server
@@ -120,27 +123,54 @@ func (s *Server) Close() error {
 // Registry returns the server's registry (for preloading synopses).
 func (s *Server) Registry() *Registry { return s.reg }
 
-// Handler returns the server's routes, independent of any listener — this
-// is what httptest mounts in the end-to-end tests.
+// Handler mounts the api.Routes table: every route under its /v1 path,
+// plus the deprecated unversioned alias (same handler wrapped to emit the
+// Deprecation header) where the table declares one. It is independent of
+// any listener — this is what httptest mounts in the end-to-end tests.
 func (s *Server) Handler() http.Handler {
+	handlers := map[string]http.HandlerFunc{
+		"GET /v1/healthz":                   s.handleHealthz,
+		"GET /v1/stats":                     s.handleStats,
+		"GET /v1/synopses":                  s.handleList,
+		"POST /v1/synopses":                 s.handleCreate,
+		"GET /v1/synopses/{name}":           s.handleGet,
+		"DELETE /v1/synopses/{name}":        s.handleDelete,
+		"POST /v1/synopses/{name}/estimate": s.handleEstimate,
+		"POST /v1/synopses/{name}/feedback": s.handleFeedback,
+		"POST /v1/synopses/{name}/subtree":  s.handleSubtree,
+		"GET /v1/synopses/{name}/snapshot":  s.handleSnapshotGet,
+		"PUT /v1/synopses/{name}/snapshot":  s.handleSnapshotPut,
+		"POST /v1/admin/budget":             s.handleBudget,
+		"POST /v1/admin/compact":            s.handleCompact,
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /synopses", s.handleList)
-	mux.HandleFunc("POST /synopses", s.handleCreate)
-	mux.HandleFunc("GET /synopses/{name}", s.handleGet)
-	mux.HandleFunc("DELETE /synopses/{name}", s.handleDelete)
-	mux.HandleFunc("POST /synopses/{name}/estimate", s.handleEstimate)
-	mux.HandleFunc("POST /synopses/{name}/feedback", s.handleFeedback)
-	mux.HandleFunc("POST /synopses/{name}/subtree", s.handleSubtree)
-	mux.HandleFunc("GET /synopses/{name}/snapshot", s.handleSnapshotGet)
-	mux.HandleFunc("PUT /synopses/{name}/snapshot", s.handleSnapshotPut)
-	mux.HandleFunc("POST /v1/admin/compact", s.handleCompact)
-	mux.HandleFunc("POST /v1/admin/budget", s.handleBudget)
+	mounted := 0
+	for _, rt := range api.Routes() {
+		h, ok := handlers[rt.Method+" "+rt.Path]
+		if !ok {
+			panic(fmt.Sprintf("server: api.Routes declares %s %s but no handler is bound", rt.Method, rt.Path))
+		}
+		mux.HandleFunc(rt.Method+" "+rt.Path, h)
+		if rt.Legacy != "" {
+			mux.HandleFunc(rt.Method+" "+rt.Legacy, deprecated(h))
+		}
+		mounted++
+	}
+	if mounted != len(handlers) {
+		panic("server: handler bound to a route api.Routes does not declare")
+	}
 	return mux
+}
+
+// deprecated wraps a /v1 handler for its legacy unversioned mount: the
+// body stays identical, and the response gains the RFC 9745 Deprecation
+// header plus a Link to the successor route.
+func deprecated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("</v1%s>; rel=\"successor-version\"", r.URL.Path))
+		h(w, r)
+	}
 }
 
 // Run serves until ctx is cancelled, then shuts down gracefully: in-flight
@@ -184,29 +214,31 @@ func (s *Server) Run(ctx context.Context) error {
 	return serveErr(nil)
 }
 
-type apiError struct {
-	Error string `json:"error"`
-}
-
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, apiError{Error: err.Error()})
+// writeErr maps any error onto the api taxonomy and writes the standard
+// envelope: registry sentinels become not_found/conflict, XPath parse
+// failures become parse_error with their offset in the detail, context
+// cancellation becomes canceled, and anything else is a bad_request.
+func writeErr(w http.ResponseWriter, err error) {
+	api.WriteError(w, toAPIError(err))
 }
 
-// statusFor maps registry errors onto HTTP statuses.
-func statusFor(err error) int {
+// toAPIError is the single server-side mapping from Go errors onto the
+// wire taxonomy (statuses come from the code via api.Error.HTTPStatus,
+// never from message text).
+func toAPIError(err error) *api.Error {
 	switch {
 	case errors.Is(err, ErrNotFound):
-		return http.StatusNotFound
+		return api.Errorf(api.CodeNotFound, "%s", err)
 	case errors.Is(err, ErrExists):
-		return http.StatusConflict
+		return api.Errorf(api.CodeConflict, "%s", err)
 	default:
-		return http.StatusBadRequest
+		return api.WrapError(err, api.CodeBadRequest)
 	}
 }
 
@@ -214,24 +246,14 @@ func readBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(io.LimitReader(r.Body, 64<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		writeErr(w, fmt.Errorf("decode request: %w", err))
 		return false
 	}
 	return true
 }
 
-// SynopsisConfig mirrors xseed.Config/xseed.HETConfig for the JSON API.
-type SynopsisConfig struct {
-	KernelOnly    bool    `json:"kernelOnly,omitempty"`
-	FeedbackOnly  bool    `json:"feedbackOnly,omitempty"`
-	MBP           int     `json:"mbp,omitempty"`
-	BselThreshold float64 `json:"bselThreshold,omitempty"`
-	BudgetBytes   int     `json:"budgetBytes,omitempty"`
-	CardThreshold float64 `json:"cardThreshold,omitempty"`
-	ReuseEPT      bool    `json:"reuseEPT,omitempty"`
-}
-
-func (c *SynopsisConfig) toConfig() *xseed.Config {
+// synopsisConfig converts the wire config into construction options.
+func synopsisConfig(c *api.SynopsisConfig) *xseed.Config {
 	if c == nil {
 		return nil
 	}
@@ -253,22 +275,6 @@ func (c *SynopsisConfig) toConfig() *xseed.Config {
 	return cfg
 }
 
-// CreateRequest builds a synopsis from exactly one source: inline XML, an
-// XML file on the server's disk, a generated dataset, or a serialized
-// synopsis file written by `xseed build` or a snapshot download.
-type CreateRequest struct {
-	Name string `json:"name"`
-
-	XML          string  `json:"xml,omitempty"`
-	XMLFile      string  `json:"xmlFile,omitempty"`
-	Dataset      string  `json:"dataset,omitempty"`
-	Factor       float64 `json:"factor,omitempty"`
-	Seed         int64   `json:"seed,omitempty"`
-	SynopsisFile string  `json:"synopsisFile,omitempty"`
-
-	Config *SynopsisConfig `json:"config,omitempty"`
-}
-
 // resolveDataPath confines a client-supplied file path to dataDir: the path
 // is treated as relative to dataDir and cleaned with a forced leading slash
 // first, so ".." segments cannot escape it.
@@ -279,7 +285,8 @@ func resolveDataPath(dataDir, p string) (string, error) {
 	return filepath.Join(dataDir, filepath.Clean("/"+p)), nil
 }
 
-func (req *CreateRequest) build(dataDir string) (*xseed.Synopsis, string, error) {
+// buildSynopsis realizes a CreateRequest's single source into a synopsis.
+func buildSynopsis(req api.CreateRequest, dataDir string) (*xseed.Synopsis, string, error) {
 	sources := 0
 	for _, set := range []bool{req.XML != "", req.XMLFile != "", req.Dataset != "", req.SynopsisFile != ""} {
 		if set {
@@ -331,37 +338,42 @@ func (req *CreateRequest) build(dataDir string) (*xseed.Synopsis, string, error)
 	if err != nil {
 		return nil, "", err
 	}
-	syn, err := xseed.BuildSynopsis(doc, req.Config.toConfig())
+	syn, err := xseed.BuildSynopsis(doc, synopsisConfig(req.Config))
 	if err != nil {
 		return nil, "", err
 	}
 	return syn, source, nil
 }
 
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
-	var req CreateRequest
+	var req api.CreateRequest
 	if !readBody(w, r, &req) {
 		return
 	}
 	if req.Name == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing name"))
+		writeErr(w, fmt.Errorf("missing name"))
 		return
 	}
 	// Racy early uniqueness check: building a synopsis can cost seconds of
 	// CPU, so reject an already-taken name before paying for it. Add below
 	// remains the authoritative check.
 	if _, err := s.reg.Get(req.Name); err == nil {
-		writeErr(w, http.StatusConflict, fmt.Errorf("synopsis %q %w", req.Name, ErrExists))
+		writeErr(w, fmt.Errorf("synopsis %q %w", req.Name, ErrExists))
 		return
 	}
-	syn, source, err := req.build(s.dataDir)
+	syn, source, err := buildSynopsis(req, s.dataDir)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, err)
 		return
 	}
 	e, err := s.reg.Add(req.Name, syn, source)
 	if err != nil {
-		writeErr(w, statusFor(err), err)
+		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, e.Info())
@@ -374,7 +386,7 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	e, err := s.reg.Get(r.PathValue("name"))
 	if err != nil {
-		writeErr(w, statusFor(err), err)
+		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, e.Info())
@@ -382,28 +394,14 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if err := s.reg.Delete(r.PathValue("name")); err != nil {
-		writeErr(w, statusFor(err), err)
+		writeErr(w, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// EstimateRequest carries one query or a batch. Streaming selects the
-// single-pass matcher (with automatic fallback per query).
-type EstimateRequest struct {
-	Query     string   `json:"query,omitempty"`
-	Queries   []string `json:"queries,omitempty"`
-	Streaming bool     `json:"streaming,omitempty"`
-}
-
-// EstimateResponse answers an estimate request; Results holds one item per
-// query in request order.
-type EstimateResponse struct {
-	Results []EstimateItem `json:"results"`
-}
-
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
-	var req EstimateRequest
+	var req api.EstimateRequest
 	if !readBody(w, r, &req) {
 		return
 	}
@@ -412,48 +410,35 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		queries = append([]string{req.Query}, queries...)
 	}
 	if len(queries) == 0 {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing query or queries"))
+		writeErr(w, fmt.Errorf("missing query or queries"))
 		return
 	}
-	items, err := s.reg.EstimateBatch(r.PathValue("name"), queries, req.Streaming)
+	items, err := s.reg.EstimateBatch(r.Context(), r.PathValue("name"), queries, req.Streaming)
 	if err != nil {
-		writeErr(w, statusFor(err), err)
+		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, EstimateResponse{Results: items})
-}
-
-// FeedbackRequest records an executed query's actual cardinality.
-type FeedbackRequest struct {
-	Query  string  `json:"query"`
-	Actual float64 `json:"actual"`
+	writeJSON(w, http.StatusOK, api.EstimateResponse{Results: items})
 }
 
 func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
-	var req FeedbackRequest
+	var req api.FeedbackRequest
 	if !readBody(w, r, &req) {
 		return
 	}
 	if req.Query == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing query"))
+		writeErr(w, fmt.Errorf("missing query"))
 		return
 	}
 	if err := s.reg.Feedback(r.PathValue("name"), req.Query, req.Actual); err != nil {
-		writeErr(w, statusFor(err), err)
+		writeErr(w, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// SubtreeRequest applies an incremental document update to the kernel.
-type SubtreeRequest struct {
-	Op      string   `json:"op"` // "add" or "remove"
-	Context []string `json:"context"`
-	XML     string   `json:"xml"`
-}
-
 func (s *Server) handleSubtree(w http.ResponseWriter, r *http.Request) {
-	var req SubtreeRequest
+	var req api.SubtreeRequest
 	if !readBody(w, r, &req) {
 		return
 	}
@@ -465,11 +450,11 @@ func (s *Server) handleSubtree(w http.ResponseWriter, r *http.Request) {
 	case "remove":
 		err = s.reg.RemoveSubtree(name, req.Context, req.XML)
 	default:
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("op must be \"add\" or \"remove\""))
+		writeErr(w, fmt.Errorf("op must be \"add\" or \"remove\""))
 		return
 	}
 	if err != nil {
-		writeErr(w, statusFor(err), err)
+		writeErr(w, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -478,7 +463,7 @@ func (s *Server) handleSubtree(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
 	e, err := s.reg.Get(r.PathValue("name"))
 	if err != nil {
-		writeErr(w, statusFor(err), err)
+		writeErr(w, err)
 		return
 	}
 	// Serialize into memory under the read lock, write to the client after
@@ -490,7 +475,7 @@ func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
 	_, err = e.syn.WriteTo(&buf)
 	e.mu.RUnlock()
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		api.WriteError(w, api.WrapError(err, api.CodeInternal))
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -502,12 +487,12 @@ func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSnapshotPut(w http.ResponseWriter, r *http.Request) {
 	syn, err := xseed.ReadSynopsis(io.LimitReader(r.Body, 256<<20))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, err)
 		return
 	}
 	e, err := s.reg.Put(r.PathValue("name"), syn, "snapshot upload")
 	if err != nil {
-		writeErr(w, statusFor(err), err)
+		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, e.Info())
@@ -517,32 +502,20 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.reg.Stats())
 }
 
-// BudgetRequest changes the fleet-wide memory budget at runtime (0 =
-// unlimited), the paper's dynamic reconfiguration as an operation.
-type BudgetRequest struct {
-	Bytes int `json:"bytes"`
-}
-
 // handleBudget re-targets the aggregate budget. The response carries the
 // rebalance generation the change planned; per-synopsis budgets are applied
-// asynchronously — poll /stats until rebalance.appliedGen reaches it.
+// asynchronously — poll /v1/stats until rebalance.appliedGen reaches it.
 func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
-	var req BudgetRequest
+	var req api.BudgetRequest
 	if !readBody(w, r, &req) {
 		return
 	}
 	if req.Bytes < 0 {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bytes must be >= 0"))
+		writeErr(w, fmt.Errorf("bytes must be >= 0"))
 		return
 	}
 	s.reg.SetAggregateBudget(req.Bytes)
 	writeJSON(w, http.StatusAccepted, s.reg.RebalanceStats())
-}
-
-// CompactResponse reports a manual compaction sweep.
-type CompactResponse struct {
-	Compacted []string    `json:"compacted"`
-	Store     store.Stats `json:"store"`
 }
 
 // handleCompact folds delta logs into fresh base snapshots on demand:
@@ -550,13 +523,13 @@ type CompactResponse struct {
 // the parameter, every one with a non-empty log.
 func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	if s.st == nil {
-		writeErr(w, http.StatusConflict, fmt.Errorf("server has no store (start with -store-dir)"))
+		api.WriteError(w, api.Errorf(api.CodeConflict, "server has no store (start with -store-dir)"))
 		return
 	}
 	var names []string
 	if name := r.URL.Query().Get("synopsis"); name != "" {
 		if _, err := s.reg.Get(name); err != nil {
-			writeErr(w, statusFor(err), err)
+			writeErr(w, err)
 			return
 		}
 		names = []string{name}
@@ -565,17 +538,33 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 			names = append(names, info.Name)
 		}
 	}
-	resp := CompactResponse{Compacted: []string{}}
+	resp := api.CompactResponse{Compacted: []string{}}
 	for _, name := range names {
 		folded, err := s.st.CompactNow(name)
 		if err != nil {
-			writeErr(w, http.StatusInternalServerError, err)
+			api.WriteError(w, api.WrapError(err, api.CodeInternal))
 			return
 		}
 		if folded {
 			resp.Compacted = append(resp.Compacted, name)
 		}
 	}
-	resp.Store = s.st.Stats()
+	resp.Store = storeStatsAPI(s.st.Stats())
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// storeStatsAPI projects the store's stats onto the wire type.
+func storeStatsAPI(st store.Stats) api.StoreStats {
+	out := api.StoreStats{Dir: st.Dir}
+	for _, s := range st.Synopses {
+		out.Synopses = append(out.Synopses, api.StoreSynopsisStats{
+			Name:         s.Name,
+			Seq:          s.Seq,
+			BaseBytes:    s.BaseBytes,
+			DeltaBytes:   s.DeltaBytes,
+			DeltaRecords: s.DeltaRecords,
+			Compactions:  s.Compactions,
+		})
+	}
+	return out
 }

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"xseed/api"
 
 	"xseed"
 	"xseed/internal/fixtures"
@@ -58,11 +59,11 @@ func doJSON(t *testing.T, client *http.Client, method, url string, body any, out
 	return resp
 }
 
-func createFixture(t *testing.T, ts *httptest.Server, name string) SynopsisInfo {
+func createFixture(t *testing.T, ts *httptest.Server, name string) api.SynopsisInfo {
 	t.Helper()
-	var info SynopsisInfo
+	var info api.SynopsisInfo
 	resp := doJSON(t, ts.Client(), "POST", ts.URL+"/synopses",
-		CreateRequest{Name: name, XML: fixtures.PaperFigure2}, &info)
+		api.CreateRequest{Name: name, XML: fixtures.PaperFigure2}, &info)
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("create %s: status %d", name, resp.StatusCode)
 	}
@@ -88,16 +89,16 @@ func TestHTTPCreateListGetDelete(t *testing.T) {
 		t.Fatalf("create info = %+v", info)
 	}
 
-	// Duplicate name conflicts.
-	var apiErr apiError
+	// Duplicate name conflicts, with the typed conflict code.
+	var apiErr api.ErrorResponse
 	resp := doJSON(t, ts.Client(), "POST", ts.URL+"/synopses",
-		CreateRequest{Name: "fig2", XML: fixtures.PaperFigure2}, &apiErr)
-	if resp.StatusCode != http.StatusConflict || apiErr.Error == "" {
-		t.Fatalf("duplicate create: status %d, err %q", resp.StatusCode, apiErr.Error)
+		api.CreateRequest{Name: "fig2", XML: fixtures.PaperFigure2}, &apiErr)
+	if resp.StatusCode != http.StatusConflict || apiErr.Err == nil || apiErr.Err.Code != api.CodeConflict {
+		t.Fatalf("duplicate create: status %d, err %+v", resp.StatusCode, apiErr.Err)
 	}
 
 	// Bad requests: no source, two sources, unknown field, bad XML.
-	for _, req := range []CreateRequest{
+	for _, req := range []api.CreateRequest{
 		{Name: "x"},
 		{Name: "x", XML: "<a/>", Dataset: "xmark"},
 		{Name: "x", XML: "<a><unclosed>"},
@@ -108,9 +109,9 @@ func TestHTTPCreateListGetDelete(t *testing.T) {
 	}
 
 	// Kernel-only config is honored.
-	var bare SynopsisInfo
+	var bare api.SynopsisInfo
 	doJSON(t, ts.Client(), "POST", ts.URL+"/synopses",
-		CreateRequest{Name: "bare", XML: fixtures.PaperFigure2, Config: &SynopsisConfig{KernelOnly: true}}, &bare)
+		api.CreateRequest{Name: "bare", XML: fixtures.PaperFigure2, Config: &api.SynopsisConfig{KernelOnly: true}}, &bare)
 	if bare.HETBytes != 0 || bare.HETTotal != 0 {
 		t.Fatalf("kernel-only synopsis has HET: %+v", bare)
 	}
@@ -118,7 +119,7 @@ func TestHTTPCreateListGetDelete(t *testing.T) {
 	// File sources are disabled without a configured data dir, and confined
 	// to it when one is set.
 	if resp := doJSON(t, ts.Client(), "POST", ts.URL+"/synopses",
-		CreateRequest{Name: "leak", XMLFile: "/etc/hostname"}, nil); resp.StatusCode != http.StatusBadRequest {
+		api.CreateRequest{Name: "leak", XMLFile: "/etc/hostname"}, nil); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("xmlFile without data dir: status %d, want 400", resp.StatusCode)
 	}
 	dataDir := t.TempDir()
@@ -132,30 +133,30 @@ func TestHTTPCreateListGetDelete(t *testing.T) {
 	dts := httptest.NewServer(ds.Handler())
 	defer dts.Close()
 	if resp := doJSON(t, dts.Client(), "POST", dts.URL+"/synopses",
-		CreateRequest{Name: "fromfile", XMLFile: "doc.xml"}, nil); resp.StatusCode != http.StatusCreated {
+		api.CreateRequest{Name: "fromfile", XMLFile: "doc.xml"}, nil); resp.StatusCode != http.StatusCreated {
 		t.Fatalf("xmlFile inside data dir: status %d, want 201", resp.StatusCode)
 	}
-	var escErr apiError
+	var escErr api.ErrorResponse
 	if resp := doJSON(t, dts.Client(), "POST", dts.URL+"/synopses",
-		CreateRequest{Name: "esc", XMLFile: "../../../etc/hostname"}, &escErr); resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("path escape: status %d (%q), want 400", resp.StatusCode, escErr.Error)
+		api.CreateRequest{Name: "esc", XMLFile: "../../../etc/hostname"}, &escErr); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("path escape: status %d (%+v), want 400", resp.StatusCode, escErr.Err)
 	}
 
 	// Dataset generation source.
-	var gen SynopsisInfo
+	var gen api.SynopsisInfo
 	resp = doJSON(t, ts.Client(), "POST", ts.URL+"/synopses",
-		CreateRequest{Name: "gen", Dataset: "xmark", Factor: 0.001, Seed: 7}, &gen)
+		api.CreateRequest{Name: "gen", Dataset: "xmark", Factor: 0.001, Seed: 7}, &gen)
 	if resp.StatusCode != http.StatusCreated || gen.KernelBytes <= 0 {
 		t.Fatalf("dataset create: status %d info %+v", resp.StatusCode, gen)
 	}
 
-	var list []SynopsisInfo
+	var list []api.SynopsisInfo
 	doJSON(t, ts.Client(), "GET", ts.URL+"/synopses", nil, &list)
 	if len(list) != 3 || list[0].Name != "bare" || list[1].Name != "fig2" || list[2].Name != "gen" {
 		t.Fatalf("list = %+v", list)
 	}
 
-	var got SynopsisInfo
+	var got api.SynopsisInfo
 	doJSON(t, ts.Client(), "GET", ts.URL+"/synopses/fig2", nil, &got)
 	if got.Name != "fig2" {
 		t.Fatalf("get = %+v", got)
@@ -176,9 +177,9 @@ func TestHTTPEstimateSingleBatchStreaming(t *testing.T) {
 	_, ts := newTestServer(t)
 	createFixture(t, ts, "fig2")
 
-	var one EstimateResponse
+	var one api.EstimateResponse
 	resp := doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/estimate",
-		EstimateRequest{Query: "/a/c/s"}, &one)
+		api.EstimateRequest{Query: "/a/c/s"}, &one)
 	if resp.StatusCode != http.StatusOK || len(one.Results) != 1 {
 		t.Fatalf("single estimate: status %d resp %+v", resp.StatusCode, one)
 	}
@@ -187,26 +188,26 @@ func TestHTTPEstimateSingleBatchStreaming(t *testing.T) {
 	}
 
 	// Batch with a parse error in the middle: order preserved, per-item error.
-	var batch EstimateResponse
+	var batch api.EstimateResponse
 	doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/estimate",
-		EstimateRequest{Queries: []string{"/a/c/s", "not a query ???", "//s//p"}}, &batch)
+		api.EstimateRequest{Queries: []string{"/a/c/s", "not a query ???", "//s//p"}}, &batch)
 	if len(batch.Results) != 3 {
 		t.Fatalf("batch results: %+v", batch.Results)
 	}
 	if !batch.Results[0].Cached || batch.Results[0].Estimate != one.Results[0].Estimate {
 		t.Fatalf("batch[0] should be the cached single result: %+v", batch.Results[0])
 	}
-	if batch.Results[1].Error == "" {
+	if batch.Results[1].Error == nil {
 		t.Fatalf("batch[1] should carry a parse error: %+v", batch.Results[1])
 	}
-	if batch.Results[2].Error != "" || batch.Results[2].Estimate <= 0 {
+	if batch.Results[2].Error != nil || batch.Results[2].Estimate <= 0 {
 		t.Fatalf("batch[2] = %+v", batch.Results[2])
 	}
 
 	// Streaming mode reports which matcher ran; a simple path streams.
-	var stream EstimateResponse
+	var stream api.EstimateResponse
 	doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/estimate",
-		EstimateRequest{Query: "/a/c/s/s/t", Streaming: true}, &stream)
+		api.EstimateRequest{Query: "/a/c/s/s/t", Streaming: true}, &stream)
 	if !stream.Results[0].Streamed {
 		t.Fatalf("simple path did not stream: %+v", stream.Results[0])
 	}
@@ -214,17 +215,17 @@ func TestHTTPEstimateSingleBatchStreaming(t *testing.T) {
 	// A parse failure whose query text contains "not found" is still a 400:
 	// statuses come from typed errors, not message matching.
 	if resp := doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/feedback",
-		FeedbackRequest{Query: "//a not found (", Actual: 1}, nil); resp.StatusCode != http.StatusBadRequest {
+		api.FeedbackRequest{Query: "//a not found (", Actual: 1}, nil); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("parse error resembling not-found: status %d, want 400", resp.StatusCode)
 	}
 
 	// Unknown synopsis and empty request.
 	if resp := doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/nope/estimate",
-		EstimateRequest{Query: "/a"}, nil); resp.StatusCode != http.StatusNotFound {
+		api.EstimateRequest{Query: "/a"}, nil); resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("estimate on missing synopsis: status %d", resp.StatusCode)
 	}
 	if resp := doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/estimate",
-		EstimateRequest{}, nil); resp.StatusCode != http.StatusBadRequest {
+		api.EstimateRequest{}, nil); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("empty estimate request: status %d", resp.StatusCode)
 	}
 }
@@ -243,16 +244,16 @@ func TestHTTPFeedbackAndStats(t *testing.T) {
 	}
 
 	// Warm the cache, then feed back the true cardinality.
-	doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/estimate", EstimateRequest{Query: q}, nil)
-	doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/estimate", EstimateRequest{Query: q}, nil)
+	doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/estimate", api.EstimateRequest{Query: q}, nil)
+	doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/estimate", api.EstimateRequest{Query: q}, nil)
 	resp := doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/feedback",
-		FeedbackRequest{Query: q, Actual: float64(actual)}, nil)
+		api.FeedbackRequest{Query: q, Actual: float64(actual)}, nil)
 	if resp.StatusCode != http.StatusNoContent {
 		t.Fatalf("feedback: status %d", resp.StatusCode)
 	}
 
-	var after EstimateResponse
-	doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/estimate", EstimateRequest{Query: q}, &after)
+	var after api.EstimateResponse
+	doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/estimate", api.EstimateRequest{Query: q}, &after)
 	if after.Results[0].Cached {
 		t.Fatal("feedback did not invalidate the cache")
 	}
@@ -260,7 +261,7 @@ func TestHTTPFeedbackAndStats(t *testing.T) {
 		t.Fatalf("post-feedback estimate = %v, want %d", after.Results[0].Estimate, actual)
 	}
 
-	var st Stats
+	var st api.Stats
 	doJSON(t, ts.Client(), "GET", ts.URL+"/stats", nil, &st)
 	if len(st.Synopses) != 1 {
 		t.Fatalf("stats synopses = %+v", st.Synopses)
@@ -279,25 +280,25 @@ func TestHTTPFeedbackAndStats(t *testing.T) {
 
 func TestHTTPSubtree(t *testing.T) {
 	_, ts := newTestServer(t)
-	var info SynopsisInfo
+	var info api.SynopsisInfo
 	doJSON(t, ts.Client(), "POST", ts.URL+"/synopses",
-		CreateRequest{Name: "fig2", XML: fixtures.PaperFigure2, Config: &SynopsisConfig{KernelOnly: true}}, &info)
+		api.CreateRequest{Name: "fig2", XML: fixtures.PaperFigure2, Config: &api.SynopsisConfig{KernelOnly: true}}, &info)
 
-	var before EstimateResponse
-	doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/estimate", EstimateRequest{Query: "/a/u"}, &before)
+	var before api.EstimateResponse
+	doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/estimate", api.EstimateRequest{Query: "/a/u"}, &before)
 	resp := doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/subtree",
-		SubtreeRequest{Op: "add", Context: []string{"a"}, XML: "<u/>"}, nil)
+		api.SubtreeRequest{Op: "add", Context: []string{"a"}, XML: "<u/>"}, nil)
 	if resp.StatusCode != http.StatusNoContent {
 		t.Fatalf("subtree add: status %d", resp.StatusCode)
 	}
-	var after EstimateResponse
-	doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/estimate", EstimateRequest{Query: "/a/u"}, &after)
+	var after api.EstimateResponse
+	doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/estimate", api.EstimateRequest{Query: "/a/u"}, &after)
 	if after.Results[0].Estimate != before.Results[0].Estimate+1 {
 		t.Fatalf("estimate after add = %v, want %v", after.Results[0].Estimate, before.Results[0].Estimate+1)
 	}
 
 	if resp := doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/subtree",
-		SubtreeRequest{Op: "frobnicate"}, nil); resp.StatusCode != http.StatusBadRequest {
+		api.SubtreeRequest{Op: "frobnicate"}, nil); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad op: status %d", resp.StatusCode)
 	}
 }
@@ -311,7 +312,7 @@ func TestHTTPSnapshotRoundtrip(t *testing.T) {
 
 	// Tune it so the snapshot carries feedback-learned HET state too.
 	doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/orig/feedback",
-		FeedbackRequest{Query: "/a/c/s", Actual: 5}, nil)
+		api.FeedbackRequest{Query: "/a/c/s", Actual: 5}, nil)
 
 	resp, err := ts.Client().Get(ts.URL + "/synopses/orig/snapshot")
 	if err != nil {
@@ -336,9 +337,9 @@ func TestHTTPSnapshotRoundtrip(t *testing.T) {
 		t.Fatalf("snapshot put: status %d", putResp.StatusCode)
 	}
 
-	var want, got EstimateResponse
-	doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/orig/estimate", EstimateRequest{Queries: queries}, &want)
-	doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/copy/estimate", EstimateRequest{Queries: queries}, &got)
+	var want, got api.EstimateResponse
+	doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/orig/estimate", api.EstimateRequest{Queries: queries}, &want)
+	doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/copy/estimate", api.EstimateRequest{Queries: queries}, &got)
 	for i := range queries {
 		if want.Results[i].Estimate != got.Results[i].Estimate {
 			t.Errorf("%s: original %v, restored %v", queries[i], want.Results[i].Estimate, got.Results[i].Estimate)
@@ -373,10 +374,10 @@ func TestHTTPConcurrentClients(t *testing.T) {
 				switch g % 3 {
 				case 0:
 					doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/estimate",
-						EstimateRequest{Queries: queries}, nil)
+						api.EstimateRequest{Queries: queries}, nil)
 				case 1:
 					doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/feedback",
-						FeedbackRequest{Query: "/a/c/s", Actual: 5}, nil)
+						api.FeedbackRequest{Query: "/a/c/s", Actual: 5}, nil)
 				case 2:
 					doJSON(t, ts.Client(), "GET", ts.URL+"/stats", nil, nil)
 				}
@@ -385,7 +386,7 @@ func TestHTTPConcurrentClients(t *testing.T) {
 	}
 	wg.Wait()
 
-	var st Stats
+	var st api.Stats
 	doJSON(t, ts.Client(), "GET", ts.URL+"/stats", nil, &st)
 	if st.Synopses[0].Feedbacks != 50 {
 		t.Fatalf("feedbacks = %d, want 50", st.Synopses[0].Feedbacks)
@@ -423,9 +424,9 @@ func TestHTTPPreloadAndServe(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	var want, got EstimateResponse
-	doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fromsyn/estimate", EstimateRequest{Query: "/a/c/s"}, &want)
-	doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fromxml/estimate", EstimateRequest{Query: "/a/c/s"}, &got)
+	var want, got api.EstimateResponse
+	doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fromsyn/estimate", api.EstimateRequest{Query: "/a/c/s"}, &want)
+	doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fromxml/estimate", api.EstimateRequest{Query: "/a/c/s"}, &got)
 	if want.Results[0].Estimate != got.Results[0].Estimate {
 		t.Fatalf("preloaded synopsis (%v) and XML (%v) disagree", want.Results[0].Estimate, got.Results[0].Estimate)
 	}

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"xseed/api"
 
 	"xseed"
 	"xseed/internal/fixtures"
@@ -29,13 +30,13 @@ func newStoreServer(t *testing.T, dir string) (*Server, *httptest.Server) {
 
 func estimateHTTP(t *testing.T, ts *httptest.Server, name, query string) float64 {
 	t.Helper()
-	var resp EstimateResponse
+	var resp api.EstimateResponse
 	r := doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/"+name+"/estimate",
-		EstimateRequest{Query: query}, &resp)
+		api.EstimateRequest{Query: query}, &resp)
 	if r.StatusCode != http.StatusOK {
 		t.Fatalf("estimate %s %s: status %d", name, query, r.StatusCode)
 	}
-	if resp.Results[0].Error != "" {
+	if resp.Results[0].Error != nil {
 		t.Fatalf("estimate %s: %s", query, resp.Results[0].Error)
 	}
 	return resp.Results[0].Estimate
@@ -54,12 +55,12 @@ func TestServerStoreRestart(t *testing.T) {
 	// synopsis via snapshot upload.
 	for q, actual := range map[string]float64{"/a/c/s/s/t": 2, "/a/c/s[t]/p": 7} {
 		if r := doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/feedback",
-			FeedbackRequest{Query: q, Actual: actual}, nil); r.StatusCode != http.StatusNoContent {
+			api.FeedbackRequest{Query: q, Actual: actual}, nil); r.StatusCode != http.StatusNoContent {
 			t.Fatalf("feedback: status %d", r.StatusCode)
 		}
 	}
 	if r := doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/subtree",
-		SubtreeRequest{Op: "add", Context: []string{"a"}, XML: "<u/><u/>"}, nil); r.StatusCode != http.StatusNoContent {
+		api.SubtreeRequest{Op: "add", Context: []string{"a"}, XML: "<u/><u/>"}, nil); r.StatusCode != http.StatusNoContent {
 		t.Fatalf("subtree: status %d", r.StatusCode)
 	}
 	queries := []string{"/a/c/s/s/t", "/a/c/s[t]/p", "/a/u", "//s//p"}
@@ -211,11 +212,11 @@ func TestAdminCompact(t *testing.T) {
 	createFixture(t, ts, "fig2")
 	for i := 0; i < 5; i++ {
 		doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/feedback",
-			FeedbackRequest{Query: "/a/c/s/s/t", Actual: float64(2 + i)}, nil)
+			api.FeedbackRequest{Query: "/a/c/s/s/t", Actual: float64(2 + i)}, nil)
 	}
 	want := estimateHTTP(t, ts, "fig2", "/a/c/s/s/t")
 
-	var resp CompactResponse
+	var resp api.CompactResponse
 	if r := doJSON(t, ts.Client(), "POST", ts.URL+"/v1/admin/compact", nil, &resp); r.StatusCode != http.StatusOK {
 		t.Fatalf("compact: status %d", r.StatusCode)
 	}
@@ -230,7 +231,7 @@ func TestAdminCompact(t *testing.T) {
 	}
 
 	// Stats exposes the store section.
-	var stats Stats
+	var stats api.Stats
 	doJSON(t, ts.Client(), "GET", ts.URL+"/stats", nil, &stats)
 	if stats.Store == nil || len(stats.Store.Synopses) != 1 {
 		t.Errorf("stats.store = %+v", stats.Store)
@@ -447,7 +448,7 @@ func TestRunCLIFsck(t *testing.T) {
 	s, ts := newStoreServer(t, dir)
 	createFixture(t, ts, "fig2")
 	doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/feedback",
-		FeedbackRequest{Query: "/a/c/s/s/t", Actual: 2}, nil)
+		api.FeedbackRequest{Query: "/a/c/s/s/t", Actual: 2}, nil)
 	s.Close()
 	ts.Close()
 	if err := RunCLI("test", []string{"-store-fsck", "-store-dir", dir}); err != nil {

@@ -178,7 +178,39 @@ func (d *Document) SimplePathQueries(max int) []*Query {
 // Queries are filtered to be non-trivial (at least one actual result) on a
 // best-effort basis, and each carries its exact cardinality.
 func (d *Document) RandomWorkload(class string, n int, maxPreds int, seed int64) ([]*Query, error) {
-	opt := workload.Options{N: n, MaxPredsPerStep: maxPreds, Seed: seed, RequireNonEmpty: true}
+	return d.RandomWorkloadOpts(class, WorkloadOptions{N: n, MaxPredsPerStep: maxPreds, Seed: seed})
+}
+
+// WorkloadOptions tune RandomWorkloadOpts beyond the basic knobs.
+type WorkloadOptions struct {
+	// N is the number of queries to generate.
+	N int
+
+	// MaxPredsPerStep bounds predicates attached to one step (the paper's
+	// 1BP/2BP/3BP knob). Zero means 1.
+	MaxPredsPerStep int
+
+	// PredProb is the probability a step receives predicates (0 = the
+	// generator default of 0.45).
+	PredProb float64
+
+	// Seed drives generation; workloads are deterministic for a fixed seed.
+	Seed int64
+
+	// AllowEmpty keeps queries with zero actual results; by default
+	// generation retries (boundedly) until each query is non-trivial.
+	AllowEmpty bool
+}
+
+// RandomWorkloadOpts is RandomWorkload with the full option set.
+func (d *Document) RandomWorkloadOpts(class string, o WorkloadOptions) ([]*Query, error) {
+	opt := workload.Options{
+		N:               o.N,
+		MaxPredsPerStep: o.MaxPredsPerStep,
+		PredProb:        o.PredProb,
+		Seed:            o.Seed,
+		RequireNonEmpty: !o.AllowEmpty,
+	}
 	var qs []workload.Query
 	switch strings.ToUpper(class) {
 	case "BP":

@@ -129,11 +129,20 @@ type SynopsisInfo struct {
 }
 
 // CacheStats is a point-in-time view of estimate-cache effectiveness.
+// Hits/Misses/HitRate cover estimate-result lookups; PlanHits/PlanMisses
+// cover compiled-plan lookups (counted apart, since plans survive the
+// mutations that retire every estimate entry). Entries counts both kinds.
+// CostSavedNs accumulates the recorded compute cost of every served hit
+// (estimates and compiled plans): an estimate of the CPU time the cache has
+// saved, and the observable the cost-aware eviction policy optimizes.
 type CacheStats struct {
-	Entries int     `json:"entries"`
-	Hits    int64   `json:"hits"`
-	Misses  int64   `json:"misses"`
-	HitRate float64 `json:"hitRate"`
+	Entries     int     `json:"entries"`
+	Hits        int64   `json:"hits"`
+	Misses      int64   `json:"misses"`
+	HitRate     float64 `json:"hitRate"`
+	PlanHits    int64   `json:"planHits"`
+	PlanMisses  int64   `json:"planMisses"`
+	CostSavedNs int64   `json:"costSavedNs"`
 }
 
 // RebalanceStats is the /v1/stats view of budget-rebalance progress: Gen is

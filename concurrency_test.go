@@ -3,13 +3,15 @@ package xseed
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"xseed/internal/fixtures"
 )
 
 // TestConcurrentEstimates exercises the Synopsis concurrency contract: any
 // number of estimate calls may run in parallel with each other (run under
-// -race). Mutations are covered by the server-level RWMutex tests in
+// -race). Mixed readers and mutators are covered by
+// TestSnapshotConsistencyHammer below and the server-level tests in
 // internal/server.
 func TestConcurrentEstimates(t *testing.T) {
 	d, err := ParseXMLString(fixtures.PaperFigure2)
@@ -55,4 +57,176 @@ func TestConcurrentEstimates(t *testing.T) {
 		}
 		wg.Wait()
 	}
+}
+
+// TestSnapshotConsistencyHammer proves the lock-free snapshot semantics
+// under -race: while one (externally serialized) mutator interleaves
+// feedback, subtree add/remove, and budget changes, concurrent readers
+// estimate lock-free — and every estimate must equal, bit for bit, the
+// value of *some published snapshot* for that query. The mutator captures
+// each snapshot it publishes; after the run, every (version, query,
+// estimate) observation is replayed against the captured snapshot of that
+// version. A torn read (an estimate interpolating two versions) or a
+// mutation leaking into a pinned snapshot would break bit-equality.
+func TestSnapshotConsistencyHammer(t *testing.T) {
+	d, err := ParseXMLString("<a><b><c/><c/><d/></b><b><c/></b><e><c/><d/></e></a>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := BuildSynopsis(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []*Query{
+		MustParseQuery("/a/b"),
+		MustParseQuery("/a/b/c"),
+		MustParseQuery("//c"),
+		MustParseQuery("/a/b[c]/d"),
+		MustParseQuery("/a/*[d]"),
+	}
+
+	// Every published snapshot, captured by the serialized mutator (plus
+	// the initial one). Guarded by snapMu; the version is the map key so a
+	// mutation that publishes nothing (unapplied feedback) is harmless.
+	snapMu := sync.Mutex{}
+	snaps := map[uint64]*Snapshot{}
+	capture := func() {
+		sn := syn.Snapshot()
+		snapMu.Lock()
+		snaps[sn.Version()] = sn
+		snapMu.Unlock()
+	}
+	capture()
+
+	type obs struct {
+		ver uint64
+		qi  int
+		val float64
+	}
+	const readers = 4
+	observed := make([][]obs, readers)
+	stop := make(chan struct{})
+
+	var wg sync.WaitGroup
+	mutatorDead := make(chan struct{})
+	wg.Add(1)
+	go func() { // the single mutator (mutations must be serialized)
+		defer wg.Done()
+		defer close(mutatorDead)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			switch i % 5 {
+			case 0:
+				if err := syn.Feedback("/a/b/c", float64(1+i%7)); err != nil {
+					t.Error(err)
+					return
+				}
+			case 1:
+				if err := syn.Feedback("/a/b[c]/d", float64(1+i%3)); err != nil {
+					t.Error(err)
+					return
+				}
+			case 2:
+				if err := syn.AddSubtree([]string{"a"}, "<b><c/><c/></b>"); err != nil {
+					t.Error(err)
+					return
+				}
+			case 3:
+				if err := syn.RemoveSubtree([]string{"a"}, "<b><c/><c/></b>"); err != nil {
+					t.Error(err)
+					return
+				}
+			case 4:
+				if i%2 == 0 {
+					syn.SetBudget(syn.KernelSizeBytes() + 48)
+				} else {
+					syn.SetBudget(-1)
+				}
+			}
+			capture()
+		}
+	}()
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sn := syn.Snapshot()
+				qi := (g + i) % len(queries)
+				var val float64
+				if i%3 == 0 {
+					val, _ = sn.EstimateStreamingQuery(queries[qi])
+					// Streaming values are checked for determinism against
+					// the captured snapshot the same way (replay below).
+					observed[g] = append(observed[g], obs{^sn.Version(), qi, val})
+					continue
+				}
+				if i%3 == 1 {
+					val = sn.Compile(queries[qi]).Run(sn)
+				} else {
+					val = sn.EstimateQuery(queries[qi])
+				}
+				observed[g] = append(observed[g], obs{sn.Version(), qi, val})
+			}
+		}(g)
+	}
+	// Run the hammer for a fixed volume of mutations rather than wall time.
+	// A mutator that died on error stops publishing — bail out instead of
+	// spinning until the go-test timeout buries its t.Error.
+	for alive := true; alive; {
+		snapMu.Lock()
+		n := len(snaps)
+		snapMu.Unlock()
+		if n > 300 {
+			break
+		}
+		select {
+		case <-mutatorDead:
+			alive = false
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Replay: every observation must equal the captured snapshot's answer.
+	total := 0
+	for g := range observed {
+		for _, o := range observed[g] {
+			streaming := false
+			ver := o.ver
+			if ver > 1<<62 { // streaming observations carry ^version
+				streaming = true
+				ver = ^ver
+			}
+			sn := snaps[ver]
+			if sn == nil {
+				t.Fatalf("reader %d observed unpublished snapshot version %d", g, ver)
+			}
+			var want float64
+			if streaming {
+				want, _ = sn.EstimateStreamingQuery(queries[o.qi])
+			} else {
+				want = sn.EstimateQuery(queries[o.qi])
+			}
+			if o.val != want {
+				t.Fatalf("reader %d: %s at version %d = %v, want %v (torn read)",
+					g, queries[o.qi], ver, o.val, want)
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no estimates observed")
+	}
+	t.Logf("verified %d estimates across %d snapshots", total, len(snaps))
 }

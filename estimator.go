@@ -40,9 +40,11 @@ type Estimator interface {
 
 // LocalEstimator adapts a *Synopsis to the Estimator interface.
 //
-// Concurrency follows the synopsis it wraps: EstimateBatch calls are safe
-// with each other, but not with Feedback (or any other synopsis mutation);
-// callers that interleave them serialize externally, exactly as for
+// Concurrency follows the synopsis it wraps: EstimateBatch calls are
+// lock-free and safe with each other and with any single mutator (each
+// batch pins one estimation snapshot, so its queries see one consistent
+// version even while Feedback runs); Feedback and other synopsis mutations
+// must still be serialized with each other externally, exactly as for
 // *Synopsis. The served registry (xseed/internal/server) does that locking
 // for the remote backend.
 type LocalEstimator struct {
@@ -59,6 +61,7 @@ func NewLocalEstimator(s *Synopsis) *LocalEstimator {
 // in the detail); cancellation fails the whole call.
 func (l *LocalEstimator) EstimateBatch(ctx context.Context, queries []string) ([]Result, error) {
 	out := make([]Result, len(queries))
+	sn := l.syn.Snapshot() // one consistent version for the whole batch
 	for i, raw := range queries {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -68,7 +71,7 @@ func (l *LocalEstimator) EstimateBatch(ctx context.Context, queries []string) ([
 			out[i] = Result{Query: raw, Err: api.WrapError(err, api.CodeBadRequest)}
 			continue
 		}
-		out[i] = Result{Query: q.String(), Estimate: l.syn.EstimateQuery(q)}
+		out[i] = Result{Query: q.String(), Estimate: sn.EstimateQuery(q)}
 	}
 	return out, nil
 }

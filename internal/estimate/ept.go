@@ -79,6 +79,13 @@ type EPTStats struct {
 
 // BuildEPT unfolds the kernel into the expanded path tree.
 func BuildEPT(k *kernel.Kernel, opt Options) (*EPTNode, EPTStats) {
+	return buildEPT(k, k.Dict(), opt)
+}
+
+// buildEPT is BuildEPT resolving label names through an explicit dictionary.
+// Estimation snapshots pass their frozen clone so a lazy build never reads
+// the live dictionary a concurrent subtree update may be interning into.
+func buildEPT(k *kernel.Kernel, dict *xmldoc.Dict, opt Options) (*EPTNode, EPTStats) {
 	if !k.HasRoot() {
 		return nil, EPTStats{}
 	}
@@ -87,7 +94,7 @@ func BuildEPT(k *kernel.Kernel, opt Options) (*EPTNode, EPTStats) {
 		opt:  opt,
 		max:  opt.maxNodes(),
 		rl:   counterstack.New[xmldoc.LabelID](),
-		dict: k.Dict(),
+		dict: dict,
 	}
 	rootLabel := k.RootLabel()
 	b.rl.Push(rootLabel)

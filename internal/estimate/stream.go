@@ -29,7 +29,25 @@ func StreamEstimate(k *kernel.Kernel, q *xpath.Path, opt Options) (est float64, 
 		return 0, false
 	}
 	m := newStreamMatcher(k.Dict(), q, opt.HET)
-	tr := NewTraveler(k, opt)
+	return runStream(m, NewTraveler(k, opt))
+}
+
+// StreamEstimate is the snapshot form of the package-level StreamEstimate:
+// the same single-pass matcher fed from the snapshot's shared EPT (built
+// once per synopsis version) through its frozen dictionary and HET view, so
+// a streaming estimate is as lock-free as a plan run. Results equal the
+// kernel form's exactly — the traveler replays the identical event stream.
+func (sn *Snapshot) StreamEstimate(q *xpath.Path) (est float64, ok bool) {
+	if !streamable(q) {
+		return 0, false
+	}
+	m := newStreamMatcher(sn.dict, q, sn.opt.HET)
+	root, _ := sn.EPT()
+	return runStream(m, NewTravelerEPT(root))
+}
+
+// runStream drains the traveler through the matcher.
+func runStream(m *streamMatcher, tr *Traveler) (float64, bool) {
 	for {
 		evt := tr.NextEvent()
 		if evt.Kind == EOSEvent {

@@ -197,6 +197,60 @@ func (t *Table) residentLimit() int {
 	return limit
 }
 
+// pathVal is the payload of one resident simple-path hyper-edge in a View.
+type pathVal struct {
+	card   float64
+	bsel   float64
+	bselOK bool
+}
+
+// View is an immutable snapshot of the table's resident set. It implements
+// the estimator's HET interface, so an estimation snapshot can keep
+// consulting the hyper-edges it was published with while feedback and budget
+// changes mutate the live table underneath — lock-free readers never observe
+// a half-shifted rank array. Building one is O(resident); the estimation
+// layer builds a fresh view inside each mutation's critical section.
+type View struct {
+	paths    map[uint32]pathVal
+	patterns map[uint32]float64
+}
+
+// View snapshots the current resident prefix.
+func (t *Table) View() *View {
+	v := &View{
+		paths:    make(map[uint32]pathVal, t.limit),
+		patterns: make(map[uint32]float64, t.limit/4),
+	}
+	for i := 0; i < t.limit; i++ {
+		e := &t.all[i]
+		if e.Pattern {
+			// LookupPattern only answers when a backward selectivity is
+			// known; entries without one are invisible, same as the table.
+			if e.BselOK {
+				v.patterns[e.Hash] = e.Bsel
+			}
+			continue
+		}
+		v.paths[e.Hash] = pathVal{card: e.Card, bsel: e.Bsel, bselOK: e.BselOK}
+	}
+	return v
+}
+
+// LookupPath implements estimate.HET over the frozen resident set.
+func (v *View) LookupPath(h uint32) (card, bsel float64, bselOK, ok bool) {
+	p, ok := v.paths[h]
+	if !ok {
+		return 0, 0, false, false
+	}
+	return p.card, p.bsel, p.bselOK, true
+}
+
+// LookupPattern implements estimate.HET over the frozen resident set.
+func (v *View) LookupPattern(h uint32) (bsel float64, ok bool) {
+	bsel, ok = v.patterns[h]
+	return bsel, ok
+}
+
 // Feedback records an executed query's actual cardinality (paper Figure 1:
 // "the optimizer may feedback the actual cardinality or selectivity of the
 // query to the HET"). Simple paths store the actual cardinality; queries of

@@ -42,6 +42,18 @@ func String(s string) uint32 {
 	return h
 }
 
+// Bytes extends a hash with raw bytes. It is the primitive compiled query
+// plans use to finish a pattern hash at match time: the plan precomputes the
+// canonical suffix bytes once (PatternSuffix) and combines them with the
+// context label's precomputed String hash, byte-for-byte equivalent to
+// calling Pattern with the label name.
+func Bytes(h uint32, b []byte) uint32 {
+	for i := 0; i < len(b); i++ {
+		h = addByte(h, b[i])
+	}
+	return h
+}
+
 // Path returns the hash of a rooted label path.
 func Path(labels ...string) uint32 {
 	h := Basis
@@ -75,4 +87,31 @@ func Pattern(parent string, preds []string, next string) uint32 {
 		h = addByte(h, next[i])
 	}
 	return h
+}
+
+// PatternSuffix returns the canonical byte suffix of a branching pattern —
+// everything after the parent label: "[p1]...[pk]/next" with predicate
+// labels sorted. For any parent label,
+//
+//	Pattern(parent, preds, next) == Bytes(String(parent), PatternSuffix(preds, next))
+//
+// which lets a compiled plan hash one pattern against many context labels
+// without re-sorting or re-walking the predicate labels.
+func PatternSuffix(preds []string, next string) []byte {
+	sorted := make([]string, len(preds))
+	copy(sorted, preds)
+	sort.Strings(sorted)
+	n := len(next) + 1
+	for _, p := range sorted {
+		n += len(p) + 2
+	}
+	out := make([]byte, 0, n)
+	for _, p := range sorted {
+		out = append(out, '[')
+		out = append(out, p...)
+		out = append(out, ']')
+	}
+	out = append(out, '/')
+	out = append(out, next...)
+	return out
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"xseed"
 	"xseed/api"
 	"xseed/internal/pathhash"
 )
@@ -14,20 +15,35 @@ import (
 // traffic — even against a single synopsis — spreads across locks.
 const numShards = 16
 
-// EstimateResult is a cached estimate.
+// evictionWindow is how many least-recently-used entries an over-capacity
+// shard considers before evicting: the cheapest (lowest CostNs) of the
+// window goes, so recency still dominates but an expensive deep/recursive
+// estimate outlives same-age cheap ones under pressure (the cost-aware
+// LRU tiebreak of the cache-admission roadmap item).
+const evictionWindow = 4
+
+// EstimateResult is a cached estimate. CostNs records what the uncached
+// computation cost, which (a) feeds the cache.costSavedNs stats counter on
+// every later hit and (b) biases eviction toward cheap entries. It is
+// wall-clock time: under a saturated worker pool scheduler contention
+// inflates it somewhat, so it is an eviction *tiebreak* signal and a
+// savings *estimate*, not a calibrated CPU-time measurement.
 type EstimateResult struct {
 	Est      float64
 	Streamed bool
+	CostNs   int64
 }
 
 type cacheKey struct {
 	syn   string
-	query string // normalized (parsed and re-rendered) form
+	query string // normalized (parsed and re-rendered) form; raw for plans
+	plan  bool   // plan entries key separately: same (scope, query) never collides
 }
 
 type cacheEntry struct {
-	key cacheKey
-	val EstimateResult
+	key  cacheKey
+	val  EstimateResult
+	plan *xseed.Plan // non-nil: a compiled-plan entry (val holds compile cost only)
 }
 
 type cacheShard struct {
@@ -38,14 +54,22 @@ type cacheShard struct {
 }
 
 // Cache is a sharded LRU cache of estimate results keyed on (synopsis
-// scope, normalized query string). It serves repeat estimates without
-// touching the kernel/EPT machinery or the synopsis locks. Invalidation is
-// the registry's job: mutations version the synopsis scope (Entry.cacheScope),
-// making old entries unreachable so they age out of the LRU.
+// scope, normalized query string), which also stores compiled query plans
+// keyed on (plan scope, raw query string) so repeat queries skip
+// parse + compile entirely. It serves repeat estimates without touching the
+// kernel/EPT machinery or any synopsis state. Invalidation is the
+// registry's job: estimate scopes embed the estimation-snapshot version
+// (Entry.scopeFor), so a mutation retires every cached estimate by
+// publishing the next snapshot; plan scopes are version-free (plans survive
+// feedback, which never changes the dictionary) and stale plans are
+// detected per-hit with Plan.CompatibleWith.
 type Cache struct {
-	shards [numShards]cacheShard
-	hits   atomic.Int64
-	misses atomic.Int64
+	shards     [numShards]cacheShard
+	hits       atomic.Int64
+	misses     atomic.Int64
+	planHits   atomic.Int64 // compiled-plan lookups, counted apart from estimates
+	planMisses atomic.Int64
+	costSaved  atomic.Int64 // Σ CostNs of served hits (estimates and plans)
 }
 
 // NewCache returns a cache holding at most capacity entries in total
@@ -79,43 +103,98 @@ func (c *Cache) shardFor(k cacheKey) *cacheShard {
 
 // Get returns the cached result for (syn, query), if present.
 func (c *Cache) Get(syn, query string) (EstimateResult, bool) {
-	k := cacheKey{syn, query}
+	k := cacheKey{syn: syn, query: query}
 	s := c.shardFor(k)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.items[k]; ok {
+		e := el.Value.(*cacheEntry)
 		s.ll.MoveToFront(el)
 		c.hits.Add(1)
-		return el.Value.(*cacheEntry).val, true
+		c.costSaved.Add(e.val.CostNs)
+		return e.val, true
 	}
 	c.misses.Add(1)
 	return EstimateResult{}, false
 }
 
-// Put stores a result, evicting the shard's least recently used entry when
-// the shard is full.
+// Put stores a result, evicting from the shard's least-recently-used tail
+// when the shard is full.
 func (c *Cache) Put(syn, query string, v EstimateResult) {
-	k := cacheKey{syn, query}
+	c.put(&cacheEntry{key: cacheKey{syn: syn, query: query}, val: v})
+}
+
+// GetPlan returns the cached compiled plan for (scope, raw query) when it
+// is present AND still authoritative for the pinned snapshot sn. A stale
+// plan (the dictionary grew since compilation) counts as a miss — no hit
+// counter, no costSaved credit, no LRU refresh — since the caller re-pays
+// the full parse + compile and overwrites the entry via PutPlan.
+func (c *Cache) GetPlan(scope, raw string, sn *xseed.Snapshot) (*xseed.Plan, bool) {
+	k := cacheKey{syn: scope, query: raw, plan: true}
 	s := c.shardFor(k)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.items[k]; ok {
-		el.Value.(*cacheEntry).val = v
+		if e := el.Value.(*cacheEntry); e.plan.CompatibleWith(sn) {
+			s.ll.MoveToFront(el)
+			c.planHits.Add(1)
+			c.costSaved.Add(e.val.CostNs)
+			return e.plan, true
+		}
+	}
+	c.planMisses.Add(1)
+	return nil, false
+}
+
+// PutPlan stores a compiled plan; costNs is what parse + compile cost.
+func (c *Cache) PutPlan(scope, raw string, p *xseed.Plan, costNs int64) {
+	c.put(&cacheEntry{key: cacheKey{syn: scope, query: raw, plan: true}, val: EstimateResult{CostNs: costNs}, plan: p})
+}
+
+func (c *Cache) put(e *cacheEntry) {
+	s := c.shardFor(e.key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[e.key]; ok {
+		*el.Value.(*cacheEntry) = *e
 		s.ll.MoveToFront(el)
 		return
 	}
 	if s.cap == 0 {
 		return
 	}
-	s.items[k] = s.ll.PushFront(&cacheEntry{key: k, val: v})
+	s.items[e.key] = s.ll.PushFront(e)
 	if s.ll.Len() > s.cap {
-		oldest := s.ll.Back()
-		s.ll.Remove(oldest)
-		delete(s.items, oldest.Value.(*cacheEntry).key)
+		s.evict()
 	}
 }
 
-// Stats reports entry count and hit/miss counters as the wire type.
+// evict removes one entry: the cheapest (lowest CostNs) among the
+// evictionWindow least recently used that share the LRU entry's scope, so
+// the tail's expensive entries survive a flood of cheap same-scope ones.
+// The cost tiebreak deliberately never reaches across scopes: entries of a
+// retired snapshot scope are unreachable, and letting a dead-but-expensive
+// entry outrank live cheap fills would pin it forever in small shards —
+// across scopes, plain LRU order applies and dead scopes age out normally.
+func (s *cacheShard) evict() {
+	victim := s.ll.Back()
+	scope := victim.Value.(*cacheEntry).key.syn
+	el := victim
+	for i := 1; i < evictionWindow && el != nil; i++ {
+		el = el.Prev()
+		if el == nil {
+			break
+		}
+		e := el.Value.(*cacheEntry)
+		if e.key.syn == scope && e.val.CostNs < victim.Value.(*cacheEntry).val.CostNs {
+			victim = el
+		}
+	}
+	s.ll.Remove(victim)
+	delete(s.items, victim.Value.(*cacheEntry).key)
+}
+
+// Stats reports entry count and hit/miss/cost counters as the wire type.
 func (c *Cache) Stats() api.CacheStats {
 	var st api.CacheStats
 	for i := range c.shards {
@@ -129,5 +208,8 @@ func (c *Cache) Stats() api.CacheStats {
 	if total := st.Hits + st.Misses; total > 0 {
 		st.HitRate = float64(st.Hits) / float64(total)
 	}
+	st.PlanHits = c.planHits.Load()
+	st.PlanMisses = c.planMisses.Load()
+	st.CostSavedNs = c.costSaved.Load()
 	return st
 }

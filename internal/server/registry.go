@@ -1,13 +1,16 @@
 // Package server is the xseedd serving subsystem: a concurrent registry of
-// named XSEED synopses, a sharded LRU cache of estimate results, and an
-// HTTP JSON API over both.
+// named XSEED synopses, a sharded LRU cache of estimate results and
+// compiled query plans, and an HTTP JSON API over both.
 //
-// The registry is the concurrency boundary around the xseed library, which
-// is itself not safe for mixed reads and writes: each synopsis is guarded
-// by an RWMutex so estimates run in parallel (read side) while feedback,
-// subtree updates, and budget changes take the write side. The estimate
-// cache sits in front of the locks entirely — a warm hit never touches the
-// synopsis or the kernel/EPT machinery.
+// The estimate path is lock-free: a batch pins the synopsis's immutable
+// estimation snapshot (one atomic load), estimates every cache miss against
+// it — fanning large batches across a bounded worker pool — and caches
+// results under a scope embedding the snapshot's version, so a concurrent
+// mutation can never publish a stale value into the new scope. After the
+// entry lookup, the only synchronization an estimate touches is the cache's
+// fine-grained shard mutexes; it never acquires the entry's RWMutex, which
+// now exists solely to serialize mutators (feedback, subtree updates,
+// budget application, snapshot serialization) against each other.
 //
 // Budget rebalancing is split into planning and application: registry-shape
 // changes compute per-entry targets under the registry lock (no entry locks
@@ -23,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -45,11 +49,15 @@ var (
 type Entry struct {
 	name    string
 	id      uint64        // registry-unique; scopes this entry's cache keys
-	ver     atomic.Uint64 // bumped on every estimate-changing mutation
+	ver     atomic.Uint64 // durable mutation counter, persisted with base snapshots
 	source  string        // human-readable provenance ("xml upload", "dataset xmark", ...)
 	created time.Time
 
-	mu  sync.RWMutex // estimates take RLock; feedback/updates/budget take Lock
+	// mu serializes mutators (feedback, subtree updates, budget application,
+	// snapshot serialization) against each other — the synopsis requires
+	// that. Estimates do NOT take it: they pin the synopsis's estimation
+	// snapshot and run lock-free, so a wedged mutation never stalls reads.
+	mu  sync.RWMutex
 	syn *xseed.Synopsis
 
 	// retired flips (under the registry lock) when this entry leaves the
@@ -84,18 +92,34 @@ type Entry struct {
 // lock discipline themselves; it exists for tests and trusted callers.
 func (e *Entry) Synopsis() *xseed.Synopsis { return e.syn }
 
-// cacheScope is the cache's synopsis identifier for this entry: name plus
-// the entry's registry-unique id plus its mutation version. Invalidation is
-// a version bump — O(1), no cache scan — after which every previously
-// cached (or in-flight) fill is unreachable and ages out of the LRU. The id
-// covers replacement: when a name is Put over or deleted and re-registered,
-// the new entry's scope shares nothing with the old one's.
-func (e *Entry) cacheScope() string {
-	return fmt.Sprintf("%s\x00%d\x00%d", e.name, e.id, e.ver.Load())
+// scopeFor is the cache's synopsis identifier for estimates computed
+// against sn: name plus the entry's registry-unique id plus the estimation
+// snapshot's version. A mutation publishes the successor snapshot inside
+// its critical section, so every later batch pins a higher version and the
+// old scope — including fills still in flight from readers pinned to the
+// old snapshot — is unreachable and ages out of the LRU. No stale value can
+// ever land in the new scope, because fills are keyed by the version the
+// value was computed from. The id covers replacement: when a name is Put
+// over or deleted and re-registered, the new entry's scope shares nothing
+// with the old one's.
+func (e *Entry) scopeFor(sn *xseed.Snapshot) string {
+	return fmt.Sprintf("%s\x00%d\x00%d", e.name, e.id, sn.Version())
 }
 
-// invalidate makes all cached estimates for this entry unreachable. Callers
-// must hold e.mu exclusively (it marks a mutation of the synopsis).
+// planScope keys the entry's compiled-plan cache. Deliberately
+// version-free: plans depend only on the label dictionary (append-only, so
+// only subtree updates can grow it), which is exactly why they survive the
+// feedback storms that retire every estimate scope; staleness after a
+// dictionary change is detected per-hit with Plan.CompatibleWith.
+func (e *Entry) planScope() string {
+	return fmt.Sprintf("%s\x00%d\x00plans", e.name, e.id)
+}
+
+// invalidate bumps the durable mutation counter persisted with base
+// snapshots. Cache invalidation no longer depends on it — that is the
+// estimation snapshot version's job — but the count still travels through
+// the store so a restarted registry resumes it. Callers must hold e.mu
+// exclusively (it marks a mutation of the synopsis).
 func (e *Entry) invalidate() { e.ver.Add(1) }
 
 // Registry manages named synopses under an aggregate memory budget.
@@ -110,6 +134,13 @@ type Registry struct {
 	ids          atomic.Uint64
 
 	cache *Cache
+
+	// estSem globally bounds the *extra* worker goroutines EstimateBatch
+	// spawns for large miss sets: each batch always works on its own
+	// request goroutine and adds helpers only while a slot is free, so K
+	// concurrent large batches share one GOMAXPROCS-sized pool instead of
+	// starting K×GOMAXPROCS CPU-bound goroutines.
+	estSem chan struct{}
 
 	// st, when attached, makes every registry mutation durable: new and
 	// replaced synopses get a full base snapshot, while feedback, subtree
@@ -175,6 +206,7 @@ func NewRegistry(cacheCapacity, aggregateBudgetBytes int) *Registry {
 		budget:  aggregateBudgetBytes,
 		cache:   NewCache(cacheCapacity),
 		log:     log.New(io.Discard, "", 0),
+		estSem:  make(chan struct{}, runtime.GOMAXPROCS(0)),
 	}
 	r.rebalCond = sync.NewCond(&r.rebalMu)
 	return r
@@ -646,14 +678,26 @@ func (r *Registry) Estimate(ctx context.Context, name, query string, streaming b
 	return items[0], nil
 }
 
+// minParallelMisses is the batch-miss count below which EstimateBatch stays
+// on the caller's goroutine: per-estimate cost is microseconds, so tiny
+// batches would pay more in goroutine handoff than they win in parallelism.
+const minParallelMisses = 8
+
 // EstimateBatch estimates queries in order against the named synopsis. The
-// batch amortizes overhead: queries are parsed and checked against the
-// cache up front, and all cache misses run under a single read-lock
-// acquisition. Per-query parse errors are reported in the item — typed,
-// with the parse offset in the error detail — not as a batch error
-// (partial-success semantics, documented in xseed/api). Cancelling ctx
-// aborts the batch between per-query estimates and fails the whole call
-// with the context's error.
+// estimate path is lock-free after the entry lookup: the batch pins the
+// synopsis's immutable estimation snapshot, resolves every query through
+// the compiled-plan cache (repeat queries skip parse + compile entirely),
+// answers what it can from the estimate cache, and computes the remaining
+// misses against the pinned snapshot — fanning out across a bounded worker
+// pool (GOMAXPROCS slots shared registry-wide) when the batch is large.
+// Results are
+// cached under a scope tagged with the snapshot's version, so a concurrent
+// mutation retires them wholesale by publishing the next version and no
+// stale value can cross into the new scope. Per-query parse errors are
+// reported in the item — typed, with the parse offset in the error detail —
+// not as a batch error (partial-success semantics, documented in
+// xseed/api). Cancelling ctx aborts the batch between per-query estimates
+// and fails the whole call with the context's error.
 func (r *Registry) EstimateBatch(ctx context.Context, name string, queries []string, streaming bool) ([]api.EstimateItem, error) {
 	e, err := r.Get(name)
 	if err != nil {
@@ -662,80 +706,139 @@ func (r *Registry) EstimateBatch(ctx context.Context, name string, queries []str
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	scope := e.cacheScope()
+	sn := e.syn.Snapshot()
+	scope := e.scopeFor(sn)
+	planScope := e.planScope()
 	items := make([]api.EstimateItem, len(queries))
 	type miss struct {
-		q       *xseed.Query
+		plan    *xseed.Plan
+		key     string
 		indices []int // item positions sharing this normalized query
 	}
-	var order []string // normalized miss queries, first-seen order
+	var order []*miss // misses in first-seen order
 	misses := make(map[string]*miss)
 	for i, raw := range queries {
-		q, err := xseed.ParseQuery(raw)
-		if err != nil {
-			items[i] = api.EstimateItem{Query: raw, Error: api.WrapError(err, api.CodeBadRequest)}
-			continue
+		pl, ok := r.cache.GetPlan(planScope, raw, sn)
+		if !ok {
+			start := time.Now()
+			q, err := xseed.ParseQuery(raw)
+			if err != nil {
+				items[i] = api.EstimateItem{Query: raw, Error: api.WrapError(err, api.CodeBadRequest)}
+				continue
+			}
+			pl = sn.Compile(q)
+			r.cache.PutPlan(planScope, raw, pl, time.Since(start).Nanoseconds())
 		}
 		// The cache key is the normalized (parsed, re-rendered) query, so
 		// spelling variants of one query share an entry. Streaming-mode
 		// results are keyed separately: the single-pass matcher can produce
 		// slightly different values than the standard one, and a cached
 		// answer must come from the matcher the caller asked for.
-		norm := q.String()
+		norm := pl.String()
 		items[i].Query = norm
+		key := norm
 		if streaming {
-			norm = "stream\x00" + norm
+			key = "stream\x00" + norm
 		}
-		if m, ok := misses[norm]; ok { // duplicate within the batch
+		if m, ok := misses[key]; ok { // duplicate within the batch
 			m.indices = append(m.indices, i)
 			continue
 		}
-		if v, ok := r.cache.Get(scope, norm); ok {
+		if v, ok := r.cache.Get(scope, key); ok {
 			items[i].Estimate, items[i].Streamed, items[i].Cached = v.Est, v.Streamed, true
 			continue
 		}
-		misses[norm] = &miss{q: q, indices: []int{i}}
-		order = append(order, norm)
+		m := &miss{plan: pl, key: key, indices: []int{i}}
+		misses[key] = m
+		order = append(order, m)
 	}
 	if len(order) == 0 {
 		return items, nil
 	}
-	e.mu.RLock()
-	for _, norm := range order {
-		// The read path honors cancellation between per-query estimates: a
-		// caller that gave up (or a server whose client went away) stops
-		// consuming CPU after the current query instead of finishing the
-		// batch into the void.
-		if err := ctx.Err(); err != nil {
-			e.mu.RUnlock()
-			return nil, err
-		}
-		m := misses[norm]
+	// Materialize the snapshot's EPT before timing anything: it is built
+	// once per snapshot (singleflight) and shared by every query, so letting
+	// the first miss pay for it inside its timed window would crown an
+	// arbitrary query as the shard's most expensive entry and credit the
+	// whole construction to costSavedNs on every later hit.
+	sn.EPTStats()
+	// Compute the misses against the pinned snapshot. Every miss writes
+	// disjoint item slots, so workers need no coordination beyond the work
+	// index; the cache fill is safe at any time because the scope embeds the
+	// pinned snapshot's version (see scopeFor).
+	run := func(m *miss) {
+		start := time.Now()
 		var v EstimateResult
 		if streaming {
-			v.Est, v.Streamed = e.syn.EstimateStreamingQuery(m.q)
+			v.Est, v.Streamed = m.plan.RunStreaming(sn)
 		} else {
-			v.Est = e.syn.EstimateQuery(m.q)
+			v.Est = m.plan.Run(sn)
 		}
+		v.CostNs = time.Since(start).Nanoseconds()
 		for _, i := range m.indices {
 			items[i].Estimate, items[i].Streamed = v.Est, v.Streamed
 		}
-		// Fill the cache while still holding the read lock: an in-place
-		// mutation of this entry (feedback, subtree update, rebalance)
-		// bumps the entry version inside its write-lock critical section,
-		// so it either finished before we locked (we computed the fresh
-		// value, scope is current) or will retire this whole scope after
-		// we unlock. Entry replacement is covered by the id in the scope.
-		r.cache.Put(scope, norm, v)
+		r.cache.Put(scope, m.key, v)
 	}
-	e.mu.RUnlock()
+	if len(order) >= minParallelMisses {
+		var next atomic.Int64
+		process := func() {
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= len(order) {
+					return
+				}
+				run(order[i])
+			}
+		}
+		// Helpers are best-effort: each needs a free slot from the
+		// registry-wide semaphore, so total extra workers across all
+		// concurrent batches never exceed GOMAXPROCS. The request's own
+		// goroutine always processes regardless, so a busy pool degrades to
+		// the serial path rather than queueing.
+		var wg sync.WaitGroup
+		maxHelpers := min(runtime.GOMAXPROCS(0)-1, len(order)-1)
+	spawn:
+		for w := 0; w < maxHelpers; w++ {
+			select {
+			case r.estSem <- struct{}{}:
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer func() { <-r.estSem }()
+					process()
+				}()
+			default:
+				break spawn
+			}
+		}
+		process()
+		wg.Wait()
+	} else {
+		for _, m := range order {
+			if ctx.Err() != nil {
+				break
+			}
+			run(m)
+		}
+	}
+	// The read path honors cancellation between per-query estimates: a
+	// caller that gave up (or a server whose client went away) stops
+	// consuming CPU after in-flight queries instead of finishing the batch
+	// into the void, and the whole call reports the context's error.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	e.estimates.Add(int64(len(order)))
 	return items, nil
 }
 
 // Feedback records an executed query's actual cardinality into the named
-// synopsis (self-tuning) and the entry's accuracy accumulator, then drops
-// the synopsis's cached estimates.
+// synopsis (self-tuning) and the entry's accuracy accumulator; the applied
+// mutation publishes a successor estimation snapshot, retiring the
+// synopsis's cached estimates. Parse failures are typed *api.Error values
+// with the parse offset in the detail — the same api.WrapError path
+// EstimateBatch reports per-query errors through, so a Registry caller (or
+// the HTTP layer) sees one error shape regardless of endpoint.
 func (r *Registry) Feedback(name, query string, actual float64) error {
 	e, err := r.Get(name)
 	if err != nil {
@@ -743,14 +846,13 @@ func (r *Registry) Feedback(name, query string, actual float64) error {
 	}
 	q, err := xseed.ParseQuery(query)
 	if err != nil {
-		return err
+		return api.WrapError(err, api.CodeBadRequest)
 	}
 	if !e.syn.HasHET() {
 		// Kernel-only: feedback cannot change the synopsis, so record the
-		// accuracy observation under the read lock and keep the cache warm.
-		e.mu.RLock()
-		est := e.syn.EstimateQuery(q)
-		e.mu.RUnlock()
+		// accuracy observation against the current snapshot — lock-free,
+		// like any estimate — and keep the cache warm.
+		est := e.syn.Snapshot().EstimateQuery(q)
 		e.acc.Add(est, actual)
 		e.feedbacks.Add(1)
 		return nil
@@ -817,7 +919,9 @@ func (r *Registry) updateSubtree(name string, contextPath []string, xml string, 
 	}
 	e.mu.Unlock()
 	if err != nil {
-		return err
+		// Same typed-error path as estimate and feedback failures: XML (or
+		// context-path) rejections surface as *api.Error bad_request.
+		return api.WrapError(err, api.CodeBadRequest)
 	}
 	e.updates.Add(1)
 	if persistErr != nil {

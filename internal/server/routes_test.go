@@ -202,6 +202,48 @@ func TestHTTPEstimatePartialSuccess(t *testing.T) {
 	}
 }
 
+// TestFeedbackParseErrorTyped locks the satellite fix: a feedback (and
+// subtree) request whose input does not parse fails through the same
+// api.WrapError path as estimate queries — Registry.Feedback itself returns
+// a typed *api.Error, and the wire response is a parse_error whose detail
+// carries the byte offset, exactly like a batch-estimate parse failure.
+func TestFeedbackParseErrorTyped(t *testing.T) {
+	srv, ts := newTestServer(t)
+	createFixture(t, ts, "fig2")
+
+	// Registry-level: the error is typed before the HTTP layer touches it.
+	err := srv.Registry().Feedback("fig2", "/a/c[", 5)
+	var ae *api.Error
+	if !errors.As(err, &ae) || ae.Code != api.CodeParseError {
+		t.Fatalf("Registry.Feedback parse failure = %#v, want *api.Error %s", err, api.CodeParseError)
+	}
+	if d, ok := ae.ParseDetail(); !ok || d.Offset != len("/a/c[") {
+		t.Fatalf("registry parse detail = %+v ok=%v, want offset %d", d, ok, len("/a/c["))
+	}
+
+	// Wire-level: same code and structural offset as the estimate endpoint.
+	var env api.ErrorResponse
+	httpResp := doJSON(t, ts.Client(), "POST", ts.URL+"/v1/synopses/fig2/feedback",
+		api.FeedbackRequest{Query: "/a/c[", Actual: 5}, &env)
+	if httpResp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("feedback parse failure: status %d, want 400", httpResp.StatusCode)
+	}
+	if env.Err == nil || env.Err.Code != api.CodeParseError {
+		t.Fatalf("feedback error = %+v, want %s", env.Err, api.CodeParseError)
+	}
+	if d, ok := env.Err.ParseDetail(); !ok || d.Offset != len("/a/c[") {
+		t.Fatalf("feedback parse detail = %+v ok=%v, want offset %d", d, ok, len("/a/c["))
+	}
+
+	// Subtree: a malformed XML payload follows the same typed path
+	// (bad_request — there is no XPath offset to carry).
+	if err := srv.Registry().AddSubtree("fig2", []string{"a"}, "<unclosed"); err == nil {
+		t.Fatal("malformed subtree XML accepted")
+	} else if !errors.As(err, &ae) || ae.Code != api.CodeBadRequest {
+		t.Fatalf("Registry.AddSubtree parse failure = %#v, want *api.Error %s", err, api.CodeBadRequest)
+	}
+}
+
 // TestEstimateBatchCancellation proves the registry read path honors
 // context cancellation instead of estimating a dead request's batch.
 func TestEstimateBatchCancellation(t *testing.T) {

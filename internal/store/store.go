@@ -290,11 +290,20 @@ func loadFrom(dir string, me *ManifestEntry, limit int64) (*xseed.Synopsis, repl
 		return nil, replayResult{}, 0, fmt.Errorf("base snapshot: %w", err)
 	}
 	budget := me.Budget
-	res, err := scanLogFile(filepath.Join(dir, deltaFile(me.Seq)), limit, func(rec deltaRecord) error {
-		if rec.Op == opBudget {
-			budget = rec.Bytes
-		}
-		return applyRecord(syn, rec)
+	var res replayResult
+	// Replay batches publication: applying a long log record-by-record
+	// would otherwise rebuild the synopsis's estimation snapshot per record
+	// (O(records × synopsis) instead of O(delta)); nothing estimates during
+	// recovery, so one snapshot at the end is equivalent.
+	err = syn.Replay(func() error {
+		var scanErr error
+		res, scanErr = scanLogFile(filepath.Join(dir, deltaFile(me.Seq)), limit, func(rec deltaRecord) error {
+			if rec.Op == opBudget {
+				budget = rec.Bytes
+			}
+			return applyRecord(syn, rec)
+		})
+		return scanErr
 	})
 	if err != nil {
 		return nil, res, 0, err

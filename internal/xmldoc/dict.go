@@ -50,3 +50,19 @@ func (d *Dict) Len() int { return len(d.names) }
 // Names returns the interned labels in ID order. The caller must not modify
 // the returned slice.
 func (d *Dict) Names() []string { return d.names }
+
+// Clone returns an independent copy of the dictionary. Estimation snapshots
+// freeze one per synopsis version so lock-free readers can resolve labels
+// while a subtree update interns new ones into the live dictionary; IDs are
+// identical across the copy (interning is append-only).
+func (d *Dict) Clone() *Dict {
+	c := &Dict{
+		ids:   make(map[string]LabelID, len(d.ids)),
+		names: make([]string, len(d.names)),
+	}
+	for k, v := range d.ids {
+		c.ids[k] = v
+	}
+	copy(c.names, d.names)
+	return c
+}

@@ -1,0 +1,135 @@
+package xseed
+
+import (
+	"sync/atomic"
+
+	"xseed/internal/estimate"
+)
+
+// Snapshot is an immutable, versioned estimation view of a Synopsis: the
+// kernel as of one mutation generation, the frozen label dictionary, the
+// hyper-edge lookup view, and the expanded path tree (built lazily, once,
+// under a singleflight). Estimating against a snapshot takes no locks and
+// never observes a concurrent mutation — mutations publish a successor
+// snapshot instead of changing this one.
+//
+// Pin a snapshot once per batch for a consistent view across its queries:
+//
+//	sn := syn.Snapshot()
+//	for _, q := range queries {
+//		est := sn.EstimateQuery(q)
+//	}
+//
+// The version increases by exactly one per estimate-affecting mutation, so
+// serving layers can tag cached results with it and let a concurrent
+// mutation retire the whole scope by publishing the next version.
+type Snapshot struct {
+	ver uint64
+	es  *estimate.Snapshot
+}
+
+// Snapshot returns the synopsis's current estimation snapshot. It is one
+// atomic load; the result stays valid (and consistent) indefinitely.
+func (s *Synopsis) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Version is the snapshot's mutation generation, starting at 1 for a
+// freshly built or loaded synopsis.
+func (sn *Snapshot) Version() uint64 { return sn.ver }
+
+// EstimateQuery estimates a pre-parsed query against the snapshot.
+func (sn *Snapshot) EstimateQuery(q *Query) float64 {
+	return estimate.Compile(q.p, sn.es.Dict()).Run(sn.es)
+}
+
+// Estimate parses and estimates against the snapshot.
+func (sn *Snapshot) Estimate(query string) (float64, error) {
+	q, err := ParseQuery(query)
+	if err != nil {
+		return 0, err
+	}
+	return sn.EstimateQuery(q), nil
+}
+
+// EstimateStreamingQuery estimates with the single-pass streaming matcher
+// where the query shape allows, falling back to the standard matcher; the
+// streamed flag reports which path ran (the contract of
+// Synopsis.EstimateStreamingQuery).
+func (sn *Snapshot) EstimateStreamingQuery(q *Query) (est float64, streamed bool) {
+	if v, ok := sn.es.StreamEstimate(q.p); ok {
+		return v, true
+	}
+	return sn.EstimateQuery(q), false
+}
+
+// EPTStats reports the size of the snapshot's expanded path tree (building
+// it if no estimate has yet).
+func (sn *Snapshot) EPTStats() (nodes int, truncated bool) {
+	st := sn.es.Stats()
+	return st.Nodes, st.Truncated
+}
+
+// Compile compiles the query into a Plan against this snapshot's
+// dictionary: label IDs resolved, hyper-edge pattern hashes precomputed,
+// predicate shapes classified — once. Running the plan skips all of that
+// per estimate, and the plan stays valid across later snapshots until a
+// subtree update interns a new label (it then transparently recompiles on
+// first use).
+func (sn *Snapshot) Compile(q *Query) *Plan {
+	p := &Plan{q: q, norm: q.String()}
+	p.ep.Store(estimate.Compile(q.p, sn.es.Dict()))
+	return p
+}
+
+// Plan is a compiled query: the parsed form, its normalized rendering, and
+// the label-resolved execution plan. Plans are safe for concurrent Run
+// calls and are what the serving layer caches so repeat queries skip
+// parse + compile entirely.
+type Plan struct {
+	q    *Query
+	norm string
+	ep   atomic.Pointer[estimate.Plan]
+}
+
+// Query returns the parsed query the plan was compiled from.
+func (p *Plan) Query() *Query { return p.q }
+
+// String returns the normalized (parsed and re-rendered) query text — the
+// estimate-cache key form.
+func (p *Plan) String() string { return p.norm }
+
+// CompatibleWith reports whether the compiled label resolution is current
+// for sn; false after a subtree update interned new labels. Run handles the
+// recompile itself — this exists for cache layers that want to refresh
+// their stored plan.
+func (p *Plan) CompatibleWith(sn *Snapshot) bool {
+	if ep := p.ep.Load(); ep != nil {
+		return ep.CompatibleWith(sn.es)
+	}
+	return false
+}
+
+// plan returns a compiled form current for sn, recompiling (and caching the
+// result) when the snapshot's dictionary outgrew the stored one.
+func (p *Plan) plan(sn *Snapshot) *estimate.Plan {
+	if ep := p.ep.Load(); ep != nil && ep.CompatibleWith(sn.es) {
+		return ep
+	}
+	ep := estimate.Compile(p.q.p, sn.es.Dict())
+	p.ep.Store(ep)
+	return ep
+}
+
+// Run estimates the compiled query against the snapshot.
+func (p *Plan) Run(sn *Snapshot) float64 {
+	return p.plan(sn).Run(sn.es)
+}
+
+// RunStreaming estimates with the streaming matcher where possible (the
+// plan's parsed query avoids a re-parse), falling back to the compiled
+// standard plan.
+func (p *Plan) RunStreaming(sn *Snapshot) (est float64, streamed bool) {
+	if v, ok := sn.es.StreamEstimate(p.q.p); ok {
+		return v, true
+	}
+	return p.Run(sn), false
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"xseed/internal/estimate"
 	"xseed/internal/het"
@@ -28,9 +29,14 @@ type Config struct {
 	// MaxEPTNodes caps the expanded path tree (safety bound; 0 = 1<<20).
 	MaxEPTNodes int
 
-	// ReuseEPT caches the expanded path tree across estimates. Off by
-	// default (the paper regenerates per query); enable for long-lived
-	// optimizers.
+	// ReuseEPT is retained for stream compatibility and for the low-level
+	// estimate.Estimator (where off — the default — regenerates the EPT per
+	// query, as the paper's traveler does). Synopsis estimates no longer
+	// consult it: every published estimation snapshot builds its expanded
+	// path tree at most once (lazily, on first estimate) and retains it
+	// until the next mutation publishes a successor, regardless of this
+	// flag — that per-version caching is what makes the lock-free read
+	// path CPU-bound.
 	ReuseEPT bool
 }
 
@@ -64,12 +70,28 @@ func Default1BP() *HETConfig { return &HETConfig{MBP: 1} }
 
 // Synopsis is an XSEED synopsis: kernel plus optional hyper-edge table.
 //
-// Concurrency: Estimate, EstimateQuery, EstimateStreaming, and the size
-// accessors are safe to call concurrently with each other. Mutating calls —
-// Feedback, AddSubtree, RemoveSubtree, SetBudget — are not safe to run
-// concurrently with anything, including estimates; callers that interleave
-// them must serialize externally (e.g. an RWMutex with estimates on the
-// read side), which is what xseed/internal/server does.
+// Concurrency: the read path is lock-free. Estimate, EstimateQuery,
+// EstimateStreaming, Snapshot, and plan runs are safe to call concurrently
+// with each other AND with any single mutator — every estimate runs against
+// an immutable estimation snapshot (kernel view + expanded path tree +
+// hyper-edge lookup view) published through an atomic pointer, so a reader
+// never blocks on a writer and never observes a half-applied mutation.
+// Mutating calls — Feedback, ApplyHETDelta, AddSubtree, RemoveSubtree,
+// SetBudget — build and publish a successor snapshot before returning; they
+// are not safe to run concurrently with EACH OTHER and must be serialized
+// externally (e.g. a plain Mutex, or the per-entry write lock
+// xseed/internal/server holds), but estimates in flight during a mutation
+// simply keep reading the snapshot they pinned.
+//
+// Consistency: an estimate reflects some published snapshot — the one
+// current when the caller pinned it. After Feedback returns, the next
+// Snapshot (or estimate) call observes the absorbed feedback; concurrent
+// readers that pinned earlier may still answer from the predecessor. That
+// is the whole "eventually consistent estimate after feedback" contract:
+// values are never torn or interpolated, they are exactly the estimate some
+// version produced. The size accessors (SizeBytes, HETEntries, ...) read
+// the live table and kernel and therefore still need the external
+// serialization against mutators that WriteTo always needed.
 //
 // Timing: a budget handed to SetBudget is a target, not an invariant — the
 // serving layer's rebalancer computes fleet-wide targets first and applies
@@ -81,8 +103,72 @@ func Default1BP() *HETConfig { return &HETConfig{MBP: 1} }
 type Synopsis struct {
 	kern *kernel.Kernel
 	tab  *het.Table
-	est  *estimate.Estimator
 	opt  estimate.Options
+
+	// snap is the current estimation snapshot. Mutators replace the kernel
+	// copy-on-write (subtree updates) or mutate the HET table in place and
+	// then publish a successor wrapping a fresh het.View; the expanded path
+	// tree inside each snapshot builds lazily under a singleflight, so a
+	// feedback storm pays one EPT construction per *estimated* version, not
+	// per mutation.
+	snap atomic.Pointer[Snapshot]
+
+	// replaying suspends snapshot publication and kernel copy-on-write
+	// inside Replay — recovery-only, see Replay.
+	replaying bool
+}
+
+// Replay runs fn — a single-threaded burst of mutations, such as a
+// recovery delta-log replay — with snapshot publication suspended and
+// subtree updates applied to the kernel in place, then publishes exactly
+// one successor snapshot covering everything fn applied. Without it a
+// 10k-record log replay would build 10k hyper-edge views (and clone the
+// kernel per subtree record) for snapshots no reader can ever pin,
+// regressing the store's O(delta) recovery to O(records × synopsis).
+//
+// Replay is NOT safe once the synopsis is visible to concurrent readers:
+// it exists for the window before serving starts, where the caller owns
+// the synopsis exclusively.
+func (s *Synopsis) Replay(fn func() error) error {
+	s.replaying = true
+	err := fn()
+	s.replaying = false
+	s.publish()
+	return err
+}
+
+// publish installs a new estimation snapshot reflecting the current kernel
+// and hyper-edge table. Callers are the construction paths and the
+// externally-serialized mutators, so at most one publish runs at a time;
+// version numbers therefore increase by exactly one per mutation.
+func (s *Synopsis) publish() *Snapshot {
+	if s.replaying {
+		return s.snap.Load()
+	}
+	ver := uint64(1)
+	if old := s.snap.Load(); old != nil {
+		ver = old.ver + 1
+	}
+	opt := s.opt
+	opt.HET = nil
+	if s.tab != nil {
+		opt.HET = s.tab.View()
+	}
+	var es *estimate.Snapshot
+	if old := s.snap.Load(); old != nil && old.es.Kernel() == s.kern &&
+		old.es.Dict().Len() == s.kern.Dict().Len() {
+		// Kernel untouched and no labels interned since (feedback, budget
+		// change): the frozen dictionary and label hashes are still
+		// authoritative — skip re-cloning them. The length check matters
+		// after Replay, which mutates the kernel in place: same pointer,
+		// possibly new labels.
+		es = old.es.WithOptions(opt)
+	} else {
+		es = estimate.NewSnapshot(s.kern, s.kern.Dict().Clone(), opt)
+	}
+	sn := &Snapshot{ver: ver, es: es}
+	s.snap.Store(sn)
+	return sn
 }
 
 // BuildSynopsis constructs a synopsis for the document. cfg may be nil for
@@ -105,9 +191,7 @@ func BuildSynopsis(d *Document, cfg *Config) (*Synopsis, error) {
 	case hcfg.Disable:
 		// bare kernel
 	case hcfg.FeedbackOnly:
-		tab := het.New(hcfg.BudgetBytes)
-		s.tab = tab
-		s.opt.HET = tab
+		s.tab = het.New(hcfg.BudgetBytes)
 	default:
 		tab, _ := het.Precompute(d.doc, d.pt, d.kern, het.PrecomputeOptions{
 			MBP:                  hcfg.MBP,
@@ -117,9 +201,8 @@ func BuildSynopsis(d *Document, cfg *Config) (*Synopsis, error) {
 			EstimateOptions:      opt,
 		})
 		s.tab = tab
-		s.opt.HET = tab
 	}
-	s.est = estimate.New(s.kern, s.opt)
+	s.publish()
 	return s, nil
 }
 
@@ -136,15 +219,11 @@ func KernelOnly(d *Document, cfg *Config) (*Synopsis, error) {
 
 // Estimate returns the estimated cardinality of the query.
 func (s *Synopsis) Estimate(query string) (float64, error) {
-	q, err := xpath.Parse(query)
-	if err != nil {
-		return 0, err
-	}
-	return s.est.Estimate(q), nil
+	return s.Snapshot().Estimate(query)
 }
 
 // EstimateQuery estimates a pre-parsed query.
-func (s *Synopsis) EstimateQuery(q *Query) float64 { return s.est.Estimate(q.p) }
+func (s *Synopsis) EstimateQuery(q *Query) float64 { return s.Snapshot().EstimateQuery(q) }
 
 // EstimateStreaming estimates with the single-pass, bounded-memory matcher
 // that consumes the traveler's event stream directly (the execution style
@@ -152,22 +231,17 @@ func (s *Synopsis) EstimateQuery(q *Query) float64 { return s.est.Estimate(q.p) 
 // child-axis name steps fall back to the standard matcher; the streamed
 // flag reports which path ran.
 func (s *Synopsis) EstimateStreaming(query string) (est float64, streamed bool, err error) {
-	q, err := xpath.Parse(query)
+	q, err := ParseQuery(query)
 	if err != nil {
 		return 0, false, err
 	}
-	if v, ok := estimate.StreamEstimate(s.kern, q, s.opt); ok {
-		return v, true, nil
-	}
-	return s.est.Estimate(q), false, nil
+	est, streamed = s.Snapshot().EstimateStreamingQuery(q)
+	return est, streamed, nil
 }
 
 // EstimateStreamingQuery is EstimateStreaming for a pre-parsed query.
 func (s *Synopsis) EstimateStreamingQuery(q *Query) (est float64, streamed bool) {
-	if v, ok := estimate.StreamEstimate(s.kern, q.p, s.opt); ok {
-		return v, true
-	}
-	return s.est.Estimate(q.p), false
+	return s.Snapshot().EstimateStreamingQuery(q)
 }
 
 // SizeBytes returns the synopsis memory footprint: kernel plus resident
@@ -211,7 +285,7 @@ func (s *Synopsis) SetBudget(totalBytes int) {
 	}
 	if totalBytes < 0 {
 		s.tab.SetBudget(0) // het treats <=0 as unlimited
-		s.est.Invalidate()
+		s.publish()
 		return
 	}
 	rest := totalBytes - s.kern.SizeBytes()
@@ -219,7 +293,7 @@ func (s *Synopsis) SetBudget(totalBytes int) {
 		rest = 1 // 1 byte admits nothing (0 would mean unlimited)
 	}
 	s.tab.SetBudget(rest)
-	s.est.Invalidate()
+	s.publish()
 }
 
 // Feedback records an executed query's actual cardinality into the HET
@@ -262,16 +336,19 @@ func (s *Synopsis) FeedbackQueryDelta(q *Query, actual float64) (estBefore float
 	if s.tab == nil {
 		return 0, HETDelta{}, false
 	}
-	estBefore = s.est.Estimate(q.p)
+	// The before-estimate runs against the current snapshot — the same value
+	// any concurrent reader gets until the successor is published below.
+	sn := s.Snapshot()
+	estBefore = sn.EstimateQuery(q)
 	base := 0.0
 	if !q.p.IsSimple() {
-		base = s.est.Estimate(het.StripPreds(q.p))
+		base = sn.EstimateQuery(&Query{p: het.StripPreds(q.p)})
 	}
 	e, applied := s.tab.Feedback(q.p, actual, estBefore, base)
 	if !applied {
 		return estBefore, HETDelta{}, false
 	}
-	s.est.Invalidate()
+	s.publish()
 	return estBefore, HETDelta{
 		Hash:    e.Hash,
 		Pattern: e.Pattern,
@@ -297,7 +374,7 @@ func (s *Synopsis) ApplyHETDelta(d HETDelta) {
 		BselOK:  d.BselOK,
 		Err:     d.Err,
 	})
-	s.est.Invalidate()
+	s.publish()
 }
 
 // HasHET reports whether the synopsis carries a hyper-edge table (even one
@@ -309,33 +386,51 @@ func (s *Synopsis) HasHET() bool { return s.tab != nil }
 // root, e.g. ["dblp"]). Estimates reflect the update immediately; the HET
 // keeps its recorded actuals (the paper's lazy maintenance — rebuild or
 // re-feedback to refresh them).
+//
+// The kernel is updated copy-on-write: readers pinned to the previous
+// snapshot keep traversing the pre-update graph, and a parse failure leaves
+// the kernel, hyper-edge table, and published snapshot unchanged (labels
+// interned from the rejected fragment before the parse error may remain in
+// the shared dictionary — harmless to estimates, which resolve against each
+// snapshot's frozen clone).
 func (s *Synopsis) AddSubtree(contextPath []string, xml string) error {
-	p := xmldoc.NewParserString(xml)
-	p.Fragment = true
-	if err := s.kern.AddSubtree(contextPath, p); err != nil {
-		return err
-	}
-	s.est.Invalidate()
-	return nil
+	return s.updateSubtree(contextPath, xml, true)
 }
 
 // RemoveSubtree incrementally maintains the kernel after deleting the XML
-// subtree(s) in xml from under contextPath.
+// subtree(s) in xml from under contextPath (copy-on-write, like AddSubtree).
 func (s *Synopsis) RemoveSubtree(contextPath []string, xml string) error {
+	return s.updateSubtree(contextPath, xml, false)
+}
+
+func (s *Synopsis) updateSubtree(contextPath []string, xml string, add bool) error {
 	p := xmldoc.NewParserString(xml)
 	p.Fragment = true
-	if err := s.kern.RemoveSubtree(contextPath, p); err != nil {
+	kern := s.kern
+	if !s.replaying {
+		// Copy-on-write for live mutations; during Replay no reader can
+		// hold a snapshot, so the kernel mutates in place (O(delta)).
+		kern = kern.Clone()
+	}
+	var err error
+	if add {
+		err = kern.AddSubtree(contextPath, p)
+	} else {
+		err = kern.RemoveSubtree(contextPath, p)
+	}
+	if err != nil {
 		return err
 	}
-	s.est.Invalidate()
+	s.kern = kern
+	s.publish()
 	return nil
 }
 
-// EPTStats reports the size of the expanded path tree generated by the most
-// recent estimate (the paper's Section 6.4 metric).
+// EPTStats reports the size of the expanded path tree of the current
+// snapshot (the paper's Section 6.4 metric), building it if no estimate has
+// run yet.
 func (s *Synopsis) EPTStats() (nodes int, truncated bool) {
-	st := s.est.LastEPTStats()
-	return st.Nodes, st.Truncated
+	return s.Snapshot().EPTStats()
 }
 
 // KernelString renders the kernel's edges in the paper's notation, for
@@ -430,7 +525,6 @@ func ReadSynopsis(r io.Reader) (*Synopsis, error) {
 			return nil, err
 		}
 		s.tab = tab
-		s.opt.HET = tab
 	}
 	var opts [17]byte
 	if _, err := io.ReadFull(br, opts[:]); err != nil {
@@ -439,6 +533,6 @@ func ReadSynopsis(r io.Reader) (*Synopsis, error) {
 	s.opt.CardThreshold = float64(int64(binary.LittleEndian.Uint64(opts[0:]))) / 1e6
 	s.opt.MaxEPTNodes = int(int64(binary.LittleEndian.Uint64(opts[8:])))
 	s.opt.ReuseEPT = opts[16] == 1
-	s.est = estimate.New(s.kern, s.opt)
+	s.publish()
 	return s, nil
 }

@@ -536,3 +536,47 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+// TestReplayNewLabelThenEstimate is the regression test for the
+// publish-shortcut bug: Replay applies subtree records to the kernel in
+// place, so a replayed fragment that interns a brand-new label leaves the
+// kernel pointer unchanged while the dictionary grows — the post-Replay
+// publish must not reuse the pre-Replay frozen dictionary, or the first
+// estimate panics resolving the new label during EPT construction.
+func TestReplayNewLabelThenEstimate(t *testing.T) {
+	d, err := ParseXMLString("<a><b><c/></b></a>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := BuildSynopsis(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := syn.Estimate("/a/b"); err != nil { // pin a pre-replay snapshot path
+		t.Fatal(err)
+	}
+	err = syn.Replay(func() error {
+		if err := syn.Feedback("/a/b/c", 5); err != nil {
+			return err
+		}
+		// Brand-new labels: the replayed fragment interns "z" and "w".
+		return syn.AddSubtree([]string{"a"}, "<z><w/></z>")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := syn.Estimate("/a/z/w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("/a/z/w after replay = %v, want 1", got)
+	}
+	if got, err := syn.Estimate("/a/b/c"); err != nil || got != 5 {
+		t.Fatalf("/a/b/c after replayed feedback = %v (%v), want 5", got, err)
+	}
+	// One Replay = one published version on top of the initial snapshot.
+	if v := syn.Snapshot().Version(); v != 2 {
+		t.Fatalf("version after replay = %d, want 2 (batched publication)", v)
+	}
+}

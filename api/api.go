@@ -104,12 +104,19 @@ type BudgetRequest struct {
 }
 
 // AccuracyStats is the running accuracy a synopsis observed via feedback.
+// The q-error quantiles come from the same online histogram the /metrics
+// xseed_qerror family exposes (q-error = max(est/actual, actual/est), the
+// factor by which the estimate was off); they are bucket upper bounds, and
+// zero until the synopsis has received feedback on a metrics-enabled server.
 type AccuracyStats struct {
 	N          int64   `json:"n"`
 	RMSE       float64 `json:"rmse"`
 	NRMSE      float64 `json:"nrmse"`
 	R2         float64 `json:"r2"`
 	MeanActual float64 `json:"meanActual"`
+	QErrorP50  float64 `json:"qerrorP50,omitempty"`
+	QErrorP90  float64 `json:"qerrorP90,omitempty"`
+	QErrorP99  float64 `json:"qerrorP99,omitempty"`
 }
 
 // SynopsisInfo is the served view of one registered synopsis.
@@ -143,6 +150,7 @@ type CacheStats struct {
 	PlanHits    int64   `json:"planHits"`
 	PlanMisses  int64   `json:"planMisses"`
 	CostSavedNs int64   `json:"costSavedNs"`
+	Evictions   int64   `json:"evictions"`
 }
 
 // RebalanceStats is the /v1/stats view of budget-rebalance progress: Gen is

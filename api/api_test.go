@@ -116,7 +116,9 @@ func TestReadmeRouteTableInSync(t *testing.T) {
 func TestRouteTableShape(t *testing.T) {
 	seen := map[string]bool{}
 	for _, r := range Routes() {
-		if !strings.HasPrefix(r.Path, "/v1/") {
+		// /metrics is the one sanctioned unversioned route: Prometheus
+		// convention puts the exposition at exactly that path.
+		if !strings.HasPrefix(r.Path, "/v1/") && r.Path != "/metrics" {
 			t.Errorf("route %s %s is not versioned", r.Method, r.Path)
 		}
 		if r.Legacy != "" && !strings.HasPrefix(r.Path, "/v1"+r.Legacy) {

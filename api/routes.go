@@ -35,6 +35,9 @@ func Routes() []Route {
 		{"PUT", "/v1/synopses/{name}/snapshot", "/synopses/{name}/snapshot", "binary stream", "SynopsisInfo", "register (or replace) a synopsis from a snapshot"},
 		{"POST", "/v1/admin/budget", "", "BudgetRequest", "RebalanceStats", "re-target the aggregate memory budget (applied asynchronously)"},
 		{"POST", "/v1/admin/compact", "", "-", "CompactResponse", "fold delta logs into fresh base snapshots (?synopsis=name for one)"},
+		// /metrics is deliberately unversioned: it is operational surface in
+		// the standard Prometheus location, not part of the JSON contract.
+		{"GET", "/metrics", "", "-", "Prometheus text", "metrics exposition (Prometheus text format): HTTP, estimate-stage, cache, rebalancer, store, and accuracy families"},
 	}
 }
 

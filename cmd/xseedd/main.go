@@ -6,6 +6,7 @@
 //	xseedd [-addr :8080] [-cache 4096] [-budget 0] [-synopsis name=path]...
 //	       [-store-dir DIR] [-store-compact-ratio 0.5]
 //	       [-store-compact-interval 15s] [-store-fsync]
+//	       [-log-format text|json] [-log-level info] [-pprof addr]
 //	xseedd -store-fsck -store-dir DIR
 //
 // Each -synopsis flag preloads one synopsis at startup from either a file
@@ -40,9 +41,19 @@
 //	POST   /v1/admin/compact                 fold delta logs into fresh bases
 //	GET    /v1/stats                         sizes, cache hit rate, accuracy, store
 //	GET    /v1/healthz                       liveness
+//	GET    /metrics                          Prometheus text exposition
 //
 // The pre-versioning unversioned paths remain as deprecated aliases
 // (identical bodies plus a Deprecation header).
+//
+// Observability: every request is logged through log/slog (-log-format
+// json for machine-parseable access logs, -log-level to filter) with an
+// X-Request-Id that is accepted from or issued to the client and echoed on
+// the response. GET /metrics exposes counters, gauges, and latency/accuracy
+// histograms for every layer — HTTP, estimate stages, caches, rebalancer,
+// store — reading the same atomics /v1/stats reports. -pprof ADDR starts
+// net/http/pprof on a separate admin-only listener; see the "Observing
+// xseedd" section of the top-level README.
 package main
 
 import (

@@ -1,0 +1,52 @@
+package logx
+
+import (
+	"bytes"
+	"encoding/json"
+	"log"
+	"strings"
+	"testing"
+)
+
+func TestBridgeRendersAttrs(t *testing.T) {
+	var buf bytes.Buffer
+	lg := Bridge(log.New(&buf, "xseedd: ", 0))
+	lg.With("synopsis", "xmark").Warn("persist failed", "err", "disk full", "gen", 3)
+	got := buf.String()
+	for _, want := range []string{"xseedd: ", "persist failed", "synopsis=xmark", "err=disk full", "gen=3"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("bridge output %q missing %q", got, want)
+		}
+	}
+}
+
+func TestDiscardDropsEverything(t *testing.T) {
+	Discard().Error("nothing happens") // must not panic or write anywhere
+}
+
+func TestNewFormatsAndLevels(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := New(&buf, "json", "warn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("filtered out")
+	lg.Warn("kept", "k", "v")
+	line := strings.TrimSpace(buf.String())
+	if strings.Count(line, "\n") != 0 {
+		t.Fatalf("want exactly one line, got %q", line)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(line), &m); err != nil {
+		t.Fatalf("not JSON: %v in %q", err, line)
+	}
+	if m["msg"] != "kept" || m["k"] != "v" {
+		t.Fatalf("unexpected record %v", m)
+	}
+	if _, err := New(&buf, "xml", "info"); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, err := New(&buf, "text", "loud"); err == nil {
+		t.Error("unknown level accepted")
+	}
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, children
+// sorted by label values, histograms as cumulative _bucket/_sum/_count
+// series with `le` boundaries in scaled units. Counters render as integers
+// (a ns total can exceed float64's 2^53 integer range). Scraping is
+// lock-light: it snapshots each family's child list under the family mutex,
+// then reads stripes with atomic loads.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil || r.disabled {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	fams := append([]*family(nil), r.order...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		f.write(bw)
+	}
+	return bw.Flush()
+}
+
+func (f *family) write(w *bufio.Writer) {
+	typ := "counter"
+	switch f.kind {
+	case kindGauge, kindGaugeFunc:
+		typ = "gauge"
+	case kindHistogram:
+		typ = "histogram"
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, typ)
+
+	switch f.kind {
+	case kindGaugeFunc:
+		fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(f.fn()))
+		return
+	case kindCounterFunc:
+		fmt.Fprintf(w, "%s %d\n", f.name, f.fnU())
+		return
+	}
+
+	f.mu.Lock()
+	children := append([]*child(nil), f.order...)
+	f.mu.Unlock()
+	sort.Slice(children, func(i, j int) bool {
+		return labelKey(children[i].labelVals) < labelKey(children[j].labelVals)
+	})
+
+	for _, c := range children {
+		lbl := f.labelString(c.labelVals, "")
+		switch f.kind {
+		case kindCounter:
+			fmt.Fprintf(w, "%s%s %d\n", f.name, lbl, c.counter.Value())
+		case kindGauge:
+			fmt.Fprintf(w, "%s%s %s\n", f.name, lbl, formatFloat(float64(c.gauge.Value())))
+		case kindHistogram:
+			f.writeHistogram(w, c)
+		}
+	}
+}
+
+// writeHistogram emits the cumulative bucket series. Trailing empty buckets
+// are trimmed (the layout spans ~18 minutes of nanoseconds; most of it is
+// never hit), but the +Inf bucket is always present.
+func (f *family) writeHistogram(w *bufio.Writer, c *child) {
+	counts, sum := c.hist.Snapshot()
+	last := -1
+	for i, n := range counts {
+		if n > 0 {
+			last = i
+		}
+	}
+	scale := c.hist.opts.Scale
+	var cum uint64
+	for i := 0; i <= last; i++ {
+		cum += counts[i]
+		le := formatFloat(c.hist.upperEdge(i) / scale)
+		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, f.labelString(c.labelVals, le), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, f.labelString(c.labelVals, "+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", f.name, f.labelString(c.labelVals, ""), formatFloat(float64(sum)/scale))
+	fmt.Fprintf(w, "%s_count%s %d\n", f.name, f.labelString(c.labelVals, ""), cum)
+}
+
+// labelString renders {k="v",...}, appending le when non-empty. Empty label
+// sets render as nothing (bare metric name).
+func (f *family) labelString(vals []string, le string) string {
+	if len(vals) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, name := range f.labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(vals[i]))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(vals) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders a float the way Prometheus clients expect: shortest
+// round-trip representation, integral values without an exponent where
+// reasonable.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestExpositionGolden locks the exact exposition bytes for a registry
+// exercising every metric kind — counters as integers, histograms with
+// trimmed trailing buckets plus +Inf, scaled `le` edges, label escaping,
+// families sorted by name and children by label values.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_last_total", "registered first, sorts last").Add(7)
+	r.Counter("aa_first_total", "registered later, sorts first").Add(1)
+	r.Gauge("budget_bytes", "a gauge").Set(-42)
+	r.GaugeFunc("computed_ratio", "a gauge func", func() float64 { return 0.5 })
+
+	vec := r.CounterVec("requests_total", "by route and class", "route", "code")
+	vec.With("/v1/estimate", "5xx").Inc()
+	vec.With("/v1/estimate", "2xx").Add(10)
+	vec.With(`/odd"path\n`, "2xx").Inc() // label escaping
+
+	// Nanosecond histogram exposed in seconds: 1500ns lands in (1024,2048],
+	// le renders as 2.048e-06.
+	lat := r.Histogram("estimate_seconds", "latency\nwith newline in help", HistogramOpts{Scale: 1e9})
+	lat.Observe(1500)
+	lat.Observe(1500)
+	lat.Observe(40) // bucket (32,64]
+
+	// Sub-bucketed ratio histogram (q-error shape): Scale 64, SubBits 2.
+	q := r.Histogram("qerror", "ratio", HistogramOpts{Scale: 64, SubBits: 2, MaxExp: 20})
+	q.Observe(64)  // q=1.0
+	q.Observe(200) // q=3.125
+
+	empty := r.Histogram("never_observed_seconds", "only +Inf and zero sum", HistogramOpts{Scale: 1e9})
+	_ = empty
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+
+	golden := filepath.Join("testdata", "expo.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition differs from golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestExpositionParses is a light-weight format lint: every non-comment
+// line is `name{labels} value` with balanced quotes, every family has HELP
+// then TYPE, histogram children end with a +Inf bucket.
+func TestExpositionParses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "x").Inc()
+	h := r.Histogram("b_seconds", "y", HistogramOpts{Scale: 1e9})
+	h.Observe(5000)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	sawInf := false
+	for _, line := range strings.Split(strings.TrimRight(sb.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			if !strings.HasPrefix(line, "# HELP ") && !strings.HasPrefix(line, "# TYPE ") {
+				t.Errorf("bad comment line %q", line)
+			}
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Errorf("no value separator in %q", line)
+			continue
+		}
+		if strings.Count(line[:i], `"`)%2 != 0 {
+			t.Errorf("unbalanced quotes in %q", line)
+		}
+		if strings.Contains(line, `le="+Inf"`) {
+			sawInf = true
+		}
+	}
+	if !sawInf {
+		t.Error("histogram exposition missing +Inf bucket")
+	}
+}

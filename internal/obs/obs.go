@@ -1,0 +1,554 @@
+// Package obs is xseedd's zero-dependency metrics core: atomic counters,
+// gauges, and fixed-bucket histograms designed so that hot-path updates are
+// wait-free and allocation-free, plus a hand-rolled Prometheus text-format
+// exposition (expo.go) and a pooled per-stage span recorder (span.go) for
+// the estimate path.
+//
+// # Wait-free updates
+//
+// Every counter and histogram is striped: writers pick a stripe with
+// goroutine affinity and each stripe owns its own cache line, so concurrent
+// increments from different goroutines never contend on one line (no CAS
+// loops, no mutexes — a single atomic add per update). Reads (scrapes, the
+// /v1/stats projection) sum the stripes; a scrape concurrent with updates
+// sees some valid intermediate total, and after writers quiesce the sum is
+// exact — no increment is ever lost or double-counted.
+//
+// # Registration vs. update
+//
+// Registering families and resolving labeled children takes locks and
+// allocates; it is meant to happen once, at construction time (a server
+// resolves its per-route children when it mounts the mux, the registry
+// resolves per-synopsis children when an entry is created). The resolved
+// *Counter/*Histogram handles are what hot paths touch.
+//
+// # Disabled mode
+//
+// Disabled is a registry whose constructors return inert metrics: updates
+// are a nil-check and return. It exists so the instrumentation overhead is
+// measurable — BenchmarkEstimateObsOverhead runs the estimate path against
+// a live registry and against Disabled, and CI gates the difference.
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// numStripes is the number of independently updated cells behind each
+// counter and histogram. Power of two (stripe selection masks).
+const numStripes = 8
+
+// cellStride spaces stripes one cache line (64 bytes = 8 uint64s) apart so
+// two stripes never share a line.
+const cellStride = 8
+
+// stripe returns a stripe index with goroutine affinity: goroutines live on
+// distinct stack allocations, so the address of a stack byte — shifted past
+// typical frame sizes — spreads concurrent writers across stripes while
+// costing a handful of instructions and no allocation (the pointer never
+// escapes; it is converted to an integer immediately).
+func stripe() int {
+	var b byte
+	return int(uintptr(unsafe.Pointer(&b))>>10) & (numStripes - 1)
+}
+
+// A Counter is a monotonically increasing striped counter. The zero/nil
+// Counter (and any counter from Disabled) is inert.
+type Counter struct {
+	cells []atomic.Uint64 // numStripes * cellStride; nil = disabled
+}
+
+func newCounter() *Counter {
+	return &Counter{cells: make([]atomic.Uint64, numStripes*cellStride)}
+}
+
+// Add adds n. Wait-free, allocation-free.
+func (c *Counter) Add(n uint64) {
+	if c == nil || c.cells == nil {
+		return
+	}
+	c.cells[stripe()*cellStride].Add(n)
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value sums the stripes. Exact once writers quiesce; a valid intermediate
+// total while they run.
+func (c *Counter) Value() uint64 {
+	if c == nil || c.cells == nil {
+		return 0
+	}
+	var v uint64
+	for i := 0; i < numStripes; i++ {
+		v += c.cells[i*cellStride].Load()
+	}
+	return v
+}
+
+// A Gauge is a settable instantaneous value (not striped: gauges are
+// set/add from cold paths, and a striped Set has no meaning).
+type Gauge struct {
+	v *atomic.Int64 // nil = disabled
+}
+
+func newGauge() *Gauge { return &Gauge{v: new(atomic.Int64)} }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil || g.v == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds d (negative to decrement).
+func (g *Gauge) Add(d int64) {
+	if g == nil || g.v == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil || g.v == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// HistogramOpts shapes a histogram's fixed bucket layout.
+type HistogramOpts struct {
+	// Scale divides recorded values on exposition. Durations are recorded
+	// in integer nanoseconds with Scale 1e9, so the wire unit is seconds;
+	// dimensionless ratios (q-error) record value*2^k with Scale 2^k.
+	// 0 means 1.
+	Scale float64
+
+	// SubBits adds 2^SubBits sub-buckets per power-of-two octave (0 = pure
+	// power-of-two buckets; 2 = factor-1.25 resolution). Values below
+	// 2^SubBits get exact singleton buckets.
+	SubBits uint
+
+	// MaxExp caps the bucket range at 2^MaxExp (larger values land in the
+	// final bucket). 0 means 40 (~18 minutes in nanoseconds).
+	MaxExp uint
+}
+
+func (o HistogramOpts) withDefaults() HistogramOpts {
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if o.MaxExp == 0 {
+		o.MaxExp = 40
+	}
+	if o.SubBits > 3 {
+		o.SubBits = 3
+	}
+	if o.MaxExp <= o.SubBits {
+		o.MaxExp = o.SubBits + 1
+	}
+	return o
+}
+
+// A Histogram counts observations into fixed log2 buckets: bucket i of the
+// base layout (SubBits 0) holds values in [2^(i-1), 2^i), so exposition
+// boundaries are exact powers of two of the recorded unit. Observing is one
+// or two striped atomic adds — wait-free, allocation-free.
+type Histogram struct {
+	opts    HistogramOpts
+	buckets int
+	stride  int             // uint64 slots per stripe: buckets + sum, padded to a line
+	cells   []atomic.Uint64 // numStripes * stride; nil = disabled
+}
+
+func newHistogram(opts HistogramOpts) *Histogram {
+	opts = opts.withDefaults()
+	b := int(opts.MaxExp-opts.SubBits+1) << opts.SubBits
+	stride := (b + 1 + cellStride - 1) / cellStride * cellStride
+	return &Histogram{
+		opts:    opts,
+		buckets: b,
+		stride:  stride,
+		cells:   make([]atomic.Uint64, numStripes*stride),
+	}
+}
+
+// bucketIndex places a non-negative value: exact singletons below
+// 2^SubBits, then 2^SubBits sub-buckets per octave.
+func (h *Histogram) bucketIndex(v uint64) int {
+	b := h.opts.SubBits
+	var idx int
+	if v < 1<<b {
+		idx = int(v)
+	} else {
+		exp := uint(bits.Len64(v)) - 1
+		sub := (v >> (exp - b)) - (1 << b)
+		idx = int((exp-b+1)<<b) + int(sub)
+	}
+	if idx >= h.buckets {
+		idx = h.buckets - 1
+	}
+	return idx
+}
+
+// upperEdge is bucket i's exclusive upper boundary in recorded units.
+func (h *Histogram) upperEdge(i int) float64 {
+	b := h.opts.SubBits
+	if i < 1<<b {
+		return float64(i + 1)
+	}
+	block := uint(i) >> b
+	sub := uint64(i) & (1<<b - 1)
+	return float64((1<<b + sub + 1) << (block - 1))
+}
+
+// Observe records one value (negative values clamp to zero). Wait-free,
+// allocation-free.
+func (h *Histogram) Observe(v int64) {
+	if h == nil || h.cells == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	base := stripe() * h.stride
+	h.cells[base+h.bucketIndex(uint64(v))].Add(1)
+	h.cells[base+h.buckets].Add(uint64(v))
+}
+
+// Snapshot sums the stripes into per-bucket counts plus the value sum.
+func (h *Histogram) Snapshot() (counts []uint64, sum uint64) {
+	if h == nil || h.cells == nil {
+		return nil, 0
+	}
+	counts = make([]uint64, h.buckets)
+	for s := 0; s < numStripes; s++ {
+		base := s * h.stride
+		for i := range counts {
+			counts[i] += h.cells[base+i].Load()
+		}
+		sum += h.cells[base+h.buckets].Load()
+	}
+	return counts, sum
+}
+
+// Count is the total number of observations.
+func (h *Histogram) Count() uint64 {
+	counts, _ := h.Snapshot()
+	var n uint64
+	for _, c := range counts {
+		n += c
+	}
+	return n
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) as the upper edge of the
+// bucket holding it, in exposition units (recorded value / Scale) — an
+// upper bound with the bucket layout's resolution. 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	counts, _ := h.Snapshot()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum >= target {
+			return h.upperEdge(i) / h.opts.Scale
+		}
+	}
+	return h.upperEdge(h.buckets-1) / h.opts.Scale
+}
+
+// metricKind discriminates exposition rendering.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindCounterFunc
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+// child is one labeled instance of a family.
+type child struct {
+	labelVals []string
+	counter   *Counter
+	gauge     *Gauge
+	hist      *Histogram
+}
+
+// family is one named metric with its labeled children.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	labels []string
+	hopts  HistogramOpts
+	fn     func() float64 // kindGaugeFunc
+	fnU    func() uint64  // kindCounterFunc
+
+	mu    sync.Mutex
+	byKey map[string]*child
+	order []*child // insertion order; sorted on exposition
+}
+
+// Registry is a set of metric families. Register families once, resolve
+// labeled children once, and hand the resolved metrics to hot paths; scrape
+// with WritePrometheus. A nil or Disabled registry hands out inert metrics.
+type Registry struct {
+	disabled bool
+
+	mu       sync.Mutex
+	families map[string]*family
+	order    []*family
+}
+
+// NewRegistry returns an empty, enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Disabled is the no-op registry: every metric it creates is inert (updates
+// are a nil check), and scraping it writes nothing. Use it to run serving
+// benchmarks with instrumentation compiled in but switched off.
+var Disabled = &Registry{disabled: true}
+
+// noop singletons handed out by Disabled.
+var (
+	noopCounter = &Counter{}
+	noopGauge   = &Gauge{}
+	noopHist    = &Histogram{}
+)
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// register creates (or fetches the identical) family. Mismatched
+// re-registration is a programming error and panics — silently serving two
+// shapes under one name would corrupt the exposition.
+func (r *Registry) register(name, help string, kind metricKind, labels []string, hopts HistogramOpts, fn func() float64) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l) {
+			panic(fmt.Sprintf("obs: invalid label name %q on %q", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different shape", name))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("obs: metric %q re-registered with different labels", name))
+			}
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind, labels: labels, hopts: hopts, fn: fn, byKey: make(map[string]*child)}
+	r.families[name] = f
+	r.order = append(r.order, f)
+	sort.Slice(r.order, func(i, j int) bool { return r.order[i].name < r.order[j].name })
+	return f
+}
+
+const labelSep = "\x00"
+
+func labelKey(vals []string) string {
+	switch len(vals) {
+	case 0:
+		return ""
+	case 1:
+		return vals[0]
+	}
+	n := 0
+	for _, v := range vals {
+		n += len(v) + 1
+	}
+	var b []byte
+	b = make([]byte, 0, n)
+	for i, v := range vals {
+		if i > 0 {
+			b = append(b, labelSep...)
+		}
+		b = append(b, v...)
+	}
+	return string(b)
+}
+
+// resolve returns the child for vals, creating it on first use.
+func (f *family) resolve(vals []string) *child {
+	if len(vals) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labels), len(vals)))
+	}
+	key := labelKey(vals)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.byKey[key]; ok {
+		return c
+	}
+	c := &child{labelVals: append([]string(nil), vals...)}
+	switch f.kind {
+	case kindCounter:
+		c.counter = newCounter()
+	case kindGauge:
+		c.gauge = newGauge()
+	case kindHistogram:
+		c.hist = newHistogram(f.hopts)
+	}
+	f.byKey[key] = c
+	f.order = append(f.order, c)
+	return c
+}
+
+// remove drops the child for vals (a deleted synopsis's series stop being
+// exported; handles already resolved keep working, unexported).
+func (f *family) remove(vals []string) {
+	key := labelKey(vals)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.byKey[key]
+	if !ok {
+		return
+	}
+	delete(f.byKey, key)
+	for i, o := range f.order {
+		if o == c {
+			f.order = append(f.order[:i], f.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Counter registers (or fetches) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil || r.disabled {
+		return noopCounter
+	}
+	return r.register(name, help, kindCounter, nil, HistogramOpts{}, nil).resolve(nil).counter
+}
+
+// Gauge registers (or fetches) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil || r.disabled {
+		return noopGauge
+	}
+	return r.register(name, help, kindGauge, nil, HistogramOpts{}, nil).resolve(nil).gauge
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time —
+// for values another subsystem already maintains (rebalance generations,
+// cache entry counts). fn must be safe to call from any goroutine.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil || r.disabled {
+		return
+	}
+	r.register(name, help, kindGaugeFunc, nil, HistogramOpts{}, fn)
+}
+
+// CounterFunc registers a counter whose value is read at scrape time from a
+// monotone source another subsystem already maintains (the cache's hit
+// counters). The JSON stats view and the exposition then read the same
+// cells, so they can never disagree. fn must be monotonically non-decreasing
+// and safe to call from any goroutine.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	if r == nil || r.disabled {
+		return
+	}
+	f := r.register(name, help, kindCounterFunc, nil, HistogramOpts{}, nil)
+	f.fnU = fn
+}
+
+// Histogram registers (or fetches) an unlabeled histogram.
+func (r *Registry) Histogram(name, help string, opts HistogramOpts) *Histogram {
+	if r == nil || r.disabled {
+		return noopHist
+	}
+	return r.register(name, help, kindHistogram, nil, opts, nil).resolve(nil).hist
+}
+
+// CounterVec is a labeled counter family; resolve children once with With.
+type CounterVec struct{ f *family }
+
+// CounterVec registers (or fetches) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil || r.disabled {
+		return &CounterVec{}
+	}
+	return &CounterVec{f: r.register(name, help, kindCounter, labels, HistogramOpts{}, nil)}
+}
+
+// With resolves the child counter for the label values (creating it on
+// first use). Resolve once, outside hot paths.
+func (v *CounterVec) With(vals ...string) *Counter {
+	if v == nil || v.f == nil {
+		return noopCounter
+	}
+	return v.f.resolve(vals).counter
+}
+
+// Delete stops exporting the child for the label values.
+func (v *CounterVec) Delete(vals ...string) {
+	if v == nil || v.f == nil {
+		return
+	}
+	v.f.remove(vals)
+}
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers (or fetches) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, opts HistogramOpts, labels ...string) *HistogramVec {
+	if r == nil || r.disabled {
+		return &HistogramVec{}
+	}
+	return &HistogramVec{f: r.register(name, help, kindHistogram, labels, opts, nil)}
+}
+
+// With resolves the child histogram for the label values.
+func (v *HistogramVec) With(vals ...string) *Histogram {
+	if v == nil || v.f == nil {
+		return noopHist
+	}
+	return v.f.resolve(vals).hist
+}
+
+// Delete stops exporting the child for the label values.
+func (v *HistogramVec) Delete(vals ...string) {
+	if v == nil || v.f == nil {
+		return
+	}
+	v.f.remove(vals)
+}

@@ -1,0 +1,304 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterExactUnderConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "test")
+	const goroutines, perG = 16, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	// Scrape concurrently with the writers: totals must be torn-read-free
+	// (monotone, never above the final value).
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var prev uint64
+		for i := 0; i < 1000; i++ {
+			v := c.Value()
+			if v < prev {
+				t.Errorf("counter went backwards: %d -> %d", prev, v)
+				return
+			}
+			if v > goroutines*perG {
+				t.Errorf("counter overshot: %d", v)
+				return
+			}
+			prev = v
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestHistogramExactUnderConcurrency(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "test", HistogramOpts{})
+	const goroutines, perG = 16, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(int64(g*1000 + i))
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var sb strings.Builder
+				if err := r.WritePrometheus(&sb); err != nil {
+					t.Errorf("scrape: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	if got := h.Count(); got != goroutines*perG {
+		t.Fatalf("count = %d, want %d", got, goroutines*perG)
+	}
+	var wantSum uint64
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < perG; i++ {
+			wantSum += uint64(g*1000 + i)
+		}
+	}
+	if _, sum := h.Snapshot(); sum != wantSum {
+		t.Fatalf("sum = %d, want %d", sum, wantSum)
+	}
+}
+
+func TestHotPathAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("allocs_c_total", "test")
+	h := r.Histogram("allocs_h", "test", HistogramOpts{})
+	vec := r.HistogramVec("allocs_v", "test", HistogramOpts{}, "stage")
+	set := NewStageSet(vec)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Add(3)
+		h.Observe(1234)
+		set.Observe(StagePlanRun, 999)
+	}); n != 0 {
+		t.Fatalf("metric updates allocate: %.1f allocs/op", n)
+	}
+	// Pin sampling to 1 so the allocation check covers the *sampled* (clock
+	// reading, histogram charging) path, not just the skip branch.
+	defer func(old uint32) { spanSampleEvery = old }(spanSampleEvery)
+	spanSampleEvery = 1
+	if n := testing.AllocsPerRun(1000, func() {
+		sp := set.Span()
+		sp.Mark(StageParse)
+		sp.Mark(StageCompile)
+		sp.Flush()
+		sp.End()
+	}); n != 0 {
+		t.Fatalf("span lifecycle allocates: %.1f allocs/op", n)
+	}
+}
+
+func TestDisabledIsInert(t *testing.T) {
+	c := Disabled.Counter("x_total", "test")
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("disabled counter counted")
+	}
+	Disabled.Gauge("g", "test").Set(7)
+	Disabled.Histogram("h", "test", HistogramOpts{}).Observe(5)
+	set := NewStageSet(Disabled.HistogramVec("v", "test", HistogramOpts{}, "stage"))
+	if set.Enabled() {
+		t.Fatal("disabled stage set reports enabled")
+	}
+	if sp := set.Span(); sp != nil {
+		t.Fatal("disabled stage set leased a span")
+	}
+	// Nil-safe all the way down.
+	var nilSpan *Span
+	nilSpan.Mark(StageParse)
+	nilSpan.Reset()
+	nilSpan.Flush()
+	nilSpan.End()
+	var sb strings.Builder
+	if err := Disabled.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("disabled scrape wrote %q, err %v", sb.String(), err)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		set.Observe(StagePlanRun, 1)
+		sp := set.Span()
+		sp.Mark(StageParse)
+		sp.End()
+	}); n != 0 {
+		t.Fatalf("disabled updates allocate: %.1f allocs/op", n)
+	}
+}
+
+func TestBucketLayout(t *testing.T) {
+	// Pure power-of-two (SubBits 0): bucket i covers [2^(i-1), 2^i).
+	h := newHistogram(HistogramOpts{})
+	cases := []struct {
+		v    uint64
+		idx  int
+		edge float64
+	}{
+		{0, 0, 1}, {1, 1, 2}, {2, 2, 4}, {3, 2, 4}, {4, 3, 8},
+		{1023, 10, 1024}, {1024, 11, 2048}, {1500, 11, 2048},
+	}
+	for _, c := range cases {
+		if got := h.bucketIndex(c.v); got != c.idx {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.idx)
+		}
+		if got := h.upperEdge(c.idx); got != c.edge {
+			t.Errorf("upperEdge(%d) = %g, want %g", c.idx, got, c.edge)
+		}
+	}
+	// Overflow clamps to the last bucket; negatives clamp to zero.
+	h.Observe(math.MaxInt64)
+	h.Observe(-5)
+	counts, _ := h.Snapshot()
+	if counts[0] != 1 || counts[len(counts)-1] != 1 {
+		t.Fatalf("clamping: counts[0]=%d counts[last]=%d", counts[0], counts[len(counts)-1])
+	}
+
+	// SubBits 2: singletons below 4, then 4 sub-buckets per octave, and
+	// every value lands strictly below its bucket's upper edge but at or
+	// above the previous bucket's.
+	h2 := newHistogram(HistogramOpts{SubBits: 2, MaxExp: 12})
+	for v := uint64(0); v < 1<<13; v++ {
+		i := h2.bucketIndex(v)
+		if float64(v) >= h2.upperEdge(i) && i < h2.buckets-1 {
+			t.Fatalf("v=%d >= upperEdge(%d)=%g", v, i, h2.upperEdge(i))
+		}
+		if i > 0 && float64(v) < h2.upperEdge(i-1) {
+			t.Fatalf("v=%d < upperEdge(%d)=%g but placed in %d", v, i-1, h2.upperEdge(i-1), i)
+		}
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	h := newHistogram(HistogramOpts{})
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(100) // bucket [64,128), edge 128
+	}
+	h.Observe(100000) // outlier, edge 131072
+	if q := h.Quantile(0.5); q != 128 {
+		t.Fatalf("p50 = %g, want 128", q)
+	}
+	if q := h.Quantile(1); q != 131072 {
+		t.Fatalf("p100 = %g, want 131072", q)
+	}
+	// Scale divides on the way out.
+	hs := newHistogram(HistogramOpts{Scale: 64})
+	hs.Observe(64) // 1.0 in scaled units; bucket edge 128 -> 2.0
+	if q := hs.Quantile(0.5); q != 2 {
+		t.Fatalf("scaled p50 = %g, want 2", q)
+	}
+}
+
+func TestVecResolveAndDelete(t *testing.T) {
+	r := NewRegistry()
+	vec := r.CounterVec("req_total", "test", "route", "status")
+	a := vec.With("/v1/estimate", "2xx")
+	if b := vec.With("/v1/estimate", "2xx"); a != b {
+		t.Fatal("resolve not idempotent")
+	}
+	a.Add(2)
+	vec.With("/v1/estimate", "5xx").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`req_total{route="/v1/estimate",status="2xx"} 2`,
+		`req_total{route="/v1/estimate",status="5xx"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	vec.Delete("/v1/estimate", "5xx")
+	sb.Reset()
+	r.WritePrometheus(&sb)
+	if strings.Contains(sb.String(), "5xx") {
+		t.Fatal("deleted child still exported")
+	}
+	// The surviving handle still works, it's just unexported.
+	a.Inc()
+	if a.Value() != 3 {
+		t.Fatal("surviving handle broken after sibling delete")
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "test")
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("shape change", func() { r.Gauge("dup_total", "test") })
+	mustPanic("bad name", func() { r.Counter("bad name", "test") })
+	mustPanic("bad label", func() { r.CounterVec("ok_total", "test", "bad-label") })
+	mustPanic("label arity", func() { r.CounterVec("arity_total", "test", "a").With("x", "y") })
+	// Identical re-registration is fine and returns the same handle.
+	if r.Counter("dup_total", "test") == nil {
+		t.Fatal("re-registration returned nil")
+	}
+}
+
+func TestSpanAccumulates(t *testing.T) {
+	defer func(old uint32) { spanSampleEvery = old }(spanSampleEvery)
+	spanSampleEvery = 1 // deterministic: every query sampled
+	r := NewRegistry()
+	vec := r.HistogramVec("stage_ns", "test", HistogramOpts{}, "stage", "syn")
+	set := NewStageSet(vec, "xmark")
+	sp := set.Span()
+	sp.Mark(StageParse)
+	sp.Mark(StageCompile)
+	sp.Reset()
+	sp.Mark(StageParse) // second parse charge accumulates before Flush
+	sp.Flush()
+	sp.End()
+	if got := vec.With(StageParse.String(), "xmark").Count(); got != 1 {
+		t.Fatalf("parse count = %d, want 1 (accumulated, flushed once)", got)
+	}
+	if got := vec.With(StageCompile.String(), "xmark").Count(); got != 1 {
+		t.Fatalf("compile count = %d, want 1", got)
+	}
+	if got := vec.With(StagePlanRun.String(), "xmark").Count(); got != 0 {
+		t.Fatalf("plan_run count = %d, want 0", got)
+	}
+}

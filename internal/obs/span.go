@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// A Stage names one phase of answering an estimate. The estimate path
+// accounts every query's nanoseconds to exactly these stages, so the sum of
+// the stage histograms is the path's total serving time.
+type Stage int
+
+const (
+	// StageCacheProbe is plan-cache and result-cache lookup/insert time.
+	StageCacheProbe Stage = iota
+	// StageParse is XPath text → parsed query.
+	StageParse
+	// StageCompile is parsed query → label-resolved plan.
+	StageCompile
+	// StagePlanRun is compiled-plan execution against the snapshot.
+	StagePlanRun
+
+	numStages
+)
+
+var stageNames = [numStages]string{"cache_probe", "parse", "compile", "plan_run"}
+
+// String returns the stage's label value ("parse", "plan_run", ...).
+func (s Stage) String() string {
+	if s < 0 || s >= numStages {
+		return "unknown"
+	}
+	return stageNames[s]
+}
+
+// Stages lists every stage in order, for registration loops.
+func Stages() []Stage {
+	return []Stage{StageCacheProbe, StageParse, StageCompile, StagePlanRun}
+}
+
+// A StageSet is the resolved per-stage histograms for one synopsis —
+// resolved once at entry creation so the hot path indexes an array instead
+// of touching a label map. A nil StageSet (or one built from Disabled) is
+// inert and skips all clock reads.
+type StageSet struct {
+	hist [numStages]*Histogram
+	on   bool
+}
+
+// NewStageSet resolves the per-stage children of a HistogramVec whose first
+// label is the stage name; extra label values (synopsis name) follow.
+func NewStageSet(v *HistogramVec, labels ...string) *StageSet {
+	s := &StageSet{}
+	if v == nil || v.f == nil {
+		return s
+	}
+	vals := make([]string, 0, len(labels)+1)
+	for _, st := range Stages() {
+		vals = append(vals[:0], st.String())
+		vals = append(vals, labels...)
+		s.hist[st] = v.With(vals...)
+	}
+	s.on = true
+	return s
+}
+
+// Observe records ns against one stage directly (no span) — for durations
+// the caller already measured, like the plan-run time the estimate path
+// records anyway for cache cost accounting.
+func (s *StageSet) Observe(st Stage, ns int64) {
+	if s == nil || !s.on {
+		return
+	}
+	s.hist[st].Observe(ns)
+}
+
+// Enabled reports whether observations will be recorded; lets callers skip
+// building inputs that only feed the set.
+func (s *StageSet) Enabled() bool { return s != nil && s.on }
+
+// spanSampleEvery is the span sampling period: one in this many queries
+// carries stage timing (the decision is made at each Reset). A stage
+// breakdown needs a clock read per stage boundary — ~5 per query — which
+// alone costs more than the metrics layer's overhead budget on a
+// microsecond-scale estimate; sampling keeps the histograms statistically
+// faithful while the other spanSampleEvery-1 queries pay a single branch.
+// Must be a power of two. A var (not const) only so tests can pin it to 1.
+var spanSampleEvery uint32 = 64
+
+// A Span accumulates one query's stage durations with a single running
+// timestamp: each Mark charges the time since the previous mark to a stage,
+// so adjacent stages share one clock read. Spans are pooled — the estimate
+// loop's per-query cost is zero allocations, and when the StageSet is
+// disabled, zero clock reads too. Stage timing is sampled (one query in
+// spanSampleEvery records; the rest skip every clock read), so the
+// histograms' _count series count sampled queries, not all queries.
+//
+//	sp := set.Span()
+//	... probe cache ...
+//	sp.Mark(StageCacheProbe)
+//	... parse ...
+//	sp.Mark(StageParse)
+//	sp.Flush() // record accumulated stages (once per query)
+//	sp.End()   // return to pool (once per batch)
+type Span struct {
+	set  *StageSet
+	last time.Time
+	ns   [numStages]int64
+	any  bool
+	tick uint32 // survives pooling: rotates the sampling phase
+	skip bool   // this query is not sampled; Mark is a branch, no clocks
+}
+
+var spanPool = sync.Pool{New: func() any { return new(Span) }}
+
+// Span leases a recorder. When the set is disabled it returns nil, and
+// every Span method is nil-safe and free.
+func (s *StageSet) Span() *Span {
+	if s == nil || !s.on {
+		return nil
+	}
+	sp := spanPool.Get().(*Span)
+	sp.set = s
+	sp.sample()
+	return sp
+}
+
+// sample decides whether the next query is timed and, when it is, starts
+// its clock. The tick survives pooling, so the rotation spreads samples
+// across batches and single-query calls alike.
+func (sp *Span) sample() {
+	sp.tick++
+	sp.skip = sp.tick&(spanSampleEvery-1) != 0
+	if !sp.skip {
+		sp.last = time.Now()
+	}
+}
+
+// Reset starts the next query: makes its sampling decision and, when
+// sampled, restarts the running timestamp without charging anything — call
+// at a boundary where the elapsed time belongs to no stage (e.g. work
+// between queries of a batch).
+func (sp *Span) Reset() {
+	if sp == nil {
+		return
+	}
+	sp.sample()
+}
+
+// Mark charges the time since the last mark (or Reset, or Span) to st and
+// restarts the clock. On an unsampled query it is a single branch.
+func (sp *Span) Mark(st Stage) {
+	if sp == nil || sp.skip {
+		return
+	}
+	now := time.Now()
+	sp.ns[st] += now.Sub(sp.last).Nanoseconds()
+	sp.last = now
+	sp.any = true
+}
+
+// Flush records the accumulated stage durations into the set's histograms
+// and zeroes the accumulator — once per query in a batch loop.
+func (sp *Span) Flush() {
+	if sp == nil || !sp.any {
+		return
+	}
+	for st, ns := range sp.ns {
+		if ns > 0 {
+			sp.set.hist[st].Observe(ns)
+			sp.ns[st] = 0
+		}
+	}
+	sp.any = false
+}
+
+// End flushes any remainder and returns the span to the pool. The span must
+// not be used after End.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	sp.Flush()
+	sp.set = nil
+	spanPool.Put(sp)
+}

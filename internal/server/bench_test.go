@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"sort"
 	"sync"
 	"testing"
@@ -13,6 +15,7 @@ import (
 	"xseed/api"
 
 	"xseed"
+	"xseed/internal/obs"
 )
 
 var benchState struct {
@@ -309,6 +312,64 @@ func BenchmarkEstimateDuringFeedbackStorm(b *testing.B) {
 		p99 := len(lat) - 1 - (len(lat)-1)/100
 		b.ReportMetric(float64(lat[len(lat)/2].Nanoseconds()), "p50-ns")
 		b.ReportMetric(float64(lat[p99].Nanoseconds()), "p99-ns")
+	}
+}
+
+// BenchmarkEstimateObsOverhead is the paired benchmark behind the metrics
+// layer's acceptance gate: the always-miss estimate path (capacity-1 cache,
+// so every query pays cache probe + parse + compile + plan run, the fully
+// instrumented route) with a live obs.Registry versus obs.Disabled. CI
+// fails the bench job if the instrumented side exceeds the disabled side by
+// more than 3%.
+func BenchmarkEstimateObsOverhead(b *testing.B) {
+	syn, queries := benchSetup(b)
+	run := func(b *testing.B, om *obs.Registry) {
+		r := NewRegistryObs(1, 0, om)
+		if _, err := r.Add("xmark", syn, "bench"); err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		if _, err := r.EstimateBatch(ctx, "xmark", queries, false); err != nil {
+			b.Fatal(err) // build the snapshot's EPT outside the timer
+		}
+		// Collect the setup garbage (EPT construction, registry churn from
+		// the paired side) before timing: whichever side happens to host the
+		// GC cycle would otherwise absorb its pause and skew the comparison.
+		runtime.GC()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Estimate(ctx, "xmark", queries[i%len(queries)], false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("instrumented", func(b *testing.B) { run(b, obs.NewRegistry()) })
+	b.Run("disabled", func(b *testing.B) { run(b, obs.Disabled) })
+}
+
+// BenchmarkMetricsScrape is the cost of one /metrics render against a
+// registry with live per-synopsis series and traffic in every family.
+func BenchmarkMetricsScrape(b *testing.B) {
+	syn, queries := benchSetup(b)
+	om := obs.NewRegistry()
+	r := NewRegistryObs(4096, 0, om)
+	if _, err := r.Add("xmark", syn, "bench"); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := r.EstimateBatch(ctx, "xmark", queries, false); err != nil {
+		b.Fatal(err)
+	}
+	for i, q := range queries {
+		if err := r.Feedback("xmark", q, float64(1+i%7)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := om.WritePrometheus(io.Discard); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -70,6 +70,7 @@ type Cache struct {
 	planHits   atomic.Int64 // compiled-plan lookups, counted apart from estimates
 	planMisses atomic.Int64
 	costSaved  atomic.Int64 // Σ CostNs of served hits (estimates and plans)
+	evictions  atomic.Int64
 }
 
 // NewCache returns a cache holding at most capacity entries in total
@@ -166,6 +167,7 @@ func (c *Cache) put(e *cacheEntry) {
 	s.items[e.key] = s.ll.PushFront(e)
 	if s.ll.Len() > s.cap {
 		s.evict()
+		c.evictions.Add(1)
 	}
 }
 
@@ -211,5 +213,6 @@ func (c *Cache) Stats() api.CacheStats {
 	st.PlanHits = c.planHits.Load()
 	st.PlanMisses = c.planMisses.Load()
 	st.CostSavedNs = c.costSaved.Load()
+	st.Evictions = c.evictions.Load()
 	return st
 }

@@ -9,6 +9,7 @@ import (
 	"syscall"
 	"time"
 
+	"xseed/internal/logx"
 	"xseed/internal/store"
 )
 
@@ -29,6 +30,9 @@ func RunCLI(name string, args []string) error {
 	compactIvl := fs.Duration("store-compact-interval", 0, "background compaction check interval (0 = default 15s)")
 	storeFsync := fs.Bool("store-fsync", false, "fsync the delta log after every append (survives machine crashes, not just process crashes)")
 	fsck := fs.Bool("store-fsck", false, "validate -store-dir (manifest, snapshot loads, delta checksums and replay), print a report, and exit")
+	logFormat := fs.String("log-format", "text", "log output format: text or json")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+	pprofAddr := fs.String("pprof", "", "admin listen address for net/http/pprof profiles (empty = disabled; keep it off public interfaces)")
 	var preloads []string
 	fs.Func("synopsis", "preload `name=path` (synopsis file or XML; repeatable)", func(v string) error {
 		preloads = append(preloads, v)
@@ -51,6 +55,11 @@ func RunCLI(name string, args []string) error {
 		return nil
 	}
 
+	logger, err := logx.New(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		return err
+	}
+
 	srv, err := New(Config{
 		Addr:                 *addr,
 		CacheCapacity:        *cache,
@@ -60,6 +69,8 @@ func RunCLI(name string, args []string) error {
 		StoreCompactRatio:    *compactRatio,
 		StoreCompactInterval: time.Duration(*compactIvl),
 		StoreFsync:           *storeFsync,
+		Logger:               logger,
+		PprofAddr:            *pprofAddr,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,187 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"xseed/internal/obs"
+)
+
+// httpMetrics is the HTTP layer's metric families. Each route resolves its
+// labeled children once at mount time (routeMetrics), so the per-request
+// cost is array indexing plus wait-free increments — no label-map lookups.
+type httpMetrics struct {
+	requests *obs.CounterVec   // xseed_http_requests_total{route, code}
+	latency  *obs.HistogramVec // xseed_http_request_seconds{route}
+	bytes    *obs.HistogramVec // xseed_http_response_bytes{route}
+}
+
+func newHTTPMetrics(om *obs.Registry) *httpMetrics {
+	return &httpMetrics{
+		requests: om.CounterVec("xseed_http_requests_total",
+			"HTTP requests by route and status class.", "route", "code"),
+		latency: om.HistogramVec("xseed_http_request_seconds",
+			"HTTP request latency by route.", obs.HistogramOpts{Scale: 1e9}, "route"),
+		bytes: om.HistogramVec("xseed_http_response_bytes",
+			"HTTP response body size by route.", obs.HistogramOpts{}, "route"),
+	}
+}
+
+var statusClasses = [...]string{"1xx", "2xx", "3xx", "4xx", "5xx"}
+
+// routeMetrics is one route's resolved children: a counter per status
+// class plus the latency and size histograms.
+type routeMetrics struct {
+	codes   [len(statusClasses)]*obs.Counter
+	latency *obs.Histogram
+	bytes   *obs.Histogram
+}
+
+// route resolves the children for one route label ("POST
+// /v1/synopses/{name}/estimate"). The legacy alias shares its canonical
+// route's series — the handler, and therefore its cost profile, is the same.
+func (m *httpMetrics) route(label string) *routeMetrics {
+	rm := &routeMetrics{
+		latency: m.latency.With(label),
+		bytes:   m.bytes.With(label),
+	}
+	for i, c := range statusClasses {
+		rm.codes[i] = m.requests.With(label, c)
+	}
+	return rm
+}
+
+func (rm *routeMetrics) observe(status int, bytes int64, dur time.Duration) {
+	i := status/100 - 1
+	if i < 0 || i >= len(statusClasses) {
+		i = 4 // malformed WriteHeader values count as 5xx
+	}
+	rm.codes[i].Inc()
+	rm.latency.Observe(dur.Nanoseconds())
+	rm.bytes.Observe(bytes)
+}
+
+// statusWriter captures the status code and body size a handler produced.
+// The API surface is plain JSON/octet-stream responses — no hijacking, no
+// server-push — so the two wrapped methods are the whole contract.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// instrument wraps one route's handler with its resolved metrics.
+func instrument(rm *routeMetrics, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK // handler wrote nothing: net/http sends 200
+		}
+		rm.observe(status, sw.bytes, time.Since(start))
+	}
+}
+
+type ctxKey int
+
+const ctxKeyRequestID ctxKey = 0
+
+// requestID returns the request's ID ("" outside the middleware).
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKeyRequestID).(string)
+	return id
+}
+
+// newRequestID mints a 16-hex-character ID. crypto/rand never fails on the
+// supported platforms; if it somehow does, a constant non-empty ID is still
+// more useful in logs than an absent one.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "00000000-rng-err"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// sanitizeRequestID confines a client-supplied X-Request-Id to something
+// loggable: printable ASCII, no quotes or backslashes (it lands inside JSON
+// log lines and error details), capped at 64 bytes.
+func sanitizeRequestID(id string) string {
+	if len(id) > 64 {
+		id = id[:64]
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c < 0x21 || c > 0x7e || c == '"' || c == '\\' {
+			return ""
+		}
+	}
+	return id
+}
+
+// withRequestID is the outermost middleware: it accepts or generates the
+// X-Request-Id, echoes it on the response, stashes it in the context (5xx
+// error envelopes attach it, see writeAPIError), and emits the access-log
+// line — so a client-reported failure is grep-able in one hop from either
+// the response header or the error body.
+func (s *Server) withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := sanitizeRequestID(r.Header.Get("X-Request-Id"))
+		if id == "" {
+			id = newRequestID()
+		}
+		w.Header().Set("X-Request-Id", id)
+		r = r.WithContext(context.WithValue(r.Context(), ctxKeyRequestID, id))
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", status,
+			"bytes", sw.bytes,
+			"durMs", float64(time.Since(start).Microseconds())/1e3,
+			"requestId", id,
+		)
+	})
+}
+
+// mountPprof registers the net/http/pprof handlers on an admin mux. Kept
+// off the public Handler() deliberately: profiles and heap dumps are
+// operator surface, served only on the -pprof listener.
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		http.Redirect(w, r, "/debug/pprof/", http.StatusFound)
+	})
+}

@@ -1,0 +1,270 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"log/slog"
+
+	"xseed/api"
+	"xseed/internal/logx"
+)
+
+// scrapeMetrics fetches /metrics and parses every sample line into a
+// series -> value map keyed by the full series name with labels
+// (`xseed_cache_hits_total`, `xseed_qerror_count{synopsis="a"}`).
+func scrapeMetrics(t *testing.T, ts *httptest.Server) map[string]float64 {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("GET /metrics: content-type %q", ct)
+	}
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("malformed value in %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestMetricsCoverEveryRoute keeps the HTTP instrumentation in sync with the
+// route table: mounting a route must register its latency series, so a new
+// endpoint cannot silently ship unobserved.
+func TestMetricsCoverEveryRoute(t *testing.T) {
+	_, ts := newTestServer(t)
+	m := scrapeMetrics(t, ts)
+	for _, rt := range api.Routes() {
+		key := fmt.Sprintf(`xseed_http_request_seconds_count{route="%s %s"}`, rt.Method, rt.Path)
+		if _, ok := m[key]; !ok {
+			t.Errorf("route %s %s has no latency series %s", rt.Method, rt.Path, key)
+		}
+	}
+}
+
+// TestMetricsFamilies drives every subsystem once and asserts each promised
+// family shows up in the exposition: HTTP, estimate stages, cache, plan
+// cache, rebalancer, store, and accuracy.
+func TestMetricsFamilies(t *testing.T) {
+	s, err := New(Config{CacheCapacity: 1024, StoreDir: t.TempDir(), Logger: logx.Discard()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	createFixture(t, ts, "a")
+	var est api.EstimateResponse
+	for i := 0; i < 2; i++ { // second run hits the estimate cache
+		doJSON(t, ts.Client(), "POST", ts.URL+"/v1/synopses/a/estimate",
+			api.EstimateRequest{Query: "//A"}, &est)
+	}
+	doJSON(t, ts.Client(), "POST", ts.URL+"/v1/synopses/a/feedback",
+		api.FeedbackRequest{Query: "//A", Actual: 3}, nil)
+	doJSON(t, ts.Client(), "POST", ts.URL+"/v1/admin/compact", nil, nil)
+
+	m := scrapeMetrics(t, ts)
+	mustHave := []string{
+		`xseed_http_requests_total{route="POST /v1/synopses/{name}/estimate",code="2xx"}`,
+		`xseed_estimate_stage_seconds_count{stage="plan_run",synopsis="a"}`,
+		`xseed_estimate_stage_seconds_count{stage="parse",synopsis="a"}`,
+		`xseed_cache_hits_total`,
+		`xseed_cache_misses_total`,
+		`xseed_cache_evictions_total`,
+		`xseed_cache_cost_saved_ns_total`,
+		`xseed_plan_cache_hits_total`,
+		`xseed_plan_cache_misses_total`,
+		`xseed_rebalance_generation`,
+		`xseed_rebalance_applied_generation`,
+		`xseed_rebalance_pending`,
+		`xseed_store_appends_total`,
+		`xseed_store_base_saves_total`,
+		`xseed_store_save_errors_total{op="append"}`,
+		`xseed_qerror_count{synopsis="a"}`,
+		`xseed_synopses`,
+	}
+	for _, key := range mustHave {
+		if _, ok := m[key]; !ok {
+			t.Errorf("exposition is missing %s", key)
+		}
+	}
+	if got := m[`xseed_qerror_count{synopsis="a"}`]; got != 1 {
+		t.Errorf("qerror count = %v after one feedback, want 1", got)
+	}
+	if got := m[`xseed_store_base_saves_total`]; got < 1 {
+		t.Errorf("base saves = %v, want >= 1", got)
+	}
+	if got := m[`xseed_cache_hits_total`]; got < 1 {
+		t.Errorf("cache hits = %v after repeat estimate, want >= 1", got)
+	}
+}
+
+// TestStatsMatchesMetrics is the can-never-disagree contract: /v1/stats and
+// /metrics read the same atomics, so at a quiet moment the two views carry
+// identical numbers.
+func TestStatsMatchesMetrics(t *testing.T) {
+	_, ts := newTestServer(t)
+	createFixture(t, ts, "a")
+	createFixture(t, ts, "b")
+	var est api.EstimateResponse
+	for _, q := range []string{"//A", "//A", "/A/B", "//A[B]"} {
+		doJSON(t, ts.Client(), "POST", ts.URL+"/v1/synopses/a/estimate",
+			api.EstimateRequest{Query: q}, &est)
+	}
+	doJSON(t, ts.Client(), "POST", ts.URL+"/v1/admin/budget",
+		api.BudgetRequest{Bytes: 1 << 20}, nil)
+	waitRebalanced(t, ts)
+
+	var stats api.Stats
+	doJSON(t, ts.Client(), "GET", ts.URL+"/v1/stats", nil, &stats)
+	m := scrapeMetrics(t, ts)
+
+	same := []struct {
+		name string
+		json float64
+		key  string
+	}{
+		{"cache hits", float64(stats.Cache.Hits), "xseed_cache_hits_total"},
+		{"cache misses", float64(stats.Cache.Misses), "xseed_cache_misses_total"},
+		{"cache evictions", float64(stats.Cache.Evictions), "xseed_cache_evictions_total"},
+		{"cost saved ns", float64(stats.Cache.CostSavedNs), "xseed_cache_cost_saved_ns_total"},
+		{"plan hits", float64(stats.Cache.PlanHits), "xseed_plan_cache_hits_total"},
+		{"plan misses", float64(stats.Cache.PlanMisses), "xseed_plan_cache_misses_total"},
+		{"cache entries", float64(stats.Cache.Entries), "xseed_cache_entries"},
+		{"rebalance gen", float64(stats.Rebalance.Gen), "xseed_rebalance_generation"},
+		{"applied gen", float64(stats.Rebalance.AppliedGen), "xseed_rebalance_applied_generation"},
+		{"pending", float64(stats.Rebalance.Pending), "xseed_rebalance_pending"},
+		{"synopses", float64(len(stats.Synopses)), "xseed_synopses"},
+	}
+	for _, c := range same {
+		got, ok := m[c.key]
+		if !ok {
+			t.Errorf("%s: exposition missing %s", c.name, c.key)
+			continue
+		}
+		if got != c.json {
+			t.Errorf("%s: /v1/stats says %v, /metrics %s says %v", c.name, c.json, c.key, got)
+		}
+	}
+}
+
+func waitRebalanced(t *testing.T, ts *httptest.Server) {
+	t.Helper()
+	for i := 0; i < 500; i++ {
+		var stats api.Stats
+		doJSON(t, ts.Client(), "GET", ts.URL+"/v1/stats", nil, &stats)
+		if stats.Rebalance.AppliedGen == stats.Rebalance.Gen && stats.Rebalance.Pending == 0 {
+			return
+		}
+	}
+	t.Fatal("rebalance did not settle")
+}
+
+var hexID = regexp.MustCompile(`^[0-9a-f]{16}$`)
+
+func TestRequestIDEcho(t *testing.T) {
+	_, ts := newTestServer(t)
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/healthz", nil)
+	req.Header.Set("X-Request-Id", "trace-me-42")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "trace-me-42" {
+		t.Errorf("client-supplied ID not echoed: got %q", got)
+	}
+
+	resp, err = ts.Client().Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); !hexID.MatchString(got) {
+		t.Errorf("generated ID = %q, want 16 hex chars", got)
+	}
+
+	req, _ = http.NewRequest("GET", ts.URL+"/v1/healthz", nil)
+	req.Header.Set("X-Request-Id", "bad id\twith control chars")
+	resp, err = ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); !hexID.MatchString(got) {
+		t.Errorf("unsafe ID should be replaced with a generated one, got %q", got)
+	}
+}
+
+// TestRequestIDIn5xxDetail pins the triage contract: a 5xx envelope carries
+// the request ID in its detail, matching the response header and the access
+// log line.
+func TestRequestIDIn5xxDetail(t *testing.T) {
+	req := httptest.NewRequest("GET", "/v1/stats", nil)
+	req = req.WithContext(context.WithValue(req.Context(), ctxKeyRequestID, "rid-123"))
+	rr := httptest.NewRecorder()
+	writeAPIError(rr, req, api.Errorf(api.CodeInternal, "boom"))
+	if rr.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d", rr.Code)
+	}
+	e := api.DecodeErrorBody(rr.Code, rr.Body.Bytes())
+	if !strings.Contains(string(e.Detail), `"rid-123"`) {
+		t.Errorf("5xx detail %q does not carry the request ID", e.Detail)
+	}
+}
+
+func TestAccessLogCarriesRequestID(t *testing.T) {
+	var buf strings.Builder
+	s, err := New(Config{
+		CacheCapacity: 1024,
+		Logger:        slog.New(slog.NewJSONHandler(&buf, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/healthz", nil)
+	req.Header.Set("X-Request-Id", "log-me-7")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	logged := buf.String()
+	for _, want := range []string{`"msg":"request"`, `"requestId":"log-me-7"`, `"path":"/v1/healthz"`, `"status":200`} {
+		if !strings.Contains(logged, want) {
+			t.Errorf("access log %q is missing %s", logged, want)
+		}
+	}
+}

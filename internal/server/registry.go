@@ -24,8 +24,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"io"
-	"log"
+	"log/slog"
 	"runtime"
 	"sort"
 	"sync"
@@ -34,7 +33,9 @@ import (
 
 	"xseed"
 	"xseed/api"
+	"xseed/internal/logx"
 	"xseed/internal/metrics"
+	"xseed/internal/obs"
 	"xseed/internal/store"
 )
 
@@ -86,6 +87,14 @@ type Entry struct {
 	feedbacks atomic.Int64
 	updates   atomic.Int64
 	acc       *metrics.Online // accuracy observed via feedback
+
+	// stages and qerr are this entry's hot-path metric handles, resolved
+	// once at creation (inert when the registry's obs.Registry is Disabled):
+	// per-stage estimate latency and the online q-error histogram whose
+	// quantiles Info() serves. Keyed by name, so a Put replacement inherits
+	// the series (counters stay monotone) and Delete ends them.
+	stages *obs.StageSet
+	qerr   *obs.Histogram
 }
 
 // Synopsis returns the underlying synopsis. Callers must hold the entry's
@@ -148,7 +157,11 @@ type Registry struct {
 	// log inside the same critical section that applied them in memory (so
 	// the log order is the apply order). Nil means no persistence.
 	st  *store.Store
-	log *log.Logger
+	log *slog.Logger
+
+	// obs holds the registry's metric families (see obsmetrics.go). Always
+	// non-nil; built over obs.Disabled the handles are inert.
+	obs *regMetrics
 
 	// registerMu serializes Add/Put registrations end to end so the store's
 	// base-write order for a name always matches the registry's map-update
@@ -201,13 +214,24 @@ type rebalTarget struct {
 // when their sizes alone exceed the budget, hyper-edge tables are emptied
 // but the kernels stay resident.
 func NewRegistry(cacheCapacity, aggregateBudgetBytes int) *Registry {
+	return NewRegistryObs(cacheCapacity, aggregateBudgetBytes, obs.Disabled)
+}
+
+// NewRegistryObs is NewRegistry with a metrics registry: estimate-stage
+// latency, per-synopsis accuracy, cache, and rebalance families register on
+// om and appear on its exposition. Pass obs.Disabled (what NewRegistry
+// does) for a registry with instrumentation compiled in but inert — the
+// overhead benchmark's baseline.
+func NewRegistryObs(cacheCapacity, aggregateBudgetBytes int, om *obs.Registry) *Registry {
 	r := &Registry{
 		entries: make(map[string]*Entry),
 		budget:  aggregateBudgetBytes,
 		cache:   NewCache(cacheCapacity),
-		log:     log.New(io.Discard, "", 0),
+		log:     logx.Discard(),
 		estSem:  make(chan struct{}, runtime.GOMAXPROCS(0)),
 	}
+	r.obs = newRegMetrics(om)
+	r.obs.wire(r)
 	r.rebalCond = sync.NewCond(&r.rebalMu)
 	return r
 }
@@ -377,7 +401,7 @@ func (r *Registry) applyPlan(p *rebalPlan) {
 // tries the entry lock, reporting false when the entry is busy; with block
 // set it waits, polling so a plan superseded mid-wait aborts instead of
 // pinning the worker to a stalled entry.
-func (r *Registry) applyTarget(st *store.Store, lg *log.Logger, p *rebalPlan, t rebalTarget, block bool) bool {
+func (r *Registry) applyTarget(st *store.Store, lg *slog.Logger, p *rebalPlan, t rebalTarget, block bool) bool {
 	e := t.e
 	if e.retired.Load() {
 		return true
@@ -415,7 +439,8 @@ func (r *Registry) applyTarget(st *store.Store, lg *log.Logger, p *rebalPlan, t 
 		}
 		if st != nil && !e.retired.Load() {
 			if err := st.AppendBudget(e.name, t.target); err != nil {
-				lg.Printf("persist budget for %q: %v", e.name, err)
+				lg.Error("persist budget failed",
+					"synopsis", e.name, "targetBytes", t.target, "gen", p.gen, "err", err)
 			}
 		}
 	}
@@ -452,7 +477,7 @@ func (r *Registry) RebalanceStats() api.RebalanceStats {
 
 // AttachStore makes subsequent mutations durable. Attach after Restore-ing
 // recovered synopses so recovery itself is not re-persisted.
-func (r *Registry) AttachStore(st *store.Store, lg *log.Logger) {
+func (r *Registry) AttachStore(st *store.Store, lg *slog.Logger) {
 	r.mu.Lock()
 	r.st = st
 	if lg != nil {
@@ -610,6 +635,7 @@ func (r *Registry) newEntry(name string, syn *xseed.Synopsis, source string) *En
 		syn:     syn,
 		acc:     &metrics.Online{},
 	}
+	e.stages, e.qerr = r.obs.entry(name)
 	e.kernBytes.Store(int64(syn.KernelSizeBytes()))
 	return e
 }
@@ -647,6 +673,7 @@ func (r *Registry) Delete(name string) error {
 	if !ok {
 		return fmt.Errorf("synopsis %q %w", name, ErrNotFound)
 	}
+	r.obs.deleteEntry(name)
 	r.dispatch(p)
 	if st != nil {
 		if err := st.Remove(name); err != nil {
@@ -717,17 +744,29 @@ func (r *Registry) EstimateBatch(ctx context.Context, name string, queries []str
 	}
 	var order []*miss // misses in first-seen order
 	misses := make(map[string]*miss)
+	// The span accumulates each query's stage nanoseconds and flushes once
+	// per query; it is pooled and nil when instrumentation is disabled, so
+	// this loop allocates nothing for it and, disabled, reads no clocks.
+	sp := e.stages.Span()
+	defer sp.End()
 	for i, raw := range queries {
+		sp.Reset()
 		pl, ok := r.cache.GetPlan(planScope, raw, sn)
+		sp.Mark(obs.StageCacheProbe)
 		if !ok {
 			start := time.Now()
 			q, err := xseed.ParseQuery(raw)
 			if err != nil {
+				sp.Mark(obs.StageParse)
+				sp.Flush()
 				items[i] = api.EstimateItem{Query: raw, Error: api.WrapError(err, api.CodeBadRequest)}
 				continue
 			}
+			sp.Mark(obs.StageParse)
 			pl = sn.Compile(q)
+			sp.Mark(obs.StageCompile)
 			r.cache.PutPlan(planScope, raw, pl, time.Since(start).Nanoseconds())
+			sp.Mark(obs.StageCacheProbe)
 		}
 		// The cache key is the normalized (parsed, re-rendered) query, so
 		// spelling variants of one query share an entry. Streaming-mode
@@ -742,15 +781,20 @@ func (r *Registry) EstimateBatch(ctx context.Context, name string, queries []str
 		}
 		if m, ok := misses[key]; ok { // duplicate within the batch
 			m.indices = append(m.indices, i)
+			sp.Flush()
 			continue
 		}
 		if v, ok := r.cache.Get(scope, key); ok {
 			items[i].Estimate, items[i].Streamed, items[i].Cached = v.Est, v.Streamed, true
+			sp.Mark(obs.StageCacheProbe)
+			sp.Flush()
 			continue
 		}
+		sp.Mark(obs.StageCacheProbe)
 		m := &miss{plan: pl, key: key, indices: []int{i}}
 		misses[key] = m
 		order = append(order, m)
+		sp.Flush()
 	}
 	if len(order) == 0 {
 		return items, nil
@@ -774,6 +818,10 @@ func (r *Registry) EstimateBatch(ctx context.Context, name string, queries []str
 			v.Est = m.plan.Run(sn)
 		}
 		v.CostNs = time.Since(start).Nanoseconds()
+		// The plan-run stage reuses the CostNs measurement the cache needs
+		// anyway — the stage breakdown adds zero clock reads here, and
+		// workers observe wait-free from any goroutine.
+		e.stages.Observe(obs.StagePlanRun, v.CostNs)
 		for _, i := range m.indices {
 			items[i].Estimate, items[i].Streamed = v.Est, v.Streamed
 		}
@@ -854,6 +902,7 @@ func (r *Registry) Feedback(name, query string, actual float64) error {
 		// like any estimate — and keep the cache warm.
 		est := e.syn.Snapshot().EstimateQuery(q)
 		e.acc.Add(est, actual)
+		e.qerr.Observe(qerrValue(est, actual))
 		e.feedbacks.Add(1)
 		return nil
 	}
@@ -876,6 +925,7 @@ func (r *Registry) Feedback(name, query string, actual float64) error {
 	}
 	e.mu.Unlock()
 	e.acc.Add(est, actual)
+	e.qerr.Observe(qerrValue(est, actual))
 	e.feedbacks.Add(1)
 	if persistErr != nil {
 		return fmt.Errorf("feedback applied but not persisted: %w", persistErr)
@@ -957,6 +1007,12 @@ func (e *Entry) Info() api.SynopsisInfo {
 			NRMSE:      acc.NRMSE,
 			R2:         acc.R2,
 			MeanActual: acc.MeanActual,
+			// Quantiles read the same online histogram /metrics exposes as
+			// xseed_qerror{synopsis}, so the two views agree by construction
+			// (zero with instrumentation disabled or before any feedback).
+			QErrorP50: e.qerr.Quantile(0.50),
+			QErrorP90: e.qerr.Quantile(0.90),
+			QErrorP99: e.qerr.Quantile(0.99),
 		},
 	}
 }

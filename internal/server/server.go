@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -16,6 +17,8 @@ import (
 
 	"xseed"
 	"xseed/api"
+	"xseed/internal/logx"
+	"xseed/internal/obs"
 	"xseed/internal/store"
 )
 
@@ -44,19 +47,40 @@ type Config struct {
 	StoreCompactInterval time.Duration
 	StoreFsync           bool
 
+	// PprofAddr, when non-empty, serves net/http/pprof on a second,
+	// admin-only listener (e.g. "localhost:6060") — never on the public
+	// mux, so reaching the API does not grant heap dumps and CPU profiles.
+	PprofAddr string
+
+	// Logger is the server's structured logger. Nil falls back to Log
+	// (bridged), then to a text slog logger on stderr.
+	Logger *slog.Logger
+
+	// Log is the legacy logger field, kept working for existing callers
+	// and tests: when Logger is nil, records are rendered as
+	// "msg key=value ..." lines through it.
 	Log *log.Logger
+
+	// Metrics receives every metric family the server and its registry,
+	// cache, and store register, and backs GET /metrics. Nil means a fresh
+	// obs.NewRegistry (metrics on); pass obs.Disabled to switch
+	// instrumentation off (benchmark baselines).
+	Metrics *obs.Registry
 }
 
 // Server is the xseedd HTTP server: a registry plus its JSON API. Its wire
 // contract — request/response/error shapes and the /v1 route table — is
 // the public xseed/api package; handlers marshal only api types.
 type Server struct {
-	reg     *Registry
-	http    *http.Server
-	dataDir string
-	st      *store.Store // nil when not persisting
-	compact time.Duration
-	log     *log.Logger
+	reg       *Registry
+	http      *http.Server
+	dataDir   string
+	st        *store.Store // nil when not persisting
+	compact   time.Duration
+	log       *slog.Logger
+	om        *obs.Registry
+	httpM     *httpMetrics
+	pprofAddr string
 }
 
 // New builds a server around a fresh registry. With cfg.StoreDir set it
@@ -66,20 +90,33 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Addr == "" {
 		cfg.Addr = ":8080"
 	}
-	if cfg.Log == nil {
-		cfg.Log = log.New(os.Stderr, "xseedd: ", log.LstdFlags)
+	logger := cfg.Logger
+	if logger == nil {
+		if cfg.Log != nil {
+			logger = logx.Bridge(cfg.Log)
+		} else {
+			logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+		}
+	}
+	om := cfg.Metrics
+	if om == nil {
+		om = obs.NewRegistry()
 	}
 	s := &Server{
-		reg:     NewRegistry(cfg.CacheCapacity, cfg.AggregateBudgetBytes),
-		dataDir: cfg.DataDir,
-		compact: cfg.StoreCompactInterval,
-		log:     cfg.Log,
+		reg:       NewRegistryObs(cfg.CacheCapacity, cfg.AggregateBudgetBytes, om),
+		dataDir:   cfg.DataDir,
+		compact:   cfg.StoreCompactInterval,
+		log:       logger,
+		om:        om,
+		httpM:     newHTTPMetrics(om),
+		pprofAddr: cfg.PprofAddr,
 	}
 	if cfg.StoreDir != "" {
 		st, err := store.Open(cfg.StoreDir, store.Options{
 			CompactRatio: cfg.StoreCompactRatio,
 			Fsync:        cfg.StoreFsync,
-			Log:          cfg.Log,
+			Log:          logger,
+			Metrics:      om,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("open store %s: %w", cfg.StoreDir, err)
@@ -94,9 +131,9 @@ func New(cfg Config) (*Server, error) {
 				st.Close()
 				return nil, fmt.Errorf("restore %q: %w", l.Name, err)
 			}
-			cfg.Log.Printf("restored synopsis %q (%s, %d replayed deltas)", l.Name, l.Source, l.Replay)
+			logger.Info("restored synopsis", "synopsis", l.Name, "source", l.Source, "replayedDeltas", l.Replay)
 		}
-		s.reg.AttachStore(st, cfg.Log)
+		s.reg.AttachStore(st, logger)
 		s.st = st
 	}
 	// Start the async budget rebalancer only after recovery: Restore's
@@ -125,8 +162,11 @@ func (s *Server) Registry() *Registry { return s.reg }
 
 // Handler mounts the api.Routes table: every route under its /v1 path,
 // plus the deprecated unversioned alias (same handler wrapped to emit the
-// Deprecation header) where the table declares one. It is independent of
-// any listener — this is what httptest mounts in the end-to-end tests.
+// Deprecation header) where the table declares one. Every mounted route is
+// wrapped with its per-route metrics — children resolved here, once — and
+// the whole mux sits behind the request-ID/access-log middleware. It is
+// independent of any listener — this is what httptest mounts in the
+// end-to-end tests.
 func (s *Server) Handler() http.Handler {
 	handlers := map[string]http.HandlerFunc{
 		"GET /v1/healthz":                   s.handleHealthz,
@@ -142,6 +182,7 @@ func (s *Server) Handler() http.Handler {
 		"PUT /v1/synopses/{name}/snapshot":  s.handleSnapshotPut,
 		"POST /v1/admin/budget":             s.handleBudget,
 		"POST /v1/admin/compact":            s.handleCompact,
+		"GET /metrics":                      s.handleMetrics,
 	}
 	mux := http.NewServeMux()
 	mounted := 0
@@ -150,8 +191,11 @@ func (s *Server) Handler() http.Handler {
 		if !ok {
 			panic(fmt.Sprintf("server: api.Routes declares %s %s but no handler is bound", rt.Method, rt.Path))
 		}
+		h = instrument(s.httpM.route(rt.Method+" "+rt.Path), h)
 		mux.HandleFunc(rt.Method+" "+rt.Path, h)
 		if rt.Legacy != "" {
+			// The alias shares the canonical route's metric series: same
+			// handler, same cost — only the Deprecation header differs.
 			mux.HandleFunc(rt.Method+" "+rt.Legacy, deprecated(h))
 		}
 		mounted++
@@ -159,7 +203,7 @@ func (s *Server) Handler() http.Handler {
 	if mounted != len(handlers) {
 		panic("server: handler bound to a route api.Routes does not declare")
 	}
-	return mux
+	return s.withRequestID(mux)
 }
 
 // deprecated wraps a /v1 handler for its legacy unversioned mount: the
@@ -185,9 +229,29 @@ func (s *Server) Run(ctx context.Context) error {
 		s.Close()
 		return fmt.Errorf("listen: %w", err)
 	}
-	s.log.Printf("listening on %s", ln.Addr())
+	s.log.Info("listening", "addr", ln.Addr().String())
 	if s.st != nil {
 		go s.st.StartCompactor(ctx, s.compact)
+	}
+	// The pprof listener is best-effort operator surface: it must never take
+	// the serving daemon down with it, so bind failures are logged, not
+	// returned, and Serve errors are swallowed after shutdown.
+	var pprofSrv *http.Server
+	if s.pprofAddr != "" {
+		pln, perr := net.Listen("tcp", s.pprofAddr)
+		if perr != nil {
+			s.log.Error("pprof listen failed", "addr", s.pprofAddr, "err", perr)
+		} else {
+			pmux := http.NewServeMux()
+			mountPprof(pmux)
+			pprofSrv = &http.Server{Handler: pmux}
+			s.log.Info("pprof listening", "addr", pln.Addr().String())
+			go func() {
+				if err := pprofSrv.Serve(pln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+					s.log.Error("pprof serve failed", "err", err)
+				}
+			}()
+		}
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- s.http.Serve(ln) }()
@@ -202,9 +266,12 @@ func (s *Server) Run(ctx context.Context) error {
 		return serveErr(err)
 	case <-ctx.Done():
 	}
-	s.log.Printf("shutting down")
+	s.log.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
+	if pprofSrv != nil {
+		pprofSrv.Shutdown(shutdownCtx)
+	}
 	if err := s.http.Shutdown(shutdownCtx); err != nil {
 		return serveErr(err)
 	}
@@ -224,8 +291,28 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // envelope: registry sentinels become not_found/conflict, XPath parse
 // failures become parse_error with their offset in the detail, context
 // cancellation becomes canceled, and anything else is a bad_request.
-func writeErr(w http.ResponseWriter, err error) {
-	api.WriteError(w, toAPIError(err))
+func writeErr(w http.ResponseWriter, r *http.Request, err error) {
+	writeAPIError(w, r, toAPIError(err))
+}
+
+// writeAPIError writes the error envelope; on 5xx it attaches the request
+// ID to the error detail so the client-reported failure matches the
+// server's access-log line in one grep.
+func writeAPIError(w http.ResponseWriter, r *http.Request, e *api.Error) {
+	if r != nil && e.HTTPStatus() >= 500 && len(e.Detail) == 0 {
+		if id := requestID(r.Context()); id != "" {
+			e = &api.Error{Code: e.Code, Msg: e.Msg,
+				Detail: json.RawMessage(fmt.Sprintf(`{"requestId":%q}`, id))}
+		}
+	}
+	api.WriteError(w, e)
+}
+
+// internalErr logs and serves a 5xx with the request ID attached.
+func (s *Server) internalErr(w http.ResponseWriter, r *http.Request, err error) {
+	s.log.Error("internal error",
+		"path", r.URL.Path, "requestId", requestID(r.Context()), "err", err)
+	writeAPIError(w, r, api.WrapError(err, api.CodeInternal))
 }
 
 // toAPIError is the single server-side mapping from Go errors onto the
@@ -246,7 +333,7 @@ func readBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(io.LimitReader(r.Body, 64<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeErr(w, fmt.Errorf("decode request: %w", err))
+		writeErr(w, r, fmt.Errorf("decode request: %w", err))
 		return false
 	}
 	return true
@@ -356,24 +443,24 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Name == "" {
-		writeErr(w, fmt.Errorf("missing name"))
+		writeErr(w, r, fmt.Errorf("missing name"))
 		return
 	}
 	// Racy early uniqueness check: building a synopsis can cost seconds of
 	// CPU, so reject an already-taken name before paying for it. Add below
 	// remains the authoritative check.
 	if _, err := s.reg.Get(req.Name); err == nil {
-		writeErr(w, fmt.Errorf("synopsis %q %w", req.Name, ErrExists))
+		writeErr(w, r, fmt.Errorf("synopsis %q %w", req.Name, ErrExists))
 		return
 	}
 	syn, source, err := buildSynopsis(req, s.dataDir)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	e, err := s.reg.Add(req.Name, syn, source)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, e.Info())
@@ -386,7 +473,7 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	e, err := s.reg.Get(r.PathValue("name"))
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, e.Info())
@@ -394,7 +481,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if err := s.reg.Delete(r.PathValue("name")); err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -410,12 +497,12 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		queries = append([]string{req.Query}, queries...)
 	}
 	if len(queries) == 0 {
-		writeErr(w, fmt.Errorf("missing query or queries"))
+		writeErr(w, r, fmt.Errorf("missing query or queries"))
 		return
 	}
 	items, err := s.reg.EstimateBatch(r.Context(), r.PathValue("name"), queries, req.Streaming)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, api.EstimateResponse{Results: items})
@@ -427,11 +514,11 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Query == "" {
-		writeErr(w, fmt.Errorf("missing query"))
+		writeErr(w, r, fmt.Errorf("missing query"))
 		return
 	}
 	if err := s.reg.Feedback(r.PathValue("name"), req.Query, req.Actual); err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -450,11 +537,11 @@ func (s *Server) handleSubtree(w http.ResponseWriter, r *http.Request) {
 	case "remove":
 		err = s.reg.RemoveSubtree(name, req.Context, req.XML)
 	default:
-		writeErr(w, fmt.Errorf("op must be \"add\" or \"remove\""))
+		writeErr(w, r, fmt.Errorf("op must be \"add\" or \"remove\""))
 		return
 	}
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -463,7 +550,7 @@ func (s *Server) handleSubtree(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
 	e, err := s.reg.Get(r.PathValue("name"))
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	// Serialize into memory under the read lock, write to the client after
@@ -475,24 +562,33 @@ func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
 	_, err = e.syn.WriteTo(&buf)
 	e.mu.RUnlock()
 	if err != nil {
-		api.WriteError(w, api.WrapError(err, api.CodeInternal))
+		s.internalErr(w, r, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	if _, err := w.Write(buf.Bytes()); err != nil {
-		s.log.Printf("snapshot %s: %v", e.name, err)
+		// The body write failing mid-stream cannot change the status line, so
+		// the only record is the log: name the synopsis, the generation the
+		// bytes came from, and the error's taxonomy code.
+		s.log.Error("snapshot download failed",
+			"synopsis", e.name,
+			"generation", e.ver.Load(),
+			"bytes", buf.Len(),
+			"code", api.WrapError(err, api.CodeInternal).Code,
+			"requestId", requestID(r.Context()),
+			"err", err)
 	}
 }
 
 func (s *Server) handleSnapshotPut(w http.ResponseWriter, r *http.Request) {
 	syn, err := xseed.ReadSynopsis(io.LimitReader(r.Body, 256<<20))
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	e, err := s.reg.Put(r.PathValue("name"), syn, "snapshot upload")
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, e.Info())
@@ -500,6 +596,13 @@ func (s *Server) handleSnapshotPut(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.reg.Stats())
+}
+
+// handleMetrics serves the Prometheus text exposition. Every family reads
+// the same atomics /v1/stats serves, so the two views cannot disagree.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.om.WritePrometheus(w)
 }
 
 // handleBudget re-targets the aggregate budget. The response carries the
@@ -511,7 +614,7 @@ func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Bytes < 0 {
-		writeErr(w, fmt.Errorf("bytes must be >= 0"))
+		writeErr(w, r, fmt.Errorf("bytes must be >= 0"))
 		return
 	}
 	s.reg.SetAggregateBudget(req.Bytes)
@@ -523,13 +626,13 @@ func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
 // the parameter, every one with a non-empty log.
 func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	if s.st == nil {
-		api.WriteError(w, api.Errorf(api.CodeConflict, "server has no store (start with -store-dir)"))
+		writeAPIError(w, r, api.Errorf(api.CodeConflict, "server has no store (start with -store-dir)"))
 		return
 	}
 	var names []string
 	if name := r.URL.Query().Get("synopsis"); name != "" {
 		if _, err := s.reg.Get(name); err != nil {
-			writeErr(w, err)
+			writeErr(w, r, err)
 			return
 		}
 		names = []string{name}
@@ -542,7 +645,7 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	for _, name := range names {
 		folded, err := s.st.CompactNow(name)
 		if err != nil {
-			api.WriteError(w, api.WrapError(err, api.CodeInternal))
+			s.internalErr(w, r, err)
 			return
 		}
 		if folded {

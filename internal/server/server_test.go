@@ -15,11 +15,12 @@ import (
 
 	"xseed"
 	"xseed/internal/fixtures"
+	"xseed/internal/logx"
 )
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
-	s, err := New(Config{CacheCapacity: 1024})
+	s, err := New(Config{CacheCapacity: 1024, Logger: logx.Discard()})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -32,10 +32,19 @@ import (
 // reporting whether a fold actually happened: an empty delta log is skipped
 // (false, nil) rather than folded.
 func (st *Store) CompactNow(name string) (bool, error) {
+	folded, err := st.compactNow(name)
+	if err != nil {
+		st.m.compactErrs.Inc()
+	}
+	return folded, err
+}
+
+func (st *Store) compactNow(name string) (bool, error) {
 	s, err := st.syn(name)
 	if err != nil {
 		return false, err
 	}
+	start := time.Now()
 
 	// genMu keeps SaveBase/Remove (and another CompactNow) from changing
 	// the generation while this one is in flight; appends proceed under mu.
@@ -123,8 +132,12 @@ func (st *Store) CompactNow(name string) (bool, error) {
 	}
 	os.Remove(filepath.Join(s.dir, baseFile(seq)))
 	os.Remove(filepath.Join(s.dir, deltaFile(seq)))
-	st.opts.Log.Printf("store: compacted %s: folded %d records (%d bytes) into base seq %d (%d bytes), carried %d bytes",
-		name, res.Records, limit, newSeq, baseN, suffix)
+	st.m.compactions.Inc()
+	st.m.foldedBytes.Add(uint64(limit))
+	st.m.compactNs.Observe(time.Since(start).Nanoseconds())
+	st.opts.Log.Info("compacted delta log",
+		"synopsis", name, "records", res.Records, "foldedBytes", limit,
+		"seq", newSeq, "baseBytes", baseN, "carriedBytes", suffix)
 	return true, nil
 }
 
@@ -176,7 +189,14 @@ func (st *Store) maybeCompact() {
 			continue
 		}
 		if _, err := st.CompactNow(name); err != nil {
-			st.opts.Log.Printf("%v", err)
+			// Logged with the synopsis, its live generation, and a typed
+			// code — the next tick retries, but the operator can tell a
+			// full disk from a vanished file without reading message text.
+			s.mu.Lock()
+			seq := s.seq
+			s.mu.Unlock()
+			st.opts.Log.Error("background compaction failed",
+				"synopsis", name, "generation", seq, "code", errCode(err), "err", err)
 		}
 	}
 }

@@ -1,0 +1,86 @@
+package store
+
+import (
+	"errors"
+	"io/fs"
+	"syscall"
+
+	"xseed/internal/obs"
+)
+
+// metrics is the store's observability surface: wait-free counters and
+// histograms resolved once at Open, charged from the append/save/compact
+// paths. With Options.Metrics unset they are obs.Disabled no-ops, so library
+// users and tests pay nothing.
+type metrics struct {
+	appends     *obs.Counter   // xseed_store_appends_total
+	appendBytes *obs.Counter   // xseed_store_append_bytes_total
+	appendNs    *obs.Histogram // xseed_store_append_seconds
+	fsyncs      *obs.Counter   // xseed_store_fsyncs_total
+	fsyncNs     *obs.Histogram // xseed_store_fsync_seconds
+	baseSaves   *obs.Counter   // xseed_store_base_saves_total
+	baseBytes   *obs.Counter   // xseed_store_base_save_bytes_total
+	baseNs      *obs.Histogram // xseed_store_base_save_seconds
+	compactions *obs.Counter   // xseed_store_compactions_total
+	compactNs   *obs.Histogram // xseed_store_compact_seconds
+	foldedBytes *obs.Counter   // xseed_store_compact_folded_bytes_total
+
+	// save errors by path: op = append | base | compact. Children are
+	// pre-resolved so error paths never take the vec's lock.
+	appendErrs  *obs.Counter
+	baseErrs    *obs.Counter
+	compactErrs *obs.Counter
+}
+
+func newMetrics(om *obs.Registry) *metrics {
+	seconds := obs.HistogramOpts{Scale: 1e9}
+	errs := om.CounterVec("xseed_store_save_errors_total",
+		"Persistence failures by path (append = delta-log write or fsync, base = full snapshot save, compact = log fold).",
+		"op")
+	return &metrics{
+		appends: om.Counter("xseed_store_appends_total",
+			"Delta-log records appended."),
+		appendBytes: om.Counter("xseed_store_append_bytes_total",
+			"Delta-log bytes appended."),
+		appendNs: om.Histogram("xseed_store_append_seconds",
+			"Delta-log append latency (write plus optional fsync).", seconds),
+		fsyncs: om.Counter("xseed_store_fsyncs_total",
+			"Delta-log fsyncs (only with -fsync)."),
+		fsyncNs: om.Histogram("xseed_store_fsync_seconds",
+			"Delta-log fsync latency.", seconds),
+		baseSaves: om.Counter("xseed_store_base_saves_total",
+			"Full base snapshots written (register, snapshot upload, compaction)."),
+		baseBytes: om.Counter("xseed_store_base_save_bytes_total",
+			"Bytes written into base snapshots."),
+		baseNs: om.Histogram("xseed_store_base_save_seconds",
+			"Base snapshot save latency (serialize + fsync + rename).", seconds),
+		compactions: om.Counter("xseed_store_compactions_total",
+			"Delta logs folded into fresh base snapshots."),
+		compactNs: om.Histogram("xseed_store_compact_seconds",
+			"Compaction latency (rebuild, write, manifest flip).", seconds),
+		foldedBytes: om.Counter("xseed_store_compact_folded_bytes_total",
+			"Delta-log bytes folded away by compaction."),
+		appendErrs:  errs.With("append"),
+		baseErrs:    errs.With("base"),
+		compactErrs: errs.With("compact"),
+	}
+}
+
+// errCode classifies a persistence error for structured logs: a stable,
+// grep-able token instead of platform-specific message text.
+func errCode(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, syscall.ENOSPC):
+		return "no_space"
+	case errors.Is(err, fs.ErrPermission):
+		return "permission"
+	case errors.Is(err, fs.ErrNotExist):
+		return "not_found"
+	case errors.Is(err, fs.ErrClosed):
+		return "closed"
+	default:
+		return "io"
+	}
+}

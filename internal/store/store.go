@@ -20,14 +20,15 @@ package store
 
 import (
 	"fmt"
-	"io"
-	"log"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
 	"time"
 
 	"xseed"
+	"xseed/internal/logx"
+	"xseed/internal/obs"
 )
 
 // Options tunes a store.
@@ -48,7 +49,12 @@ type Options struct {
 	// fsync, and feedback-heavy traffic cannot afford one per mutation.
 	Fsync bool
 
-	Log *log.Logger
+	// Log receives recovery and compaction events. Nil discards them.
+	Log *slog.Logger
+
+	// Metrics receives store counters and latency histograms (see
+	// metrics.go). Nil means obs.Disabled: every instrument is a no-op.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -59,7 +65,10 @@ func (o Options) withDefaults() Options {
 		o.CompactMinBytes = 4096
 	}
 	if o.Log == nil {
-		o.Log = log.New(io.Discard, "", 0)
+		o.Log = logx.Discard()
+	}
+	if o.Metrics == nil {
+		o.Metrics = obs.Disabled
 	}
 	return o
 }
@@ -68,6 +77,8 @@ func (o Options) withDefaults() Options {
 type Store struct {
 	dir  string
 	opts Options
+
+	m *metrics
 
 	mu   sync.Mutex // guards syns map membership
 	syns map[string]*synStore
@@ -115,7 +126,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	} else if err != nil {
 		return nil, err
 	}
-	st := &Store{dir: dir, opts: opts, man: man, syns: make(map[string]*synStore)}
+	st := &Store{dir: dir, opts: opts, man: man, syns: make(map[string]*synStore), m: newMetrics(opts.Metrics)}
 	for name, me := range man.Synopses {
 		s := &synStore{name: name, dir: filepath.Join(dir, "synopses", me.Dir), seq: me.Seq}
 		cleanStale(s.dir, me.Seq, opts.Log)
@@ -139,7 +150,7 @@ func Open(dir string, opts Options) (*Store, error) {
 // stops at the first malformed record — so every later mutation would be
 // silently lost at the restart after next. Truncating also means a live
 // store's log is never torn, so compaction never has to refuse one.
-func (s *synStore) truncateTorn(lg *log.Logger) error {
+func (s *synStore) truncateTorn(lg *slog.Logger) error {
 	path := filepath.Join(s.dir, deltaFile(s.seq))
 	res, err := scanLogFile(path, -1, nil)
 	if err != nil {
@@ -149,8 +160,9 @@ func (s *synStore) truncateTorn(lg *log.Logger) error {
 	if res.Trailing == 0 {
 		return nil
 	}
-	lg.Printf("store: %s: truncating torn delta log tail (%s): dropping %d bytes after %d trusted records",
-		s.name, res.TornWhy, res.Trailing, res.Records)
+	lg.Warn("truncating torn delta log tail",
+		"synopsis", s.name, "why", res.TornWhy,
+		"droppedBytes", res.Trailing, "trustedRecords", res.Records)
 	return os.Truncate(path, res.Good)
 }
 
@@ -161,7 +173,7 @@ func (st *Store) Dir() string { return st.dir }
 // than the live one — debris from a crash mid-compaction. The manifest flip
 // is the commit point, so anything off-sequence is either an abandoned new
 // generation (crash before the flip) or a superseded old one (crash after).
-func cleanStale(dir string, liveSeq uint64, lg *log.Logger) {
+func cleanStale(dir string, liveSeq uint64, lg *slog.Logger) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return
@@ -172,7 +184,7 @@ func cleanStale(dir string, liveSeq uint64, lg *log.Logger) {
 		if keep {
 			continue
 		}
-		lg.Printf("store: removing stale %s", filepath.Join(dir, name))
+		lg.Info("removing stale store file", "path", filepath.Join(dir, name))
 		os.Remove(filepath.Join(dir, name))
 	}
 }
@@ -262,7 +274,9 @@ func (st *Store) loadOne(name string) (Loaded, error) {
 	s.deltaCount = int64(res.Records)
 	s.mu.Unlock()
 	if res.Torn {
-		st.opts.Log.Printf("store: %s: delta log torn tail (%s); trusting %d bytes / %d records", name, res.TornWhy, res.Good, res.Records)
+		st.opts.Log.Warn("delta log torn tail",
+			"synopsis", name, "why", res.TornWhy,
+			"trustedBytes", res.Good, "trustedRecords", res.Records)
 	}
 	return Loaded{
 		Name:    name,
@@ -330,16 +344,20 @@ func (st *Store) SaveBase(name string, syn *xseed.Synopsis, source string, creat
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		st.m.baseErrs.Inc()
 		return err
 	}
+	start := time.Now()
 	newSeq := s.seq + 1
 	n, err := writeBase(s.dir, newSeq, syn)
 	if err != nil {
+		st.m.baseErrs.Inc()
 		return err
 	}
 	// Fresh empty delta log for the new generation.
 	lf, err := os.OpenFile(filepath.Join(s.dir, deltaFile(newSeq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_TRUNC, 0o644)
 	if err != nil {
+		st.m.baseErrs.Inc()
 		return err
 	}
 	if err := st.flipManifest(name, &ManifestEntry{
@@ -351,8 +369,12 @@ func (st *Store) SaveBase(name string, syn *xseed.Synopsis, source string, creat
 		Ver:     ver,
 	}); err != nil {
 		lf.Close()
+		st.m.baseErrs.Inc()
 		return err
 	}
+	st.m.baseSaves.Inc()
+	st.m.baseBytes.Add(uint64(n))
+	st.m.baseNs.Observe(time.Since(start).Nanoseconds())
 	oldSeq := s.seq
 	if s.log != nil {
 		s.log.Close()
@@ -438,16 +460,26 @@ func (st *Store) append(name string, rec deltaRecord) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.log == nil {
+		st.m.appendErrs.Inc()
 		return fmt.Errorf("store: synopsis %q has no open log", name)
 	}
+	start := time.Now()
 	if _, err := s.log.Write(buf); err != nil {
+		st.m.appendErrs.Inc()
 		return fmt.Errorf("store: append %s delta for %q: %w", rec.Op, name, err)
 	}
 	if st.opts.Fsync {
+		fstart := time.Now()
 		if err := s.log.Sync(); err != nil {
+			st.m.appendErrs.Inc()
 			return err
 		}
+		st.m.fsyncs.Inc()
+		st.m.fsyncNs.Observe(time.Since(fstart).Nanoseconds())
 	}
+	st.m.appends.Inc()
+	st.m.appendBytes.Add(uint64(len(buf)))
+	st.m.appendNs.Observe(time.Since(start).Nanoseconds())
 	s.logSize += int64(len(buf))
 	s.deltaCount++
 	return nil

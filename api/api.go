@@ -3,8 +3,9 @@
 // marshals, shared verbatim by the server (xseed/internal/server) and the
 // Go SDK (xseed/client). It has no dependencies beyond the standard
 // library and the XPath parser's error type, so optimizer-embedded clients
-// — and future transports such as gRPC — can reuse it without pulling in
-// the synopsis machinery.
+// and additional transports can reuse it without pulling in the synopsis
+// machinery — the xtp binary protocol (docs/PROTOCOL.md) carries exactly
+// these types in binary frames.
 //
 // # Versioning
 //

@@ -1,0 +1,48 @@
+package api_test
+
+import (
+	"errors"
+	"fmt"
+
+	"xseed/api"
+)
+
+// Typed error handling is code-first: match on Code, never on message
+// text or HTTP status.
+func ExampleError() {
+	var err error = api.Errorf(api.CodeNotFound, "synopsis %q not found", "auction")
+
+	var apiErr *api.Error
+	if errors.As(err, &apiErr) {
+		fmt.Println(apiErr.Code == api.CodeNotFound)
+		fmt.Println(apiErr.HTTPStatus())
+	}
+	// Output:
+	// true
+	// 404
+}
+
+// A parse_error carries the failure position structurally; ParseDetail
+// recovers it after any number of transport hops.
+func ExampleError_ParseDetail() {
+	err := api.NewParseError("xpath: parse \"//a[\" at offset 4: empty predicate", 4, "[")
+
+	if d, ok := err.ParseDetail(); ok {
+		fmt.Printf("offset %d, token %q\n", d.Offset, d.Token)
+	}
+	// Output:
+	// offset 4, token "["
+}
+
+// WrapError turns any error into the typed envelope, passing through
+// errors that already carry a code.
+func ExampleWrapError() {
+	plain := errors.New("disk on fire")
+	typed := api.Errorf(api.CodeConflict, "synopsis exists")
+
+	fmt.Println(api.WrapError(plain, api.CodeInternal).Code)
+	fmt.Println(api.WrapError(typed, api.CodeInternal).Code)
+	// Output:
+	// internal
+	// conflict
+}

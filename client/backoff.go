@@ -1,0 +1,40 @@
+package client
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// defaultBackoffCap bounds a retry sleep regardless of attempt count: a
+// long retry budget must not grow into multi-second stalls per attempt.
+const defaultBackoffCap = 2 * time.Second
+
+// retryDelay computes the sleep before retry attempt n (n ≥ 1): linear
+// base·n, capped, then ±20% jitter. The jitter is the point — without it,
+// every client that failed at the same moment (a server restart, a network
+// blip) retries at the same moment too, and keeps doing so in lockstep on
+// every subsequent attempt; the herd arrives spread over a 40% window
+// instead. rnd returns a uniform [0,1) sample (rand.Float64 in production;
+// tests inject a deterministic source).
+func retryDelay(n int, base, cap time.Duration, rnd func() float64) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	if cap <= 0 {
+		cap = defaultBackoffCap
+	}
+	d := time.Duration(n) * base
+	if d > cap {
+		d = cap
+	}
+	d = time.Duration(float64(d) * (0.8 + 0.4*rnd()))
+	if d > cap {
+		d = cap
+	}
+	return d
+}
+
+// jitter is the production randomness source for retryDelay
+// (math/rand/v2's global generator is concurrency-safe and per-goroutine
+// sharded, so concurrent retry storms draw independent samples).
+func jitter() float64 { return rand.Float64() }

@@ -1,0 +1,81 @@
+package client
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+func TestRetryDelayBoundsAndCap(t *testing.T) {
+	const base = 100 * time.Millisecond
+	const cap = 2 * time.Second
+	for n := 1; n <= 50; n++ {
+		for _, r := range []float64{0, 0.25, 0.5, 0.75, 0.999999} {
+			d := retryDelay(n, base, cap, func() float64 { return r })
+			linear := time.Duration(n) * base
+			if linear > cap {
+				linear = cap
+			}
+			lo := time.Duration(float64(linear) * 0.8)
+			hi := time.Duration(float64(linear) * 1.2)
+			if hi > cap {
+				hi = cap
+			}
+			if d < lo || d > hi {
+				t.Fatalf("retryDelay(%d, r=%v) = %v, want in [%v, %v]", n, r, d, lo, hi)
+			}
+			if d > cap {
+				t.Fatalf("retryDelay(%d) = %v exceeds cap %v", n, d, cap)
+			}
+		}
+	}
+}
+
+func TestRetryDelayZeroBase(t *testing.T) {
+	if d := retryDelay(3, 0, time.Second, func() float64 { return 0.5 }); d != 0 {
+		t.Fatalf("zero base delay = %v, want 0", d)
+	}
+}
+
+func TestRetryDelayDefaultCap(t *testing.T) {
+	// cap <= 0 falls back to defaultBackoffCap rather than growing without
+	// bound with the attempt count.
+	d := retryDelay(1000, time.Second, 0, func() float64 { return 1 - 1e-9 })
+	if d > defaultBackoffCap {
+		t.Fatalf("uncapped delay = %v, want <= %v", d, defaultBackoffCap)
+	}
+}
+
+// TestRetryDelayDesynchronizesStorms is the regression the jitter exists
+// for: two clients that fail at the same instant (same attempt schedule,
+// independent randomness) must not keep retrying in lockstep. Without
+// jitter every pairwise delay would be identical; with ±20% jitter the
+// schedules separate almost surely.
+func TestRetryDelayDesynchronizesStorms(t *testing.T) {
+	rndA := rand.New(rand.NewPCG(1, 2))
+	rndB := rand.New(rand.NewPCG(3, 4))
+	const attempts = 20
+	same := 0
+	var cumA, cumB time.Duration
+	for n := 1; n <= attempts; n++ {
+		dA := retryDelay(n, 50*time.Millisecond, 2*time.Second, rndA.Float64)
+		dB := retryDelay(n, 50*time.Millisecond, 2*time.Second, rndB.Float64)
+		if dA == dB {
+			same++
+		}
+		cumA += dA
+		cumB += dB
+	}
+	if same == attempts {
+		t.Fatal("two independent retry storms produced identical schedules — jitter is not being applied")
+	}
+	// The cumulative wake-up times must drift apart, not just individual
+	// sleeps: lockstep herds re-form if totals converge.
+	drift := cumA - cumB
+	if drift < 0 {
+		drift = -drift
+	}
+	if drift == 0 {
+		t.Fatal("cumulative retry schedules are identical")
+	}
+}

@@ -16,6 +16,13 @@
 // HTTP status — is the contract; a query that fails to parse reports the
 // byte offset structurally via api.Error.ParseDetail, identically to the
 // embedded backend.
+//
+// For high-frequency estimate traffic the package also speaks xtp, the
+// binary protocol an xseedd serves on its -xtp listener: DialXTP returns
+// an XTP backend with the same Estimator surface and error taxonomy over
+// pipelined length-prefixed frames on one multiplexed connection. See the
+// XTP type and docs/PROTOCOL.md. A conformance suite holds the two
+// transports to identical observable behavior.
 package client
 
 import (
@@ -40,8 +47,9 @@ type Client struct {
 	hc       *http.Client
 	synopsis string // bound synopsis for the Estimator methods ("" = unbound)
 
-	retries int           // extra attempts for idempotent calls
-	backoff time.Duration // base sleep between attempts (linear)
+	retries    int           // extra attempts for idempotent calls
+	backoff    time.Duration // base sleep between attempts (linear, jittered)
+	backoffCap time.Duration // upper bound on any one sleep
 }
 
 // Option configures a Client.
@@ -55,11 +63,19 @@ func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc
 // WithRetry makes idempotent calls (every GET — including snapshot
 // downloads — and estimates, which are read-only by construction) retry
 // up to n extra times on transport errors and 502/503/504 responses,
-// sleeping backoff, 2*backoff, ... between attempts (context-aware).
-// Non-idempotent calls (create, feedback, subtree, snapshot upload,
-// admin) never retry.
+// sleeping backoff, 2*backoff, ... between attempts (context-aware), each
+// sleep jittered ±20% and capped (2s default; WithRetryCap changes it) so
+// clients that failed together do not retry in lockstep. Non-idempotent
+// calls (create, feedback, subtree, snapshot upload, admin) never retry.
 func WithRetry(n int, backoff time.Duration) Option {
 	return func(c *Client) { c.retries, c.backoff = n, backoff }
+}
+
+// WithRetryCap bounds any single retry sleep (default 2s): with a long
+// retry budget the linear ramp stops growing at the cap instead of
+// stretching into multi-second stalls per attempt.
+func WithRetryCap(cap time.Duration) Option {
+	return func(c *Client) { c.backoffCap = cap }
 }
 
 // WithSynopsis binds the client to a synopsis name, enabling the
@@ -121,7 +137,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, idemp
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
-			case <-time.After(time.Duration(attempt) * c.backoff):
+			case <-time.After(retryDelay(attempt, c.backoff, c.backoffCap, jitter)):
 			}
 		}
 		var rd io.Reader
@@ -247,7 +263,7 @@ func (c *Client) SnapshotGet(ctx context.Context, name string) (io.ReadCloser, e
 			select {
 			case <-ctx.Done():
 				return nil, ctx.Err()
-			case <-time.After(time.Duration(attempt) * c.backoff):
+			case <-time.After(retryDelay(attempt, c.backoff, c.backoffCap, jitter)):
 			}
 		}
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+synPath(name, "/snapshot"), nil)
@@ -336,11 +352,18 @@ func (c *Client) EstimateBatch(ctx context.Context, queries []string) ([]xseed.R
 	if err != nil {
 		return nil, err
 	}
-	if len(resp.Results) != len(queries) {
-		return nil, fmt.Errorf("client: server returned %d results for %d queries", len(resp.Results), len(queries))
+	return resultsFromItems(resp.Results, len(queries))
+}
+
+// resultsFromItems converts wire estimate items into Estimator results,
+// enforcing the one-item-per-query contract. Shared by the HTTP and XTP
+// backends, so the two transports cannot drift in result shape.
+func resultsFromItems(items []api.EstimateItem, nq int) ([]xseed.Result, error) {
+	if len(items) != nq {
+		return nil, fmt.Errorf("client: server returned %d results for %d queries", len(items), nq)
 	}
-	out := make([]xseed.Result, len(resp.Results))
-	for i, it := range resp.Results {
+	out := make([]xseed.Result, len(items))
+	for i, it := range items {
 		out[i] = xseed.Result{
 			Query:    it.Query,
 			Estimate: it.Estimate,

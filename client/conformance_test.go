@@ -1,0 +1,186 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"xseed"
+	"xseed/api"
+	"xseed/internal/fixtures"
+	"xseed/internal/server"
+	"xseed/internal/xpath"
+)
+
+// transportTarget is one SDK backend under conformance test: a way to bind
+// any synopsis name as an xseed.Estimator, plus a barrier that surfaces
+// deferred feedback errors (a no-op for transports whose Feedback is
+// synchronous).
+type transportTarget struct {
+	bind  func(name string) xseed.Estimator
+	flush func(ctx context.Context) error
+}
+
+// transports mounts one xseedd-equivalent backend per wire protocol, each
+// preloaded with "fig2". Every conformance test runs against all of them:
+// the HTTP JSON API and the xtp binary protocol must be indistinguishable
+// through the Estimator interface.
+func transports(t *testing.T) map[string]transportTarget {
+	t.Helper()
+
+	// HTTP: a full server.Server behind httptest.
+	s, err := server.New(server.Config{CacheCapacity: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { s.Close() })
+	hc, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hc.Create(context.Background(), api.CreateRequest{Name: "fig2", XML: fixtures.PaperFigure2}); err != nil {
+		t.Fatal(err)
+	}
+
+	// xtp: the binary listener over an identically-loaded registry.
+	_, addr := newXTPBackend(t, nil)
+	xc, err := DialXTP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { xc.Close() })
+
+	return map[string]transportTarget{
+		"http": {
+			bind:  func(name string) xseed.Estimator { return hc.Synopsis(name) },
+			flush: func(context.Context) error { return nil },
+		},
+		"xtp": {
+			bind:  func(name string) xseed.Estimator { return xc.Synopsis(name) },
+			flush: xc.Flush,
+		},
+	}
+}
+
+// TestConformanceTypedErrorParity: a whole-call failure (unknown synopsis)
+// is the same typed *api.Error on every transport.
+func TestConformanceTypedErrorParity(t *testing.T) {
+	for name, tr := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			_, err := tr.bind("nope").EstimateBatch(context.Background(), []string{"/a"})
+			var apiErr *api.Error
+			if !errors.As(err, &apiErr) || apiErr.Code != api.CodeNotFound {
+				t.Fatalf("unknown-synopsis error = %v, want typed %s", err, api.CodeNotFound)
+			}
+		})
+	}
+}
+
+// TestConformanceParseOffsetSurvival: a bad query's byte offset and token
+// survive every transport encoding, byte-identical to the embedded parser.
+func TestConformanceParseOffsetSurvival(t *testing.T) {
+	const bogus = "/a/c[s]trailing garbage"
+	_, perr := xpath.Parse(bogus)
+	pe, ok := perr.(*xpath.ParseError)
+	if !ok {
+		t.Fatalf("fixture query parsed; want error, got %T", perr)
+	}
+
+	for name, tr := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			res, err := tr.bind("fig2").EstimateBatch(context.Background(), []string{bogus})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var apiErr *api.Error
+			if !errors.As(res[0].Err, &apiErr) || apiErr.Code != api.CodeParseError {
+				t.Fatalf("bad query error = %v", res[0].Err)
+			}
+			d, ok := apiErr.ParseDetail()
+			if !ok {
+				t.Fatalf("no parse detail on %+v", apiErr)
+			}
+			if d.Offset != pe.Pos {
+				t.Errorf("offset over %s = %d, embedded parser reports %d", name, d.Offset, pe.Pos)
+			}
+			if d.Token == "" {
+				t.Error("offending token lost in transit")
+			}
+		})
+	}
+}
+
+// TestConformanceMidBatchPartialSuccess: one rotten query never spoils the
+// batch — results stay positional, errors stay per-item.
+func TestConformanceMidBatchPartialSuccess(t *testing.T) {
+	queries := []string{"/a/c/s", "//s[@", "//s//p"}
+	for name, tr := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			res, err := tr.bind("fig2").EstimateBatch(context.Background(), queries)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res) != len(queries) {
+				t.Fatalf("results = %d, want %d", len(res), len(queries))
+			}
+			if res[0].Err != nil || res[0].Estimate <= 0 {
+				t.Errorf("res[0] = %+v, want success", res[0])
+			}
+			var apiErr *api.Error
+			if !errors.As(res[1].Err, &apiErr) || apiErr.Code != api.CodeParseError {
+				t.Errorf("res[1].Err = %v, want %s", res[1].Err, api.CodeParseError)
+			}
+			if res[2].Err != nil || res[2].Estimate <= 0 {
+				t.Errorf("res[2] = %+v, want success", res[2])
+			}
+		})
+	}
+}
+
+// TestConformanceCancellation: a canceled context returns context.Canceled
+// and leaves the client usable for the next call on every transport.
+func TestConformanceCancellation(t *testing.T) {
+	for name, tr := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			est := tr.bind("fig2")
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			if _, err := est.EstimateBatch(ctx, []string{"/a/c/s"}); !errors.Is(err, context.Canceled) {
+				t.Fatalf("canceled batch = %v, want context.Canceled", err)
+			}
+			res, err := est.EstimateBatch(context.Background(), []string{"/a/c/s"})
+			if err != nil || len(res) != 1 || res[0].Err != nil {
+				t.Fatalf("batch after cancel = %+v, %v", res, err)
+			}
+		})
+	}
+}
+
+// TestConformanceFeedbackErrors: feedback failures carry the same typed
+// code everywhere — synchronously on HTTP, via the Flush barrier on xtp.
+func TestConformanceFeedbackErrors(t *testing.T) {
+	for name, tr := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			ctx := context.Background()
+			err := tr.bind("nope").Feedback(ctx, "/a", 1)
+			if err == nil {
+				err = tr.flush(ctx)
+			}
+			var apiErr *api.Error
+			if !errors.As(err, &apiErr) || apiErr.Code != api.CodeNotFound {
+				t.Fatalf("feedback to unknown synopsis = %v, want %s", err, api.CodeNotFound)
+			}
+
+			// And the success path leaves no residue behind the barrier.
+			if err := tr.bind("fig2").Feedback(ctx, "/a/c/s", 2); err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.flush(ctx); err != nil {
+				t.Fatalf("flush after good feedback = %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,88 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"xseed"
+	"xseed/api"
+	"xseed/client"
+)
+
+// New dials the HTTP JSON API. A client bound to a synopsis implements
+// xseed.Estimator; jittered retries apply to idempotent calls only.
+func ExampleNew() {
+	c, err := client.New("http://localhost:8080",
+		client.WithSynopsis("auction"),
+		client.WithRetry(3, 100*time.Millisecond),
+		client.WithRetryCap(2*time.Second))
+	if err != nil {
+		panic(err)
+	}
+
+	ctx := context.Background()
+	res, err := c.EstimateBatch(ctx, []string{"//open_auction[bidder]/seller"})
+	if err != nil {
+		var apiErr *api.Error
+		if errors.As(err, &apiErr) && apiErr.Code == api.CodeNotFound {
+			// create the synopsis first: c.Create(ctx, api.CreateRequest{...})
+		}
+		return
+	}
+	fmt.Println(res[0].Estimate)
+}
+
+// DialXTP dials the binary protocol (xseedd -xtp). Concurrent calls
+// pipeline over one connection; feedback is fire-and-forget behind a
+// bounded ack window, with Flush as the barrier that surfaces ack errors.
+func ExampleDialXTP() {
+	x, err := client.DialXTP("localhost:9090",
+		client.WithXTPSynopsis("auction"),
+		client.WithFeedbackWindow(256))
+	if err != nil {
+		panic(err) // unreachable, not speaking xtp, or version mismatch
+	}
+	defer x.Close()
+
+	ctx := context.Background()
+	res, err := x.EstimateBatch(ctx, []string{"//open_auction[bidder]/seller"})
+	if err != nil {
+		return
+	}
+	fmt.Println(res[0].Estimate)
+
+	// Record what execution actually observed; returns once enqueued.
+	_ = x.Feedback(ctx, "//open_auction[bidder]/seller", 42)
+	if err := x.Flush(ctx); err != nil {
+		fmt.Println("some feedback failed:", err)
+	}
+}
+
+// Both backends satisfy xseed.Estimator, so transport choice is one line
+// at startup — estimation code never changes.
+func ExampleXTP_Synopsis() {
+	var est xseed.Estimator
+
+	useBinary := true
+	if useBinary {
+		x, err := client.DialXTP("localhost:9090")
+		if err != nil {
+			return
+		}
+		defer x.Close()
+		est = x.Synopsis("auction")
+	} else {
+		c, err := client.New("http://localhost:8080")
+		if err != nil {
+			return
+		}
+		est = c.Synopsis("auction")
+	}
+
+	res, err := est.EstimateBatch(context.Background(), []string{"//item"})
+	if err == nil {
+		fmt.Println(res[0].Estimate)
+	}
+}

@@ -1,0 +1,139 @@
+package client
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xseed"
+	"xseed/internal/server"
+)
+
+// The served-QPS pair below measures the same workload — batch-of-1
+// estimates against a warm registry over a real TCP socket — through each
+// transport's SDK backend. The delta is pure transport cost: HTTP/1.1 +
+// JSON framing versus xtp's length-prefixed binary frames. CI gates on
+// the ratio (xtp must be >=2x faster per op); see .github/workflows/ci.yml.
+
+var transportBenchState struct {
+	once    sync.Once
+	err     error
+	syn     *xseed.Synopsis
+	queries []string
+}
+
+// transportBenchSetup builds one XMark synopsis and workload, shared by
+// both transport benchmarks so they serve identical traffic.
+func transportBenchSetup(b testing.TB) (*xseed.Synopsis, []string) {
+	transportBenchState.once.Do(func() {
+		doc, err := xseed.Generate("xmark", 0.01, 1)
+		if err != nil {
+			transportBenchState.err = err
+			return
+		}
+		syn, err := xseed.BuildSynopsis(doc, nil)
+		if err != nil {
+			transportBenchState.err = err
+			return
+		}
+		var queries []string
+		for _, q := range doc.SimplePathQueries(16) {
+			queries = append(queries, q.String())
+		}
+		transportBenchState.syn, transportBenchState.queries = syn, queries
+	})
+	if transportBenchState.err != nil {
+		b.Fatal(transportBenchState.err)
+	}
+	if len(transportBenchState.queries) == 0 {
+		b.Fatal("no benchmark queries")
+	}
+	return transportBenchState.syn, transportBenchState.queries
+}
+
+// servedQPS drives batch-of-1 estimates through any Estimator-shaped
+// backend from GOMAXPROCS goroutines.
+func servedQPS(b *testing.B, est xseed.Estimator, queries []string) {
+	ctx := context.Background()
+	// Warm the server's estimate cache so both transports measure framing,
+	// not first-touch estimation.
+	if _, err := est.EstimateBatch(ctx, queries); err != nil {
+		b.Fatal(err)
+	}
+	var idx atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			q := queries[int(idx.Add(1))%len(queries)]
+			res, err := est.EstimateBatch(ctx, []string{q})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res) != 1 || res[0].Err != nil {
+				b.Fatalf("served estimate = %+v", res)
+			}
+		}
+	})
+}
+
+// BenchmarkServedQPS_HTTP is the JSON API baseline: SDK -> HTTP/1.1 ->
+// httptest's real TCP listener -> mux -> registry.
+func BenchmarkServedQPS_HTTP(b *testing.B) {
+	syn, queries := transportBenchSetup(b)
+	// Request logging off: both sides measure transport cost, not slog.
+	s, err := server.New(server.Config{
+		CacheCapacity: 4096,
+		Logger:        slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Registry().Add("xmark", syn, "bench"); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c, err := New(ts.URL, WithSynopsis("xmark"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	servedQPS(b, c, queries)
+}
+
+// BenchmarkServedQPS_XTP is the same traffic over the binary protocol:
+// SDK -> pipelined frames on one TCP connection -> registry.
+func BenchmarkServedQPS_XTP(b *testing.B) {
+	syn, queries := transportBenchSetup(b)
+	reg := server.NewRegistry(4096, 0)
+	defer reg.Close()
+	if _, err := reg.Add("xmark", syn, "bench"); err != nil {
+		b.Fatal(err)
+	}
+	x := server.NewXTP(reg, server.XTPOptions{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- x.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		x.Shutdown(ctx)
+		<-done
+	}()
+	c, err := DialXTP(ln.Addr().String(), WithXTPSynopsis("xmark"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	servedQPS(b, c, queries)
+}

@@ -1,0 +1,337 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xseed"
+	"xseed/api"
+	"xseed/internal/fixtures"
+	"xseed/internal/obs"
+	"xseed/internal/server"
+)
+
+// newXTPBackend serves the binary protocol on loopback over a registry
+// preloaded with "fig2" and returns the address to dial. om may be nil.
+func newXTPBackend(t testing.TB, om *obs.Registry) (*server.Registry, string) {
+	t.Helper()
+	reg := server.NewRegistry(1024, 0)
+	doc, err := xseed.ParseXMLString(fixtures.PaperFigure2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := xseed.BuildSynopsis(doc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Add("fig2", syn, "test"); err != nil {
+		t.Fatal(err)
+	}
+	x := server.NewXTP(reg, server.XTPOptions{Metrics: om})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- x.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := x.Shutdown(ctx); err != nil {
+			t.Errorf("xtp shutdown: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("xtp serve: %v", err)
+		}
+		reg.Close()
+	})
+	return reg, ln.Addr().String()
+}
+
+func TestXTPClientEstimateFeedbackStats(t *testing.T) {
+	_, addr := newXTPBackend(t, nil)
+	x, err := DialXTP(addr, WithXTPSynopsis("fig2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+	ctx := context.Background()
+
+	if err := x.Ping(ctx); err != nil {
+		t.Fatalf("ping = %v", err)
+	}
+
+	res, err := x.EstimateBatch(ctx, []string{"/a/c/s", "//s//p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].Err != nil || res[0].Estimate <= 0 || res[1].Estimate <= 0 {
+		t.Fatalf("batch = %+v", res)
+	}
+
+	// Feedback is fire-and-forget; Flush is the barrier after which its
+	// effect (and any ack error) is visible.
+	doc, _ := xseed.ParseXMLString(fixtures.PaperFigure2)
+	actual, err := doc.Count("/a/c/s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Feedback(ctx, "/a/c/s", float64(actual)); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Flush(ctx); err != nil {
+		t.Fatalf("flush = %v", err)
+	}
+	est, err := xseed.Estimate(ctx, x, "/a/c/s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != float64(actual) {
+		t.Fatalf("post-feedback estimate = %v, want %d", est, actual)
+	}
+
+	st, err := x.Stats(ctx)
+	if err != nil || len(st.Synopses) != 1 || st.Synopses[0].Feedbacks != 1 {
+		t.Fatalf("stats = %+v, %v", st, err)
+	}
+}
+
+// TestXTPClientCoalescing: concurrent batches share one connection — the
+// point of pipelining — and every caller gets its own answer back.
+func TestXTPClientCoalescing(t *testing.T) {
+	om := obs.NewRegistry()
+	_, addr := newXTPBackend(t, om)
+	x, err := DialXTP(addr, WithXTPSynopsis("fig2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+
+	const callers = 16
+	var wg sync.WaitGroup
+	errc := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 8; j++ {
+				q := fmt.Sprintf("/a/c/s[%d]", i*8+j)
+				res, err := x.EstimateBatch(context.Background(), []string{q})
+				if err != nil {
+					errc <- err
+					return
+				}
+				if len(res) != 1 || res[0].Err != nil {
+					errc <- fmt.Errorf("caller %d: %+v", i, res)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := om.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "xseed_xtp_connections_total 1") {
+		t.Fatalf("concurrent callers did not coalesce onto one connection:\n%s",
+			grepLines(sb.String(), "xseed_xtp_connections"))
+	}
+}
+
+// TestXTPClientCancelKeepsConnection: abandoning one call must not tear
+// down the shared connection other calls are multiplexed over.
+func TestXTPClientCancelKeepsConnection(t *testing.T) {
+	om := obs.NewRegistry()
+	_, addr := newXTPBackend(t, om)
+	x, err := DialXTP(addr, WithXTPSynopsis("fig2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := x.EstimateBatch(ctx, []string{"/a/c/s"}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled batch = %v, want context.Canceled", err)
+	}
+
+	// The next call rides the same connection; its late predecessor's
+	// response (if any) was dropped by the demultiplexer.
+	res, err := x.EstimateBatch(context.Background(), []string{"/a/c/s"})
+	if err != nil || len(res) != 1 || res[0].Err != nil {
+		t.Fatalf("batch after cancel = %+v, %v", res, err)
+	}
+	var sb strings.Builder
+	om.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), "xseed_xtp_connections_total 1") {
+		t.Fatalf("cancellation redialed:\n%s", grepLines(sb.String(), "xseed_xtp_connections"))
+	}
+}
+
+// TestXTPClientRedial: a dead server fails in-flight calls with a typed
+// unavailable error; once something is listening again the same client
+// reconnects on the next call — no new DialXTP needed.
+func TestXTPClientRedial(t *testing.T) {
+	reg := server.NewRegistry(64, 0)
+	defer reg.Close()
+	doc, _ := xseed.ParseXMLString(fixtures.PaperFigure2)
+	syn, err := xseed.BuildSynopsis(doc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Add("fig2", syn, "test"); err != nil {
+		t.Fatal(err)
+	}
+
+	x1 := server.NewXTP(reg, server.XTPOptions{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	done := make(chan error, 1)
+	go func() { done <- x1.Serve(ln) }()
+
+	c, err := DialXTP(addr, WithXTPSynopsis("fig2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.EstimateBatch(context.Background(), []string{"/a/c/s"}); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := x1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// Down: typed unavailable, not a hang or a panic.
+	_, err = c.EstimateBatch(context.Background(), []string{"/a/c/s"})
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeUnavailable {
+		t.Fatalf("estimate against dead server = %v, want %s", err, api.CodeUnavailable)
+	}
+
+	// Back up on the same port: the client redials transparently.
+	x2 := server.NewXTP(reg, server.XTPOptions{})
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	done2 := make(chan error, 1)
+	go func() { done2 <- x2.Serve(ln2) }()
+	defer func() {
+		x2.Shutdown(context.Background())
+		<-done2
+	}()
+	res, err := c.EstimateBatch(context.Background(), []string{"/a/c/s"})
+	if err != nil || len(res) != 1 || res[0].Err != nil {
+		t.Fatalf("estimate after redial = %+v, %v", res, err)
+	}
+}
+
+// TestXTPClientFeedbackWindowAndFlush: ack errors from fire-and-forget
+// feedback surface on Flush — including with far more records in flight
+// than the window admits at once.
+func TestXTPClientFeedbackWindowAndFlush(t *testing.T) {
+	_, addr := newXTPBackend(t, nil)
+	x, err := DialXTP(addr, WithFeedbackWindow(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+	ctx := context.Background()
+
+	bad := x.Synopsis("nope")
+	for i := 0; i < 32; i++ { // 8× the window: exercises blocking + draining
+		if err := bad.Feedback(ctx, "/a", 1); err != nil {
+			t.Fatalf("feedback enqueue %d = %v", i, err)
+		}
+	}
+	err = x.Flush(ctx)
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeNotFound {
+		t.Fatalf("flush = %v, want not_found", err)
+	}
+	// The error was consumed; a clean pipeline flushes clean.
+	if err := x.Flush(ctx); err != nil {
+		t.Fatalf("second flush = %v", err)
+	}
+
+	good := x.Synopsis("fig2")
+	if err := good.Feedback(ctx, "/a/c/s", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := good.Flush(ctx); err != nil {
+		t.Fatalf("flush after good feedback = %v", err)
+	}
+}
+
+// TestXTPClientVersionMismatch: a server speaking a different protocol
+// version is refused at dial time with the versions in the error.
+func TestXTPClientVersionMismatch(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 4)
+		c.Read(buf)
+		c.Write([]byte{'X', 'T', 'P', 99})
+	}()
+	_, err = DialXTP(ln.Addr().String())
+	if err == nil || !strings.Contains(err.Error(), "version mismatch") {
+		t.Fatalf("dial future-versioned server = %v, want version mismatch", err)
+	}
+}
+
+func TestXTPClientRequiresSynopsis(t *testing.T) {
+	_, addr := newXTPBackend(t, nil)
+	x, err := DialXTP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+	if _, err := x.EstimateBatch(context.Background(), []string{"/a"}); err == nil ||
+		!strings.Contains(err.Error(), "no synopsis bound") {
+		t.Fatalf("unbound estimate = %v", err)
+	}
+	if err := x.Feedback(context.Background(), "/a", 1); err == nil ||
+		!strings.Contains(err.Error(), "no synopsis bound") {
+		t.Fatalf("unbound feedback = %v", err)
+	}
+}
+
+// grepLines filters exposition output for failure messages.
+func grepLines(s, substr string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

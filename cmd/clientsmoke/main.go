@@ -5,7 +5,13 @@
 // cardinalities, and context cancellation — and exits non-zero on the
 // first deviation from the wire contract.
 //
-// Usage: clientsmoke -addr http://127.0.0.1:PORT
+// With -xtp it repeats the estimation surface over the binary protocol
+// (docs/PROTOCOL.md) against the daemon's -xtp listener: pipelined batch
+// estimates, typed-error parity, windowed feedback with a Flush barrier,
+// and liveness pings — proving both transports serve the same contract
+// outside httptest.
+//
+// Usage: clientsmoke -addr http://127.0.0.1:PORT [-xtp 127.0.0.1:PORT2]
 package main
 
 import (
@@ -24,17 +30,18 @@ import (
 
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8080", "xseedd base URL")
+	xtpAddr := flag.String("xtp", "", "xseedd xtp listener (host:port; empty = skip the binary-protocol smoke)")
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("clientsmoke: ")
-	if err := run(*addr); err != nil {
+	if err := run(*addr, *xtpAddr); err != nil {
 		log.Print(err)
 		os.Exit(1)
 	}
 	fmt.Println("clientsmoke: ok")
 }
 
-func run(addr string) error {
+func run(addr, xtpAddr string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
 	c, err := client.New(addr, client.WithRetry(20, 250*time.Millisecond))
@@ -110,12 +117,92 @@ func run(addr string) error {
 		return fmt.Errorf("canceled batch = %v, want context.Canceled", err)
 	}
 
+	// The same contract over the binary protocol, against the synopsis the
+	// HTTP smoke just tuned.
+	if xtpAddr != "" {
+		if err := runXTP(ctx, xtpAddr, name, queries, actual); err != nil {
+			return fmt.Errorf("xtp: %w", err)
+		}
+	}
+
 	// Clean up and confirm the typed not-found on re-delete.
 	if err := c.Delete(ctx, name); err != nil {
 		return fmt.Errorf("delete: %w", err)
 	}
 	if err := c.Delete(ctx, name); !errors.As(err, &apiErr) || apiErr.Code != api.CodeNotFound {
 		return fmt.Errorf("double delete = %v, want code %s", err, api.CodeNotFound)
+	}
+	return nil
+}
+
+// runXTP drives the estimation surface over the xtp binary protocol:
+// same queries, same typed errors, same post-feedback exactness as the
+// HTTP pass — transport parity against a real daemon.
+func runXTP(ctx context.Context, addr, name string, queries []string, actual int64) error {
+	x, err := client.DialXTP(addr, client.WithXTPSynopsis(name))
+	if err != nil {
+		return fmt.Errorf("dial: %w", err)
+	}
+	defer x.Close()
+
+	if err := x.Ping(ctx); err != nil {
+		return fmt.Errorf("ping: %w", err)
+	}
+
+	// The HTTP pass already fed back the exact //person cardinality; the
+	// binary transport must see the identical tuned estimate.
+	res, err := x.EstimateBatch(ctx, queries)
+	if err != nil {
+		return fmt.Errorf("batch estimate: %w", err)
+	}
+	if len(res) != 3 || res[0].Err != nil || res[2].Err != nil {
+		return fmt.Errorf("batch results = %+v", res)
+	}
+	if res[0].Estimate != float64(actual) {
+		return fmt.Errorf("tuned //person estimate over xtp = %v, want exact %d", res[0].Estimate, actual)
+	}
+	var apiErr *api.Error
+	if !errors.As(res[1].Err, &apiErr) || apiErr.Code != api.CodeParseError {
+		return fmt.Errorf("bogus query error = %v, want code %s", res[1].Err, api.CodeParseError)
+	}
+	if d, ok := apiErr.ParseDetail(); !ok || d.Offset != len("/site/open_auctions") {
+		return fmt.Errorf("parse detail = %+v (ok=%v)", apiErr, ok)
+	}
+
+	// Typed not-found, same taxonomy as HTTP.
+	if _, err := x.Synopsis("no-such-synopsis").EstimateBatch(ctx, []string{"//person"}); !errors.As(err, &apiErr) || apiErr.Code != api.CodeNotFound {
+		return fmt.Errorf("unknown synopsis error = %v, want code %s", err, api.CodeNotFound)
+	}
+
+	// Fire-and-forget feedback: enqueue, then Flush as the ack barrier.
+	if err := x.Feedback(ctx, "//item[shipping]/location", res[2].Estimate); err != nil {
+		return fmt.Errorf("feedback enqueue: %w", err)
+	}
+	if err := x.Flush(ctx); err != nil {
+		return fmt.Errorf("feedback flush: %w", err)
+	}
+
+	// Stats over the binary transport sees the same registry.
+	st, err := x.Stats(ctx)
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	found := false
+	for _, s := range st.Synopses {
+		found = found || s.Name == name
+	}
+	if !found {
+		return fmt.Errorf("stats over xtp misses synopsis %q", name)
+	}
+
+	// Cancellation leaves the shared connection usable.
+	cctx, ccancel := context.WithCancel(ctx)
+	ccancel()
+	if _, err := x.EstimateBatch(cctx, []string{"//person"}); !errors.Is(err, context.Canceled) {
+		return fmt.Errorf("canceled batch = %v, want context.Canceled", err)
+	}
+	if _, err := x.EstimateBatch(ctx, []string{"//person"}); err != nil {
+		return fmt.Errorf("batch after cancel: %w", err)
 	}
 	return nil
 }

@@ -1,9 +1,11 @@
-// Command xseedd is the XSEED estimation daemon: a long-lived HTTP server
+// Command xseedd is the XSEED estimation daemon: a long-lived server
 // managing many named synopses concurrently, with a sharded cache of
 // estimate results in front of them and an optional durable store behind
-// them.
+// them. It speaks HTTP JSON always and, with -xtp, the xtp binary
+// protocol beside it.
 //
-//	xseedd [-addr :8080] [-cache 4096] [-budget 0] [-synopsis name=path]...
+//	xseedd [-addr :8080] [-xtp addr] [-cache 4096] [-budget 0]
+//	       [-synopsis name=path]...
 //	       [-store-dir DIR] [-store-compact-ratio 0.5]
 //	       [-store-compact-interval 15s] [-store-fsync]
 //	       [-log-format text|json] [-log-level info] [-pprof addr]
@@ -45,6 +47,14 @@
 //
 // The pre-versioning unversioned paths remain as deprecated aliases
 // (identical bodies plus a Deprecation header).
+//
+// -xtp ADDR opens a second listener serving the same registry over xtp,
+// a length-prefixed binary protocol with request pipelining for
+// latency-sensitive optimizer traffic (estimates, feedback, stats — the
+// same api types and error taxonomy as HTTP, at a fraction of the
+// framing cost). The wire format is specified in docs/PROTOCOL.md;
+// client.DialXTP is the SDK backend. Both listeners drain in parallel on
+// graceful shutdown.
 //
 // Observability: every request is logged through log/slog (-log-format
 // json for machine-parseable access logs, -log-level to filter) with an

@@ -1,0 +1,57 @@
+package xseed_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"xseed"
+	"xseed/api"
+)
+
+// An optimizer codes against xseed.Estimator and never learns whether its
+// estimates come from an embedded synopsis, a remote xseedd over HTTP
+// (xseed/client.New), or one over the xtp binary protocol
+// (xseed/client.DialXTP) — all three implement the interface identically,
+// partial-success semantics included.
+func ExampleEstimator() {
+	doc, _ := xseed.ParseXMLString("<a><b><c/></b><b><c/><c/></b><b/></a>")
+	syn, _ := xseed.BuildSynopsis(doc, nil)
+	var est xseed.Estimator = xseed.NewLocalEstimator(syn)
+
+	// One bad query cannot spoil the batch: it gets a per-item typed
+	// error, its neighbors still answer.
+	res, err := est.EstimateBatch(context.Background(), []string{"/a/b", "//c", "//c["})
+	if err != nil {
+		panic(err) // whole-call failure: canceled ctx, unreachable server
+	}
+	for _, r := range res {
+		if r.Err != nil {
+			var apiErr *api.Error
+			errors.As(r.Err, &apiErr)
+			fmt.Printf("%s: %s\n", r.Query, apiErr.Code)
+			continue
+		}
+		fmt.Printf("%s: %.0f\n", r.Query, r.Estimate)
+	}
+
+	// Feedback self-tunes the synopsis from an executed query's actual.
+	_ = est.Feedback(context.Background(), "//c", 3)
+	// Output:
+	// /a/b: 3
+	// //c: 3
+	// //c[: parse_error
+}
+
+// NewLocalEstimator adapts a built synopsis to the Estimator interface —
+// the embedded backend.
+func ExampleNewLocalEstimator() {
+	doc, _ := xseed.ParseXMLString("<root><item/><item/></root>")
+	syn, _ := xseed.BuildSynopsis(doc, nil)
+	est := xseed.NewLocalEstimator(syn)
+
+	v, _ := xseed.Estimate(context.Background(), est, "/root/item")
+	fmt.Printf("%.0f\n", v)
+	// Output:
+	// 2
+}

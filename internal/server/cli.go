@@ -22,6 +22,7 @@ import (
 func RunCLI(name string, args []string) error {
 	fs := flag.NewFlagSet(name, flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
+	xtpAddr := fs.String("xtp", "", "additional listen address for the xtp binary protocol (docs/PROTOCOL.md; empty = disabled)")
 	cache := fs.Int("cache", 4096, "estimate cache capacity (entries)")
 	budget := fs.Int("budget", 0, "aggregate synopsis memory budget in bytes (0 = unlimited)")
 	dataDir := fs.String("data-dir", "", "directory the HTTP xmlFile/synopsisFile sources may read (empty = disabled)")
@@ -62,6 +63,7 @@ func RunCLI(name string, args []string) error {
 
 	srv, err := New(Config{
 		Addr:                 *addr,
+		XTPAddr:              *xtpAddr,
 		CacheCapacity:        *cache,
 		AggregateBudgetBytes: *budget,
 		DataDir:              *dataDir,

@@ -28,6 +28,12 @@ type Config struct {
 	CacheCapacity        int    // estimate cache entries (0 = default 4096)
 	AggregateBudgetBytes int    // total synopsis memory budget (0 = unlimited)
 
+	// XTPAddr, when non-empty, additionally serves the xtp binary protocol
+	// (docs/PROTOCOL.md) on that TCP address — the same registry, cache,
+	// and error taxonomy as the HTTP API, framed for pipelining clients
+	// (xseed/client.XTP). Shutdown drains both listeners together.
+	XTPAddr string
+
 	// DataDir is the only directory the xmlFile/synopsisFile create sources
 	// may read from; requested paths are resolved inside it. Empty disables
 	// file sources over HTTP entirely (inline XML, datasets, and snapshot
@@ -74,6 +80,8 @@ type Config struct {
 type Server struct {
 	reg       *Registry
 	http      *http.Server
+	xtp       *XTP   // nil unless Config.XTPAddr was set
+	xtpAddr   string // requested xtp listen address
 	dataDir   string
 	st        *store.Store // nil when not persisting
 	compact   time.Duration
@@ -110,6 +118,10 @@ func New(cfg Config) (*Server, error) {
 		om:        om,
 		httpM:     newHTTPMetrics(om),
 		pprofAddr: cfg.PprofAddr,
+		xtpAddr:   cfg.XTPAddr,
+	}
+	if cfg.XTPAddr != "" {
+		s.xtp = NewXTP(s.reg, XTPOptions{Logger: logger, Metrics: om})
 	}
 	if cfg.StoreDir != "" {
 		st, err := store.Open(cfg.StoreDir, store.Options{
@@ -230,6 +242,20 @@ func (s *Server) Run(ctx context.Context) error {
 		return fmt.Errorf("listen: %w", err)
 	}
 	s.log.Info("listening", "addr", ln.Addr().String())
+	// The xtp listener is a requested serving transport, so like the HTTP
+	// one a bind failure is a hard startup error, not a logged degradation.
+	var xtpErrc chan error
+	if s.xtp != nil {
+		xln, err := net.Listen("tcp", s.xtpAddr)
+		if err != nil {
+			ln.Close()
+			s.Close()
+			return fmt.Errorf("xtp listen: %w", err)
+		}
+		s.log.Info("xtp listening", "addr", xln.Addr().String())
+		xtpErrc = make(chan error, 1)
+		go func() { xtpErrc <- s.xtp.Serve(xln) }()
+	}
 	if s.st != nil {
 		go s.st.StartCompactor(ctx, s.compact)
 	}
@@ -263,7 +289,16 @@ func (s *Server) Run(ctx context.Context) error {
 	}
 	select {
 	case err := <-errc:
+		if s.xtp != nil {
+			sctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			s.xtp.Shutdown(sctx)
+			cancel()
+		}
 		return serveErr(err)
+	case err := <-xtpErrc: // nil channel (no xtp) blocks forever
+		s.http.Close()
+		<-errc
+		return serveErr(fmt.Errorf("xtp serve: %w", err))
 	case <-ctx.Done():
 	}
 	s.log.Info("shutting down")
@@ -272,8 +307,25 @@ func (s *Server) Run(ctx context.Context) error {
 	if pprofSrv != nil {
 		pprofSrv.Shutdown(shutdownCtx)
 	}
+	// Both serving transports drain in parallel under the same deadline:
+	// in-flight HTTP requests and in-flight xtp frames finish, pipelining
+	// clients get a Goaway, and only then do the sockets close.
+	var xtpDone chan error
+	if s.xtp != nil {
+		xtpDone = make(chan error, 1)
+		go func() { xtpDone <- s.xtp.Shutdown(shutdownCtx) }()
+	}
 	if err := s.http.Shutdown(shutdownCtx); err != nil {
+		if xtpDone != nil {
+			<-xtpDone
+		}
 		return serveErr(err)
+	}
+	if xtpDone != nil {
+		if err := <-xtpDone; err != nil {
+			return serveErr(fmt.Errorf("xtp shutdown: %w", err))
+		}
+		<-xtpErrc // Serve returned nil after Shutdown closed its listener
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return serveErr(err)

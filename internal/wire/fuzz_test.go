@@ -1,0 +1,56 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"xseed/api"
+)
+
+// FuzzXTPDecode throws arbitrary bytes at the frame reader and every
+// registered payload decoder. The invariants: no panic, no allocation
+// driven by an unchecked length prefix (a malformed length must error, not
+// OOM), and truncated frames always error. CI runs this with a 30-second
+// budget in the quick lane.
+func FuzzXTPDecode(f *testing.F) {
+	// Seed with well-formed traffic so mutation explores the format's
+	// neighborhood, not just random noise.
+	var seed bytes.Buffer
+	w := NewWriter(&seed)
+	w.WriteFrame(FrameEstimateReq, 1,
+		AppendEstimateReq(nil, "auction", []string{"/a/b", "//c[d]"}, true))
+	w.WriteFrame(FrameEstimateResp, 1, AppendEstimateResp(nil, []api.EstimateItem{
+		{Query: "/a/b", Estimate: 42, Cached: true},
+		{Query: "bad[", Error: api.NewParseError("boom", 3, "[")},
+	}))
+	w.WriteFrame(FrameFeedbackReq, 2, AppendFeedbackReq(nil, "auction", "/a/b", 7))
+	w.WriteFrame(FrameFeedbackAck, 2, AppendFeedbackAck(nil, nil))
+	w.WriteFrame(FrameError, 3, AppendError(nil, api.Errorf(api.CodeNotFound, "nope")))
+	w.WriteFrame(FrameStatsResp, 4, []byte(`{"synopses":[]}`))
+	w.WriteFrame(FramePing, 5, nil)
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x01})
+	f.Add([]byte{0x01, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+
+	decoders := map[FrameType]func([]byte) error{}
+	for _, fi := range Frames() {
+		decoders[fi.Type] = fi.Decode
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for i := 0; i < 64; i++ { // bound work per input
+			fr, err := r.ReadFrame()
+			if err != nil {
+				return // any error is a valid outcome; panics are not
+			}
+			if len(fr.Payload) > MaxFrame {
+				t.Fatalf("reader produced %d-byte payload above MaxFrame", len(fr.Payload))
+			}
+			if dec, ok := decoders[fr.Type]; ok {
+				dec(fr.Payload) // must not panic; errors are fine
+			}
+		}
+	})
+}

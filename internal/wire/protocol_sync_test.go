@@ -1,0 +1,69 @@
+package wire
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"testing"
+)
+
+// protocolTableRow matches one row of the PROTOCOL.md §3 frame table:
+//
+//	| 0x01 | EstimateReq  | C→S       | ... |
+var protocolTableRow = regexp.MustCompile(`(?m)^\|\s*0x([0-9A-Fa-f]{2})\s*\|\s*(\w+)\s*\|\s*(C→S|S→C)\s*\|`)
+
+// TestProtocolDocMatchesFrameRegistry is the doc↔code sync gate: the frame
+// table in docs/PROTOCOL.md and the Frames() registry must name the exact
+// same frame types with the same codes and directions. Adding a frame to
+// either side without the other fails here — the spec cannot drift from
+// the decoders that implement it.
+func TestProtocolDocMatchesFrameRegistry(t *testing.T) {
+	doc, err := os.ReadFile("../../docs/PROTOCOL.md")
+	if err != nil {
+		t.Fatalf("the normative spec must exist: %v", err)
+	}
+	rows := protocolTableRow.FindAllStringSubmatch(string(doc), -1)
+	if len(rows) == 0 {
+		t.Fatal("no frame-table rows found in docs/PROTOCOL.md — table reformatted?")
+	}
+
+	documented := make(map[FrameType]struct{ name, dir string })
+	for _, row := range rows {
+		var code byte
+		fmt.Sscanf(row[1], "%02X", &code)
+		if _, dup := documented[FrameType(code)]; dup {
+			t.Errorf("docs/PROTOCOL.md documents code 0x%02x twice", code)
+		}
+		documented[FrameType(code)] = struct{ name, dir string }{row[2], row[3]}
+	}
+
+	registered := Frames()
+	for _, fi := range registered {
+		d, ok := documented[fi.Type]
+		if !ok {
+			t.Errorf("frame %s (0x%02x) has a decoder but no row in docs/PROTOCOL.md", fi.Name, byte(fi.Type))
+			continue
+		}
+		if d.name != fi.Name {
+			t.Errorf("frame 0x%02x is %q in code but %q in docs/PROTOCOL.md", byte(fi.Type), fi.Name, d.name)
+		}
+		if d.dir != fi.Dir {
+			t.Errorf("frame %s direction is %q in code but %q in docs/PROTOCOL.md", fi.Name, fi.Dir, d.dir)
+		}
+		delete(documented, fi.Type)
+	}
+	for code, d := range documented {
+		t.Errorf("docs/PROTOCOL.md names frame %s (0x%02x) but no decoder is registered for it", d.name, byte(code))
+	}
+	if len(registered) == 0 {
+		t.Fatal("Frames() registry is empty")
+	}
+
+	// Every decoder in the registry must be exercised by the fuzz target's
+	// seed corpus shape: a nil Decode would silently skip spec coverage.
+	for _, fi := range registered {
+		if fi.Decode == nil {
+			t.Errorf("frame %s has no Decode validator", fi.Name)
+		}
+	}
+}

@@ -98,10 +98,13 @@ type SubtreeRequest struct {
 	XML     string   `json:"xml"`
 }
 
-// BudgetRequest changes the fleet-wide memory budget at runtime (0 =
-// unlimited).
+// BudgetRequest changes a memory budget at runtime (0 = unlimited).
+// Without Tenant it re-targets the fleet-wide budget shared by tenants
+// that have no budget of their own; with Tenant it re-targets that
+// tenant's private budget. Admin-only (the default tenant's token).
 type BudgetRequest struct {
-	Bytes int `json:"bytes"`
+	Bytes  int    `json:"bytes"`
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // AccuracyStats is the running accuracy a synopsis observed via feedback.
@@ -164,9 +167,11 @@ type RebalanceStats struct {
 	Pending    uint64 `json:"pending"`
 }
 
-// StoreSynopsisStats is the persistence state of one synopsis.
+// StoreSynopsisStats is the persistence state of one synopsis. Tenant is
+// empty on servers running without -tenants (single-tenant layout).
 type StoreSynopsisStats struct {
 	Name         string `json:"name"`
+	Tenant       string `json:"tenant,omitempty"`
 	Seq          uint64 `json:"seq"`
 	BaseBytes    int64  `json:"baseBytes"`
 	DeltaBytes   int64  `json:"deltaBytes"`
@@ -181,14 +186,37 @@ type StoreStats struct {
 	Synopses []StoreSynopsisStats `json:"synopses"`
 }
 
-// Stats is the server-wide stats payload.
+// TenantStats is one tenant's rollup inside /v1/stats, emitted only on
+// servers running with -tenants. CacheHitRate covers this tenant's
+// estimate-cache lookups; QErrorP50/90/99 aggregate feedback-observed
+// q-error across the tenant's synopses (bucket upper bounds, zero until
+// the tenant has received feedback on a metrics-enabled server).
+type TenantStats struct {
+	ID           string  `json:"id"`
+	Synopses     int     `json:"synopses"`
+	TotalBytes   int     `json:"totalBytes"`
+	BudgetBytes  int     `json:"budgetBytes,omitempty"` // 0 = shares the fleet budget
+	CacheQuota   int     `json:"cacheQuota,omitempty"`  // max estimate-cache entries (0 = uncapped)
+	CacheHits    int64   `json:"cacheHits"`
+	CacheMisses  int64   `json:"cacheMisses"`
+	CacheHitRate float64 `json:"cacheHitRate"`
+	RateLimited  int64   `json:"rateLimited"`
+	QErrorP50    float64 `json:"qerrorP50,omitempty"`
+	QErrorP90    float64 `json:"qerrorP90,omitempty"`
+	QErrorP99    float64 `json:"qerrorP99,omitempty"`
+}
+
+// Stats is the server-wide stats payload. On a tenanted server every
+// field is scoped to the requesting tenant except Tenants, which the
+// admin (default) tenant sees for the whole fleet.
 type Stats struct {
 	Synopses        []SynopsisInfo `json:"synopses"`
 	TotalBytes      int            `json:"totalBytes"`
 	AggregateBudget int            `json:"aggregateBudget"`
 	Rebalance       RebalanceStats `json:"rebalance"`
 	Cache           CacheStats     `json:"cache"`
-	Store           *StoreStats    `json:"store,omitempty"` // nil when not persisting
+	Store           *StoreStats    `json:"store,omitempty"`   // nil when not persisting
+	Tenants         []TenantStats  `json:"tenants,omitempty"` // only with -tenants
 }
 
 // CompactResponse reports a manual compaction sweep.

@@ -17,7 +17,8 @@ import (
 func TestErrorCodeRoundTrip(t *testing.T) {
 	codes := []string{
 		CodeBadRequest, CodeParseError, CodeNotFound, CodeConflict,
-		CodeCanceled, CodeUnavailable, CodeInternal,
+		CodeCanceled, CodeUnauthorized, CodeQuotaExceeded,
+		CodeUnavailable, CodeInternal,
 	}
 	for _, code := range codes {
 		in := Errorf(code, "boom %s", code)

@@ -40,6 +40,17 @@ const (
 	// before the work completed.
 	CodeCanceled = "canceled"
 
+	// CodeUnauthorized rejects a request whose bearer token is missing,
+	// unknown, or not permitted to act on the addressed tenant. Only
+	// returned by servers running with -tenants; a tokenless request to an
+	// untenanted server is never unauthorized.
+	CodeUnauthorized = "unauthorized"
+
+	// CodeQuotaExceeded means the request ran into a per-tenant limit
+	// (token-bucket rate limit on the estimate/feedback paths). The request
+	// was not processed; retrying after a backoff is safe.
+	CodeQuotaExceeded = "quota_exceeded"
+
 	// CodeUnavailable means the server cannot serve the request right now
 	// (shutting down, overloaded); the call is safe to retry.
 	CodeUnavailable = "unavailable"
@@ -84,6 +95,10 @@ func (e *Error) HTTPStatus() int {
 		return http.StatusConflict
 	case CodeCanceled:
 		return 499 // client closed request (de-facto standard)
+	case CodeUnauthorized:
+		return http.StatusUnauthorized
+	case CodeQuotaExceeded:
+		return http.StatusTooManyRequests
 	case CodeUnavailable:
 		return http.StatusServiceUnavailable
 	default:
@@ -103,6 +118,10 @@ func CodeFromStatus(status int) string {
 		return CodeConflict
 	case 499:
 		return CodeCanceled
+	case http.StatusUnauthorized:
+		return CodeUnauthorized
+	case http.StatusTooManyRequests:
+		return CodeQuotaExceeded
 	case http.StatusServiceUnavailable:
 		return CodeUnavailable
 	default:

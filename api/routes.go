@@ -6,14 +6,14 @@ import (
 )
 
 // Route describes one versioned endpoint of the estimation API: the
-// method, the /v1 path pattern, the deprecated unversioned alias (empty
-// when the route never had one), and the wire types it speaks. The server
-// mounts its mux from this table, so api/README.md (generated from
+// method, the /v1 path pattern, the removed pre-/v1 alias (empty when the
+// route never had one), and the wire types it speaks. The server mounts
+// its mux from this table, so api/README.md (generated from
 // RoutesMarkdown) can never drift from what is actually served.
 type Route struct {
 	Method   string // HTTP method
 	Path     string // versioned pattern, e.g. /v1/synopses/{name}/estimate
-	Legacy   string // deprecated unversioned alias ("" = none)
+	Legacy   string // removed pre-/v1 alias, now a typed 404 ("" = never had one)
 	Request  string // request wire type or body ("-" = none)
 	Response string // response wire type
 	Doc      string // one-line description
@@ -45,7 +45,7 @@ func Routes() []Route {
 // table embedded in api/README.md; a test keeps the file in sync.
 func RoutesMarkdown() string {
 	var b strings.Builder
-	b.WriteString("| Method | /v1 path | Legacy alias | Request | Response | Description |\n")
+	b.WriteString("| Method | /v1 path | Removed alias | Request | Response | Description |\n")
 	b.WriteString("|---|---|---|---|---|---|\n")
 	for _, r := range Routes() {
 		legacy := "—"

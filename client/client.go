@@ -46,6 +46,7 @@ type Client struct {
 	base     string // normalized base URL, no trailing slash
 	hc       *http.Client
 	synopsis string // bound synopsis for the Estimator methods ("" = unbound)
+	token    string // bearer token sent on every request ("" = none)
 
 	retries    int           // extra attempts for idempotent calls
 	backoff    time.Duration // base sleep between attempts (linear, jittered)
@@ -81,6 +82,13 @@ func WithRetryCap(cap time.Duration) Option {
 // WithSynopsis binds the client to a synopsis name, enabling the
 // xseed.Estimator methods (EstimateBatch, Feedback).
 func WithSynopsis(name string) Option { return func(c *Client) { c.synopsis = name } }
+
+// WithToken sends the bearer token on every request as
+// "Authorization: Bearer <token>", scoping calls to the token's tenant on
+// a multi-tenant server (-tenants). An untenanted server ignores the
+// header, so setting a token is always safe; an unknown token fails every
+// call with api.CodeUnauthorized.
+func WithToken(token string) Option { return func(c *Client) { c.token = token } }
 
 // New builds a client for the server at baseURL (e.g.
 // "http://10.0.0.7:8080"; a bare "host:port" gets "http://" prefixed).
@@ -151,6 +159,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, idemp
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		c.authorize(req)
 		resp, err := c.hc.Do(req)
 		if err != nil {
 			if ctxErr := ctx.Err(); ctxErr != nil {
@@ -185,6 +194,13 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, idemp
 		return apiErr
 	}
 	return lastErr
+}
+
+// authorize attaches the configured bearer token, if any.
+func (c *Client) authorize(req *http.Request) {
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
 }
 
 func retriableStatus(status int) bool {
@@ -270,6 +286,7 @@ func (c *Client) SnapshotGet(ctx context.Context, name string) (io.ReadCloser, e
 		if err != nil {
 			return nil, err
 		}
+		c.authorize(req)
 		resp, err := c.hc.Do(req)
 		if err != nil {
 			if ctxErr := ctx.Err(); ctxErr != nil {
@@ -302,6 +319,7 @@ func (c *Client) SnapshotPut(ctx context.Context, name string, snapshot io.Reade
 		return info, err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	c.authorize(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {

@@ -3,8 +3,10 @@ package client
 import (
 	"context"
 	"errors"
+	"net"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"xseed"
 	"xseed/api"
@@ -182,5 +184,104 @@ func TestConformanceFeedbackErrors(t *testing.T) {
 				t.Fatalf("flush after good feedback = %v", err)
 			}
 		})
+	}
+}
+
+// tenantedBackends mounts one multi-tenant server — tenant "acme" holds a
+// valid token, tenant "throttled" a rate limit its first request already
+// exceeds — behind both transports, returning the HTTP base URL and the
+// xtp address. Tenancy conformance tests dial these with varying tokens.
+func tenantedBackends(t *testing.T) (httpURL, xtpAddr string) {
+	t.Helper()
+	s, err := server.New(server.Config{CacheCapacity: 1024, Tenants: []server.TenantConfig{
+		{ID: "acme", Token: "acme-tok"},
+		{ID: "throttled", Token: "throttled-tok", RatePerSec: 0.0001},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	t.Cleanup(func() { s.Close() })
+
+	x := server.NewXTP(s.Registry(), server.XTPOptions{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go x.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		x.Shutdown(ctx)
+	})
+	return hs.URL, ln.Addr().String()
+}
+
+// TestConformanceUnauthorizedParity: an unknown bearer token is the same
+// typed unauthorized error on every transport — an HTTP 401 body and an
+// xtp Error frame decode to the identical *api.Error code, and neither
+// transport degrades to unauthenticated operation.
+func TestConformanceUnauthorizedParity(t *testing.T) {
+	httpURL, xtpAddr := tenantedBackends(t)
+
+	hc, err := New(httpURL, WithToken("wrong-tok"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, herr := hc.List(context.Background())
+	var apiErr *api.Error
+	if !errors.As(herr, &apiErr) || apiErr.Code != api.CodeUnauthorized {
+		t.Fatalf("http with bad token = %v, want typed %s", herr, api.CodeUnauthorized)
+	}
+
+	// xtp authenticates at dial; a bad token is a dial failure.
+	if _, xerr := DialXTP(xtpAddr, WithXTPToken("wrong-tok")); !errors.As(xerr, &apiErr) || apiErr.Code != api.CodeUnauthorized {
+		t.Fatalf("xtp dial with bad token = %v, want typed %s", xerr, api.CodeUnauthorized)
+	}
+
+	// The same tokens that fail above succeed when valid: parity is about
+	// the error, not a broken fixture.
+	if _, err := New(httpURL, WithToken("acme-tok")); err != nil {
+		t.Fatal(err)
+	}
+	xc, err := DialXTP(xtpAddr, WithXTPToken("acme-tok"))
+	if err != nil {
+		t.Fatalf("xtp dial with valid token = %v", err)
+	}
+	xc.Close()
+}
+
+// TestConformanceQuotaParity: a request over the tenant's rate limit is
+// the same typed quota_exceeded error on every transport (HTTP 429, xtp
+// Error frame), and on xtp the rejection is per-request — the connection
+// survives it, unlike the terminal unauthorized.
+func TestConformanceQuotaParity(t *testing.T) {
+	httpURL, xtpAddr := tenantedBackends(t)
+	ctx := context.Background()
+
+	hc, err := New(httpURL, WithToken("throttled-tok"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, herr := hc.Estimate(ctx, "fig2", api.EstimateRequest{Queries: []string{"/a"}})
+	var apiErr *api.Error
+	if !errors.As(herr, &apiErr) || apiErr.Code != api.CodeQuotaExceeded {
+		t.Fatalf("http over rate limit = %v, want typed %s", herr, api.CodeQuotaExceeded)
+	}
+
+	xc, err := DialXTP(xtpAddr, WithXTPToken("throttled-tok"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer xc.Close()
+	for i := 0; i < 2; i++ { // twice: the rejection must not kill the connection
+		_, xerr := xc.Synopsis("fig2").EstimateBatch(ctx, []string{"/a"})
+		if !errors.As(xerr, &apiErr) || apiErr.Code != api.CodeQuotaExceeded {
+			t.Fatalf("xtp over rate limit (call %d) = %v, want typed %s", i, xerr, api.CodeQuotaExceeded)
+		}
+	}
+	if err := xc.Ping(ctx); err != nil {
+		t.Fatalf("ping after quota rejection = %v, want live connection", err)
 	}
 }

@@ -37,6 +37,7 @@ import (
 type XTP struct {
 	addr        string
 	synopsis    string
+	token       string
 	dialTimeout time.Duration
 	window      int
 
@@ -59,6 +60,13 @@ type XTPOption func(*XTP)
 // WithXTPSynopsis binds the client to a synopsis name, enabling the
 // xseed.Estimator methods (EstimateBatch, Feedback).
 func WithXTPSynopsis(name string) XTPOption { return func(x *XTP) { x.synopsis = name } }
+
+// WithXTPToken authenticates every connection (including redials) with the
+// bearer token during dial: an AuthReq frame binds the connection to the
+// token's tenant before any request rides it. An unknown token — or a
+// pre-tenancy server, which closes on the unfamiliar frame — fails the
+// dial; there is no silent fallback to unauthenticated operation.
+func WithXTPToken(token string) XTPOption { return func(x *XTP) { x.token = token } }
 
 // WithXTPDialTimeout bounds each dial + handshake (default 10s).
 func WithXTPDialTimeout(d time.Duration) XTPOption { return func(x *XTP) { x.dialTimeout = d } }
@@ -94,8 +102,8 @@ func DialXTP(addr string, opts ...XTPOption) (*XTP, error) {
 // Synopsis returns a view of the client bound to the named synopsis; the
 // view shares the underlying connection and implements xseed.Estimator.
 func (x *XTP) Synopsis(name string) *XTP {
-	return &XTP{addr: x.addr, synopsis: name, dialTimeout: x.dialTimeout,
-		window: x.window, shared: x.sharedSelf()}
+	return &XTP{addr: x.addr, synopsis: name, token: x.token,
+		dialTimeout: x.dialTimeout, window: x.window, shared: x.sharedSelf()}
 }
 
 // sharedSelf resolves the root client owning the connection (views made
@@ -163,17 +171,60 @@ func (x *XTP) dial() (*xconn, error) {
 		return nil, api.Errorf(api.CodeUnavailable,
 			"xtp version mismatch: server speaks %d, client speaks %d", ver, wire.Version)
 	}
-	c.SetDeadline(time.Time{})
 	cn := &xconn{
 		c:        c,
 		owner:    x.sharedSelf(),
 		w:        wire.NewWriter(c),
+		r:        wire.NewReader(c),
 		pending:  make(map[uint64]*xcall),
+		nextCorr: 1, // corr 1 is reserved for the dial-time AuthReq
 		fbTokens: make(chan struct{}, x.window),
 		closedCh: make(chan struct{}),
 	}
+	if x.token != "" {
+		if err := cn.authenticate(x.token); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	c.SetDeadline(time.Time{})
 	go cn.readLoop()
 	return cn, nil
+}
+
+// authenticate binds the freshly dialed connection to the token's tenant,
+// synchronously, before the read loop starts: one AuthReq, one response.
+// Failure is a dial failure — notably including an old server that closes
+// on the unknown frame type, which must never degrade silently into
+// unauthenticated operation (docs/PROTOCOL.md §4.9).
+func (cn *xconn) authenticate(token string) error {
+	buf := wire.GetBuf()
+	*buf = wire.AppendAuthReq(*buf, token)
+	err := cn.w.WriteFrame(wire.FrameAuthReq, 1, *buf)
+	wire.PutBuf(buf)
+	if err != nil {
+		return api.Errorf(api.CodeUnavailable, "xtp auth write: %s", err)
+	}
+	f, err := cn.r.ReadFrame()
+	if err != nil {
+		return api.Errorf(api.CodeUnauthorized,
+			"xtp auth: connection closed before AuthResp (server may predate authentication): %s", err)
+	}
+	switch f.Type {
+	case wire.FrameAuthResp:
+		if _, err := wire.DecodeAuthResp(f.Payload); err != nil {
+			return api.Errorf(api.CodeUnavailable, "xtp auth response decode: %s", err)
+		}
+		return nil
+	case wire.FrameError:
+		ae, err := wire.DecodeError(f.Payload)
+		if err != nil {
+			return api.Errorf(api.CodeUnavailable, "xtp auth error decode: %s", err)
+		}
+		return ae
+	default:
+		return api.Errorf(api.CodeUnavailable, "xtp auth: unexpected %s response", f.Type)
+	}
 }
 
 // retire clears the current connection if it is cn (so the next call
@@ -396,6 +447,10 @@ type xconn struct {
 	wmu sync.Mutex
 	w   *wire.Writer
 
+	// r is created at dial (the dial-time auth exchange shares its buffer
+	// with the read loop) and owned by readLoop thereafter.
+	r *wire.Reader
+
 	mu       sync.Mutex
 	pending  map[uint64]*xcall
 	nextCorr uint64
@@ -477,7 +532,7 @@ func (cn *xconn) close(cause *api.Error) {
 // wire.Reader, whose payload buffer it copies before handing a response to
 // a waiter.
 func (cn *xconn) readLoop() {
-	r := wire.NewReader(cn.c)
+	r := cn.r
 	for {
 		f, err := r.ReadFrame()
 		if err != nil {

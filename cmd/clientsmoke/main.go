@@ -11,7 +11,17 @@
 // and liveness pings — proving both transports serve the same contract
 // outside httptest.
 //
+// With -token/-token2 (two distinct tenants' bearer tokens for a daemon
+// running -tenants) it additionally proves tenant isolation end to end:
+// the main smoke runs tokenless first — a tenanted daemon must serve
+// pre-tenancy clients unchanged via the default tenant — then tenant 1
+// creates a synopsis that tenant 2 must not see (typed not_found on both
+// transports, absent from its list), and a bogus token is a typed
+// unauthorized on HTTP and a typed dial failure on xtp.
+//
 // Usage: clientsmoke -addr http://127.0.0.1:PORT [-xtp 127.0.0.1:PORT2]
+//
+//	[-token TOK1 -token2 TOK2]
 package main
 
 import (
@@ -31,12 +41,24 @@ import (
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8080", "xseedd base URL")
 	xtpAddr := flag.String("xtp", "", "xseedd xtp listener (host:port; empty = skip the binary-protocol smoke)")
+	token := flag.String("token", "", "tenant 1 bearer token (with -token2: run the tenant-isolation smoke)")
+	token2 := flag.String("token2", "", "tenant 2 bearer token (must belong to a different tenant than -token)")
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("clientsmoke: ")
+	if (*token == "") != (*token2 == "") {
+		log.Print("-token and -token2 must be set together")
+		os.Exit(2)
+	}
 	if err := run(*addr, *xtpAddr); err != nil {
 		log.Print(err)
 		os.Exit(1)
+	}
+	if *token != "" {
+		if err := runTenancy(*addr, *xtpAddr, *token, *token2); err != nil {
+			log.Printf("tenancy: %v", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Println("clientsmoke: ok")
 }
@@ -203,6 +225,95 @@ func runXTP(ctx context.Context, addr, name string, queries []string, actual int
 	}
 	if _, err := x.EstimateBatch(ctx, []string{"//person"}); err != nil {
 		return fmt.Errorf("batch after cancel: %w", err)
+	}
+	return nil
+}
+
+// runTenancy proves tenant isolation against a live -tenants daemon: a
+// synopsis created by tenant 1 is invisible to tenant 2 (typed not_found
+// on HTTP and xtp, absent from its list), a bogus bearer token is a typed
+// unauthorized on HTTP and a typed dial failure on xtp, and tenant 1
+// itself sees its synopsis over both transports the whole time.
+func runTenancy(addr, xtpAddr, tok1, tok2 string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	c1, err := client.New(addr, client.WithToken(tok1))
+	if err != nil {
+		return err
+	}
+	c2, err := client.New(addr, client.WithToken(tok2))
+	if err != nil {
+		return err
+	}
+
+	const name = "smoke-tenant"
+	c1.Delete(ctx, name) // tolerate a previous partial run
+	if _, err := c1.Create(ctx, api.CreateRequest{Name: name, XML: "<a><b/><b><c/></b></a>"}); err != nil {
+		return fmt.Errorf("tenant1 create: %w", err)
+	}
+
+	// Tenant 2 must not see tenant 1's synopsis: a typed not_found on a
+	// direct estimate, and no leak through the listing either.
+	var apiErr *api.Error
+	if _, err := c2.Synopsis(name).EstimateBatch(ctx, []string{"/a/b"}); !errors.As(err, &apiErr) || apiErr.Code != api.CodeNotFound {
+		return fmt.Errorf("tenant2 estimate on tenant1's synopsis = %v, want code %s", err, api.CodeNotFound)
+	}
+	list2, err := c2.List(ctx)
+	if err != nil {
+		return fmt.Errorf("tenant2 list: %w", err)
+	}
+	for _, s := range list2 {
+		if s.Name == name {
+			return fmt.Errorf("tenant2 list leaks tenant1's synopsis %q", name)
+		}
+	}
+
+	// A bogus token is a typed unauthorized — never a fallthrough to the
+	// default tenant.
+	cbad, err := client.New(addr, client.WithToken(tok1+"-definitely-wrong"))
+	if err != nil {
+		return err
+	}
+	if _, err := cbad.List(ctx); !errors.As(err, &apiErr) || apiErr.Code != api.CodeUnauthorized {
+		return fmt.Errorf("bogus token list = %v, want code %s", err, api.CodeUnauthorized)
+	}
+
+	// Tenant 1 itself sees its synopsis, so the not_founds above are
+	// isolation, not a broken fixture.
+	if res, err := c1.Synopsis(name).EstimateBatch(ctx, []string{"/a/b"}); err != nil || len(res) != 1 || res[0].Err != nil || res[0].Estimate <= 0 {
+		return fmt.Errorf("tenant1 estimate = %+v, %v, want success", res, err)
+	}
+
+	// The same three outcomes over the binary protocol.
+	if xtpAddr != "" {
+		x2, err := client.DialXTP(xtpAddr, client.WithXTPToken(tok2), client.WithXTPSynopsis(name))
+		if err != nil {
+			return fmt.Errorf("tenant2 xtp dial: %w", err)
+		}
+		_, xerr := x2.EstimateBatch(ctx, []string{"/a/b"})
+		x2.Close()
+		if !errors.As(xerr, &apiErr) || apiErr.Code != api.CodeNotFound {
+			return fmt.Errorf("tenant2 xtp estimate on tenant1's synopsis = %v, want code %s", xerr, api.CodeNotFound)
+		}
+
+		if _, err := client.DialXTP(xtpAddr, client.WithXTPToken(tok1+"-definitely-wrong")); !errors.As(err, &apiErr) || apiErr.Code != api.CodeUnauthorized {
+			return fmt.Errorf("bogus token xtp dial = %v, want code %s", err, api.CodeUnauthorized)
+		}
+
+		x1, err := client.DialXTP(xtpAddr, client.WithXTPToken(tok1), client.WithXTPSynopsis(name))
+		if err != nil {
+			return fmt.Errorf("tenant1 xtp dial: %w", err)
+		}
+		res, err := x1.EstimateBatch(ctx, []string{"/a/b"})
+		x1.Close()
+		if err != nil || len(res) != 1 || res[0].Err != nil || res[0].Estimate <= 0 {
+			return fmt.Errorf("tenant1 xtp estimate = %+v, %v, want success", res, err)
+		}
+	}
+
+	if err := c1.Delete(ctx, name); err != nil {
+		return fmt.Errorf("tenant1 delete: %w", err)
 	}
 	return nil
 }

@@ -5,7 +5,7 @@
 // protocol beside it.
 //
 //	xseedd [-addr :8080] [-xtp addr] [-cache 4096] [-budget 0]
-//	       [-synopsis name=path]...
+//	       [-synopsis name=path]... [-tenants file.json]
 //	       [-store-dir DIR] [-store-compact-ratio 0.5]
 //	       [-store-compact-interval 15s] [-store-fsync]
 //	       [-log-format text|json] [-log-level info] [-pprof addr]
@@ -45,8 +45,17 @@
 //	GET    /v1/healthz                       liveness
 //	GET    /metrics                          Prometheus text exposition
 //
-// The pre-versioning unversioned paths remain as deprecated aliases
-// (identical bodies plus a Deprecation header).
+// The pre-versioning unversioned paths were removed after their
+// deprecation window; they answer a typed not_found naming the /v1
+// successor.
+//
+// -tenants FILE enables multi-tenant serving: every /v1 route then
+// requires an Authorization: Bearer token resolving one of the
+// configured tenants, all synopsis names are tenant-scoped, and each
+// tenant gets its own rate limit, cache quota, and memory budget.
+// Tokenless requests act as the built-in "default" tenant, keeping
+// pre-tenancy clients working unchanged. See api/README.md
+// ("Authentication and tenancy") and docs/ARCHITECTURE.md ("Tenancy").
 //
 // -xtp ADDR opens a second listener serving the same registry over xtp,
 // a length-prefixed binary protocol with request pipelining for

@@ -46,12 +46,24 @@ func (f *family) write(w *bufio.Writer) {
 		fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(f.fn()))
 		return
 	case kindCounterFunc:
-		fmt.Fprintf(w, "%s %d\n", f.name, f.fnU())
-		return
+		if f.fnU != nil { // unlabeled CounterFunc
+			fmt.Fprintf(w, "%s %d\n", f.name, f.fnU())
+			return
+		}
+		// Labeled CounterFuncVec: fall through to per-child rendering.
 	}
 
 	f.mu.Lock()
 	children := append([]*child(nil), f.order...)
+	var fns map[*child]func() uint64
+	if f.kind == kindCounterFunc {
+		// Snapshot the per-child fns under the lock: With may rebind one
+		// concurrently with a scrape.
+		fns = make(map[*child]func() uint64, len(children))
+		for _, c := range children {
+			fns[c] = c.fnU
+		}
+	}
 	f.mu.Unlock()
 	sort.Slice(children, func(i, j int) bool {
 		return labelKey(children[i].labelVals) < labelKey(children[j].labelVals)
@@ -62,6 +74,10 @@ func (f *family) write(w *bufio.Writer) {
 		switch f.kind {
 		case kindCounter:
 			fmt.Fprintf(w, "%s%s %d\n", f.name, lbl, c.counter.Value())
+		case kindCounterFunc:
+			if fn := fns[c]; fn != nil {
+				fmt.Fprintf(w, "%s%s %d\n", f.name, lbl, fn())
+			}
 		case kindGauge:
 			fmt.Fprintf(w, "%s%s %s\n", f.name, lbl, formatFloat(float64(c.gauge.Value())))
 		case kindHistogram:

@@ -292,6 +292,7 @@ type child struct {
 	counter   *Counter
 	gauge     *Gauge
 	hist      *Histogram
+	fnU       func() uint64 // kindCounterFunc children (CounterFuncVec)
 }
 
 // family is one named metric with its labeled children.
@@ -520,6 +521,42 @@ func (v *CounterVec) With(vals ...string) *Counter {
 
 // Delete stops exporting the child for the label values.
 func (v *CounterVec) Delete(vals ...string) {
+	if v == nil || v.f == nil {
+		return
+	}
+	v.f.remove(vals)
+}
+
+// CounterFuncVec is a labeled family of scrape-time counters: each child
+// reads its value from a monotone source another subsystem already
+// maintains, so a JSON stats view and the exposition can share one set of
+// atomics and never disagree. Register the family once, then attach each
+// child with With.
+type CounterFuncVec struct{ f *family }
+
+// CounterFuncVec registers (or fetches) a labeled counter-func family.
+func (r *Registry) CounterFuncVec(name, help string, labels ...string) *CounterFuncVec {
+	if r == nil || r.disabled {
+		return &CounterFuncVec{}
+	}
+	return &CounterFuncVec{f: r.register(name, help, kindCounterFunc, labels, HistogramOpts{}, nil)}
+}
+
+// With binds the child for the label values to fn (replacing any previous
+// binding). fn must be monotonically non-decreasing and safe to call from
+// any goroutine.
+func (v *CounterFuncVec) With(fn func() uint64, vals ...string) {
+	if v == nil || v.f == nil {
+		return
+	}
+	c := v.f.resolve(vals)
+	v.f.mu.Lock()
+	c.fnU = fn
+	v.f.mu.Unlock()
+}
+
+// Delete stops exporting the child for the label values.
+func (v *CounterFuncVec) Delete(vals ...string) {
 	if v == nil || v.f == nil {
 		return
 	}

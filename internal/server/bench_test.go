@@ -16,6 +16,7 @@ import (
 
 	"xseed"
 	"xseed/internal/obs"
+	"xseed/internal/store"
 )
 
 var benchState struct {
@@ -98,7 +99,7 @@ func TestWarmCacheBeatsMissP50(t *testing.T) {
 		t.Fatal(err)
 	}
 	post := func(ts *httptest.Server) {
-		resp, err := ts.Client().Post(ts.URL+"/synopses/xmark/estimate", "application/json", bytes.NewReader(body))
+		resp, err := ts.Client().Post(ts.URL+"/v1/synopses/xmark/estimate", "application/json", bytes.NewReader(body))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -241,6 +242,56 @@ func BenchmarkEstimateParallel(b *testing.B) {
 		for pb.Next() {
 			if _, err := r.Estimate(ctx, "xmark", queries[i%len(queries)], false); err != nil {
 				b.Error(err) // FailNow must not run on a RunParallel worker
+				return
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkEstimateMultiTenant measures the warm-cache estimate path on a
+// tenanted registry: four tenants, each with its own synopsis, quota, and
+// rate limit, hit from parallel workers. Comparing against
+// BenchmarkEstimateWarmCache exposes what tenancy costs the hot path — the
+// intended answer is "one pointer indirection and a striped counter bump".
+func BenchmarkEstimateMultiTenant(b *testing.B) {
+	syn, queries := benchSetup(b)
+	cfgs := []TenantConfig{
+		{ID: "t0", Token: "tok0", CacheQuota: 1 << 16, RatePerSec: 1e9, Burst: 1e9},
+		{ID: "t1", Token: "tok1", CacheQuota: 1 << 16, RatePerSec: 1e9, Burst: 1e9},
+		{ID: "t2", Token: "tok2"},
+		{ID: "t3", Token: "tok3"},
+	}
+	ts, err := NewTenantSet(obs.Disabled, cfgs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := NewRegistry(4096, 0)
+	r.AttachTenants(ts)
+	ctx := context.Background()
+	keys := make([]string, len(cfgs))
+	tens := make([]*Tenant, len(cfgs))
+	for i, cfg := range cfgs {
+		keys[i] = store.Key(cfg.ID, "xmark")
+		tens[i] = ts.lookup(cfg.ID)
+		if _, err := r.Add(keys[i], syn, "bench"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.EstimateBatch(ctx, keys[i], queries, false); err != nil {
+			b.Fatal(err) // warm each tenant's cache and EPT outside the timer
+		}
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			ten := i % len(keys)
+			if !tens[ten].allow() {
+				b.Error("rate limiter rejected a benchmark request")
+				return
+			}
+			if _, err := r.Estimate(ctx, keys[ten], queries[i%len(queries)], false); err != nil {
+				b.Error(err)
 				return
 			}
 			i++

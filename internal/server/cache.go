@@ -44,6 +44,7 @@ type cacheEntry struct {
 	key  cacheKey
 	val  EstimateResult
 	plan *xseed.Plan // non-nil: a compiled-plan entry (val holds compile cost only)
+	ten  *Tenant     // owner, for quota accounting (nil: unaccounted)
 }
 
 type cacheShard struct {
@@ -51,6 +52,10 @@ type cacheShard struct {
 	cap   int        // max entries this shard holds (0: shard is disabled)
 	ll    *list.List // front = most recently used
 	items map[cacheKey]*list.Element
+
+	// tenCount tracks per-tenant occupancy for quota enforcement; keys are
+	// deleted at zero so an idle tenant costs nothing here.
+	tenCount map[*Tenant]int
 }
 
 // Cache is a sharded LRU cache of estimate results keyed on (synopsis
@@ -92,37 +97,49 @@ func NewCache(capacity int) *Cache {
 		}
 		c.shards[i].ll = list.New()
 		c.shards[i].items = make(map[cacheKey]*list.Element)
+		c.shards[i].tenCount = make(map[*Tenant]int)
 	}
 	return c
 }
 
-func (c *Cache) shardFor(k cacheKey) *cacheShard {
+func (c *Cache) shardFor(k cacheKey) int {
 	h := pathhash.String(k.syn)
 	h = pathhash.AddLabel(h, k.query)
-	return &c.shards[h%numShards]
+	return int(h % numShards)
 }
 
-// Get returns the cached result for (syn, query), if present.
-func (c *Cache) Get(syn, query string) (EstimateResult, bool) {
+// Get returns the cached result for (syn, query), if present. ten (may be
+// nil) receives the tenant-scoped hit/miss accounting: the counters are
+// striped per shard and bumped under the shard lock already held, so tenant
+// stats add no atomics contended across shards.
+func (c *Cache) Get(syn, query string, ten *Tenant) (EstimateResult, bool) {
 	k := cacheKey{syn: syn, query: query}
-	s := c.shardFor(k)
+	si := c.shardFor(k)
+	s := &c.shards[si]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.items[k]; ok {
 		e := el.Value.(*cacheEntry)
 		s.ll.MoveToFront(el)
 		c.hits.Add(1)
+		if ten != nil {
+			ten.hits.add(si)
+		}
 		c.costSaved.Add(e.val.CostNs)
 		return e.val, true
 	}
 	c.misses.Add(1)
+	if ten != nil {
+		ten.misses.add(si)
+	}
 	return EstimateResult{}, false
 }
 
 // Put stores a result, evicting from the shard's least-recently-used tail
-// when the shard is full.
-func (c *Cache) Put(syn, query string, v EstimateResult) {
-	c.put(&cacheEntry{key: cacheKey{syn: syn, query: query}, val: v})
+// when the shard is full, and from the owning tenant's own entries when its
+// quota is full.
+func (c *Cache) Put(syn, query string, v EstimateResult, ten *Tenant) {
+	c.put(&cacheEntry{key: cacheKey{syn: syn, query: query}, val: v, ten: ten})
 }
 
 // GetPlan returns the cached compiled plan for (scope, raw query) when it
@@ -132,7 +149,7 @@ func (c *Cache) Put(syn, query string, v EstimateResult) {
 // the full parse + compile and overwrites the entry via PutPlan.
 func (c *Cache) GetPlan(scope, raw string, sn *xseed.Snapshot) (*xseed.Plan, bool) {
 	k := cacheKey{syn: scope, query: raw, plan: true}
-	s := c.shardFor(k)
+	s := &c.shards[c.shardFor(k)]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.items[k]; ok {
@@ -147,16 +164,22 @@ func (c *Cache) GetPlan(scope, raw string, sn *xseed.Snapshot) (*xseed.Plan, boo
 	return nil, false
 }
 
-// PutPlan stores a compiled plan; costNs is what parse + compile cost.
-func (c *Cache) PutPlan(scope, raw string, p *xseed.Plan, costNs int64) {
-	c.put(&cacheEntry{key: cacheKey{syn: scope, query: raw, plan: true}, val: EstimateResult{CostNs: costNs}, plan: p})
+// PutPlan stores a compiled plan; costNs is what parse + compile cost. Plan
+// entries count toward the owning tenant's cache quota like estimate
+// entries do (both occupy the same capacity).
+func (c *Cache) PutPlan(scope, raw string, p *xseed.Plan, costNs int64, ten *Tenant) {
+	c.put(&cacheEntry{key: cacheKey{syn: scope, query: raw, plan: true}, val: EstimateResult{CostNs: costNs}, plan: p, ten: ten})
 }
 
 func (c *Cache) put(e *cacheEntry) {
-	s := c.shardFor(e.key)
+	si := c.shardFor(e.key)
+	s := &c.shards[si]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.items[e.key]; ok {
+		// Replacement: the key embeds the tenant-qualified scope, so the
+		// owner cannot change and occupancy counts stay put.
+		e.ten = el.Value.(*cacheEntry).ten
 		*el.Value.(*cacheEntry) = *e
 		s.ll.MoveToFront(el)
 		return
@@ -164,10 +187,47 @@ func (c *Cache) put(e *cacheEntry) {
 	if s.cap == 0 {
 		return
 	}
+	if t := e.ten; t != nil && t.cacheQuota > 0 && s.tenCount[t] >= t.quotaForShard(si) {
+		// Over quota: this fill may only displace one of the tenant's own
+		// entries. A zero per-shard quota admits nothing (exactly like a
+		// zero-capacity shard).
+		if !s.evictOwn(t) {
+			return
+		}
+		c.evictions.Add(1)
+	}
 	s.items[e.key] = s.ll.PushFront(e)
+	if e.ten != nil {
+		s.tenCount[e.ten]++
+	}
 	if s.ll.Len() > s.cap {
 		s.evict()
 		c.evictions.Add(1)
+	}
+}
+
+// evictOwn removes the least-recently-used entry owned by t, reporting
+// false when t has none in this shard (per-shard quota 0).
+func (s *cacheShard) evictOwn(t *Tenant) bool {
+	for el := s.ll.Back(); el != nil; el = el.Prev() {
+		if e := el.Value.(*cacheEntry); e.ten == t {
+			s.removeEntry(el, e)
+			return true
+		}
+	}
+	return false
+}
+
+// removeEntry unlinks one entry and settles its tenant accounting.
+func (s *cacheShard) removeEntry(el *list.Element, e *cacheEntry) {
+	s.ll.Remove(el)
+	delete(s.items, e.key)
+	if e.ten != nil {
+		if n := s.tenCount[e.ten] - 1; n > 0 {
+			s.tenCount[e.ten] = n
+		} else {
+			delete(s.tenCount, e.ten)
+		}
 	}
 }
 
@@ -192,8 +252,20 @@ func (s *cacheShard) evict() {
 			victim = el
 		}
 	}
-	s.ll.Remove(victim)
-	delete(s.items, victim.Value.(*cacheEntry).key)
+	s.removeEntry(victim, victim.Value.(*cacheEntry))
+}
+
+// TenantEntries reports how many cache entries t occupies across shards
+// (the quota the eviction policy enforces).
+func (c *Cache) TenantEntries(t *Tenant) int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.tenCount[t]
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Stats reports entry count and hit/miss/cost counters as the wire type.

@@ -31,6 +31,7 @@ func RunCLI(name string, args []string) error {
 	compactIvl := fs.Duration("store-compact-interval", 0, "background compaction check interval (0 = default 15s)")
 	storeFsync := fs.Bool("store-fsync", false, "fsync the delta log after every append (survives machine crashes, not just process crashes)")
 	fsck := fs.Bool("store-fsck", false, "validate -store-dir (manifest, snapshot loads, delta checksums and replay), print a report, and exit")
+	tenantsFile := fs.String("tenants", "", "enable multi-tenant mode: JSON file of [{\"id\",\"token\",\"budgetBytes\",\"cacheQuota\",\"ratePerSec\"}] tenant configs (empty = single-tenant)")
 	logFormat := fs.String("log-format", "text", "log output format: text or json")
 	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	pprofAddr := fs.String("pprof", "", "admin listen address for net/http/pprof profiles (empty = disabled; keep it off public interfaces)")
@@ -61,6 +62,18 @@ func RunCLI(name string, args []string) error {
 		return err
 	}
 
+	var tenants []TenantConfig
+	if *tenantsFile != "" {
+		if tenants, err = LoadTenantsFile(*tenantsFile); err != nil {
+			return err
+		}
+		if tenants == nil {
+			// An empty config file still enables tenancy (Config.Tenants
+			// distinguishes nil from empty).
+			tenants = []TenantConfig{}
+		}
+	}
+
 	srv, err := New(Config{
 		Addr:                 *addr,
 		XTPAddr:              *xtpAddr,
@@ -73,6 +86,7 @@ func RunCLI(name string, args []string) error {
 		StoreFsync:           *storeFsync,
 		Logger:               logger,
 		PprofAddr:            *pprofAddr,
+		Tenants:              tenants,
 	})
 	if err != nil {
 		return err

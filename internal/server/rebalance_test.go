@@ -308,7 +308,7 @@ func TestRebalanceStatsJSON(t *testing.T) {
 	defer s.Close()
 	createFixture(t, ts, "fig2")
 	var st api.Stats
-	doJSON(t, ts.Client(), "GET", ts.URL+"/stats", nil, &st)
+	doJSON(t, ts.Client(), "GET", ts.URL+"/v1/stats", nil, &st)
 	if !st.Rebalance.Async {
 		t.Errorf("stats.rebalance = %+v, want async worker reported", st.Rebalance)
 	}
@@ -321,7 +321,7 @@ func TestRebalanceStatsJSON(t *testing.T) {
 		t.Errorf("budget change planned no rebalance: %+v", rb)
 	}
 	s.Registry().waitRebalanced()
-	doJSON(t, ts.Client(), "GET", ts.URL+"/stats", nil, &st)
+	doJSON(t, ts.Client(), "GET", ts.URL+"/v1/stats", nil, &st)
 	if st.AggregateBudget != 32<<10 || st.Rebalance.AppliedGen < rb.Gen || st.Rebalance.Pending != 0 {
 		t.Errorf("stats after budget change = budget %d rebalance %+v", st.AggregateBudget, st.Rebalance)
 	}

@@ -48,7 +48,9 @@ var (
 
 // Entry is one registered synopsis plus its lock and serving counters.
 type Entry struct {
-	name    string
+	name    string        // qualified registry key: store.Key(tenant, bare)
+	bare    string        // name within the tenant's namespace (what clients see)
+	ten     *Tenant       // owning tenant (never nil; default on untenanted servers)
 	id      uint64        // registry-unique; scopes this entry's cache keys
 	ver     atomic.Uint64 // durable mutation counter, persisted with base snapshots
 	source  string        // human-readable provenance ("xml upload", "dataset xmark", ...)
@@ -144,6 +146,11 @@ type Registry struct {
 
 	cache *Cache
 
+	// tenants resolves (tenant, name) keys to their owning Tenant. Never
+	// nil: NewRegistry installs a disabled single-tenant set; the server
+	// swaps in the real one (AttachTenants) before any entry is registered.
+	tenants *TenantSet
+
 	// estSem globally bounds the *extra* worker goroutines EstimateBatch
 	// spawns for large miss sets: each batch always works on its own
 	// request goroutine and adds helpers only while a slot is free, so K
@@ -232,8 +239,28 @@ func NewRegistryObs(cacheCapacity, aggregateBudgetBytes int, om *obs.Registry) *
 	}
 	r.obs = newRegMetrics(om)
 	r.obs.wire(r)
+	r.tenants = noTenants()
 	r.rebalCond = sync.NewCond(&r.rebalMu)
 	return r
+}
+
+// AttachTenants installs the tenant set. Call before any entry is
+// registered (the server does this before store recovery), so every entry
+// resolves its tenant against the final set.
+func (r *Registry) AttachTenants(ts *TenantSet) {
+	if ts == nil {
+		return
+	}
+	r.mu.Lock()
+	r.tenants = ts
+	r.mu.Unlock()
+}
+
+// Tenants returns the registry's tenant set.
+func (r *Registry) Tenants() *TenantSet {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.tenants
 }
 
 // StartRebalancer launches the background budget rebalancer. Before it runs
@@ -288,46 +315,68 @@ func (r *Registry) rebalanceWorker() {
 
 // planRebalanceLocked computes per-entry budget targets from the current
 // registry shape: each synopsis keeps its kernel and gets an equal share of
-// the remaining aggregate budget for its hyper-edge table (the paper's
-// dynamic reconfiguration, applied fleet-wide). With no aggregate budget
-// (unlimited), the plan lifts the bound (target -1) from entries a previous
-// rebalance constrained; synopses never touched keep their build-time
-// budgets. Caller holds r.mu. Kernel sizes and last budgets come from the
-// entries' atomic mirrors, so planning never blocks on an entry's critical
-// section; they may be slightly stale, which is fine — a budget is a
-// target, not an invariant.
+// its budget domain's remaining bytes for its hyper-edge table (the paper's
+// dynamic reconfiguration, applied fleet-wide). Budget domains partition
+// the registry by tenant: a tenant with a private budget plans over its own
+// synopses alone, and everyone else — including the whole registry on an
+// untenanted server — pools under the fleet budget, so the untenanted plan
+// is exactly the pre-tenancy one. A domain with no budget (unlimited)
+// plans the lift target (-1) for entries a previous rebalance constrained;
+// whether an entry was actually constrained is decided at apply time under
+// its own lock (deciding here from lastBudget would race an in-flight
+// constraining plan and could leave a synopsis pinned at a tight budget
+// forever). Caller holds r.mu. Kernel sizes and tenant budgets come from
+// atomic mirrors, so planning never blocks on an entry's critical section;
+// they may be slightly stale, which is fine — a budget is a target, not an
+// invariant.
 func (r *Registry) planRebalanceLocked() *rebalPlan {
 	if len(r.entries) == 0 {
 		return nil
 	}
-	if r.budget <= 0 {
-		if !r.everBudgeted {
-			return nil
-		}
-		// Every entry gets the lift target; whether an entry was actually
-		// constrained is decided at apply time under its own lock (deciding
-		// here from lastBudget would race an in-flight constraining plan and
-		// could leave a synopsis pinned at a tight budget forever).
-		targets := make([]rebalTarget, 0, len(r.entries))
-		for _, e := range r.entries {
-			targets = append(targets, rebalTarget{e: e, target: -1})
-		}
-		return &rebalPlan{gen: r.rebalGen.Add(1), targets: targets}
-	}
-	r.everBudgeted = true
-	kernels := 0
-	targets := make([]rebalTarget, 0, len(r.entries))
+	var fleet []*Entry
+	var private map[*Tenant][]*Entry
 	for _, e := range r.entries {
-		k := int(e.kernBytes.Load())
-		targets = append(targets, rebalTarget{e: e, target: k})
-		kernels += k
+		if e.ten != nil && e.ten.budget.Load() > 0 {
+			if private == nil {
+				private = make(map[*Tenant][]*Entry)
+			}
+			private[e.ten] = append(private[e.ten], e)
+		} else {
+			fleet = append(fleet, e)
+		}
 	}
-	share := (r.budget - kernels) / len(targets)
-	if share < 0 {
-		share = 0
+	if r.budget > 0 || len(private) > 0 {
+		r.everBudgeted = true
 	}
-	for i := range targets {
-		targets[i].target += share
+	if !r.everBudgeted {
+		return nil
+	}
+	targets := make([]rebalTarget, 0, len(r.entries))
+	appendDomain := func(ents []*Entry, budget int) {
+		if budget <= 0 {
+			for _, e := range ents {
+				targets = append(targets, rebalTarget{e: e, target: -1})
+			}
+			return
+		}
+		kernels := 0
+		start := len(targets)
+		for _, e := range ents {
+			k := int(e.kernBytes.Load())
+			targets = append(targets, rebalTarget{e: e, target: k})
+			kernels += k
+		}
+		share := (budget - kernels) / len(ents)
+		if share < 0 {
+			share = 0
+		}
+		for i := start; i < len(targets); i++ {
+			targets[i].target += share
+		}
+	}
+	appendDomain(fleet, r.budget)
+	for t, ents := range private {
+		appendDomain(ents, int(t.budget.Load()))
 	}
 	return &rebalPlan{gen: r.rebalGen.Add(1), targets: targets}
 }
@@ -509,7 +558,7 @@ func (r *Registry) Restore(l store.Loaded) (*Entry, error) {
 	r.mu.Lock()
 	if _, ok := r.entries[l.Name]; ok {
 		r.mu.Unlock()
-		return nil, fmt.Errorf("synopsis %q %w", l.Name, ErrExists)
+		return nil, fmt.Errorf("synopsis %q %w", seriesFor(l.Name), ErrExists)
 	}
 	e := r.newEntry(l.Name, l.Syn, l.Source)
 	if !l.Created.IsZero() {
@@ -549,7 +598,7 @@ func (r *Registry) register(name string, syn *xseed.Synopsis, source string, rep
 	old, exists := r.entries[name]
 	if exists && !replace {
 		r.mu.Unlock()
-		return nil, fmt.Errorf("synopsis %q %w", name, ErrExists)
+		return nil, fmt.Errorf("synopsis %q %w", seriesFor(name), ErrExists)
 	}
 	e := r.newEntry(name, syn, source)
 	st := r.st
@@ -627,15 +676,18 @@ func (r *Registry) Put(name string, syn *xseed.Synopsis, source string) (*Entry,
 }
 
 func (r *Registry) newEntry(name string, syn *xseed.Synopsis, source string) *Entry {
+	_, bare := store.SplitKey(name)
 	e := &Entry{
 		name:    name,
+		bare:    bare,
+		ten:     r.tenants.forKey(name),
 		id:      r.ids.Add(1),
 		source:  source,
 		created: time.Now(),
 		syn:     syn,
 		acc:     &metrics.Online{},
 	}
-	e.stages, e.qerr = r.obs.entry(name)
+	e.stages, e.qerr = r.obs.entry(seriesFor(name))
 	e.kernBytes.Store(int64(syn.KernelSizeBytes()))
 	return e
 }
@@ -646,9 +698,22 @@ func (r *Registry) Get(name string) (*Entry, error) {
 	defer r.mu.RUnlock()
 	e, ok := r.entries[name]
 	if !ok {
-		return nil, fmt.Errorf("synopsis %q %w", name, ErrNotFound)
+		return nil, fmt.Errorf("synopsis %q %w", seriesFor(name), ErrNotFound)
 	}
 	return e, nil
+}
+
+// Keys returns every registered qualified key, sorted. Admin surface: the
+// compact route enumerates the fleet across tenants with it.
+func (r *Registry) Keys() []string {
+	r.mu.RLock()
+	out := make([]string, 0, len(r.entries))
+	for k := range r.entries {
+		out = append(out, k)
+	}
+	r.mu.RUnlock()
+	sort.Strings(out)
+	return out
 }
 
 // Delete removes the synopsis. Its cached estimates become unreachable
@@ -671,9 +736,9 @@ func (r *Registry) Delete(name string) error {
 	}
 	r.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("synopsis %q %w", name, ErrNotFound)
+		return fmt.Errorf("synopsis %q %w", seriesFor(name), ErrNotFound)
 	}
-	r.obs.deleteEntry(name)
+	r.obs.deleteEntry(seriesFor(name))
 	r.dispatch(p)
 	if st != nil {
 		if err := st.Remove(name); err != nil {
@@ -689,6 +754,16 @@ func (r *Registry) Delete(name string) error {
 func (r *Registry) SetAggregateBudget(bytes int) {
 	r.mu.Lock()
 	r.budget = bytes
+	p := r.planRebalanceLocked()
+	r.mu.Unlock()
+	r.dispatch(p)
+}
+
+// SetTenantBudget changes one tenant's private budget (0 = rejoin the
+// fleet-wide budget) and rebalances its domain.
+func (r *Registry) SetTenantBudget(t *Tenant, bytes int) {
+	t.budget.Store(int64(bytes))
+	r.mu.Lock()
 	p := r.planRebalanceLocked()
 	r.mu.Unlock()
 	r.dispatch(p)
@@ -765,7 +840,7 @@ func (r *Registry) EstimateBatch(ctx context.Context, name string, queries []str
 			sp.Mark(obs.StageParse)
 			pl = sn.Compile(q)
 			sp.Mark(obs.StageCompile)
-			r.cache.PutPlan(planScope, raw, pl, time.Since(start).Nanoseconds())
+			r.cache.PutPlan(planScope, raw, pl, time.Since(start).Nanoseconds(), e.ten)
 			sp.Mark(obs.StageCacheProbe)
 		}
 		// The cache key is the normalized (parsed, re-rendered) query, so
@@ -784,7 +859,7 @@ func (r *Registry) EstimateBatch(ctx context.Context, name string, queries []str
 			sp.Flush()
 			continue
 		}
-		if v, ok := r.cache.Get(scope, key); ok {
+		if v, ok := r.cache.Get(scope, key, e.ten); ok {
 			items[i].Estimate, items[i].Streamed, items[i].Cached = v.Est, v.Streamed, true
 			sp.Mark(obs.StageCacheProbe)
 			sp.Flush()
@@ -825,7 +900,7 @@ func (r *Registry) EstimateBatch(ctx context.Context, name string, queries []str
 		for _, i := range m.indices {
 			items[i].Estimate, items[i].Streamed = v.Est, v.Streamed
 		}
-		r.cache.Put(scope, m.key, v)
+		r.cache.Put(scope, m.key, v, e.ten)
 	}
 	if len(order) >= minParallelMisses {
 		var next atomic.Int64
@@ -902,7 +977,9 @@ func (r *Registry) Feedback(name, query string, actual float64) error {
 		// like any estimate — and keep the cache warm.
 		est := e.syn.Snapshot().EstimateQuery(q)
 		e.acc.Add(est, actual)
-		e.qerr.Observe(qerrValue(est, actual))
+		qv := qerrValue(est, actual)
+		e.qerr.Observe(qv)
+		e.ten.qerr.Observe(qv)
 		e.feedbacks.Add(1)
 		return nil
 	}
@@ -925,7 +1002,9 @@ func (r *Registry) Feedback(name, query string, actual float64) error {
 	}
 	e.mu.Unlock()
 	e.acc.Add(est, actual)
-	e.qerr.Observe(qerrValue(est, actual))
+	qv := qerrValue(est, actual)
+	e.qerr.Observe(qv)
+	e.ten.qerr.Observe(qv)
 	e.feedbacks.Add(1)
 	if persistErr != nil {
 		return fmt.Errorf("feedback applied but not persisted: %w", persistErr)
@@ -990,7 +1069,7 @@ func (e *Entry) Info() api.SynopsisInfo {
 	e.mu.RUnlock()
 	acc := e.acc.Snapshot()
 	return api.SynopsisInfo{
-		Name:           e.name,
+		Name:           e.bare,
 		Source:         e.source,
 		Created:        e.created,
 		KernelBytes:    kern,
@@ -1017,15 +1096,27 @@ func (e *Entry) Info() api.SynopsisInfo {
 	}
 }
 
-// List returns info for every registered synopsis, sorted by name.
+// List returns info for every synopsis the default tenant owns, sorted by
+// name (the untenanted view; see ListFor).
 func (r *Registry) List() []api.SynopsisInfo {
+	return r.ListFor(nil)
+}
+
+// ListFor returns info for every synopsis t owns, sorted by name. A nil t
+// means the default tenant.
+func (r *Registry) ListFor(t *Tenant) []api.SynopsisInfo {
 	r.mu.RLock()
+	if t == nil {
+		t = r.tenants.def
+	}
 	entries := make([]*Entry, 0, len(r.entries))
 	for _, e := range r.entries {
-		entries = append(entries, e)
+		if e.ten == t {
+			entries = append(entries, e)
+		}
 	}
 	r.mu.RUnlock()
-	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	sort.Slice(entries, func(i, j int) bool { return entries[i].bare < entries[j].bare })
 	out := make([]api.SynopsisInfo, len(entries))
 	for i, e := range entries {
 		out[i] = e.Info()
@@ -1033,17 +1124,32 @@ func (r *Registry) List() []api.SynopsisInfo {
 	return out
 }
 
-// Stats snapshots the whole registry as the /v1/stats wire payload.
+// Stats snapshots the registry as the /v1/stats wire payload from the
+// default tenant's perspective (the untenanted view; see StatsFor).
 func (r *Registry) Stats() api.Stats {
-	infos := r.List()
+	return r.StatsFor(nil)
+}
+
+// StatsFor snapshots the registry as the /v1/stats payload scoped to t (nil
+// = default): its synopses, its effective budget, and — when tenancy is on
+// and t is the admin (default) tenant — the fleet-wide per-tenant rollups.
+// A non-default tenant's Cache block covers only its own lookups and
+// occupancy; the default tenant sees the whole cache, byte-identical to the
+// untenanted payload.
+func (r *Registry) StatsFor(t *Tenant) api.Stats {
+	r.mu.RLock()
+	ts := r.tenants
+	budget := r.budget
+	st := r.st
+	r.mu.RUnlock()
+	if t == nil {
+		t = ts.def
+	}
+	infos := r.ListFor(t)
 	total := 0
 	for _, in := range infos {
 		total += in.TotalBytes
 	}
-	r.mu.RLock()
-	budget := r.budget
-	st := r.st
-	r.mu.RUnlock()
 	out := api.Stats{
 		Synopses:        infos,
 		TotalBytes:      total,
@@ -1051,9 +1157,74 @@ func (r *Registry) Stats() api.Stats {
 		Rebalance:       r.RebalanceStats(),
 		Cache:           r.cache.Stats(),
 	}
+	if tb := int(t.budget.Load()); tb > 0 {
+		out.AggregateBudget = tb
+	}
+	if t != ts.def {
+		hits, misses := t.hits.load(), t.misses.load()
+		out.Cache = api.CacheStats{
+			Entries: r.cache.TenantEntries(t),
+			Hits:    hits,
+			Misses:  misses,
+		}
+		if tot := hits + misses; tot > 0 {
+			out.Cache.HitRate = float64(hits) / float64(tot)
+		}
+	}
 	if st != nil {
-		ss := storeStatsAPI(st.Stats())
+		ss := storeStatsAPI(st.Stats(), ts, t)
 		out.Store = &ss
+	}
+	if ts.enabled && t == ts.def {
+		out.Tenants = r.tenantRollups(ts)
+	}
+	return out
+}
+
+// tenantRollups builds the admin's fleet-wide per-tenant summary.
+func (r *Registry) tenantRollups(ts *TenantSet) []api.TenantStats {
+	type agg struct {
+		n     int
+		bytes int
+	}
+	perTen := make(map[*Tenant]agg)
+	r.mu.RLock()
+	entries := make([]*Entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.RUnlock()
+	for _, e := range entries {
+		e.mu.RLock()
+		sz := e.syn.SizeBytes()
+		e.mu.RUnlock()
+		a := perTen[e.ten]
+		a.n++
+		a.bytes += sz
+		perTen[e.ten] = a
+	}
+	tens := ts.all()
+	out := make([]api.TenantStats, 0, len(tens))
+	for _, t := range tens {
+		a := perTen[t]
+		hits, misses := t.hits.load(), t.misses.load()
+		s := api.TenantStats{
+			ID:          t.id,
+			Synopses:    a.n,
+			TotalBytes:  a.bytes,
+			BudgetBytes: int(t.budget.Load()),
+			CacheQuota:  t.cacheQuota,
+			CacheHits:   hits,
+			CacheMisses: misses,
+			RateLimited: t.rateLimited.Load(),
+			QErrorP50:   t.qerr.Quantile(0.50),
+			QErrorP90:   t.qerr.Quantile(0.90),
+			QErrorP99:   t.qerr.Quantile(0.99),
+		}
+		if tot := hits + misses; tot > 0 {
+			s.CacheHitRate = float64(hits) / float64(tot)
+		}
+		out = append(out, s)
 	}
 	return out
 }

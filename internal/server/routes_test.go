@@ -50,56 +50,31 @@ func normalizeBody(t *testing.T, b []byte) string {
 	return string(out)
 }
 
-// TestLegacyRouteAliases drives every deprecated unversioned path and its
-// /v1 twin through identical fresh servers and requires byte-identical
-// (normalized) bodies and statuses, plus the Deprecation header on the
-// legacy mount only. The table comes from api.Routes, so a new route with
-// a legacy alias is covered the day it is declared.
-func TestLegacyRouteAliases(t *testing.T) {
+// TestRemovedAliasRoutes locks the alias sunset: every pre-/v1 unversioned
+// path (the api.Routes Legacy column) now answers 404 with a typed
+// not_found whose message and Link header point at the /v1 successor —
+// never a plain-text mux 404, and never the old aliased behavior. The /v1
+// twin keeps serving. The table comes from api.Routes, so the regression
+// holds for exactly the set of paths that were ever aliased.
+func TestRemovedAliasRoutes(t *testing.T) {
+	s, err := New(Config{CacheCapacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
 	doc, err := xseed.ParseXMLString(fixtures.PaperFigure2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	syn, err := xseed.BuildSynopsis(doc, nil)
+	fig2, err := xseed.BuildSynopsis(doc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var snapshot bytes.Buffer
-	if _, err := syn.WriteTo(&snapshot); err != nil {
+	if _, err := s.Registry().Add("fig2", fig2, "xml upload"); err != nil {
 		t.Fatal(err)
 	}
-
-	// Request bodies per "METHOD /v1/path" key; routes absent from the map
-	// send no body.
-	bodies := map[string][]byte{
-		"POST /v1/synopses":                 mustJSON(t, api.CreateRequest{Name: "new", XML: fixtures.PaperFigure2}),
-		"POST /v1/synopses/{name}/estimate": mustJSON(t, api.EstimateRequest{Queries: []string{"/a/c/s", "bogus ???", "//s//p"}}),
-		"POST /v1/synopses/{name}/feedback": mustJSON(t, api.FeedbackRequest{Query: "/a/c/s", Actual: 5}),
-		"POST /v1/synopses/{name}/subtree":  mustJSON(t, api.SubtreeRequest{Op: "add", Context: []string{"a"}, XML: "<u/>"}),
-		"PUT /v1/synopses/{name}/snapshot":  snapshot.Bytes(),
-	}
-
-	newSeeded := func() *httptest.Server {
-		s, err := New(Config{CacheCapacity: 64})
-		if err != nil {
-			t.Fatal(err)
-		}
-		d, err := xseed.ParseXMLString(fixtures.PaperFigure2)
-		if err != nil {
-			t.Fatal(err)
-		}
-		fig2, err := xseed.BuildSynopsis(d, nil)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if _, err := s.Registry().Add("fig2", fig2, "xml upload"); err != nil {
-			t.Fatal(err)
-		}
-		ts := httptest.NewServer(s.Handler())
-		t.Cleanup(ts.Close)
-		t.Cleanup(func() { s.Close() })
-		return ts
-	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { s.Close() })
 
 	aliased := 0
 	for _, rt := range api.Routes() {
@@ -108,57 +83,52 @@ func TestLegacyRouteAliases(t *testing.T) {
 		}
 		aliased++
 		t.Run(rt.Method+" "+rt.Legacy, func(t *testing.T) {
-			// Two servers seeded identically: the mutating routes (create,
-			// feedback, subtree, snapshot put, delete) each run once per
-			// server, so the pair stays comparable.
-			v1Srv, legacySrv := newSeeded(), newSeeded()
-			key := rt.Method + " " + rt.Path
-			fill := func(p string) string { return strings.ReplaceAll(p, "{name}", "fig2") }
-
-			do := func(ts *httptest.Server, path string) (*http.Response, []byte) {
-				t.Helper()
-				var rd io.Reader
-				if b, ok := bodies[key]; ok {
-					rd = bytes.NewReader(b)
-				}
-				req, err := http.NewRequest(rt.Method, ts.URL+fill(path), rd)
-				if err != nil {
-					t.Fatal(err)
-				}
-				resp, err := ts.Client().Do(req)
-				if err != nil {
-					t.Fatal(err)
-				}
-				defer resp.Body.Close()
-				data, err := io.ReadAll(resp.Body)
-				if err != nil {
-					t.Fatal(err)
-				}
-				return resp, data
+			path := strings.ReplaceAll(rt.Legacy, "{name}", "fig2")
+			req, err := http.NewRequest(rt.Method, ts.URL+path, strings.NewReader("{}"))
+			if err != nil {
+				t.Fatal(err)
 			}
-
-			v1Resp, v1Body := do(v1Srv, rt.Path)
-			lgResp, lgBody := do(legacySrv, rt.Legacy)
-
-			if v1Resp.StatusCode != lgResp.StatusCode {
-				t.Errorf("status: v1 %d, legacy %d", v1Resp.StatusCode, lgResp.StatusCode)
+			resp, err := ts.Client().Do(req)
+			if err != nil {
+				t.Fatal(err)
 			}
-			if want, got := normalizeBody(t, v1Body), normalizeBody(t, lgBody); want != got {
-				t.Errorf("bodies differ:\n  v1:     %s\n  legacy: %s", want, got)
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusNotFound {
+				t.Fatalf("removed alias %s %s: status %d, want 404", rt.Method, path, resp.StatusCode)
 			}
-			if dep := lgResp.Header.Get("Deprecation"); dep != "true" {
-				t.Errorf("legacy Deprecation header = %q, want \"true\"", dep)
+			var env api.ErrorResponse
+			if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+				t.Fatalf("removed alias body is not the error envelope: %v", err)
 			}
-			if link := lgResp.Header.Get("Link"); !strings.Contains(link, "/v1"+fill(rt.Legacy)) || !strings.Contains(link, "successor-version") {
-				t.Errorf("legacy Link header = %q", link)
+			if env.Err == nil || env.Err.Code != api.CodeNotFound {
+				t.Fatalf("removed alias error = %+v, want typed %s", env.Err, api.CodeNotFound)
 			}
-			if dep := v1Resp.Header.Get("Deprecation"); dep != "" {
-				t.Errorf("/v1 route carries Deprecation header %q", dep)
+			if !strings.Contains(env.Err.Msg, "/v1"+path) {
+				t.Errorf("error message %q does not name the successor /v1%s", env.Err.Msg, path)
+			}
+			if link := resp.Header.Get("Link"); !strings.Contains(link, "/v1"+path) || !strings.Contains(link, "successor-version") {
+				t.Errorf("Link header = %q, want successor-version /v1%s", link, path)
+			}
+			// The /v1 twin is mounted and does not 404 on the same method
+			// (GET routes answer 200; mutating routes at worst reject the
+			// placeholder body with a 4xx that is not not_found-at-the-mux).
+			v1req, err := http.NewRequest(rt.Method, ts.URL+"/v1"+path, strings.NewReader("{}"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			v1resp, err := ts.Client().Do(v1req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, v1resp.Body)
+			v1resp.Body.Close()
+			if v1resp.StatusCode == http.StatusMethodNotAllowed {
+				t.Errorf("/v1%s: successor not mounted for %s", path, rt.Method)
 			}
 		})
 	}
 	if aliased < 10 {
-		t.Fatalf("only %d aliased routes exercised; the legacy surface shrank", aliased)
+		t.Fatalf("only %d removed aliases exercised; the regression surface shrank", aliased)
 	}
 }
 

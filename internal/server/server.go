@@ -13,6 +13,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"xseed"
@@ -72,6 +73,14 @@ type Config struct {
 	// obs.NewRegistry (metrics on); pass obs.Disabled to switch
 	// instrumentation off (benchmark baselines).
 	Metrics *obs.Registry
+
+	// Tenants, when non-nil, enables multi-tenant mode (the -tenants flag):
+	// bearer tokens resolve to the configured tenants, synopsis namespaces,
+	// budgets, cache quotas, rate limits, and stats become tenant-scoped,
+	// and tokenless requests resolve to the "default" tenant. Nil — not
+	// merely empty — keeps the server single-tenant, byte-identical to
+	// pre-tenancy behavior.
+	Tenants []TenantConfig
 }
 
 // Server is the xseedd HTTP server: a registry plus its JSON API. Its wire
@@ -89,6 +98,7 @@ type Server struct {
 	om        *obs.Registry
 	httpM     *httpMetrics
 	pprofAddr string
+	tenants   *TenantSet
 }
 
 // New builds a server around a fresh registry. With cfg.StoreDir set it
@@ -110,6 +120,13 @@ func New(cfg Config) (*Server, error) {
 	if om == nil {
 		om = obs.NewRegistry()
 	}
+	ts := noTenants()
+	if cfg.Tenants != nil {
+		var err error
+		if ts, err = NewTenantSet(om, cfg.Tenants); err != nil {
+			return nil, err
+		}
+	}
 	s := &Server{
 		reg:       NewRegistryObs(cfg.CacheCapacity, cfg.AggregateBudgetBytes, om),
 		dataDir:   cfg.DataDir,
@@ -119,7 +136,11 @@ func New(cfg Config) (*Server, error) {
 		httpM:     newHTTPMetrics(om),
 		pprofAddr: cfg.PprofAddr,
 		xtpAddr:   cfg.XTPAddr,
+		tenants:   ts,
 	}
+	// Attach before store recovery: restored entries must resolve their
+	// tenants (and tenant budget domains) against the final set.
+	s.reg.AttachTenants(ts)
 	if cfg.XTPAddr != "" {
 		s.xtp = NewXTP(s.reg, XTPOptions{Logger: logger, Metrics: om})
 	}
@@ -173,12 +194,11 @@ func (s *Server) Close() error {
 func (s *Server) Registry() *Registry { return s.reg }
 
 // Handler mounts the api.Routes table: every route under its /v1 path,
-// plus the deprecated unversioned alias (same handler wrapped to emit the
-// Deprecation header) where the table declares one. Every mounted route is
-// wrapped with its per-route metrics — children resolved here, once — and
-// the whole mux sits behind the request-ID/access-log middleware. It is
-// independent of any listener — this is what httptest mounts in the
-// end-to-end tests.
+// wrapped with its per-route metrics (children resolved here, once) and the
+// bearer-token tenant resolver; the retired unversioned aliases answer with
+// a typed not_found pointing at their /v1 successor. The whole mux sits
+// behind the request-ID/access-log middleware. It is independent of any
+// listener — this is what httptest mounts in the end-to-end tests.
 func (s *Server) Handler() http.Handler {
 	handlers := map[string]http.HandlerFunc{
 		"GET /v1/healthz":                   s.handleHealthz,
@@ -203,12 +223,15 @@ func (s *Server) Handler() http.Handler {
 		if !ok {
 			panic(fmt.Sprintf("server: api.Routes declares %s %s but no handler is bound", rt.Method, rt.Path))
 		}
+		if rt.Path != "/metrics" {
+			// /metrics stays tokenless (a Prometheus scraper carries no
+			// bearer token and serves no tenant-scoped payload).
+			h = s.withTenant(h)
+		}
 		h = instrument(s.httpM.route(rt.Method+" "+rt.Path), h)
 		mux.HandleFunc(rt.Method+" "+rt.Path, h)
 		if rt.Legacy != "" {
-			// The alias shares the canonical route's metric series: same
-			// handler, same cost — only the Deprecation header differs.
-			mux.HandleFunc(rt.Method+" "+rt.Legacy, deprecated(h))
+			mux.HandleFunc(rt.Method+" "+rt.Legacy, removedAlias)
 		}
 		mounted++
 	}
@@ -218,15 +241,64 @@ func (s *Server) Handler() http.Handler {
 	return s.withRequestID(mux)
 }
 
-// deprecated wraps a /v1 handler for its legacy unversioned mount: the
-// body stays identical, and the response gains the RFC 9745 Deprecation
-// header plus a Link to the successor route.
-func deprecated(h http.HandlerFunc) http.HandlerFunc {
+// removedAlias answers the retired pre-/v1 alias paths. The aliases were
+// removed after their deprecation window, but the mux's default 404 is
+// plain text — the old paths keep speaking the typed error envelope, with
+// the /v1 successor named in the message and a Link header, so a stale
+// client's failure mode is self-diagnosing.
+func removedAlias(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Link", fmt.Sprintf("</v1%s>; rel=\"successor-version\"", r.URL.Path))
+	writeAPIError(w, r, api.Errorf(api.CodeNotFound,
+		"this unversioned route was removed; use /v1%s", r.URL.Path))
+}
+
+// ctxKeyTenant carries the resolved *Tenant through the request context.
+const ctxKeyTenant ctxKey = 1
+
+// withTenant resolves the request's tenant from its Authorization header
+// (see TenantSet.resolveHTTP) before the handler runs: unauthorized
+// requests never reach a handler, and handlers read the tenant back with
+// s.tenant. On untenanted servers resolution is two branches and the
+// per-tenant request counter is inert.
+func (s *Server) withTenant(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Deprecation", "true")
-		w.Header().Set("Link", fmt.Sprintf("</v1%s>; rel=\"successor-version\"", r.URL.Path))
-		h(w, r)
+		t, aerr := s.tenants.resolveHTTP(r)
+		if aerr != nil {
+			writeAPIError(w, r, aerr)
+			return
+		}
+		t.reqs.Inc()
+		h(w, r.WithContext(context.WithValue(r.Context(), ctxKeyTenant, t)))
 	}
+}
+
+// tenant returns the request's resolved tenant (default when the route ran
+// without withTenant, e.g. in handler-level tests).
+func (s *Server) tenant(r *http.Request) *Tenant {
+	if t, ok := r.Context().Value(ctxKeyTenant).(*Tenant); ok {
+		return t
+	}
+	return s.tenants.Default()
+}
+
+// synKey qualifies a client-supplied synopsis name with the tenant's
+// namespace. A NUL byte is rejected at this boundary on every route that
+// takes a name: store.Key reserves NUL as its separator, so a crafted name
+// could otherwise alias another tenant's key.
+func synKey(t *Tenant, name string) (string, *api.Error) {
+	if strings.ContainsRune(name, 0) {
+		return "", api.Errorf(api.CodeBadRequest, "synopsis name must not contain NUL")
+	}
+	return store.Key(t.ID(), name), nil
+}
+
+// adminOnly gates the admin routes (budget, compact): on a tenanted server
+// only the default tenant — the operator — may call them.
+func (s *Server) adminOnly(t *Tenant) *api.Error {
+	if s.tenants.Enabled() && t != s.tenants.Default() {
+		return api.Errorf(api.CodeUnauthorized, "admin routes require the default tenant's token")
+	}
+	return nil
 }
 
 // Run serves until ctx is cancelled, then shuts down gracefully: in-flight
@@ -498,10 +570,15 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, fmt.Errorf("missing name"))
 		return
 	}
+	key, aerr := synKey(s.tenant(r), req.Name)
+	if aerr != nil {
+		writeAPIError(w, r, aerr)
+		return
+	}
 	// Racy early uniqueness check: building a synopsis can cost seconds of
 	// CPU, so reject an already-taken name before paying for it. Add below
 	// remains the authoritative check.
-	if _, err := s.reg.Get(req.Name); err == nil {
+	if _, err := s.reg.Get(key); err == nil {
 		writeErr(w, r, fmt.Errorf("synopsis %q %w", req.Name, ErrExists))
 		return
 	}
@@ -510,7 +587,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, err)
 		return
 	}
-	e, err := s.reg.Add(req.Name, syn, source)
+	e, err := s.reg.Add(key, syn, source)
 	if err != nil {
 		writeErr(w, r, err)
 		return
@@ -518,12 +595,27 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, e.Info())
 }
 
-func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.reg.List())
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.ListFor(s.tenant(r)))
+}
+
+// pathKey resolves the {name} path segment into the request tenant's
+// qualified key, writing the error itself on a bad name.
+func (s *Server) pathKey(w http.ResponseWriter, r *http.Request) (string, bool) {
+	key, aerr := synKey(s.tenant(r), r.PathValue("name"))
+	if aerr != nil {
+		writeAPIError(w, r, aerr)
+		return "", false
+	}
+	return key, true
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
-	e, err := s.reg.Get(r.PathValue("name"))
+	key, ok := s.pathKey(w, r)
+	if !ok {
+		return
+	}
+	e, err := s.reg.Get(key)
 	if err != nil {
 		writeErr(w, r, err)
 		return
@@ -532,14 +624,36 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	if err := s.reg.Delete(r.PathValue("name")); err != nil {
+	key, ok := s.pathKey(w, r)
+	if !ok {
+		return
+	}
+	if err := s.reg.Delete(key); err != nil {
 		writeErr(w, r, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// rateLimit takes one token from the tenant's bucket, writing the typed
+// quota_exceeded rejection itself when the bucket is dry. Applied to the
+// traffic routes (estimate, feedback) — the ones a noisy neighbor floods.
+func rateLimit(w http.ResponseWriter, r *http.Request, t *Tenant) bool {
+	if t.allow() {
+		return true
+	}
+	writeAPIError(w, r, api.Errorf(api.CodeQuotaExceeded, "tenant %q rate limit exceeded", t.ID()))
+	return false
+}
+
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if !rateLimit(w, r, s.tenant(r)) {
+		return
+	}
+	key, ok := s.pathKey(w, r)
+	if !ok {
+		return
+	}
 	var req api.EstimateRequest
 	if !readBody(w, r, &req) {
 		return
@@ -552,7 +666,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, fmt.Errorf("missing query or queries"))
 		return
 	}
-	items, err := s.reg.EstimateBatch(r.Context(), r.PathValue("name"), queries, req.Streaming)
+	items, err := s.reg.EstimateBatch(r.Context(), key, queries, req.Streaming)
 	if err != nil {
 		writeErr(w, r, err)
 		return
@@ -561,6 +675,13 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	if !rateLimit(w, r, s.tenant(r)) {
+		return
+	}
+	key, ok := s.pathKey(w, r)
+	if !ok {
+		return
+	}
 	var req api.FeedbackRequest
 	if !readBody(w, r, &req) {
 		return
@@ -569,7 +690,7 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, fmt.Errorf("missing query"))
 		return
 	}
-	if err := s.reg.Feedback(r.PathValue("name"), req.Query, req.Actual); err != nil {
+	if err := s.reg.Feedback(key, req.Query, req.Actual); err != nil {
 		writeErr(w, r, err)
 		return
 	}
@@ -577,17 +698,20 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSubtree(w http.ResponseWriter, r *http.Request) {
+	key, ok := s.pathKey(w, r)
+	if !ok {
+		return
+	}
 	var req api.SubtreeRequest
 	if !readBody(w, r, &req) {
 		return
 	}
-	name := r.PathValue("name")
 	var err error
 	switch req.Op {
 	case "add":
-		err = s.reg.AddSubtree(name, req.Context, req.XML)
+		err = s.reg.AddSubtree(key, req.Context, req.XML)
 	case "remove":
-		err = s.reg.RemoveSubtree(name, req.Context, req.XML)
+		err = s.reg.RemoveSubtree(key, req.Context, req.XML)
 	default:
 		writeErr(w, r, fmt.Errorf("op must be \"add\" or \"remove\""))
 		return
@@ -600,7 +724,11 @@ func (s *Server) handleSubtree(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
-	e, err := s.reg.Get(r.PathValue("name"))
+	key, ok := s.pathKey(w, r)
+	if !ok {
+		return
+	}
+	e, err := s.reg.Get(key)
 	if err != nil {
 		writeErr(w, r, err)
 		return
@@ -633,12 +761,16 @@ func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSnapshotPut(w http.ResponseWriter, r *http.Request) {
+	key, ok := s.pathKey(w, r)
+	if !ok {
+		return
+	}
 	syn, err := xseed.ReadSynopsis(io.LimitReader(r.Body, 256<<20))
 	if err != nil {
 		writeErr(w, r, err)
 		return
 	}
-	e, err := s.reg.Put(r.PathValue("name"), syn, "snapshot upload")
+	e, err := s.reg.Put(key, syn, "snapshot upload")
 	if err != nil {
 		writeErr(w, r, err)
 		return
@@ -646,8 +778,8 @@ func (s *Server) handleSnapshotPut(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, e.Info())
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.reg.Stats())
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.StatsFor(s.tenant(r)))
 }
 
 // handleMetrics serves the Prometheus text exposition. Every family reads
@@ -657,10 +789,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.om.WritePrometheus(w)
 }
 
-// handleBudget re-targets the aggregate budget. The response carries the
-// rebalance generation the change planned; per-synopsis budgets are applied
-// asynchronously — poll /v1/stats until rebalance.appliedGen reaches it.
+// handleBudget re-targets the aggregate budget (or, with "tenant" set in
+// the body, one tenant's private budget). Admin-only on tenanted servers.
+// The response carries the rebalance generation the change planned;
+// per-synopsis budgets are applied asynchronously — poll /v1/stats until
+// rebalance.appliedGen reaches it.
 func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
+	if aerr := s.adminOnly(s.tenant(r)); aerr != nil {
+		writeAPIError(w, r, aerr)
+		return
+	}
 	var req api.BudgetRequest
 	if !readBody(w, r, &req) {
 		return
@@ -669,57 +807,95 @@ func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, fmt.Errorf("bytes must be >= 0"))
 		return
 	}
-	s.reg.SetAggregateBudget(req.Bytes)
+	if req.Tenant != "" {
+		t := s.tenants.lookup(req.Tenant)
+		if t == nil {
+			writeAPIError(w, r, api.Errorf(api.CodeNotFound, "tenant %q not found", req.Tenant))
+			return
+		}
+		s.reg.SetTenantBudget(t, req.Bytes)
+	} else {
+		s.reg.SetAggregateBudget(req.Bytes)
+	}
 	writeJSON(w, http.StatusAccepted, s.reg.RebalanceStats())
 }
 
 // handleCompact folds delta logs into fresh base snapshots on demand:
-// POST /v1/admin/compact[?synopsis=name] compacts one synopsis or, without
-// the parameter, every one with a non-empty log.
+// POST /v1/admin/compact[?synopsis=name] compacts one synopsis (resolved in
+// the default tenant's namespace) or, without the parameter, every
+// registered one across all tenants. Admin-only on tenanted servers.
 func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if aerr := s.adminOnly(s.tenant(r)); aerr != nil {
+		writeAPIError(w, r, aerr)
+		return
+	}
 	if s.st == nil {
 		writeAPIError(w, r, api.Errorf(api.CodeConflict, "server has no store (start with -store-dir)"))
 		return
 	}
-	var names []string
+	var keys []string
 	if name := r.URL.Query().Get("synopsis"); name != "" {
-		if _, err := s.reg.Get(name); err != nil {
+		key, ok := s.pathKeyFrom(w, r, name)
+		if !ok {
+			return
+		}
+		if _, err := s.reg.Get(key); err != nil {
 			writeErr(w, r, err)
 			return
 		}
-		names = []string{name}
+		keys = []string{key}
 	} else {
-		for _, info := range s.reg.List() {
-			names = append(names, info.Name)
-		}
+		keys = s.reg.Keys()
 	}
 	resp := api.CompactResponse{Compacted: []string{}}
-	for _, name := range names {
-		folded, err := s.st.CompactNow(name)
+	for _, key := range keys {
+		folded, err := s.st.CompactNow(key)
 		if err != nil {
 			s.internalErr(w, r, err)
 			return
 		}
 		if folded {
-			resp.Compacted = append(resp.Compacted, name)
+			resp.Compacted = append(resp.Compacted, seriesFor(key))
 		}
 	}
-	resp.Store = storeStatsAPI(s.st.Stats())
+	resp.Store = storeStatsAPI(s.st.Stats(), s.tenants, nil)
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// storeStatsAPI projects the store's stats onto the wire type.
-func storeStatsAPI(st store.Stats) api.StoreStats {
+// pathKeyFrom is pathKey for a name arriving outside the path (?synopsis=).
+func (s *Server) pathKeyFrom(w http.ResponseWriter, r *http.Request, name string) (string, bool) {
+	key, aerr := synKey(s.tenant(r), name)
+	if aerr != nil {
+		writeAPIError(w, r, aerr)
+		return "", false
+	}
+	return key, true
+}
+
+// storeStatsAPI projects the store's stats onto the wire type, scoped to
+// the requesting tenant: only t's synopses appear, under their bare names.
+// A nil t skips the filter (the admin compact response reports the whole
+// store), tagging each row with its tenant — empty for the default, so
+// untenanted payloads are byte-identical to pre-tenancy ones.
+func storeStatsAPI(st store.Stats, ts *TenantSet, t *Tenant) api.StoreStats {
 	out := api.StoreStats{Dir: st.Dir}
 	for _, s := range st.Synopses {
-		out.Synopses = append(out.Synopses, api.StoreSynopsisStats{
-			Name:         s.Name,
+		ten, bare := store.SplitKey(s.Name)
+		if t != nil && ts.lookup(ten) != t {
+			continue
+		}
+		row := api.StoreSynopsisStats{
+			Name:         bare,
 			Seq:          s.Seq,
 			BaseBytes:    s.BaseBytes,
 			DeltaBytes:   s.DeltaBytes,
 			DeltaRecords: s.DeltaRecords,
 			Compactions:  s.Compactions,
-		})
+		}
+		if ten != store.DefaultTenant {
+			row.Tenant = ten
+		}
+		out.Synopses = append(out.Synopses, row)
 	}
 	return out
 }

@@ -63,7 +63,7 @@ func doJSON(t *testing.T, client *http.Client, method, url string, body any, out
 func createFixture(t *testing.T, ts *httptest.Server, name string) api.SynopsisInfo {
 	t.Helper()
 	var info api.SynopsisInfo
-	resp := doJSON(t, ts.Client(), "POST", ts.URL+"/synopses",
+	resp := doJSON(t, ts.Client(), "POST", ts.URL+"/v1/synopses",
 		api.CreateRequest{Name: name, XML: fixtures.PaperFigure2}, &info)
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("create %s: status %d", name, resp.StatusCode)
@@ -73,7 +73,7 @@ func createFixture(t *testing.T, ts *httptest.Server, name string) api.SynopsisI
 
 func TestHTTPHealthz(t *testing.T) {
 	_, ts := newTestServer(t)
-	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	resp, err := ts.Client().Get(ts.URL + "/v1/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func TestHTTPCreateListGetDelete(t *testing.T) {
 
 	// Duplicate name conflicts, with the typed conflict code.
 	var apiErr api.ErrorResponse
-	resp := doJSON(t, ts.Client(), "POST", ts.URL+"/synopses",
+	resp := doJSON(t, ts.Client(), "POST", ts.URL+"/v1/synopses",
 		api.CreateRequest{Name: "fig2", XML: fixtures.PaperFigure2}, &apiErr)
 	if resp.StatusCode != http.StatusConflict || apiErr.Err == nil || apiErr.Err.Code != api.CodeConflict {
 		t.Fatalf("duplicate create: status %d, err %+v", resp.StatusCode, apiErr.Err)
@@ -104,14 +104,14 @@ func TestHTTPCreateListGetDelete(t *testing.T) {
 		{Name: "x", XML: "<a/>", Dataset: "xmark"},
 		{Name: "x", XML: "<a><unclosed>"},
 	} {
-		if resp := doJSON(t, ts.Client(), "POST", ts.URL+"/synopses", req, nil); resp.StatusCode != http.StatusBadRequest {
+		if resp := doJSON(t, ts.Client(), "POST", ts.URL+"/v1/synopses", req, nil); resp.StatusCode != http.StatusBadRequest {
 			t.Fatalf("create %+v: status %d, want 400", req, resp.StatusCode)
 		}
 	}
 
 	// Kernel-only config is honored.
 	var bare api.SynopsisInfo
-	doJSON(t, ts.Client(), "POST", ts.URL+"/synopses",
+	doJSON(t, ts.Client(), "POST", ts.URL+"/v1/synopses",
 		api.CreateRequest{Name: "bare", XML: fixtures.PaperFigure2, Config: &api.SynopsisConfig{KernelOnly: true}}, &bare)
 	if bare.HETBytes != 0 || bare.HETTotal != 0 {
 		t.Fatalf("kernel-only synopsis has HET: %+v", bare)
@@ -119,7 +119,7 @@ func TestHTTPCreateListGetDelete(t *testing.T) {
 
 	// File sources are disabled without a configured data dir, and confined
 	// to it when one is set.
-	if resp := doJSON(t, ts.Client(), "POST", ts.URL+"/synopses",
+	if resp := doJSON(t, ts.Client(), "POST", ts.URL+"/v1/synopses",
 		api.CreateRequest{Name: "leak", XMLFile: "/etc/hostname"}, nil); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("xmlFile without data dir: status %d, want 400", resp.StatusCode)
 	}
@@ -133,43 +133,43 @@ func TestHTTPCreateListGetDelete(t *testing.T) {
 	}
 	dts := httptest.NewServer(ds.Handler())
 	defer dts.Close()
-	if resp := doJSON(t, dts.Client(), "POST", dts.URL+"/synopses",
+	if resp := doJSON(t, dts.Client(), "POST", dts.URL+"/v1/synopses",
 		api.CreateRequest{Name: "fromfile", XMLFile: "doc.xml"}, nil); resp.StatusCode != http.StatusCreated {
 		t.Fatalf("xmlFile inside data dir: status %d, want 201", resp.StatusCode)
 	}
 	var escErr api.ErrorResponse
-	if resp := doJSON(t, dts.Client(), "POST", dts.URL+"/synopses",
+	if resp := doJSON(t, dts.Client(), "POST", dts.URL+"/v1/synopses",
 		api.CreateRequest{Name: "esc", XMLFile: "../../../etc/hostname"}, &escErr); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("path escape: status %d (%+v), want 400", resp.StatusCode, escErr.Err)
 	}
 
 	// Dataset generation source.
 	var gen api.SynopsisInfo
-	resp = doJSON(t, ts.Client(), "POST", ts.URL+"/synopses",
+	resp = doJSON(t, ts.Client(), "POST", ts.URL+"/v1/synopses",
 		api.CreateRequest{Name: "gen", Dataset: "xmark", Factor: 0.001, Seed: 7}, &gen)
 	if resp.StatusCode != http.StatusCreated || gen.KernelBytes <= 0 {
 		t.Fatalf("dataset create: status %d info %+v", resp.StatusCode, gen)
 	}
 
 	var list []api.SynopsisInfo
-	doJSON(t, ts.Client(), "GET", ts.URL+"/synopses", nil, &list)
+	doJSON(t, ts.Client(), "GET", ts.URL+"/v1/synopses", nil, &list)
 	if len(list) != 3 || list[0].Name != "bare" || list[1].Name != "fig2" || list[2].Name != "gen" {
 		t.Fatalf("list = %+v", list)
 	}
 
 	var got api.SynopsisInfo
-	doJSON(t, ts.Client(), "GET", ts.URL+"/synopses/fig2", nil, &got)
+	doJSON(t, ts.Client(), "GET", ts.URL+"/v1/synopses/fig2", nil, &got)
 	if got.Name != "fig2" {
 		t.Fatalf("get = %+v", got)
 	}
 
-	if resp := doJSON(t, ts.Client(), "DELETE", ts.URL+"/synopses/fig2", nil, nil); resp.StatusCode != http.StatusNoContent {
+	if resp := doJSON(t, ts.Client(), "DELETE", ts.URL+"/v1/synopses/fig2", nil, nil); resp.StatusCode != http.StatusNoContent {
 		t.Fatalf("delete: status %d", resp.StatusCode)
 	}
-	if resp := doJSON(t, ts.Client(), "GET", ts.URL+"/synopses/fig2", nil, nil); resp.StatusCode != http.StatusNotFound {
+	if resp := doJSON(t, ts.Client(), "GET", ts.URL+"/v1/synopses/fig2", nil, nil); resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("get after delete: status %d", resp.StatusCode)
 	}
-	if resp := doJSON(t, ts.Client(), "DELETE", ts.URL+"/synopses/fig2", nil, nil); resp.StatusCode != http.StatusNotFound {
+	if resp := doJSON(t, ts.Client(), "DELETE", ts.URL+"/v1/synopses/fig2", nil, nil); resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("double delete: status %d", resp.StatusCode)
 	}
 }
@@ -179,7 +179,7 @@ func TestHTTPEstimateSingleBatchStreaming(t *testing.T) {
 	createFixture(t, ts, "fig2")
 
 	var one api.EstimateResponse
-	resp := doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/estimate",
+	resp := doJSON(t, ts.Client(), "POST", ts.URL+"/v1/synopses/fig2/estimate",
 		api.EstimateRequest{Query: "/a/c/s"}, &one)
 	if resp.StatusCode != http.StatusOK || len(one.Results) != 1 {
 		t.Fatalf("single estimate: status %d resp %+v", resp.StatusCode, one)
@@ -190,7 +190,7 @@ func TestHTTPEstimateSingleBatchStreaming(t *testing.T) {
 
 	// Batch with a parse error in the middle: order preserved, per-item error.
 	var batch api.EstimateResponse
-	doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/estimate",
+	doJSON(t, ts.Client(), "POST", ts.URL+"/v1/synopses/fig2/estimate",
 		api.EstimateRequest{Queries: []string{"/a/c/s", "not a query ???", "//s//p"}}, &batch)
 	if len(batch.Results) != 3 {
 		t.Fatalf("batch results: %+v", batch.Results)
@@ -207,7 +207,7 @@ func TestHTTPEstimateSingleBatchStreaming(t *testing.T) {
 
 	// Streaming mode reports which matcher ran; a simple path streams.
 	var stream api.EstimateResponse
-	doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/estimate",
+	doJSON(t, ts.Client(), "POST", ts.URL+"/v1/synopses/fig2/estimate",
 		api.EstimateRequest{Query: "/a/c/s/s/t", Streaming: true}, &stream)
 	if !stream.Results[0].Streamed {
 		t.Fatalf("simple path did not stream: %+v", stream.Results[0])
@@ -215,17 +215,17 @@ func TestHTTPEstimateSingleBatchStreaming(t *testing.T) {
 
 	// A parse failure whose query text contains "not found" is still a 400:
 	// statuses come from typed errors, not message matching.
-	if resp := doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/feedback",
+	if resp := doJSON(t, ts.Client(), "POST", ts.URL+"/v1/synopses/fig2/feedback",
 		api.FeedbackRequest{Query: "//a not found (", Actual: 1}, nil); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("parse error resembling not-found: status %d, want 400", resp.StatusCode)
 	}
 
 	// Unknown synopsis and empty request.
-	if resp := doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/nope/estimate",
+	if resp := doJSON(t, ts.Client(), "POST", ts.URL+"/v1/synopses/nope/estimate",
 		api.EstimateRequest{Query: "/a"}, nil); resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("estimate on missing synopsis: status %d", resp.StatusCode)
 	}
-	if resp := doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/estimate",
+	if resp := doJSON(t, ts.Client(), "POST", ts.URL+"/v1/synopses/fig2/estimate",
 		api.EstimateRequest{}, nil); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("empty estimate request: status %d", resp.StatusCode)
 	}
@@ -245,16 +245,16 @@ func TestHTTPFeedbackAndStats(t *testing.T) {
 	}
 
 	// Warm the cache, then feed back the true cardinality.
-	doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/estimate", api.EstimateRequest{Query: q}, nil)
-	doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/estimate", api.EstimateRequest{Query: q}, nil)
-	resp := doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/feedback",
+	doJSON(t, ts.Client(), "POST", ts.URL+"/v1/synopses/fig2/estimate", api.EstimateRequest{Query: q}, nil)
+	doJSON(t, ts.Client(), "POST", ts.URL+"/v1/synopses/fig2/estimate", api.EstimateRequest{Query: q}, nil)
+	resp := doJSON(t, ts.Client(), "POST", ts.URL+"/v1/synopses/fig2/feedback",
 		api.FeedbackRequest{Query: q, Actual: float64(actual)}, nil)
 	if resp.StatusCode != http.StatusNoContent {
 		t.Fatalf("feedback: status %d", resp.StatusCode)
 	}
 
 	var after api.EstimateResponse
-	doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/estimate", api.EstimateRequest{Query: q}, &after)
+	doJSON(t, ts.Client(), "POST", ts.URL+"/v1/synopses/fig2/estimate", api.EstimateRequest{Query: q}, &after)
 	if after.Results[0].Cached {
 		t.Fatal("feedback did not invalidate the cache")
 	}
@@ -263,7 +263,7 @@ func TestHTTPFeedbackAndStats(t *testing.T) {
 	}
 
 	var st api.Stats
-	doJSON(t, ts.Client(), "GET", ts.URL+"/stats", nil, &st)
+	doJSON(t, ts.Client(), "GET", ts.URL+"/v1/stats", nil, &st)
 	if len(st.Synopses) != 1 {
 		t.Fatalf("stats synopses = %+v", st.Synopses)
 	}
@@ -282,23 +282,23 @@ func TestHTTPFeedbackAndStats(t *testing.T) {
 func TestHTTPSubtree(t *testing.T) {
 	_, ts := newTestServer(t)
 	var info api.SynopsisInfo
-	doJSON(t, ts.Client(), "POST", ts.URL+"/synopses",
+	doJSON(t, ts.Client(), "POST", ts.URL+"/v1/synopses",
 		api.CreateRequest{Name: "fig2", XML: fixtures.PaperFigure2, Config: &api.SynopsisConfig{KernelOnly: true}}, &info)
 
 	var before api.EstimateResponse
-	doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/estimate", api.EstimateRequest{Query: "/a/u"}, &before)
-	resp := doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/subtree",
+	doJSON(t, ts.Client(), "POST", ts.URL+"/v1/synopses/fig2/estimate", api.EstimateRequest{Query: "/a/u"}, &before)
+	resp := doJSON(t, ts.Client(), "POST", ts.URL+"/v1/synopses/fig2/subtree",
 		api.SubtreeRequest{Op: "add", Context: []string{"a"}, XML: "<u/>"}, nil)
 	if resp.StatusCode != http.StatusNoContent {
 		t.Fatalf("subtree add: status %d", resp.StatusCode)
 	}
 	var after api.EstimateResponse
-	doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/estimate", api.EstimateRequest{Query: "/a/u"}, &after)
+	doJSON(t, ts.Client(), "POST", ts.URL+"/v1/synopses/fig2/estimate", api.EstimateRequest{Query: "/a/u"}, &after)
 	if after.Results[0].Estimate != before.Results[0].Estimate+1 {
 		t.Fatalf("estimate after add = %v, want %v", after.Results[0].Estimate, before.Results[0].Estimate+1)
 	}
 
-	if resp := doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/subtree",
+	if resp := doJSON(t, ts.Client(), "POST", ts.URL+"/v1/synopses/fig2/subtree",
 		api.SubtreeRequest{Op: "frobnicate"}, nil); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad op: status %d", resp.StatusCode)
 	}
@@ -312,10 +312,10 @@ func TestHTTPSnapshotRoundtrip(t *testing.T) {
 	queries := []string{"/a/c/s", "/a/c/s/s/t", "//s//p", "/a/c/s[p]/t", "//s[t]"}
 
 	// Tune it so the snapshot carries feedback-learned HET state too.
-	doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/orig/feedback",
+	doJSON(t, ts.Client(), "POST", ts.URL+"/v1/synopses/orig/feedback",
 		api.FeedbackRequest{Query: "/a/c/s", Actual: 5}, nil)
 
-	resp, err := ts.Client().Get(ts.URL + "/synopses/orig/snapshot")
+	resp, err := ts.Client().Get(ts.URL + "/v1/synopses/orig/snapshot")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,7 +325,7 @@ func TestHTTPSnapshotRoundtrip(t *testing.T) {
 		t.Fatalf("snapshot get: status %d err %v", resp.StatusCode, err)
 	}
 
-	req, err := http.NewRequest("PUT", ts.URL+"/synopses/copy/snapshot", bytes.NewReader(blob))
+	req, err := http.NewRequest("PUT", ts.URL+"/v1/synopses/copy/snapshot", bytes.NewReader(blob))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,8 +339,8 @@ func TestHTTPSnapshotRoundtrip(t *testing.T) {
 	}
 
 	var want, got api.EstimateResponse
-	doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/orig/estimate", api.EstimateRequest{Queries: queries}, &want)
-	doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/copy/estimate", api.EstimateRequest{Queries: queries}, &got)
+	doJSON(t, ts.Client(), "POST", ts.URL+"/v1/synopses/orig/estimate", api.EstimateRequest{Queries: queries}, &want)
+	doJSON(t, ts.Client(), "POST", ts.URL+"/v1/synopses/copy/estimate", api.EstimateRequest{Queries: queries}, &got)
 	for i := range queries {
 		if want.Results[i].Estimate != got.Results[i].Estimate {
 			t.Errorf("%s: original %v, restored %v", queries[i], want.Results[i].Estimate, got.Results[i].Estimate)
@@ -348,7 +348,7 @@ func TestHTTPSnapshotRoundtrip(t *testing.T) {
 	}
 
 	// Garbage snapshot is rejected.
-	req, _ = http.NewRequest("PUT", ts.URL+"/synopses/bad/snapshot", strings.NewReader("not a synopsis"))
+	req, _ = http.NewRequest("PUT", ts.URL+"/v1/synopses/bad/snapshot", strings.NewReader("not a synopsis"))
 	badResp, err := ts.Client().Do(req)
 	if err != nil {
 		t.Fatal(err)
@@ -374,13 +374,13 @@ func TestHTTPConcurrentClients(t *testing.T) {
 			for i := 0; i < 25; i++ {
 				switch g % 3 {
 				case 0:
-					doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/estimate",
+					doJSON(t, ts.Client(), "POST", ts.URL+"/v1/synopses/fig2/estimate",
 						api.EstimateRequest{Queries: queries}, nil)
 				case 1:
-					doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/feedback",
+					doJSON(t, ts.Client(), "POST", ts.URL+"/v1/synopses/fig2/feedback",
 						api.FeedbackRequest{Query: "/a/c/s", Actual: 5}, nil)
 				case 2:
-					doJSON(t, ts.Client(), "GET", ts.URL+"/stats", nil, nil)
+					doJSON(t, ts.Client(), "GET", ts.URL+"/v1/stats", nil, nil)
 				}
 			}
 		}(g)
@@ -388,7 +388,7 @@ func TestHTTPConcurrentClients(t *testing.T) {
 	wg.Wait()
 
 	var st api.Stats
-	doJSON(t, ts.Client(), "GET", ts.URL+"/stats", nil, &st)
+	doJSON(t, ts.Client(), "GET", ts.URL+"/v1/stats", nil, &st)
 	if st.Synopses[0].Feedbacks != 50 {
 		t.Fatalf("feedbacks = %d, want 50", st.Synopses[0].Feedbacks)
 	}
@@ -426,8 +426,8 @@ func TestHTTPPreloadAndServe(t *testing.T) {
 		t.Fatal(err)
 	}
 	var want, got api.EstimateResponse
-	doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fromsyn/estimate", api.EstimateRequest{Query: "/a/c/s"}, &want)
-	doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fromxml/estimate", api.EstimateRequest{Query: "/a/c/s"}, &got)
+	doJSON(t, ts.Client(), "POST", ts.URL+"/v1/synopses/fromsyn/estimate", api.EstimateRequest{Query: "/a/c/s"}, &want)
+	doJSON(t, ts.Client(), "POST", ts.URL+"/v1/synopses/fromxml/estimate", api.EstimateRequest{Query: "/a/c/s"}, &got)
 	if want.Results[0].Estimate != got.Results[0].Estimate {
 		t.Fatalf("preloaded synopsis (%v) and XML (%v) disagree", want.Results[0].Estimate, got.Results[0].Estimate)
 	}

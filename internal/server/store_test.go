@@ -31,7 +31,7 @@ func newStoreServer(t *testing.T, dir string) (*Server, *httptest.Server) {
 func estimateHTTP(t *testing.T, ts *httptest.Server, name, query string) float64 {
 	t.Helper()
 	var resp api.EstimateResponse
-	r := doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/"+name+"/estimate",
+	r := doJSON(t, ts.Client(), "POST", ts.URL+"/v1/synopses/"+name+"/estimate",
 		api.EstimateRequest{Query: query}, &resp)
 	if r.StatusCode != http.StatusOK {
 		t.Fatalf("estimate %s %s: status %d", name, query, r.StatusCode)
@@ -54,12 +54,12 @@ func TestServerStoreRestart(t *testing.T) {
 	// Mutate through every persisted path: feedback, subtree, and a second
 	// synopsis via snapshot upload.
 	for q, actual := range map[string]float64{"/a/c/s/s/t": 2, "/a/c/s[t]/p": 7} {
-		if r := doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/feedback",
+		if r := doJSON(t, ts.Client(), "POST", ts.URL+"/v1/synopses/fig2/feedback",
 			api.FeedbackRequest{Query: q, Actual: actual}, nil); r.StatusCode != http.StatusNoContent {
 			t.Fatalf("feedback: status %d", r.StatusCode)
 		}
 	}
-	if r := doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/subtree",
+	if r := doJSON(t, ts.Client(), "POST", ts.URL+"/v1/synopses/fig2/subtree",
 		api.SubtreeRequest{Op: "add", Context: []string{"a"}, XML: "<u/><u/>"}, nil); r.StatusCode != http.StatusNoContent {
 		t.Fatalf("subtree: status %d", r.StatusCode)
 	}
@@ -170,7 +170,7 @@ func TestDeleteAndReplacePersist(t *testing.T) {
 	createFixture(t, ts, "keep")
 	createFixture(t, ts, "drop")
 
-	req, _ := http.NewRequest("DELETE", ts.URL+"/synopses/drop", nil)
+	req, _ := http.NewRequest("DELETE", ts.URL+"/v1/synopses/drop", nil)
 	if resp, err := ts.Client().Do(req); err != nil || resp.StatusCode != http.StatusNoContent {
 		t.Fatalf("delete: %v %v", resp, err)
 	}
@@ -188,7 +188,7 @@ func TestDeleteAndReplacePersist(t *testing.T) {
 	if _, err := syn4.WriteTo(&buf); err != nil {
 		t.Fatal(err)
 	}
-	putReq, _ := http.NewRequest("PUT", ts.URL+"/synopses/keep/snapshot", strings.NewReader(buf.String()))
+	putReq, _ := http.NewRequest("PUT", ts.URL+"/v1/synopses/keep/snapshot", strings.NewReader(buf.String()))
 	if resp, err := ts.Client().Do(putReq); err != nil || resp.StatusCode != http.StatusCreated {
 		t.Fatalf("snapshot put: %v %v", resp, err)
 	}
@@ -211,7 +211,7 @@ func TestAdminCompact(t *testing.T) {
 	defer s.Close()
 	createFixture(t, ts, "fig2")
 	for i := 0; i < 5; i++ {
-		doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/feedback",
+		doJSON(t, ts.Client(), "POST", ts.URL+"/v1/synopses/fig2/feedback",
 			api.FeedbackRequest{Query: "/a/c/s/s/t", Actual: float64(2 + i)}, nil)
 	}
 	want := estimateHTTP(t, ts, "fig2", "/a/c/s/s/t")
@@ -232,7 +232,7 @@ func TestAdminCompact(t *testing.T) {
 
 	// Stats exposes the store section.
 	var stats api.Stats
-	doJSON(t, ts.Client(), "GET", ts.URL+"/stats", nil, &stats)
+	doJSON(t, ts.Client(), "GET", ts.URL+"/v1/stats", nil, &stats)
 	if stats.Store == nil || len(stats.Store.Synopses) != 1 {
 		t.Errorf("stats.store = %+v", stats.Store)
 	}
@@ -447,7 +447,7 @@ func TestRunCLIFsck(t *testing.T) {
 	dir := t.TempDir()
 	s, ts := newStoreServer(t, dir)
 	createFixture(t, ts, "fig2")
-	doJSON(t, ts.Client(), "POST", ts.URL+"/synopses/fig2/feedback",
+	doJSON(t, ts.Client(), "POST", ts.URL+"/v1/synopses/fig2/feedback",
 		api.FeedbackRequest{Query: "/a/c/s/s/t", Actual: 2}, nil)
 	s.Close()
 	ts.Close()

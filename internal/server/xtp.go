@@ -153,6 +153,12 @@ type xtpConn struct {
 	c net.Conn
 	x *XTP
 
+	// ten is the tenant this connection is bound to: the default until an
+	// AuthReq rebinds it. Written and read only on the reader goroutine;
+	// dispatched handlers receive the value as an argument, so a later
+	// AuthReq never races an in-flight request.
+	ten *Tenant
+
 	wmu sync.Mutex
 	w   *wire.Writer
 
@@ -189,7 +195,7 @@ func (x *XTP) handleConn(c net.Conn) {
 	}
 	c.SetReadDeadline(time.Time{})
 
-	cn := &xtpConn{c: c, x: x, w: wire.NewWriter(c)}
+	cn := &xtpConn{c: c, x: x, w: wire.NewWriter(c), ten: x.reg.Tenants().Default()}
 	x.mu.Lock()
 	if x.closed {
 		x.mu.Unlock()
@@ -235,25 +241,68 @@ func (cn *xtpConn) readLoop() {
 		switch f.Type {
 		case wire.FramePing:
 			cn.write(wire.FramePong, f.Corr, nil)
+		case wire.FrameAuthReq:
+			token, err := wire.DecodeAuthReq(f.Payload)
+			if err != nil {
+				cn.protocolError(f.Corr, err)
+				return
+			}
+			t, aerr := x.reg.Tenants().resolveXTP(token)
+			if aerr != nil {
+				// Terminal, like the HTTP 401: an unauthenticated peer gets
+				// nothing further on this connection.
+				cn.writeError(f.Corr, aerr)
+				return
+			}
+			cn.ten = t
+			t.reqs.Inc()
+			buf := wire.GetBuf()
+			*buf = wire.AppendAuthResp(*buf, t.ID())
+			cn.write(wire.FrameAuthResp, f.Corr, *buf)
+			wire.PutBuf(buf)
 		case wire.FrameEstimateReq:
 			name, queries, streaming, err := wire.DecodeEstimateReq(f.Payload)
 			if err != nil {
 				cn.protocolError(f.Corr, err)
 				return
 			}
+			t := cn.ten
+			t.reqs.Inc()
+			if !t.allow() {
+				cn.writeError(f.Corr, api.Errorf(api.CodeQuotaExceeded, "tenant %q rate limit exceeded", t.ID()))
+				continue
+			}
+			key, aerr := synKey(t, name)
+			if aerr != nil {
+				cn.writeError(f.Corr, aerr)
+				continue
+			}
 			cn.inflight.Add(1)
-			go cn.handleEstimate(f.Corr, name, queries, streaming)
+			go cn.handleEstimate(f.Corr, key, queries, streaming)
 		case wire.FrameFeedbackReq:
 			name, query, actual, err := wire.DecodeFeedbackReq(f.Payload)
 			if err != nil {
 				cn.protocolError(f.Corr, err)
 				return
 			}
+			t := cn.ten
+			t.reqs.Inc()
+			if !t.allow() {
+				cn.writeError(f.Corr, api.Errorf(api.CodeQuotaExceeded, "tenant %q rate limit exceeded", t.ID()))
+				continue
+			}
+			key, aerr := synKey(t, name)
+			if aerr != nil {
+				cn.writeError(f.Corr, aerr)
+				continue
+			}
 			cn.inflight.Add(1)
-			go cn.handleFeedback(f.Corr, name, query, actual)
+			go cn.handleFeedback(f.Corr, key, query, actual)
 		case wire.FrameStatsReq:
+			t := cn.ten
+			t.reqs.Inc()
 			cn.inflight.Add(1)
-			go cn.handleStats(f.Corr)
+			go cn.handleStats(f.Corr, t)
 		default:
 			// Unknown or direction-inverted frame: the stream cannot be
 			// trusted past it (see the versioning rules in docs/PROTOCOL.md).
@@ -294,12 +343,12 @@ func (cn *xtpConn) handleFeedback(corr uint64, name, query string, actual float6
 	cn.x.m.observe(cn.x.m.feedbackSeconds, start)
 }
 
-func (cn *xtpConn) handleStats(corr uint64) {
+func (cn *xtpConn) handleStats(corr uint64, t *Tenant) {
 	defer cn.inflight.Done()
 	start := time.Now()
 	// Stats is a cold path; its deeply nested payload rides as JSON
 	// (normatively specified — see the StatsResp section of PROTOCOL.md).
-	data, err := json.Marshal(cn.x.reg.Stats())
+	data, err := json.Marshal(cn.x.reg.StatsFor(t))
 	if err != nil {
 		cn.writeError(corr, api.WrapError(err, api.CodeInternal))
 		return

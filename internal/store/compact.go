@@ -106,6 +106,8 @@ func (st *Store) compactNow(name string) (bool, error) {
 	}
 	if err := st.flipManifest(name, &ManifestEntry{
 		Dir:     meCopy.Dir,
+		Tenant:  meCopy.Tenant,
+		Name:    meCopy.Name,
 		Seq:     newSeq,
 		Source:  meCopy.Source,
 		Created: meCopy.Created,

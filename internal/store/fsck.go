@@ -33,7 +33,12 @@ type FsckReport struct {
 	Dir      string         `json:"dir"`
 	Synopses []FsckSynopsis `json:"synopses"`
 	Orphans  []string       `json:"orphanDirs,omitempty"` // synopsis dirs no manifest entry claims
-	OK       bool           `json:"ok"`
+
+	// Migratable marks a healthy pre-tenancy (layout v1) store: not
+	// corruption — the next daemon start upgrades it in place.
+	Migratable bool `json:"migratable,omitempty"`
+
+	OK bool `json:"ok"`
 }
 
 // Fsck validates a store directory without opening it for writing: the
@@ -46,13 +51,13 @@ func Fsck(dir string) (*FsckReport, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: fsck %s: %w", dir, err)
 	}
-	rep := &FsckReport{Dir: dir, OK: true}
+	rep := &FsckReport{Dir: dir, OK: true, Migratable: man.Version == 1}
 	claimed := make(map[string]bool)
 	for _, name := range man.names() {
 		me := man.Synopses[name]
 		claimed[me.Dir] = true
 		fs := FsckSynopsis{Name: name, Dir: me.Dir, Seq: me.Seq}
-		sdir := filepath.Join(dir, "synopses", me.Dir)
+		sdir := filepath.Join(dir, "synopses", filepath.FromSlash(me.Dir))
 
 		if fi, err := os.Stat(filepath.Join(sdir, baseFile(me.Seq))); err == nil {
 			fs.BaseBytes = fi.Size()
@@ -88,10 +93,35 @@ func Fsck(dir string) (*FsckReport, error) {
 		}
 		rep.Synopses = append(rep.Synopses, fs)
 	}
-	if ents, err := os.ReadDir(filepath.Join(dir, "synopses")); err == nil {
-		for _, e := range ents {
-			if e.IsDir() && !claimed[e.Name()] {
-				rep.Orphans = append(rep.Orphans, e.Name())
+	if man.Version == 1 {
+		// Pre-tenancy layout: synopsis dirs sit directly under synopses/.
+		if ents, err := os.ReadDir(filepath.Join(dir, "synopses")); err == nil {
+			for _, e := range ents {
+				if e.IsDir() && !claimed[e.Name()] {
+					rep.Orphans = append(rep.Orphans, e.Name())
+				}
+			}
+		}
+	} else {
+		// Layout v2: synopses/<tenant>/<syndir>. A stray file at either
+		// level, or a dir no manifest entry claims, is an orphan.
+		root := filepath.Join(dir, "synopses")
+		if ents, err := os.ReadDir(root); err == nil {
+			for _, t := range ents {
+				if !t.IsDir() {
+					rep.Orphans = append(rep.Orphans, t.Name())
+					continue
+				}
+				subs, err := os.ReadDir(filepath.Join(root, t.Name()))
+				if err != nil {
+					continue
+				}
+				for _, s := range subs {
+					rel := t.Name() + "/" + s.Name()
+					if !s.IsDir() || !claimed[rel] {
+						rep.Orphans = append(rep.Orphans, rel)
+					}
+				}
 			}
 		}
 	}
@@ -112,9 +142,12 @@ func checkBase(path string) error {
 // WriteReport prints a human-readable fsck report.
 func (r *FsckReport) WriteReport(w io.Writer) {
 	fmt.Fprintf(w, "store %s: ", r.Dir)
-	if r.OK {
+	switch {
+	case r.OK && r.Migratable:
+		fmt.Fprintln(w, "OK (pre-tenancy layout, migratable — the next daemon start upgrades it in place)")
+	case r.OK:
 		fmt.Fprintln(w, "OK")
-	} else {
+	default:
 		fmt.Fprintln(w, "CORRUPT")
 	}
 	for _, s := range r.Synopses {

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"syscall"
 	"time"
 )
@@ -17,8 +18,56 @@ import (
 // compaction — never on per-mutation appends, which go to the delta logs.
 const manifestName = "manifest.json"
 
-// manifestVersion guards against a future layout change.
-const manifestVersion = 1
+// manifestVersion is the current (tenant-aware) layout. Version 1 — the
+// pre-tenancy single-level layout — is still readable: Open migrates it in
+// place (see migrateV1) and Fsck reports it as migratable.
+const manifestVersion = 2
+
+// DefaultTenant is the implicit tenant that owns every synopsis on an
+// untenanted server and every pre-tenancy (layout v1) store entry.
+const DefaultTenant = "default"
+
+// Key builds the store/registry key for a (tenant, name) pair. The default
+// tenant's key is the bare name, so a single-tenant deployment's keys are
+// byte-identical to the pre-tenancy ones. Other tenants join with a NUL
+// byte, which no valid synopsis name may contain (the API layer rejects
+// it), so keys can never collide across tenants.
+func Key(tenant, name string) string {
+	if tenant == "" || tenant == DefaultTenant {
+		return name
+	}
+	return tenant + "\x00" + name
+}
+
+// SplitKey inverts Key; a key without a NUL belongs to the default tenant.
+func SplitKey(key string) (tenant, name string) {
+	if i := strings.IndexByte(key, 0); i >= 0 {
+		return key[:i], key[i+1:]
+	}
+	return DefaultTenant, key
+}
+
+// tenantDir maps a tenant ID onto its directory under <store>/synopses.
+// Validated tenant IDs are filesystem-safe as-is; anything else (defense in
+// depth against traversal or odd bytes) goes through the same sanitizer
+// synopsis names use.
+func tenantDir(tenant string) string {
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	if tenant[0] == '.' {
+		return dirFor(tenant)
+	}
+	for i := 0; i < len(tenant); i++ {
+		c := tenant[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_', c == '.':
+		default:
+			return dirFor(tenant)
+		}
+	}
+	return tenant
+}
 
 // Manifest is the durable registry: every synopsis the daemon must reload on
 // start, with the snapshot sequence its files are named after.
@@ -31,8 +80,16 @@ type Manifest struct {
 type ManifestEntry struct {
 	// Dir is the synopsis's directory under <store>/synopses, holding
 	// base-<seq>.xsyn (a full snapshot in the versioned stream format) and
-	// delta-<seq>.log (the append-only mutation log since that base).
+	// delta-<seq>.log (the append-only mutation log since that base). In
+	// layout v2 it is the two-level "<tenant>/<sanitized>" relative path; in
+	// a not-yet-migrated v1 manifest it is the single-level "<sanitized>".
 	Dir string `json:"dir"`
+
+	// Tenant and Name split the manifest key for non-default tenants (the
+	// key itself joins them with a NUL). Both stay empty for the default
+	// tenant, whose key is the bare synopsis name.
+	Tenant string `json:"tenant,omitempty"`
+	Name   string `json:"name,omitempty"`
 
 	// Seq is the current snapshot sequence; compaction bumps it and retires
 	// the previous base and log together.
@@ -70,7 +127,7 @@ func readManifest(dir string) (*Manifest, error) {
 	if err := json.Unmarshal(b, &m); err != nil {
 		return nil, fmt.Errorf("store: manifest: %w", err)
 	}
-	if m.Version != manifestVersion {
+	if m.Version != manifestVersion && m.Version != 1 {
 		return nil, fmt.Errorf("store: manifest version %d (this build reads %d)", m.Version, manifestVersion)
 	}
 	if m.Synopses == nil {

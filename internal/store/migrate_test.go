@@ -1,0 +1,212 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// downgradeToV1 rewrites an on-disk store to the pre-tenancy layout: every
+// default-tenant synopsis directory moves from synopses/default/<dir> back
+// to synopses/<dir>, and the manifest is rewritten as version 1 with
+// single-level Dir entries. This is exactly what a store written by a
+// pre-tenancy daemon looks like, so opening it exercises the real
+// migration path.
+func downgradeToV1(t *testing.T, dir string) {
+	t.Helper()
+	man, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, me := range man.Synopses {
+		rel, ok := strings.CutPrefix(me.Dir, DefaultTenant+"/")
+		if !ok {
+			t.Fatalf("fixture %q is not a default-tenant entry: dir %q", key, me.Dir)
+		}
+		if err := os.Rename(
+			filepath.Join(dir, "synopses", DefaultTenant, rel),
+			filepath.Join(dir, "synopses", rel)); err != nil {
+			t.Fatal(err)
+		}
+		me.Dir = rel
+	}
+	os.Remove(filepath.Join(dir, "synopses", DefaultTenant))
+	man.Version = 1
+	if err := writeManifest(dir, man); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// seedV1Store builds a two-synopsis pre-tenancy store with feedback deltas
+// on top of the bases, returning the expected probe estimates per name.
+func seedV1Store(t *testing.T, dir string) map[string][]float64 {
+	t.Helper()
+	st := openStore(t, dir)
+	want := make(map[string][]float64)
+	for _, name := range []string{"alpha", "beta"} {
+		syn := buildFig2(t)
+		if err := st.SaveBase(name, syn, "test", time.Now(), 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		feedback(t, st, name, syn, "/a/c/s/s/t", 4)
+		feedback(t, st, name, syn, "/a/c/s[t]/p", 9)
+		want[name] = estimates(t, syn, probeQueries...)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	downgradeToV1(t, dir)
+	return want
+}
+
+// verifyMigrated opens the store, asserts the v2 layout is in place, and
+// checks every synopsis recovered with its deltas replayed.
+func verifyMigrated(t *testing.T, dir string, want map[string][]float64) {
+	t.Helper()
+	st := openStore(t, dir)
+	defer st.Close()
+	loaded, err := st.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(want) {
+		t.Fatalf("loaded %d synopses, want %d", len(loaded), len(want))
+	}
+	for _, l := range loaded {
+		exp, ok := want[l.Name]
+		if !ok {
+			t.Fatalf("unexpected synopsis %q after migration", l.Name)
+		}
+		if l.Replay != 2 {
+			t.Errorf("%s: replayed %d deltas, want 2", l.Name, l.Replay)
+		}
+		got := estimates(t, l.Syn, probeQueries...)
+		for i, q := range probeQueries {
+			if got[i] != exp[i] {
+				t.Errorf("%s %s: migrated estimate %g, want %g", l.Name, q, got[i], exp[i])
+			}
+		}
+	}
+	man, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Version != manifestVersion {
+		t.Errorf("manifest version after migration = %d, want %d", man.Version, manifestVersion)
+	}
+	for key, me := range man.Synopses {
+		if !strings.HasPrefix(me.Dir, DefaultTenant+"/") {
+			t.Errorf("entry %q not under the default tenant: dir %q", key, me.Dir)
+		}
+		if fi, err := os.Stat(filepath.Join(dir, "synopses", filepath.FromSlash(me.Dir))); err != nil || !fi.IsDir() {
+			t.Errorf("entry %q directory missing at %s: %v", key, me.Dir, err)
+		}
+	}
+}
+
+// TestMigrateV1 locks the first-boot upgrade: opening a pre-tenancy store
+// moves every synopsis under the default tenant, flips the manifest to v2,
+// and loses nothing — bases, delta logs, and replay all intact.
+func TestMigrateV1(t *testing.T) {
+	dir := t.TempDir()
+	want := seedV1Store(t, dir)
+	verifyMigrated(t, dir, want)
+	// A second open is a plain v2 open: migration is a one-time cost.
+	verifyMigrated(t, dir, want)
+}
+
+// TestMigrateV1CrashResume simulates kill -9 mid-migration. The migration
+// order is: rename synopsis dirs (idempotent), then write the v2 manifest
+// as the single commit point. A crash between those leaves some dirs moved
+// under a still-v1 manifest; reopening must resume — skipping dirs already
+// at their new home — and complete the flip with no data loss.
+func TestMigrateV1CrashResume(t *testing.T) {
+	dir := t.TempDir()
+	want := seedV1Store(t, dir)
+
+	// Crash simulation: one of the two synopsis dirs already moved, the
+	// manifest still at version 1 (the flip never happened).
+	man, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := false
+	if err := os.MkdirAll(filepath.Join(dir, "synopses", DefaultTenant), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, me := range man.Synopses {
+		if moved {
+			break
+		}
+		if err := os.Rename(
+			filepath.Join(dir, "synopses", me.Dir),
+			filepath.Join(dir, "synopses", DefaultTenant, me.Dir)); err != nil {
+			t.Fatal(err)
+		}
+		moved = true
+	}
+	if !moved {
+		t.Fatal("fixture store has no synopses to half-migrate")
+	}
+
+	verifyMigrated(t, dir, want)
+}
+
+// TestMigrateV1MissingDirRefused: a v1 manifest entry whose directory
+// exists at neither the old nor the new home is pre-existing damage; the
+// migration must refuse loudly instead of silently dropping the synopsis.
+func TestMigrateV1MissingDirRefused(t *testing.T) {
+	dir := t.TempDir()
+	seedV1Store(t, dir)
+	man, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, me := range man.Synopses {
+		if err := os.RemoveAll(filepath.Join(dir, "synopses", me.Dir)); err != nil {
+			t.Fatal(err)
+		}
+		break
+	}
+	if _, err := Open(dir, Options{}); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("open with a vanished synopsis dir = %v, want refusal naming the missing dir", err)
+	}
+}
+
+// TestFsckMigratable: fsck on a healthy pre-tenancy store reports it OK and
+// migratable — never corrupt — and the human-readable report says so. The
+// same store, once opened (and so migrated), fscks as a plain OK v2 store.
+func TestFsckMigratable(t *testing.T) {
+	dir := t.TempDir()
+	want := seedV1Store(t, dir)
+
+	rep, err := Fsck(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK || !rep.Migratable {
+		b, _ := json.Marshal(rep)
+		t.Fatalf("v1 fsck: ok=%v migratable=%v (%s), want a healthy migratable store", rep.OK, rep.Migratable, b)
+	}
+	if len(rep.Orphans) != 0 {
+		t.Errorf("v1 fsck reports orphans %v; pre-tenancy dirs must be claimed by their entries", rep.Orphans)
+	}
+	var buf bytes.Buffer
+	rep.WriteReport(&buf)
+	if out := buf.String(); !strings.Contains(out, "migratable") || strings.Contains(out, "CORRUPT") {
+		t.Errorf("fsck report %q does not describe a migratable store", out)
+	}
+
+	verifyMigrated(t, dir, want) // daemon boot migrates...
+	rep, err = Fsck(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK || rep.Migratable || len(rep.Orphans) != 0 {
+		t.Errorf("post-migration fsck: ok=%v migratable=%v orphans=%v, want plain OK v2", rep.OK, rep.Migratable, rep.Orphans)
+	}
+}

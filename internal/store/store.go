@@ -23,6 +23,7 @@ import (
 	"log/slog"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
@@ -93,6 +94,7 @@ type Store struct {
 // appends happen inside that critical section.
 type synStore struct {
 	name string
+	rel  string // manifest-relative dir: "<tenant>/<sanitized>"
 	dir  string // absolute
 
 	// genMu serializes generation changes — SaveBase, Remove, CompactNow —
@@ -126,9 +128,14 @@ func Open(dir string, opts Options) (*Store, error) {
 	} else if err != nil {
 		return nil, err
 	}
+	if man.Version == 1 {
+		if err := migrateV1(dir, man, opts.Log); err != nil {
+			return nil, err
+		}
+	}
 	st := &Store{dir: dir, opts: opts, man: man, syns: make(map[string]*synStore), m: newMetrics(opts.Metrics)}
 	for name, me := range man.Synopses {
-		s := &synStore{name: name, dir: filepath.Join(dir, "synopses", me.Dir), seq: me.Seq}
+		s := &synStore{name: name, rel: me.Dir, dir: filepath.Join(dir, "synopses", filepath.FromSlash(me.Dir)), seq: me.Seq}
 		cleanStale(s.dir, me.Seq, opts.Log)
 		if err := s.truncateTorn(opts.Log); err != nil {
 			return nil, fmt.Errorf("store: recover log for %q: %w", name, err)
@@ -142,6 +149,48 @@ func Open(dir string, opts Options) (*Store, error) {
 		st.syns[name] = s
 	}
 	return st, nil
+}
+
+// migrateV1 upgrades a pre-tenancy store in place: every synopsis directory
+// moves under the default tenant (synopses/<dir> → synopses/default/<dir>)
+// with atomic renames, and the version-2 manifest is written last as the
+// commit point. Kill -9 at any point leaves either a resumable v1 store
+// (renames are idempotent — a directory already at its new home is skipped)
+// or a complete v2 store; nothing is copied, so no state is ever duplicated
+// and no crash window loses a generation.
+func migrateV1(dir string, m *Manifest, lg *slog.Logger) error {
+	lg.Info("migrating pre-tenancy store layout to v2", "dir", dir, "synopses", len(m.Synopses))
+	tdir := filepath.Join(dir, "synopses", DefaultTenant)
+	if err := os.MkdirAll(tdir, 0o755); err != nil {
+		return err
+	}
+	for key, me := range m.Synopses {
+		rel := me.Dir
+		if strings.ContainsRune(rel, '/') {
+			continue // already two-level; nothing to move
+		}
+		oldp := filepath.Join(dir, "synopses", rel)
+		newp := filepath.Join(tdir, rel)
+		if _, err := os.Stat(oldp); err == nil {
+			if err := os.Rename(oldp, newp); err != nil {
+				return fmt.Errorf("store: migrate %q: %w", key, err)
+			}
+		} else if _, err := os.Stat(newp); err != nil {
+			// A previous partial migration would have left the directory at
+			// exactly one of the two homes; at neither means the store was
+			// already broken. Refuse rather than silently dropping data.
+			return fmt.Errorf("store: migrate %q: synopsis directory %s missing", key, rel)
+		}
+		me.Dir = DefaultTenant + "/" + rel
+	}
+	if err := syncDir(tdir); err != nil {
+		return err
+	}
+	if err := syncDir(filepath.Join(dir, "synopses")); err != nil {
+		return err
+	}
+	m.Version = manifestVersion
+	return writeManifest(dir, m)
 }
 
 // truncateTorn scans the current delta log and truncates it to its trusted
@@ -334,7 +383,9 @@ func (st *Store) SaveBase(name string, syn *xseed.Synopsis, source string, creat
 	st.mu.Lock()
 	s, ok := st.syns[name]
 	if !ok {
-		s = &synStore{name: name, dir: filepath.Join(st.dir, "synopses", dirFor(name))}
+		kten, bare := SplitKey(name)
+		rel := tenantDir(kten) + "/" + dirFor(bare)
+		s = &synStore{name: name, rel: rel, dir: filepath.Join(st.dir, "synopses", filepath.FromSlash(rel))}
 		st.syns[name] = s
 	}
 	st.mu.Unlock()
@@ -360,14 +411,19 @@ func (st *Store) SaveBase(name string, syn *xseed.Synopsis, source string, creat
 		st.m.baseErrs.Inc()
 		return err
 	}
-	if err := st.flipManifest(name, &ManifestEntry{
-		Dir:     filepath.Base(s.dir),
+	ten, bare := SplitKey(name)
+	me := &ManifestEntry{
+		Dir:     s.rel,
 		Seq:     newSeq,
 		Source:  source,
 		Created: created,
 		Budget:  budget,
 		Ver:     ver,
-	}); err != nil {
+	}
+	if ten != DefaultTenant {
+		me.Tenant, me.Name = ten, bare
+	}
+	if err := st.flipManifest(name, me); err != nil {
 		lf.Close()
 		st.m.baseErrs.Inc()
 		return err
@@ -508,7 +564,13 @@ func (st *Store) Remove(name string) error {
 	if err := st.flipManifest(name, nil); err != nil {
 		return err
 	}
-	return os.RemoveAll(s.dir)
+	if err := os.RemoveAll(s.dir); err != nil {
+		return err
+	}
+	// Drop the tenant directory too once its last synopsis is gone (fails
+	// harmlessly while non-empty).
+	os.Remove(filepath.Dir(s.dir))
+	return nil
 }
 
 // Close flushes and closes every delta log. The store is unusable after.

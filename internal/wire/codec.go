@@ -175,6 +175,41 @@ func DecodeFeedbackAck(p []byte) (*api.Error, error) {
 	return ae, nil
 }
 
+// AppendAuthReq encodes a bearer-token presentation:
+//
+//	token str
+func AppendAuthReq(b []byte, token string) []byte {
+	return appendString(b, token)
+}
+
+// DecodeAuthReq decodes an AuthReq payload.
+func DecodeAuthReq(p []byte) (token string, err error) {
+	d := dec{b: p}
+	token = d.str()
+	if err := d.finish("AuthReq"); err != nil {
+		return "", err
+	}
+	return token, nil
+}
+
+// AppendAuthResp encodes an authentication confirmation:
+//
+//	tenant str
+func AppendAuthResp(b []byte, tenant string) []byte {
+	return appendString(b, tenant)
+}
+
+// DecodeAuthResp decodes an AuthResp payload, returning the tenant ID the
+// connection is now bound to.
+func DecodeAuthResp(p []byte) (tenant string, err error) {
+	d := dec{b: p}
+	tenant = d.str()
+	if err := d.finish("AuthResp"); err != nil {
+		return "", err
+	}
+	return tenant, nil
+}
+
 // AppendError encodes a whole-request error frame body — the same field
 // layout errors embed inside EstimateResp items and FeedbackAcks:
 //

@@ -28,6 +28,8 @@ func FuzzXTPDecode(f *testing.F) {
 	w.WriteFrame(FrameError, 3, AppendError(nil, api.Errorf(api.CodeNotFound, "nope")))
 	w.WriteFrame(FrameStatsResp, 4, []byte(`{"synopses":[]}`))
 	w.WriteFrame(FramePing, 5, nil)
+	w.WriteFrame(FrameAuthReq, 6, AppendAuthReq(nil, "s3cret-token"))
+	w.WriteFrame(FrameAuthResp, 6, AppendAuthResp(nil, "acme"))
 	f.Add(seed.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte{0x01})

@@ -97,6 +97,16 @@ const (
 	// shutdown: in-flight responses still arrive, new requests should go
 	// to a fresh connection.
 	FrameGoaway FrameType = 0x0A
+	// FrameAuthReq (client→server) presents a bearer token, binding the
+	// connection to the token's tenant for every later frame. Appended per
+	// the §6 evolution rules: an old server treats it as an unknown frame
+	// type and closes, which an authenticating client must surface as a
+	// dial failure.
+	FrameAuthReq FrameType = 0x0B
+	// FrameAuthResp (server→client) confirms an AuthReq, carrying the
+	// resolved tenant ID. A rejected token gets FrameError (code
+	// "unauthorized") and the connection closes.
+	FrameAuthResp FrameType = 0x0C
 )
 
 // String names the frame type for logs and metrics.
@@ -155,6 +165,14 @@ func Frames() []FrameInfo {
 		{FramePing, "Ping", "C→S", decodeEmpty},
 		{FramePong, "Pong", "S→C", decodeEmpty},
 		{FrameGoaway, "Goaway", "S→C", decodeEmpty},
+		{FrameAuthReq, "AuthReq", "C→S", func(p []byte) error {
+			_, err := DecodeAuthReq(p)
+			return err
+		}},
+		{FrameAuthResp, "AuthResp", "S→C", func(p []byte) error {
+			_, err := DecodeAuthResp(p)
+			return err
+		}},
 	}
 }
 

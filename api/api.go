@@ -219,6 +219,50 @@ type Stats struct {
 	Tenants         []TenantStats  `json:"tenants,omitempty"` // only with -tenants
 }
 
+// RingNode is one xseedd instance in the cluster partition ring.
+type RingNode struct {
+	ID   string `json:"id"`             // stable node name from the cluster config
+	HTTP string `json:"http"`           // HTTP base address ("host:port")
+	XTP  string `json:"xtp,omitempty"`  // xtp listen address (empty = HTTP only)
+	Repl string `json:"repl,omitempty"` // replication listen address
+	// State is "active" (owns partitions) or "joining" (receiving catch-up
+	// replication; flipped to active by the router once it has caught up).
+	State string `json:"state"`
+}
+
+// Ring node states.
+const (
+	RingStateActive  = "active"
+	RingStateJoining = "joining"
+)
+
+// Ring is the cluster partition ring served by GET /v1/cluster/ring: the
+// consistent-hash membership clients and nodes route (tenant, name) keys
+// by. Epoch increases on every membership or ownership change; a response
+// with a higher epoch supersedes every lower one.
+type Ring struct {
+	Epoch    uint64     `json:"epoch"`
+	Replicas int        `json:"replicas"` // standby copies per synopsis
+	Nodes    []RingNode `json:"nodes"`
+}
+
+// ReplTargetLag is the replication lag one node observes toward one
+// standby target: bytes of delta log written locally but not yet acked by
+// the target, and the age of the oldest unacked byte.
+type ReplTargetLag struct {
+	Target  string  `json:"target"`
+	Bytes   int64   `json:"bytes"`
+	Seconds float64 `json:"seconds"`
+}
+
+// ClusterLag is the response of GET /v1/cluster/lag: per-target replication
+// lag as seen by the serving node. The router polls it to decide when a
+// joining node has caught up enough for the ownership flip.
+type ClusterLag struct {
+	Node    string          `json:"node"`
+	Targets []ReplTargetLag `json:"targets"`
+}
+
 // CompactResponse reports a manual compaction sweep.
 type CompactResponse struct {
 	Compacted []string   `json:"compacted"`

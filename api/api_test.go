@@ -18,12 +18,16 @@ func TestErrorCodeRoundTrip(t *testing.T) {
 	codes := []string{
 		CodeBadRequest, CodeParseError, CodeNotFound, CodeConflict,
 		CodeCanceled, CodeUnauthorized, CodeQuotaExceeded,
-		CodeUnavailable, CodeInternal,
+		CodeMoved, CodeUnavailable, CodeInternal,
 	}
 	for _, code := range codes {
 		in := Errorf(code, "boom %s", code)
 		if code == CodeParseError {
 			in = NewParseError("boom", 7, "???")
+		}
+		if code == CodeMoved {
+			in = NewMovedError("orders", "http://10.0.0.2:8080", 9)
+			in.Msg = "boom " + code
 		}
 		rr := httptest.NewRecorder()
 		WriteError(rr, in)
@@ -41,6 +45,12 @@ func TestErrorCodeRoundTrip(t *testing.T) {
 			d, ok := out.ParseDetail()
 			if !ok || d.Offset != 7 || d.Token != "???" {
 				t.Errorf("parse detail did not survive: %+v ok=%v", d, ok)
+			}
+		}
+		if code == CodeMoved {
+			d, ok := out.MovedDetail()
+			if !ok || d.Owner != "http://10.0.0.2:8080" || d.Epoch != 9 {
+				t.Errorf("moved detail did not survive: %+v ok=%v", d, ok)
 			}
 		}
 	}

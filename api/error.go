@@ -51,6 +51,13 @@ const (
 	// was not processed; retrying after a backoff is safe.
 	CodeQuotaExceeded = "quota_exceeded"
 
+	// CodeMoved means the addressed synopsis lives on another node of a
+	// cluster: this node is not (or no longer) its owner under the current
+	// partition ring. The error's Detail carries a MovedDetail naming the
+	// owning node and the ring epoch; clients refresh the ring and retry
+	// against the named node. The request was not processed.
+	CodeMoved = "moved"
+
 	// CodeUnavailable means the server cannot serve the request right now
 	// (shutting down, overloaded); the call is safe to retry.
 	CodeUnavailable = "unavailable"
@@ -99,6 +106,8 @@ func (e *Error) HTTPStatus() int {
 		return http.StatusUnauthorized
 	case CodeQuotaExceeded:
 		return http.StatusTooManyRequests
+	case CodeMoved:
+		return http.StatusMisdirectedRequest
 	case CodeUnavailable:
 		return http.StatusServiceUnavailable
 	default:
@@ -122,6 +131,8 @@ func CodeFromStatus(status int) string {
 		return CodeUnauthorized
 	case http.StatusTooManyRequests:
 		return CodeQuotaExceeded
+	case http.StatusMisdirectedRequest:
+		return CodeMoved
 	case http.StatusServiceUnavailable:
 		return CodeUnavailable
 	default:
@@ -156,6 +167,39 @@ func (e *Error) ParseDetail() (ParseDetail, bool) {
 	var d ParseDetail
 	if err := json.Unmarshal(e.Detail, &d); err != nil {
 		return ParseDetail{}, false
+	}
+	return d, true
+}
+
+// MovedDetail is the Detail payload of a CodeMoved: the HTTP base address
+// of the node that owns the addressed synopsis and the partition-ring epoch
+// the server routed by. Owner may be empty during a rebalance window when
+// the server knows only that it is not the owner.
+type MovedDetail struct {
+	Owner string `json:"owner,omitempty"`
+	Epoch uint64 `json:"epoch,omitempty"`
+}
+
+// NewMovedError builds a CodeMoved carrying the owning node and ring epoch
+// structurally in Detail.
+func NewMovedError(name, owner string, epoch uint64) *Error {
+	detail, _ := json.Marshal(MovedDetail{Owner: owner, Epoch: epoch})
+	return &Error{
+		Code:   CodeMoved,
+		Msg:    fmt.Sprintf("synopsis %q is owned by another node", name),
+		Detail: detail,
+	}
+}
+
+// MovedDetail decodes the structured detail of a CodeMoved; ok is false for
+// other codes or an undecodable detail.
+func (e *Error) MovedDetail() (MovedDetail, bool) {
+	if e.Code != CodeMoved || len(e.Detail) == 0 {
+		return MovedDetail{}, false
+	}
+	var d MovedDetail
+	if err := json.Unmarshal(e.Detail, &d); err != nil {
+		return MovedDetail{}, false
 	}
 	return d, true
 }

@@ -33,6 +33,8 @@ func Routes() []Route {
 		{"POST", "/v1/synopses/{name}/subtree", "/synopses/{name}/subtree", "SubtreeRequest", "-", "incremental kernel maintenance after a document update"},
 		{"GET", "/v1/synopses/{name}/snapshot", "/synopses/{name}/snapshot", "-", "binary stream", "download the serialized synopsis"},
 		{"PUT", "/v1/synopses/{name}/snapshot", "/synopses/{name}/snapshot", "binary stream", "SynopsisInfo", "register (or replace) a synopsis from a snapshot"},
+		{"GET", "/v1/cluster/ring", "", "-", "Ring", "cluster partition ring: epoch, replica count, node membership"},
+		{"GET", "/v1/cluster/lag", "", "-", "ClusterLag", "replication lag this node observes toward each standby target"},
 		{"POST", "/v1/admin/budget", "", "BudgetRequest", "RebalanceStats", "re-target the aggregate memory budget (applied asynchronously)"},
 		{"POST", "/v1/admin/compact", "", "-", "CompactResponse", "fold delta logs into fresh base snapshots (?synopsis=name for one)"},
 		// /metrics is deliberately unversioned: it is operational surface in

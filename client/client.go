@@ -47,6 +47,8 @@ type Client struct {
 	hc       *http.Client
 	synopsis string // bound synopsis for the Estimator methods ("" = unbound)
 	token    string // bearer token sent on every request ("" = none)
+	tenant   string // tenant ID for partition routing (Cluster only)
+	xtpEst   bool   // route estimates over xtp (Cluster only)
 
 	retries    int           // extra attempts for idempotent calls
 	backoff    time.Duration // base sleep between attempts (linear, jittered)
@@ -89,6 +91,21 @@ func WithSynopsis(name string) Option { return func(c *Client) { c.synopsis = na
 // header, so setting a token is always safe; an unknown token fails every
 // call with api.CodeUnauthorized.
 func WithToken(token string) Option { return func(c *Client) { c.token = token } }
+
+// WithTenantID names the tenant whose synopses the client addresses. Only
+// the partition-aware Cluster client consults it — node ownership hashes
+// the (tenant, name) store key, so routing must hash the same tenant the
+// server resolves from the bearer token. A plain Client ignores it (the
+// server alone maps token to tenant). Defaults to the untenanted
+// namespace when unset.
+func WithTenantID(id string) Option { return func(c *Client) { c.tenant = id } }
+
+// WithXTPEstimates makes a Cluster route estimate batches over each
+// owner's xtp listener (binary frames, one pipelined connection per node)
+// instead of HTTP. Everything else — create, delete, list, snapshots —
+// stays on HTTP. A plain Client ignores it; use DialXTP directly for a
+// single-node binary-transport client.
+func WithXTPEstimates() Option { return func(c *Client) { c.xtpEst = true } }
 
 // New builds a client for the server at baseURL (e.g.
 // "http://10.0.0.7:8080"; a bare "host:port" gets "http://" prefixed).
@@ -206,6 +223,13 @@ func (c *Client) authorize(req *http.Request) {
 func retriableStatus(status int) bool {
 	switch status {
 	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	case http.StatusMisdirectedRequest:
+		// 421 is api.CodeMoved: the synopsis lives on another cluster node.
+		// Against a router the retry lands after the router re-reads the
+		// ring; against a node, after an ownership flip settles. The
+		// partition-aware Cluster client intercepts the typed error first
+		// and re-routes instead of blindly retrying.
 		return true
 	}
 	return false

@@ -10,6 +10,8 @@
 //	       [-store-compact-interval 15s] [-store-fsync]
 //	       [-log-format text|json] [-log-level info] [-pprof addr]
 //	xseedd -store-fsck -store-dir DIR
+//	xseedd -cluster topo.json -cluster-node ID -store-dir DIR   (cluster node)
+//	xseedd -cluster topo.json -router                           (cluster router)
 //
 // Each -synopsis flag preloads one synopsis at startup from either a file
 // written by `xseed build` or a raw XML document.
@@ -39,6 +41,8 @@
 //	POST   /v1/synopses/{name}/subtree       incremental add/remove update
 //	GET    /v1/synopses/{name}/snapshot      download serialized synopsis
 //	PUT    /v1/synopses/{name}/snapshot      upload serialized synopsis
+//	GET    /v1/cluster/ring                  partition ring (cluster mode)
+//	GET    /v1/cluster/lag                   per-target replication lag (cluster mode)
 //	POST   /v1/admin/budget                  re-target the aggregate budget
 //	POST   /v1/admin/compact                 fold delta logs into fresh bases
 //	GET    /v1/stats                         sizes, cache hit rate, accuracy, store
@@ -56,6 +60,20 @@
 // Tokenless requests act as the built-in "default" tenant, keeping
 // pre-tenancy clients working unchanged. See api/README.md
 // ("Authentication and tenancy") and docs/ARCHITECTURE.md ("Tenancy").
+//
+// -cluster FILE runs the daemon as part of a distributed xseed cluster
+// described by one shared topology file (replicas, router address, node
+// addresses). With -cluster-node ID it serves as that node: the synopsis
+// registry is partitioned across nodes by consistent hashing on the
+// (tenant, name) key, each node streams its primaries' delta logs to
+// warm standbys, and requests for synopses owned elsewhere answer a
+// typed moved error (HTTP 421) naming the owner. With -router it runs
+// the membership authority instead: health checks, ring epochs, join
+// activation, and a retrying proxy for thin clients — never on the
+// replication path. Node listen addresses come from the topology file,
+// and -store-dir is required on nodes (replication is log shipping).
+// client.NewCluster is the partition-aware SDK; see docs/ARCHITECTURE.md
+// ("Cluster") and docs/PROTOCOL.md §4.10 for the replication wire format.
 //
 // -xtp ADDR opens a second listener serving the same registry over xtp,
 // a length-prefixed binary protocol with request pipelining for

@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// NodeConfig names one xseedd instance of the cluster and its listen
+// addresses.
+type NodeConfig struct {
+	ID   string `json:"id"`             // stable node name, unique in the cluster
+	HTTP string `json:"http"`           // HTTP listen address ("host:port")
+	XTP  string `json:"xtp,omitempty"`  // xtp listen address (empty = HTTP only)
+	Repl string `json:"repl,omitempty"` // replication listen address (defaults required for replicas > 0)
+}
+
+// Config is the shared static cluster topology, one JSON file handed to
+// every node (-cluster, -cluster-node) and to the router (-cluster,
+// -router). Membership *state* — who is alive, active, joining — is
+// dynamic and owned by the router; this file only names the candidates.
+type Config struct {
+	// Replicas is the number of warm standby copies per synopsis. 0 (or
+	// omitted) defaults to 1 on a multi-node cluster and 0 on a single
+	// node. With N nodes at most N-1 replicas are achievable.
+	Replicas int `json:"replicas"`
+
+	// Router is the router's listen address ("host:port"). Nodes poll it
+	// for the ring; clients may use it as a seed or proxy.
+	Router string `json:"router"`
+
+	Nodes []NodeConfig `json:"nodes"`
+
+	// PollIntervalMs is how often nodes poll the router for the ring and
+	// the router health-checks nodes (default 500; CI uses 200 for fast
+	// failover detection).
+	PollIntervalMs int `json:"pollIntervalMs,omitempty"`
+
+	// ReplIntervalMs is how often each sender tails its owned synopses'
+	// delta logs toward a target (default 100).
+	ReplIntervalMs int `json:"replIntervalMs,omitempty"`
+}
+
+// PollInterval returns the membership poll interval with its default.
+func (c Config) PollInterval() time.Duration {
+	if c.PollIntervalMs <= 0 {
+		return 500 * time.Millisecond
+	}
+	return time.Duration(c.PollIntervalMs) * time.Millisecond
+}
+
+// ReplInterval returns the replication tail interval with its default.
+func (c Config) ReplInterval() time.Duration {
+	if c.ReplIntervalMs <= 0 {
+		return 100 * time.Millisecond
+	}
+	return time.Duration(c.ReplIntervalMs) * time.Millisecond
+}
+
+// Node returns the configured node with the given ID.
+func (c Config) Node(id string) (NodeConfig, bool) {
+	for _, n := range c.Nodes {
+		if n.ID == id {
+			return n, true
+		}
+	}
+	return NodeConfig{}, false
+}
+
+// Validate checks the topology for the mistakes that would otherwise
+// surface as silent routing bugs: duplicate or empty IDs, missing
+// addresses, a replica count the membership cannot satisfy.
+func (c Config) Validate() error {
+	if len(c.Nodes) == 0 {
+		return fmt.Errorf("cluster: config has no nodes")
+	}
+	if c.Router == "" {
+		return fmt.Errorf("cluster: config has no router address")
+	}
+	if c.Replicas < 0 {
+		return fmt.Errorf("cluster: negative replicas %d", c.Replicas)
+	}
+	if c.Replicas >= len(c.Nodes) {
+		return fmt.Errorf("cluster: %d replicas need at least %d nodes, config has %d", c.Replicas, c.Replicas+1, len(c.Nodes))
+	}
+	seen := make(map[string]bool, len(c.Nodes))
+	for i, n := range c.Nodes {
+		if n.ID == "" {
+			return fmt.Errorf("cluster: node %d has no id", i)
+		}
+		if seen[n.ID] {
+			return fmt.Errorf("cluster: duplicate node id %q", n.ID)
+		}
+		seen[n.ID] = true
+		if n.HTTP == "" {
+			return fmt.Errorf("cluster: node %q has no http address", n.ID)
+		}
+		if n.Repl == "" && c.Replicas > 0 {
+			return fmt.Errorf("cluster: node %q has no repl address but replicas = %d", n.ID, c.Replicas)
+		}
+	}
+	return nil
+}
+
+// LoadConfigFile reads and validates a cluster config. Unknown fields are
+// rejected: a typoed key silently defaulting is exactly the config bug
+// this should catch.
+func LoadConfigFile(path string) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, err
+	}
+	var c Config
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return Config{}, fmt.Errorf("cluster: parse %s: %w", path, err)
+	}
+	if c.Replicas == 0 && len(c.Nodes) > 1 {
+		c.Replicas = 1
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return c, nil
+}

@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func validConfig() Config {
+	return Config{
+		Replicas: 1,
+		Router:   "127.0.0.1:7070",
+		Nodes: []NodeConfig{
+			{ID: "a", HTTP: "127.0.0.1:8081", XTP: "127.0.0.1:9091", Repl: "127.0.0.1:7071"},
+			{ID: "b", HTTP: "127.0.0.1:8082", XTP: "127.0.0.1:9092", Repl: "127.0.0.1:7072"},
+		},
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := validConfig().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		want   string
+	}{
+		{"no nodes", func(c *Config) { c.Nodes = nil }, "no nodes"},
+		{"no router", func(c *Config) { c.Router = "" }, "no router"},
+		{"negative replicas", func(c *Config) { c.Replicas = -1 }, "negative replicas"},
+		{"too many replicas", func(c *Config) { c.Replicas = 2 }, "need at least 3 nodes"},
+		{"empty id", func(c *Config) { c.Nodes[1].ID = "" }, "has no id"},
+		{"duplicate id", func(c *Config) { c.Nodes[1].ID = "a" }, "duplicate node id"},
+		{"no http", func(c *Config) { c.Nodes[0].HTTP = "" }, "no http address"},
+		{"no repl with replicas", func(c *Config) { c.Nodes[0].Repl = "" }, "no repl address"},
+	}
+	for _, tc := range cases {
+		c := validConfig()
+		tc.mutate(&c)
+		err := c.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+	// Replicas == 0 tolerates missing repl addresses: single-node and
+	// replication-free clusters need no repl listeners.
+	c := validConfig()
+	c.Replicas = 0
+	c.Nodes[0].Repl, c.Nodes[1].Repl = "", ""
+	if err := c.Validate(); err != nil {
+		t.Fatalf("replicas=0 without repl addresses rejected: %v", err)
+	}
+}
+
+func writeConfig(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadConfigFile(t *testing.T) {
+	path := writeConfig(t, `{
+		"router": "127.0.0.1:7070",
+		"nodes": [
+			{"id": "a", "http": "127.0.0.1:8081", "repl": "127.0.0.1:7071"},
+			{"id": "b", "http": "127.0.0.1:8082", "repl": "127.0.0.1:7072"}
+		]
+	}`)
+	c, err := LoadConfigFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Omitted replicas defaults to 1 on a multi-node cluster.
+	if c.Replicas != 1 {
+		t.Errorf("replicas = %d, want defaulted 1", c.Replicas)
+	}
+	if c.PollInterval() != 500*time.Millisecond || c.ReplInterval() != 100*time.Millisecond {
+		t.Errorf("intervals = %v / %v, want defaults", c.PollInterval(), c.ReplInterval())
+	}
+	if _, ok := c.Node("b"); !ok {
+		t.Error("Node(b) not found")
+	}
+}
+
+func TestLoadConfigFileSingleNodeDefaultsToZeroReplicas(t *testing.T) {
+	path := writeConfig(t, `{
+		"router": "127.0.0.1:7070",
+		"nodes": [{"id": "a", "http": "127.0.0.1:8081"}]
+	}`)
+	c, err := LoadConfigFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Replicas != 0 {
+		t.Errorf("single-node replicas = %d, want 0", c.Replicas)
+	}
+}
+
+func TestLoadConfigFileRejectsUnknownFields(t *testing.T) {
+	path := writeConfig(t, `{
+		"router": "127.0.0.1:7070",
+		"replcias": 2,
+		"nodes": [{"id": "a", "http": "127.0.0.1:8081"}]
+	}`)
+	if _, err := LoadConfigFile(path); err == nil || !strings.Contains(err.Error(), "replcias") {
+		t.Fatalf("typoed field not rejected: %v", err)
+	}
+}
+
+func TestLoadConfigFileMissing(t *testing.T) {
+	if _, err := LoadConfigFile(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing file did not error")
+	}
+}

@@ -1,0 +1,275 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xseed/api"
+	"xseed/internal/obs"
+)
+
+// Manager is the node-side cluster brain: it follows the router's ring
+// epochs, flips local synopses between primary and replica as ownership
+// moves, and runs one replication sender per target the current ring
+// assigns this node. It never makes membership decisions itself — the
+// router is the single authority — so two nodes can never disagree about
+// ownership for longer than a poll interval.
+type Manager struct {
+	cfg       Config
+	self      string
+	host      Host
+	log       *slog.Logger
+	m         *Metrics
+	cursorDir string
+	hc        *http.Client
+
+	ring atomic.Pointer[Ring]
+
+	mu      sync.Mutex
+	senders map[string]*senderHandle // by target node ID
+}
+
+type senderHandle struct {
+	s      *sender
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// NewManager builds a node-side manager. cursorDir holds the per-target
+// replication cursor files (created on demand).
+func NewManager(cfg Config, self string, host Host, cursorDir string, om *obs.Registry, lg *slog.Logger) (*Manager, error) {
+	if _, ok := cfg.Node(self); !ok {
+		return nil, fmt.Errorf("cluster: node %q is not in the cluster config", self)
+	}
+	if err := os.MkdirAll(cursorDir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Manager{
+		cfg:       cfg,
+		self:      self,
+		host:      host,
+		log:       lg.With("node", self),
+		m:         NewMetrics(om),
+		cursorDir: cursorDir,
+		hc:        &http.Client{Timeout: 2 * time.Second},
+		senders:   make(map[string]*senderHandle),
+	}, nil
+}
+
+// Self returns this node's ID.
+func (m *Manager) Self() string { return m.self }
+
+// Metrics returns the node's replication metrics (for the server's
+// stats plumbing).
+func (m *Manager) Metrics() *Metrics { return m.m }
+
+// Run polls the router for ring epochs and reconciles senders until ctx is
+// canceled. The first ring fetch is attempted immediately so a freshly
+// started node demotes non-owned synopses within one round trip.
+func (m *Manager) Run(ctx context.Context) {
+	m.fetchRing(ctx)
+	poll := time.NewTicker(m.cfg.PollInterval())
+	defer poll.Stop()
+	recon := time.NewTicker(m.cfg.PollInterval())
+	defer recon.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			m.stopSenders()
+			return
+		case <-poll.C:
+			m.fetchRing(ctx)
+		case <-recon.C:
+			// Senders are also reconciled on a timer, not just on epoch
+			// change: a synopsis created after the last epoch still needs
+			// its targets streaming.
+			m.reconcileSenders()
+		}
+	}
+}
+
+func (m *Manager) fetchRing(ctx context.Context) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+m.cfg.Router+"/v1/cluster/ring", nil)
+	if err != nil {
+		return
+	}
+	resp, err := m.hc.Do(req)
+	if err != nil {
+		m.log.Debug("ring fetch failed", "err", err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	var r api.Ring
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		m.log.Debug("ring decode failed", "err", err)
+		return
+	}
+	m.SetRing(r)
+}
+
+// SetRing installs a ring and applies its ownership to local synopses:
+// keys owned here are promoted (a replica taking over is a failover), keys
+// owned elsewhere are demoted to replicas. Stale epochs are ignored.
+// Exported for in-process tests; production rings arrive via Run's poll.
+func (m *Manager) SetRing(r api.Ring) {
+	old := m.ring.Load()
+	if old != nil && r.Epoch <= old.Epoch {
+		return
+	}
+	ring := NewRing(r)
+	m.ring.Store(ring)
+	m.log.Info("ring epoch applied", "epoch", r.Epoch, "nodes", len(r.Nodes))
+	for _, key := range m.host.AllKeys() {
+		owner, ok := ring.Owner(key)
+		if !ok {
+			continue // no active nodes; keep current roles
+		}
+		primary := owner.ID == m.self
+		if m.host.SetPrimary(key, primary) && primary {
+			m.m.failovers.Inc()
+			m.log.Info("promoted to primary", "key", key, "epoch", r.Epoch)
+		}
+	}
+	m.reconcileSenders()
+}
+
+// Ring returns the last applied ring.
+func (m *Manager) Ring() (api.Ring, bool) {
+	r := m.ring.Load()
+	if r == nil {
+		return api.Ring{}, false
+	}
+	return r.Ring, true
+}
+
+// RingJSON returns the last applied ring as JSON (the RingResp payload).
+func (m *Manager) RingJSON() ([]byte, bool) {
+	r, ok := m.Ring()
+	if !ok {
+		return nil, false
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// Owner resolves key's owning node under the current ring. known is false
+// before the first ring arrives (serve locally — bootstrap) or when the
+// ring has no active nodes.
+func (m *Manager) Owner(key string) (owner api.RingNode, epoch uint64, known bool) {
+	r := m.ring.Load()
+	if r == nil {
+		return api.RingNode{}, 0, false
+	}
+	owner, ok := r.Owner(key)
+	return owner, r.Epoch, ok
+}
+
+// NotifyDelete propagates a primary-side synopsis deletion to every
+// current replication target.
+func (m *Manager) NotifyDelete(key string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, h := range m.senders {
+		h.s.notifyDelete(key)
+	}
+}
+
+// Lag reports the current replication lag toward each target.
+func (m *Manager) Lag() []api.ReplTargetLag {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]api.ReplTargetLag, 0, len(m.senders))
+	now := time.Now()
+	for id, h := range m.senders {
+		out = append(out, api.ReplTargetLag{
+			Target:  id,
+			Bytes:   h.s.lagBytes(),
+			Seconds: h.s.lagSeconds(now),
+		})
+	}
+	return out
+}
+
+// reconcileSenders starts a sender per node the current ring makes a
+// target of any of this node's primaries, and stops senders whose target
+// left the ring.
+func (m *Manager) reconcileSenders() {
+	r := m.ring.Load()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	desired := make(map[string]api.RingNode)
+	if r != nil {
+		for _, key := range m.host.PrimaryKeys() {
+			for _, n := range r.Targets(key, m.self) {
+				desired[n.ID] = n
+			}
+		}
+	}
+	for id, h := range m.senders {
+		if _, ok := desired[id]; !ok {
+			h.cancel()
+			delete(m.senders, id)
+			m.m.lagBytes.Delete(id)
+			m.m.lagSeconds.Delete(id)
+			m.log.Info("replication target removed", "target", id)
+		}
+	}
+	for id, n := range desired {
+		if _, ok := m.senders[id]; ok {
+			continue
+		}
+		target := n
+		keysFn := func() []string {
+			ring := m.ring.Load()
+			if ring == nil {
+				return nil
+			}
+			var keys []string
+			for _, key := range m.host.PrimaryKeys() {
+				for _, t := range ring.Targets(key, m.self) {
+					if t.ID == target.ID {
+						keys = append(keys, key)
+						break
+					}
+				}
+			}
+			return keys
+		}
+		s := newSender(m.self, target, m.host, keysFn, m.cfg.ReplInterval(), m.cursorDir, m.m, m.log)
+		ctx, cancel := context.WithCancel(context.Background())
+		h := &senderHandle{s: s, cancel: cancel, done: make(chan struct{})}
+		go func() {
+			defer close(h.done)
+			s.run(ctx)
+		}()
+		m.senders[id] = h
+		m.log.Info("replication target added", "target", id)
+	}
+}
+
+func (m *Manager) stopSenders() {
+	m.mu.Lock()
+	handles := make([]*senderHandle, 0, len(m.senders))
+	for id, h := range m.senders {
+		handles = append(handles, h)
+		delete(m.senders, id)
+	}
+	m.mu.Unlock()
+	for _, h := range handles {
+		h.cancel()
+		<-h.done
+	}
+}

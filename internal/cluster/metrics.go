@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"xseed/internal/obs"
+	"xseed/internal/store"
+)
+
+// Host is the surface the cluster layer needs from the serving node — the
+// registry and store glue, implemented by internal/server. cluster never
+// imports internal/server; this interface is the boundary that keeps the
+// dependency one-way.
+type Host interface {
+	// PrimaryKeys returns the (tenant, name) store keys this node currently
+	// serves as primary — the keys its senders replicate out.
+	PrimaryKeys() []string
+
+	// AllKeys returns every key hosted here, primary or replica.
+	AllKeys() []string
+
+	// SetPrimary flips a hosted key between primary (serves traffic, is
+	// replicated out) and replica (applies replicated segments only). It
+	// reports whether the role actually changed. Unknown keys are ignored.
+	SetPrimary(key string, primary bool) (changed bool)
+
+	// Replication source (primary side).
+	Tail(key string) (seq uint64, size int64, ok bool)
+	ReadSegment(key string, seq uint64, off, max int64) ([]byte, error)
+	ExportBase(key string) (store.BaseExport, error)
+
+	// Replication apply (standby side). ApplySegment returns the new
+	// durable log size; store.ErrSeqMismatch asks the sender to re-ship
+	// the base.
+	ImportBase(key string, seq uint64, meta store.BaseMeta, snapshot []byte) error
+	ApplySegment(key string, seq uint64, off int64, data []byte) (newSize int64, err error)
+	DeleteReplica(key string) error
+}
+
+// Metrics is the replication metric surface, registered once per node
+// (xseed_repl_*). Per-target children resolve lazily as senders start.
+type Metrics struct {
+	lagBytes   *obs.GaugeVec
+	lagSeconds *obs.GaugeVec
+	failovers  *obs.Counter
+	segsSent   *obs.CounterVec
+	bytesSent  *obs.CounterVec
+	baseShips  *obs.CounterVec
+}
+
+// NewMetrics registers the xseed_repl_* families on r (obs.Disabled for
+// none).
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		lagBytes: r.GaugeVec("xseed_repl_lag_bytes",
+			"Delta-log bytes written locally but not yet acked by the target standby.", "target"),
+		lagSeconds: r.GaugeVec("xseed_repl_lag_seconds",
+			"Seconds since the target standby was last fully caught up.", "target"),
+		failovers: r.Counter("xseed_repl_failovers_total",
+			"Local synopsis promotions from replica to primary (ring epoch changes)."),
+		segsSent: r.CounterVec("xseed_repl_segments_sent_total",
+			"Delta-log segments shipped and acked per replication target.", "target"),
+		bytesSent: r.CounterVec("xseed_repl_bytes_sent_total",
+			"Replication payload bytes shipped and acked per replication target (segments and bases).", "target"),
+		baseShips: r.CounterVec("xseed_repl_base_ships_total",
+			"Full base-snapshot ships per replication target (first contact, compaction, divergence).", "target"),
+	}
+}

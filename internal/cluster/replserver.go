@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"net"
+	"sync"
+	"time"
+
+	"xseed/api"
+	"xseed/internal/store"
+	"xseed/internal/wire"
+)
+
+// ReplServer is the standby side of replication: it accepts streams from
+// primaries on the node's cluster-internal repl listener, validates and
+// applies base ships and delta-log segments through the Host, and acks
+// each with its durable position. Apply errors never crash the stream —
+// they nack with needBase so the sender resynchronizes.
+type ReplServer struct {
+	self     string
+	host     Host
+	log      *slog.Logger
+	ringJSON func() ([]byte, bool) // nil or not-ok answers RingReq with an error
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+// NewReplServer builds a standby receiver for the named node.
+func NewReplServer(self string, host Host, ringJSON func() ([]byte, bool), lg *slog.Logger) *ReplServer {
+	return &ReplServer{self: self, host: host, ringJSON: ringJSON, log: lg, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts replication streams until ctx is canceled or ln fails.
+// Canceling ctx closes the listener and every open stream.
+func (rs *ReplServer) Serve(ctx context.Context, ln net.Listener) error {
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-done:
+		}
+		ln.Close()
+		rs.mu.Lock()
+		for c := range rs.conns {
+			c.Close()
+		}
+		rs.mu.Unlock()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		rs.mu.Lock()
+		rs.conns[conn] = struct{}{}
+		rs.mu.Unlock()
+		go rs.handle(conn)
+	}
+}
+
+func (rs *ReplServer) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		rs.mu.Lock()
+		delete(rs.conns, conn)
+		rs.mu.Unlock()
+	}()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	ver, err := wire.ReadHandshake(conn)
+	if err != nil {
+		return
+	}
+	if err := wire.WriteHandshake(conn, wire.Version); err != nil || ver != wire.Version {
+		return
+	}
+	fr := wire.NewReader(conn)
+	fw := wire.NewWriter(conn)
+	f, err := fr.ReadFrame()
+	if err != nil || f.Type != wire.FrameReplHello {
+		return
+	}
+	peer, err := wire.DecodeReplHello(f.Payload)
+	if err != nil {
+		return
+	}
+	buf := wire.GetBuf()
+	err = fw.WriteFrame(wire.FrameReplWelcome, f.Corr, wire.AppendReplWelcome(*buf, rs.self))
+	wire.PutBuf(buf)
+	if err != nil {
+		return
+	}
+	conn.SetDeadline(time.Time{})
+	lg := rs.log.With("peer", peer)
+	lg.Info("replication stream opened")
+	for {
+		f, err := fr.ReadFrame()
+		if err != nil {
+			if !errors.Is(err, net.ErrClosed) {
+				lg.Debug("replication stream closed", "err", err)
+			}
+			return
+		}
+		if !rs.dispatch(fw, f, lg) {
+			return
+		}
+	}
+}
+
+// dispatch handles one replication frame, returning false when the stream
+// must close.
+func (rs *ReplServer) dispatch(fw *wire.Writer, f wire.Frame, lg *slog.Logger) bool {
+	buf := wire.GetBuf()
+	defer wire.PutBuf(buf)
+	switch f.Type {
+	case wire.FrameBaseShip:
+		bs, err := wire.DecodeBaseShip(f.Payload)
+		if err != nil {
+			return false
+		}
+		meta := store.BaseMeta{
+			Source:  bs.Source,
+			Created: time.Unix(0, bs.Created),
+			Budget:  int(bs.Budget),
+			Ver:     bs.Ver,
+		}
+		ierr := rs.host.ImportBase(bs.Key, bs.Seq, meta, bs.Snapshot)
+		if ierr != nil {
+			lg.Warn("base import failed", "key", bs.Key, "err", ierr)
+		}
+		ack := wire.SegmentAck{Key: bs.Key, Seq: bs.Seq, OK: ierr == nil}
+		return fw.WriteFrame(wire.FrameSegmentAck, f.Corr, wire.AppendSegmentAck(*buf, ack)) == nil
+	case wire.FrameSegmentData:
+		sd, err := wire.DecodeSegmentData(f.Payload)
+		if err != nil {
+			return false
+		}
+		newSize, aerr := rs.host.ApplySegment(sd.Key, sd.Seq, sd.Off, sd.Data)
+		ack := wire.SegmentAck{Key: sd.Key, Seq: sd.Seq, Off: newSize, OK: aerr == nil}
+		if aerr != nil {
+			// Any apply failure resynchronizes via a fresh base: the
+			// standby's copy may no longer match the primary byte-for-byte.
+			ack.NeedBase = true
+			if !errors.Is(aerr, store.ErrSeqMismatch) {
+				lg.Warn("segment apply failed", "key", sd.Key, "err", aerr)
+			}
+		}
+		return fw.WriteFrame(wire.FrameSegmentAck, f.Corr, wire.AppendSegmentAck(*buf, ack)) == nil
+	case wire.FrameReplDelete:
+		key, err := wire.DecodeReplDelete(f.Payload)
+		if err != nil {
+			return false
+		}
+		derr := rs.host.DeleteReplica(key)
+		if derr != nil {
+			lg.Warn("replica delete failed", "key", key, "err", derr)
+		}
+		ack := wire.SegmentAck{Key: key, OK: derr == nil}
+		return fw.WriteFrame(wire.FrameSegmentAck, f.Corr, wire.AppendSegmentAck(*buf, ack)) == nil
+	case wire.FrameRingReq:
+		if rs.ringJSON != nil {
+			if data, ok := rs.ringJSON(); ok {
+				return fw.WriteFrame(wire.FrameRingResp, f.Corr, data) == nil
+			}
+		}
+		e := api.Errorf(api.CodeUnavailable, "ring not yet known")
+		return fw.WriteFrame(wire.FrameError, f.Corr, wire.AppendError(*buf, e)) == nil
+	case wire.FramePing:
+		return fw.WriteFrame(wire.FramePong, f.Corr, nil) == nil
+	default:
+		e := api.Errorf(api.CodeBadRequest, "unexpected %s frame on a replication stream", f.Type)
+		fw.WriteFrame(wire.FrameError, f.Corr, wire.AppendError(*buf, e))
+		return false
+	}
+}

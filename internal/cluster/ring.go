@@ -1,0 +1,154 @@
+// Package cluster partitions the xseedd synopsis registry across nodes and
+// keeps warm standbys for failover. It has three moving parts:
+//
+//   - a consistent-hash partition ring over (tenant, name) store keys
+//     (this file), computed by the router and distributed as api.Ring;
+//   - delta-log replication from each primary to its standby targets
+//     (sender.go / replserver.go): base snapshots ship verbatim, then
+//     validated delta-log segments stream with positional acks, so a
+//     standby's durable state is bit-identical to the primary's;
+//   - a node-side Manager (manager.go) that follows ring epochs, promotes
+//     and demotes local synopses, and runs one sender per target; and a
+//     Router (router.go) that owns membership — health checks, epoch bumps,
+//     join activation — and proxies client traffic to owners.
+//
+// The membership group (the router) handles router state only, never the
+// data path: estimates, feedback, and replication flow directly between
+// clients, primaries, and standbys.
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+
+	"xseed/api"
+)
+
+// vnodes is the number of ring points per node. 64 keeps key distribution
+// within a few percent of even for small clusters while keeping ring
+// construction trivially cheap.
+const vnodes = 64
+
+// point is one virtual node position on the hash circle.
+type point struct {
+	h    uint64
+	node int // index into Ring.Nodes
+}
+
+// Ring is an api.Ring with its hash points precomputed: Owner runs on the
+// estimate data path, so lookups must not re-hash the membership. Build
+// one per epoch with NewRing and share it read-only.
+type Ring struct {
+	api.Ring
+	active []point // points of active nodes only — ownership walks these
+	all    []point // points of active and joining nodes — replication walks these
+}
+
+// NewRing precomputes hash points for r. Node order does not matter: points
+// are positioned by hashing node IDs, so every observer of the same
+// membership derives the same ring.
+func NewRing(r api.Ring) *Ring {
+	ring := &Ring{Ring: r}
+	for i, n := range r.Nodes {
+		for v := 0; v < vnodes; v++ {
+			p := point{h: nodeHash(n.ID, v), node: i}
+			ring.all = append(ring.all, p)
+			if n.State == api.RingStateActive {
+				ring.active = append(ring.active, p)
+			}
+		}
+	}
+	sort.Slice(ring.all, func(i, j int) bool { return ring.all[i].h < ring.all[j].h })
+	sort.Slice(ring.active, func(i, j int) bool { return ring.active[i].h < ring.active[j].h })
+	return ring
+}
+
+// mix64 is a full-avalanche finalizer (murmur3's fmix64) over the raw
+// fnv sum. It is load-bearing: fnv-1a alone places inputs that differ
+// only in their final bytes within a few multiples of the fnv prime of
+// each other — sequentially named synopses ("q-1", "q-2", ...) would
+// cluster on one arc of the circle and land on one node.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// hashKey positions a (tenant, name) store key on the circle.
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+// nodeHash positions one virtual node of a member on the circle.
+func nodeHash(id string, v int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	h.Write([]byte{'#'})
+	h.Write([]byte(strconv.Itoa(v)))
+	return mix64(h.Sum64())
+}
+
+// walk returns the distinct node indices in ring order starting at key's
+// position, at most max of them.
+func walk(points []point, key string, max int) []int {
+	if len(points) == 0 || max <= 0 {
+		return nil
+	}
+	h := hashKey(key)
+	start := sort.Search(len(points), func(i int) bool { return points[i].h >= h })
+	var out []int
+	seen := make(map[int]bool, max)
+	for i := 0; i < len(points) && len(out) < max; i++ {
+		p := points[(start+i)%len(points)]
+		if seen[p.node] {
+			continue
+		}
+		seen[p.node] = true
+		out = append(out, p.node)
+	}
+	return out
+}
+
+// Owner returns the active node that owns key. ok is false on an empty
+// ring (no active nodes yet).
+func (r *Ring) Owner(key string) (api.RingNode, bool) {
+	idx := walk(r.active, key, 1)
+	if len(idx) == 0 {
+		return api.RingNode{}, false
+	}
+	return r.Nodes[idx[0]], true
+}
+
+// Targets returns the replication targets for key from selfID's point of
+// view: the first Replicas+1 distinct nodes of the active∪joining walk,
+// minus self. Walking the joined set means a joining node starts receiving
+// its future partitions before the ownership flip (snapshot ship + delta
+// catch-up), and the property that makes failover work: the first active
+// successor of a dead owner — the node the next epoch promotes — is always
+// among the old owner's targets, so promotion always finds a warm replica.
+func (r *Ring) Targets(key, selfID string) []api.RingNode {
+	idx := walk(r.all, key, r.Replicas+1)
+	var out []api.RingNode
+	for _, i := range idx {
+		if r.Nodes[i].ID != selfID {
+			out = append(out, r.Nodes[i])
+		}
+	}
+	return out
+}
+
+// Node returns the ring member with the given ID.
+func (r *Ring) Node(id string) (api.RingNode, bool) {
+	for _, n := range r.Nodes {
+		if n.ID == id {
+			return n, true
+		}
+	}
+	return api.RingNode{}, false
+}

@@ -1,0 +1,182 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"xseed/api"
+	"xseed/internal/store"
+)
+
+func mkRing(replicas int, nodes ...api.RingNode) *Ring {
+	return NewRing(api.Ring{Epoch: 1, Replicas: replicas, Nodes: nodes})
+}
+
+func activeNode(id string) api.RingNode {
+	return api.RingNode{ID: id, HTTP: id + ":8080", Repl: id + ":7071", State: api.RingStateActive}
+}
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = store.Key(store.DefaultTenant, fmt.Sprintf("synopsis-%d", i))
+	}
+	return keys
+}
+
+func TestRingOwnerEmpty(t *testing.T) {
+	if _, ok := mkRing(0).Owner("k"); ok {
+		t.Fatal("empty ring reported an owner")
+	}
+	// A ring of only joining nodes has no owner either: ownership walks
+	// active points only.
+	joining := api.RingNode{ID: "j", State: api.RingStateJoining}
+	if _, ok := mkRing(0, joining).Owner("k"); ok {
+		t.Fatal("all-joining ring reported an owner")
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	r := mkRing(1, activeNode("a"), activeNode("b"), activeNode("c"), activeNode("d"), activeNode("e"))
+	counts := make(map[string]int)
+	keys := testKeys(10000)
+	for _, k := range keys {
+		n, ok := r.Owner(k)
+		if !ok {
+			t.Fatal("no owner")
+		}
+		counts[n.ID]++
+	}
+	mean := len(keys) / len(r.Nodes)
+	for id, c := range counts {
+		if c < mean/2 || c > mean*2 {
+			t.Errorf("node %s owns %d keys, mean %d — distribution too skewed for %d vnodes", id, c, mean, vnodes)
+		}
+	}
+	if len(counts) != len(r.Nodes) {
+		t.Errorf("only %d of %d nodes own keys", len(counts), len(r.Nodes))
+	}
+}
+
+func TestRingOwnerDeterministicAcrossOrder(t *testing.T) {
+	// Every observer of the same membership must derive the same ring,
+	// regardless of the order the nodes were listed in.
+	a := mkRing(1, activeNode("a"), activeNode("b"), activeNode("c"))
+	b := mkRing(1, activeNode("c"), activeNode("a"), activeNode("b"))
+	for _, k := range testKeys(500) {
+		oa, _ := a.Owner(k)
+		ob, _ := b.Owner(k)
+		if oa.ID != ob.ID {
+			t.Fatalf("key %q: owner %s in one order, %s in another", k, oa.ID, ob.ID)
+		}
+	}
+}
+
+func TestRingTargetsExcludeSelf(t *testing.T) {
+	r := mkRing(2, activeNode("a"), activeNode("b"), activeNode("c"), activeNode("d"))
+	for _, k := range testKeys(200) {
+		owner, _ := r.Owner(k)
+		for _, tg := range r.Targets(k, owner.ID) {
+			if tg.ID == owner.ID {
+				t.Fatalf("key %q: owner %s is its own replication target", k, owner.ID)
+			}
+		}
+		if got := len(r.Targets(k, owner.ID)); got != r.Replicas {
+			t.Fatalf("key %q: %d targets from the owner, want %d", k, got, r.Replicas)
+		}
+	}
+}
+
+// TestRingFailoverProperty pins the property failover correctness rests
+// on: the node promoted after an owner dies (the key's first active
+// successor in the survivor ring) was always among the dead owner's
+// replication targets — so promotion always finds a warm replica.
+func TestRingFailoverProperty(t *testing.T) {
+	for _, size := range []int{2, 3, 4, 5, 6} {
+		for replicas := 1; replicas < size && replicas <= 2; replicas++ {
+			var nodes []api.RingNode
+			for i := 0; i < size; i++ {
+				nodes = append(nodes, activeNode(fmt.Sprintf("n%d", i)))
+			}
+			r := mkRing(replicas, nodes...)
+			for _, k := range testKeys(300) {
+				owner, _ := r.Owner(k)
+				targets := r.Targets(k, owner.ID)
+				var survivors []api.RingNode
+				for _, n := range nodes {
+					if n.ID != owner.ID {
+						survivors = append(survivors, n)
+					}
+				}
+				after := mkRing(replicas, survivors...)
+				promoted, ok := after.Owner(k)
+				if !ok {
+					t.Fatalf("size=%d: no owner after killing %s", size, owner.ID)
+				}
+				found := false
+				for _, tg := range targets {
+					if tg.ID == promoted.ID {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("size=%d replicas=%d key=%q: promoted %s was not a target of dead owner %s (targets %v)",
+						size, replicas, k, promoted.ID, owner.ID, targets)
+				}
+			}
+		}
+	}
+}
+
+// TestRingJoiningNodeReplicatedNotOwning: a joining node starts receiving
+// its future partitions (it appears in Targets) before it ever owns
+// anything (Owner never names it).
+func TestRingJoiningNodeReplicatedNotOwning(t *testing.T) {
+	joiner := api.RingNode{ID: "c", HTTP: "c:8080", Repl: "c:7071", State: api.RingStateJoining}
+	r := mkRing(1, activeNode("a"), activeNode("b"), joiner)
+	seenAsTarget := false
+	for _, k := range testKeys(2000) {
+		owner, _ := r.Owner(k)
+		if owner.ID == "c" {
+			t.Fatalf("joining node owns key %q", k)
+		}
+		for _, tg := range r.Targets(k, owner.ID) {
+			if tg.ID == "c" {
+				seenAsTarget = true
+			}
+		}
+	}
+	if !seenAsTarget {
+		t.Fatal("joining node never appeared as a replication target")
+	}
+
+	// Once active, the joiner owns exactly the keys it was receiving:
+	// every key it comes to own listed it as a target while joining.
+	active := mkRing(1, activeNode("a"), activeNode("b"), activeNode("c"))
+	for _, k := range testKeys(2000) {
+		newOwner, _ := active.Owner(k)
+		if newOwner.ID != "c" {
+			continue
+		}
+		oldOwner, _ := r.Owner(k)
+		found := false
+		for _, tg := range r.Targets(k, oldOwner.ID) {
+			if tg.ID == "c" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("key %q: c owns it after activation but was not a pre-activation target of %s", k, oldOwner.ID)
+		}
+	}
+}
+
+func TestRingNode(t *testing.T) {
+	r := mkRing(1, activeNode("a"), activeNode("b"))
+	if n, ok := r.Node("b"); !ok || n.HTTP != "b:8080" {
+		t.Fatalf("Node(b) = %+v, %v", n, ok)
+	}
+	if _, ok := r.Node("zz"); ok {
+		t.Fatal("Node(zz) found")
+	}
+}

@@ -1,0 +1,391 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xseed/api"
+	"xseed/internal/obs"
+	"xseed/internal/store"
+	"xseed/internal/wire"
+)
+
+// maxSegment bounds one SegmentData payload. Well under wire.MaxFrame so a
+// catch-up burst streams as many medium frames instead of one giant one.
+const maxSegment = 1 << 20
+
+// cursorPos is the acked replication position of one synopsis at one
+// target.
+type cursorPos struct {
+	Seq uint64 `json:"seq"`
+	Off int64  `json:"off"`
+}
+
+// sender replicates this node's primary synopses to one target standby.
+// The delta log itself is the durable queue: the sender tails each owned
+// synopsis's log from a persisted per-target cursor, ships validated
+// segments, and advances the cursor on ack — so a slow or dead standby
+// just lags (bounded only by the log) and never backpressures the write
+// path, and a restarted primary resumes where the standby's acks left off.
+type sender struct {
+	self     string
+	target   api.RingNode
+	host     Host
+	keysFn   func() []string // primary keys routed to this target under the current ring
+	interval time.Duration
+	log      *slog.Logger
+
+	cursorPath string
+
+	gLagBytes   *obs.Gauge
+	gLagSeconds *obs.Gauge
+	cSegs       *obs.Counter
+	cBytes      *obs.Counter
+	cBases      *obs.Counter
+
+	mu      sync.Mutex // guards cursors and deletes (run loop vs. NotifyDelete)
+	cursors map[string]cursorPos
+	deletes map[string]bool
+	dirty   bool
+
+	conn net.Conn
+	fr   *wire.Reader
+	fw   *wire.Writer
+	corr uint64
+
+	lagB     atomic.Int64
+	caughtUp atomic.Int64 // unix nanos of the last fully-caught-up tick
+}
+
+func newSender(self string, target api.RingNode, host Host, keysFn func() []string,
+	interval time.Duration, cursorDir string, m *Metrics, lg *slog.Logger) *sender {
+	s := &sender{
+		self:        self,
+		target:      target,
+		host:        host,
+		keysFn:      keysFn,
+		interval:    interval,
+		log:         lg.With("target", target.ID),
+		cursorPath:  filepath.Join(cursorDir, "cursor-"+target.ID+".json"),
+		gLagBytes:   m.lagBytes.With(target.ID),
+		gLagSeconds: m.lagSeconds.With(target.ID),
+		cSegs:       m.segsSent.With(target.ID),
+		cBytes:      m.bytesSent.With(target.ID),
+		cBases:      m.baseShips.With(target.ID),
+		cursors:     make(map[string]cursorPos),
+		deletes:     make(map[string]bool),
+	}
+	s.caughtUp.Store(time.Now().UnixNano())
+	if data, err := os.ReadFile(s.cursorPath); err == nil {
+		var saved map[string]cursorPos
+		if json.Unmarshal(data, &saved) == nil {
+			s.cursors = saved
+		}
+	}
+	return s
+}
+
+// notifyDelete queues a synopsis deletion for propagation.
+func (s *sender) notifyDelete(key string) {
+	s.mu.Lock()
+	s.deletes[key] = true
+	delete(s.cursors, key)
+	s.dirty = true
+	s.mu.Unlock()
+}
+
+// run is the sender loop: one goroutine, one connection, synchronous
+// request/ack per frame. Transport errors drop the connection and the
+// next tick redials — the cursor file means nothing is ever re-sent past
+// an ack except by the standby's explicit needBase.
+func (s *sender) run(ctx context.Context) {
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			s.disconnect()
+			return
+		case <-t.C:
+			s.tick()
+		}
+	}
+}
+
+func (s *sender) tick() {
+	s.sendDeletes()
+	var lag int64
+	for _, key := range s.keysFn() {
+		n, err := s.syncKey(key)
+		lag += n
+		if err != nil {
+			s.log.Debug("replication sync failed", "key", key, "err", err)
+			s.disconnect()
+			break
+		}
+	}
+	now := time.Now()
+	if lag == 0 {
+		s.caughtUp.Store(now.UnixNano())
+	}
+	s.lagB.Store(lag)
+	s.gLagBytes.Set(lag)
+	s.gLagSeconds.Set(int64(s.lagSeconds(now)))
+	s.saveCursors()
+}
+
+// lagSeconds reports how long the target has been behind: 0 when caught
+// up, otherwise seconds since the last fully-caught-up tick.
+func (s *sender) lagSeconds(now time.Time) float64 {
+	if s.lagB.Load() == 0 {
+		return 0
+	}
+	return now.Sub(time.Unix(0, s.caughtUp.Load())).Seconds()
+}
+
+// lagBytes reports the current unacked byte count toward the target.
+func (s *sender) lagBytes() int64 { return s.lagB.Load() }
+
+func (s *sender) sendDeletes() {
+	s.mu.Lock()
+	var keys []string
+	for k := range s.deletes {
+		keys = append(keys, k)
+	}
+	s.mu.Unlock()
+	for _, key := range keys {
+		buf := wire.GetBuf()
+		ack, err := s.roundTrip(wire.FrameReplDelete, wire.AppendReplDelete(*buf, key))
+		wire.PutBuf(buf)
+		if err != nil {
+			s.disconnect()
+			return
+		}
+		_ = ack
+		s.mu.Lock()
+		delete(s.deletes, key)
+		s.mu.Unlock()
+	}
+}
+
+// syncKey brings one synopsis's replica up to the local log tail,
+// returning the bytes still unacked (0 when caught up).
+func (s *sender) syncKey(key string) (lag int64, err error) {
+	seq, size, ok := s.host.Tail(key)
+	if !ok {
+		return 0, nil
+	}
+	s.mu.Lock()
+	cur := s.cursors[key]
+	s.mu.Unlock()
+	if cur.Seq != seq {
+		// First contact, primary compaction, or standby divergence: restart
+		// this synopsis from a verbatim base ship.
+		if cur, err = s.shipBase(key); err != nil {
+			return size, err
+		}
+		if seq, size, ok = s.host.Tail(key); !ok || seq != cur.Seq {
+			return 0, nil // compacted under us; next tick restarts
+		}
+	}
+	for cur.Off < size {
+		data, rerr := s.host.ReadSegment(key, cur.Seq, cur.Off, maxSegment)
+		if rerr == store.ErrSeqMismatch {
+			return size - cur.Off, nil // compacted under us; next tick re-ships
+		}
+		if rerr != nil {
+			return size - cur.Off, rerr
+		}
+		if len(data) == 0 {
+			break
+		}
+		buf := wire.GetBuf()
+		payload := wire.AppendSegmentData(*buf, wire.SegmentData{Key: key, Seq: cur.Seq, Off: cur.Off, Data: data})
+		ack, werr := s.roundTrip(wire.FrameSegmentData, payload)
+		wire.PutBuf(buf)
+		if werr != nil {
+			return size - cur.Off, werr
+		}
+		if ack.NeedBase || !ack.OK {
+			if cur, err = s.shipBase(key); err != nil {
+				return size - cur.Off, err
+			}
+			continue
+		}
+		cur.Off = ack.Off
+		s.cSegs.Inc()
+		s.cBytes.Add(uint64(len(data)))
+		s.setCursor(key, cur)
+	}
+	return size - cur.Off, nil
+}
+
+// shipBase sends the synopsis's full base snapshot verbatim and resets the
+// cursor to the shipped generation's log start.
+func (s *sender) shipBase(key string) (cursorPos, error) {
+	exp, err := s.host.ExportBase(key)
+	if err == store.ErrSeqMismatch {
+		// Racing a compaction; report no progress and let the next tick
+		// export the new generation.
+		return cursorPos{}, nil
+	}
+	if err != nil {
+		return cursorPos{}, err
+	}
+	buf := wire.GetBuf()
+	payload := wire.AppendBaseShip(*buf, wire.BaseShip{
+		Key:      key,
+		Seq:      exp.Seq,
+		Ver:      exp.Meta.Ver,
+		Budget:   int64(exp.Meta.Budget),
+		Created:  exp.Meta.Created.UnixNano(),
+		Source:   exp.Meta.Source,
+		Snapshot: exp.Data,
+	})
+	ack, err := s.roundTrip(wire.FrameBaseShip, payload)
+	wire.PutBuf(buf)
+	if err != nil {
+		return cursorPos{}, err
+	}
+	if !ack.OK {
+		return cursorPos{}, fmt.Errorf("cluster: %s rejected base ship for %q", s.target.ID, key)
+	}
+	cur := cursorPos{Seq: exp.Seq, Off: 0}
+	s.setCursor(key, cur)
+	s.cBases.Inc()
+	s.cBytes.Add(uint64(len(exp.Data)))
+	return cur, nil
+}
+
+func (s *sender) setCursor(key string, cur cursorPos) {
+	s.mu.Lock()
+	s.cursors[key] = cur
+	s.dirty = true
+	s.mu.Unlock()
+}
+
+// saveCursors persists the acked positions (atomic rename) so a restarted
+// primary resumes streaming where the standby's acks left off instead of
+// re-shipping every base.
+func (s *sender) saveCursors() {
+	s.mu.Lock()
+	if !s.dirty {
+		s.mu.Unlock()
+		return
+	}
+	s.dirty = false
+	data, err := json.Marshal(s.cursors)
+	s.mu.Unlock()
+	if err != nil {
+		return
+	}
+	tmp := s.cursorPath + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	os.Rename(tmp, s.cursorPath)
+}
+
+// roundTrip sends one frame and waits for its SegmentAck (the replication
+// exchange is synchronous per sender; pipelining would buy nothing against
+// a same-DC standby and would complicate cursor recovery).
+func (s *sender) roundTrip(t wire.FrameType, payload []byte) (wire.SegmentAck, error) {
+	if err := s.ensureConn(); err != nil {
+		return wire.SegmentAck{}, err
+	}
+	s.corr++
+	corr := s.corr
+	s.conn.SetDeadline(time.Now().Add(30 * time.Second))
+	if err := s.fw.WriteFrame(t, corr, payload); err != nil {
+		return wire.SegmentAck{}, err
+	}
+	for {
+		f, err := s.fr.ReadFrame()
+		if err != nil {
+			return wire.SegmentAck{}, err
+		}
+		switch f.Type {
+		case wire.FrameSegmentAck:
+			if f.Corr != corr {
+				continue // stale ack from a previous connection incarnation
+			}
+			return wire.DecodeSegmentAck(f.Payload)
+		case wire.FrameError:
+			ae, derr := wire.DecodeError(f.Payload)
+			if derr != nil {
+				return wire.SegmentAck{}, derr
+			}
+			return wire.SegmentAck{}, fmt.Errorf("cluster: %s: %w", s.target.ID, ae)
+		default:
+			return wire.SegmentAck{}, fmt.Errorf("cluster: unexpected %s frame on replication stream", f.Type)
+		}
+	}
+}
+
+func (s *sender) ensureConn() error {
+	if s.conn != nil {
+		return nil
+	}
+	addr := s.target.Repl
+	if addr == "" {
+		return fmt.Errorf("cluster: target %s has no repl address", s.target.ID)
+	}
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return err
+	}
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	if err := wire.WriteHandshake(conn, wire.Version); err != nil {
+		conn.Close()
+		return err
+	}
+	ver, err := wire.ReadHandshake(conn)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	if ver != wire.Version {
+		conn.Close()
+		return fmt.Errorf("%w: server speaks %d", wire.ErrVersionMismatch, ver)
+	}
+	fw := wire.NewWriter(conn)
+	fr := wire.NewReader(conn)
+	buf := wire.GetBuf()
+	err = fw.WriteFrame(wire.FrameReplHello, 1, wire.AppendReplHello(*buf, s.self))
+	wire.PutBuf(buf)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	f, err := fr.ReadFrame()
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	if f.Type != wire.FrameReplWelcome {
+		conn.Close()
+		return fmt.Errorf("cluster: expected ReplWelcome, got %s", f.Type)
+	}
+	if _, err := wire.DecodeReplWelcome(f.Payload); err != nil {
+		conn.Close()
+		return err
+	}
+	conn.SetDeadline(time.Time{})
+	s.conn, s.fr, s.fw, s.corr = conn, fr, fw, 1
+	return nil
+}
+
+func (s *sender) disconnect() {
+	if s.conn != nil {
+		s.conn.Close()
+		s.conn, s.fr, s.fw = nil, nil, nil
+	}
+}

@@ -26,6 +26,13 @@ func TestExpositionGolden(t *testing.T) {
 	vec.With("/v1/estimate", "2xx").Add(10)
 	vec.With(`/odd"path\n`, "2xx").Inc() // label escaping
 
+	gv := r.GaugeVec("repl_lag_bytes", "a labeled gauge family", "target")
+	gv.With("node-b").Set(4096)
+	gv.With("node-c").Set(0)
+	gv.With("gone").Set(1)
+	gv.Delete("gone") // deleted children stop exporting
+	r.GaugeVec("repl_empty_bytes", "labeled family with no children yet", "target")
+
 	// Nanosecond histogram exposed in seconds: 1500ns lands in (1024,2048],
 	// le renders as 2.048e-06.
 	lat := r.Histogram("estimate_seconds", "latency\nwith newline in help", HistogramOpts{Scale: 1e9})

@@ -527,6 +527,34 @@ func (v *CounterVec) Delete(vals ...string) {
 	v.f.remove(vals)
 }
 
+// GaugeVec is a labeled gauge family; resolve children once with With.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or fetches) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil || r.disabled {
+		return &GaugeVec{}
+	}
+	return &GaugeVec{f: r.register(name, help, kindGauge, labels, HistogramOpts{}, nil)}
+}
+
+// With resolves the child gauge for the label values (creating it on first
+// use). Resolve once, outside hot paths.
+func (v *GaugeVec) With(vals ...string) *Gauge {
+	if v == nil || v.f == nil {
+		return noopGauge
+	}
+	return v.f.resolve(vals).gauge
+}
+
+// Delete stops exporting the child for the label values.
+func (v *GaugeVec) Delete(vals ...string) {
+	if v == nil || v.f == nil {
+		return
+	}
+	v.f.remove(vals)
+}
+
 // CounterFuncVec is a labeled family of scrape-time counters: each child
 // reads its value from a monotone source another subsystem already
 // maintains, so a JSON stats view and the exposition can share one set of

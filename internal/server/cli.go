@@ -9,6 +9,7 @@ import (
 	"syscall"
 	"time"
 
+	"xseed/internal/cluster"
 	"xseed/internal/logx"
 	"xseed/internal/store"
 )
@@ -31,7 +32,10 @@ func RunCLI(name string, args []string) error {
 	compactIvl := fs.Duration("store-compact-interval", 0, "background compaction check interval (0 = default 15s)")
 	storeFsync := fs.Bool("store-fsync", false, "fsync the delta log after every append (survives machine crashes, not just process crashes)")
 	fsck := fs.Bool("store-fsck", false, "validate -store-dir (manifest, snapshot loads, delta checksums and replay), print a report, and exit")
-	tenantsFile := fs.String("tenants", "", "enable multi-tenant mode: JSON file of [{\"id\",\"token\",\"budgetBytes\",\"cacheQuota\",\"ratePerSec\"}] tenant configs (empty = single-tenant)")
+	tenantsFile := fs.String("tenants", "", "enable multi-tenant mode: JSON file of [{\"id\",\"token\",\"budgetBytes\",\"cacheQuota\",\"ratePerSec\",\"burst\"}] tenant configs (empty = single-tenant)")
+	clusterFile := fs.String("cluster", "", "cluster topology JSON file (replicas, router, nodes); requires -cluster-node or -router")
+	clusterNode := fs.String("cluster-node", "", "run as this node of the -cluster topology: partitioned ownership plus delta-log replication to warm standbys")
+	routerMode := fs.Bool("router", false, "run as the -cluster topology's router instead of a node: membership health checks, ring epochs, and request proxying")
 	logFormat := fs.String("log-format", "text", "log output format: text or json")
 	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	pprofAddr := fs.String("pprof", "", "admin listen address for net/http/pprof profiles (empty = disabled; keep it off public interfaces)")
@@ -62,6 +66,38 @@ func RunCLI(name string, args []string) error {
 		return err
 	}
 
+	if (*clusterNode != "" || *routerMode) && *clusterFile == "" {
+		return fmt.Errorf("-cluster-node and -router require -cluster FILE")
+	}
+	var clusterOpts *ClusterOptions
+	if *clusterFile != "" {
+		ccfg, err := cluster.LoadConfigFile(*clusterFile)
+		if err != nil {
+			return err
+		}
+		if *routerMode {
+			// The router is a separate role: membership authority and thin
+			// proxy, never a registry. It ignores every serving flag.
+			ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+			defer stop()
+			return cluster.NewRouter(ccfg, logger).Run(ctx)
+		}
+		if *clusterNode == "" {
+			return fmt.Errorf("-cluster requires -cluster-node ID (or -router)")
+		}
+		node, ok := ccfg.Node(*clusterNode)
+		if !ok {
+			return fmt.Errorf("node %q is not in %s", *clusterNode, *clusterFile)
+		}
+		// The topology file is the single source of listen addresses in
+		// cluster mode, so the fleet cannot disagree with the ring it serves.
+		*addr = node.HTTP
+		if node.XTP != "" {
+			*xtpAddr = node.XTP
+		}
+		clusterOpts = &ClusterOptions{Config: ccfg, NodeID: *clusterNode}
+	}
+
 	var tenants []TenantConfig
 	if *tenantsFile != "" {
 		if tenants, err = LoadTenantsFile(*tenantsFile); err != nil {
@@ -87,6 +123,7 @@ func RunCLI(name string, args []string) error {
 		Logger:               logger,
 		PprofAddr:            *pprofAddr,
 		Tenants:              tenants,
+		Cluster:              clusterOpts,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,441 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xseed/api"
+	"xseed/client"
+	"xseed/internal/cluster"
+	"xseed/internal/fixtures"
+	"xseed/internal/logx"
+	"xseed/internal/store"
+)
+
+// freeAddrs reserves n distinct loopback addresses. All listeners are held
+// open until every port is allocated, so the kernel cannot hand the same
+// port out twice within one call.
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, 0, n)
+	lns := make([]net.Listener, 0, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns = append(lns, ln)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// clusterNode is one in-process xseedd instance of a test cluster.
+type clusterNode struct {
+	id     string
+	srv    *Server
+	dir    string
+	cancel context.CancelFunc
+	done   chan error
+}
+
+// startClusterNode builds and runs one node of ccfg, returning once New
+// succeeded (Run's listeners bind asynchronously; waitHealthy gates on
+// them).
+func startClusterNode(t *testing.T, ccfg cluster.Config, id string) *clusterNode {
+	t.Helper()
+	nc, ok := ccfg.Node(id)
+	if !ok {
+		t.Fatalf("node %q not in config", id)
+	}
+	dir := t.TempDir()
+	s, err := New(Config{
+		Addr:          nc.HTTP,
+		StoreDir:      dir,
+		CacheCapacity: 256,
+		Logger:        logx.Discard(),
+		Cluster:       &ClusterOptions{Config: ccfg, NodeID: id},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	n := &clusterNode{id: id, srv: s, dir: dir, cancel: cancel, done: make(chan error, 1)}
+	go func() { n.done <- s.Run(ctx) }()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case <-n.done:
+		case <-time.After(15 * time.Second):
+			t.Error("node did not shut down")
+		}
+	})
+	return n
+}
+
+// stop kills the node (the in-process analog of kill -9 for routing
+// purposes: its listeners vanish mid-traffic) and waits for Run to return.
+func (n *clusterNode) stop(t *testing.T) {
+	t.Helper()
+	n.cancel()
+	select {
+	case err := <-n.done:
+		n.done <- err // keep the cleanup's receive satisfied
+	case <-time.After(15 * time.Second):
+		t.Fatal("killed node's Run did not return")
+	}
+}
+
+// waitUntil polls cond every 20ms until it holds or the deadline passes.
+func waitUntil(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// fetchRing reads the router's current ring; ok is false until the first
+// sweep publishes one.
+func fetchRing(routerAddr string) (api.Ring, bool) {
+	resp, err := http.Get("http://" + routerAddr + "/v1/cluster/ring")
+	if err != nil {
+		return api.Ring{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return api.Ring{}, false
+	}
+	var r api.Ring
+	if json.NewDecoder(resp.Body).Decode(&r) != nil {
+		return api.Ring{}, false
+	}
+	return r, true
+}
+
+func countActive(r api.Ring) int {
+	n := 0
+	for _, m := range r.Nodes {
+		if m.State == api.RingStateActive {
+			n++
+		}
+	}
+	return n
+}
+
+// caughtUp reports whether every replication target of every key holds a
+// delta log bit-identical in extent to its primary's: same base
+// generation, same byte length. Compared directly on the in-process
+// stores, so there is no polling-lag ambiguity.
+func caughtUp(r api.Ring, nodes map[string]*clusterNode, keys []string) bool {
+	ring := cluster.NewRing(r)
+	for _, key := range keys {
+		owner, ok := ring.Owner(key)
+		if !ok {
+			return false
+		}
+		oSeq, oSize, ok := nodes[owner.ID].srv.st.Tail(key)
+		if !ok {
+			return false
+		}
+		for _, tgt := range ring.Targets(key, owner.ID) {
+			tSeq, tSize, ok := nodes[tgt.ID].srv.st.Tail(key)
+			if !ok || tSeq != oSeq || tSize != oSize {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// estimatesOf projects a response onto comparable (query, estimate) pairs:
+// cache provenance legitimately differs between a warm primary and a
+// freshly promoted standby, the numbers must not.
+func estimatesOf(t *testing.T, resp api.EstimateResponse) []float64 {
+	t.Helper()
+	out := make([]float64, len(resp.Results))
+	for i, it := range resp.Results {
+		if it.Error != nil {
+			t.Fatalf("estimate item %q failed: %v", it.Query, it.Error)
+		}
+		out[i] = it.Estimate
+	}
+	return out
+}
+
+// TestClusterFailoverEndToEnd is the acceptance test for the distributed
+// subsystem: a 3-node cluster behind a router serves partitioned synopses
+// under continuous estimate traffic; one primary is killed mid-traffic;
+// after the router's failover epoch, no estimate has failed (the
+// partition-aware client retries across the detection window) and the
+// promoted standby answers bit-identically to the dead primary — the
+// delta-log replay parity the replication design promises.
+func TestClusterFailoverEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node failover e2e")
+	}
+	addrs := freeAddrs(t, 7) // router + 3×(http, repl)
+	ccfg := cluster.Config{
+		Replicas:       1,
+		Router:         addrs[0],
+		PollIntervalMs: 50,
+		ReplIntervalMs: 20,
+		Nodes: []cluster.NodeConfig{
+			{ID: "a", HTTP: addrs[1], Repl: addrs[2]},
+			{ID: "b", HTTP: addrs[3], Repl: addrs[4]},
+			{ID: "c", HTTP: addrs[5], Repl: addrs[6]},
+		},
+	}
+	if err := ccfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	rctx, rcancel := context.WithCancel(context.Background())
+	t.Cleanup(rcancel)
+	rt := cluster.NewRouter(ccfg, logx.Discard())
+	go rt.Run(rctx)
+
+	nodes := map[string]*clusterNode{
+		"a": startClusterNode(t, ccfg, "a"),
+		"b": startClusterNode(t, ccfg, "b"),
+		"c": startClusterNode(t, ccfg, "c"),
+	}
+	waitUntil(t, 10*time.Second, "3-node ring", func() bool {
+		r, ok := fetchRing(ccfg.Router)
+		return ok && countActive(r) == 3
+	})
+
+	cl, err := client.NewCluster([]string{"http://" + ccfg.Router},
+		client.WithRetry(25, 10*time.Millisecond), client.WithRetryCap(100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+
+	// A handful of synopses so every node owns some partition, plus
+	// feedback so the delta logs replicated to the standbys are non-empty —
+	// parity after promotion then proves replay, not just the base ship.
+	names := make([]string, 6)
+	keys := make([]string, 6)
+	for i := range names {
+		names[i] = fmt.Sprintf("syn-%d", i)
+		keys[i] = store.Key(store.DefaultTenant, names[i])
+		if _, err := cl.Create(ctx, api.CreateRequest{Name: names[i], XML: fixtures.PaperFigure2}); err != nil {
+			t.Fatalf("create %s: %v", names[i], err)
+		}
+		est := cl.Synopsis(names[i])
+		if err := est.Feedback(ctx, "/a/c/s/s/t", float64(2+i)); err != nil {
+			t.Fatalf("feedback %s: %v", names[i], err)
+		}
+		if err := est.Feedback(ctx, "/a/c/s[t]/p", float64(7+i)); err != nil {
+			t.Fatalf("feedback %s: %v", names[i], err)
+		}
+	}
+
+	probes := []string{"/a/c/s", "/a/c/s/s/t", "//s", "/a/c/s[t]/p"}
+	baseline := make(map[string][]float64, len(names))
+	for _, name := range names {
+		resp, err := cl.Estimate(ctx, name, api.EstimateRequest{Queries: probes})
+		if err != nil {
+			t.Fatalf("baseline estimate %s: %v", name, err)
+		}
+		baseline[name] = estimatesOf(t, resp)
+	}
+
+	ringBefore, _ := fetchRing(ccfg.Router)
+	waitUntil(t, 10*time.Second, "standby delta logs to match their primaries", func() bool {
+		return caughtUp(ringBefore, nodes, keys)
+	})
+
+	// Continuous traffic across every synopsis; failures are counted after
+	// the client's own retries, so the assertion below is the ISSUE's
+	// acceptance bar: a primary kill must cost zero failed estimates.
+	var failed atomic.Int64
+	var firstErr atomic.Value
+	trafficCtx, stopTraffic := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; trafficCtx.Err() == nil; i++ {
+			name := names[i%len(names)]
+			_, err := cl.Estimate(trafficCtx, name, api.EstimateRequest{Queries: probes[:1]})
+			if err != nil && trafficCtx.Err() == nil {
+				failed.Add(1)
+				firstErr.CompareAndSwap(nil, fmt.Errorf("%s: %w", name, err))
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// Kill the node that owns the first synopsis's partition.
+	victimNode, ok := cluster.NewRing(ringBefore).Owner(keys[0])
+	if !ok {
+		t.Fatal("no owner for the probe key")
+	}
+	victim := nodes[victimNode.ID]
+	t.Logf("killing %s (owner of %s) at epoch %d", victim.id, names[0], ringBefore.Epoch)
+	victim.stop(t)
+
+	waitUntil(t, 10*time.Second, "failover epoch excluding the dead node", func() bool {
+		r, ok := fetchRing(ccfg.Router)
+		if !ok || r.Epoch == ringBefore.Epoch {
+			return false
+		}
+		for _, n := range r.Nodes {
+			if n.ID == victim.id {
+				return false
+			}
+		}
+		return countActive(r) == 2
+	})
+	// Let traffic run over the new topology before judging it.
+	time.Sleep(500 * time.Millisecond)
+	stopTraffic()
+	wg.Wait()
+
+	if n := failed.Load(); n != 0 {
+		t.Fatalf("%d estimates failed across the failover (first: %v)", n, firstErr.Load())
+	}
+
+	// The promoted standby must answer exactly what the dead primary did:
+	// the replica state is a base ship plus a replay of the same delta
+	// records, so the numbers are bit-identical, not merely close.
+	ringAfter, _ := fetchRing(ccfg.Router)
+	promoted, ok := cluster.NewRing(ringAfter).Owner(keys[0])
+	if !ok || promoted.ID == victim.id {
+		t.Fatalf("ownership of %s did not move off the dead node (owner %q)", names[0], promoted.ID)
+	}
+	for _, name := range names {
+		resp, err := cl.Estimate(ctx, name, api.EstimateRequest{Queries: probes})
+		if err != nil {
+			t.Fatalf("post-failover estimate %s: %v", name, err)
+		}
+		got := estimatesOf(t, resp)
+		for i, want := range baseline[name] {
+			if got[i] != want {
+				t.Errorf("%s %q: post-failover estimate %v, primary served %v", name, probes[i], got[i], want)
+			}
+		}
+	}
+
+	// The killed node's store must fsck clean: an interrupted primary
+	// leaves at worst a recoverable torn tail, never corruption.
+	rep, err := store.Fsck(victim.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Fatalf("dead node's store failed fsck: %+v", rep)
+	}
+}
+
+// TestClusterRebalanceUnderTraffic hammers one clustered node with
+// concurrent estimate traffic while ring epochs flip ownership back and
+// forth — the -race acceptance check for rebalance: promotions, demotions,
+// sender reconciliation, and estimates race, and every request must end in
+// a clean 200 (owned here) or typed 421 moved (owned elsewhere), never a
+// 5xx or a torn response.
+func TestClusterRebalanceUnderTraffic(t *testing.T) {
+	ccfg := cluster.Config{
+		Replicas: 1,
+		Router:   "127.0.0.1:1", // never dialed: rings are installed directly
+		Nodes: []cluster.NodeConfig{
+			{ID: "a", HTTP: "127.0.0.1:1", Repl: "127.0.0.1:1"},
+			{ID: "b", HTTP: "127.0.0.1:1", Repl: "127.0.0.1:1"},
+		},
+	}
+	s, err := New(Config{CacheCapacity: 256, StoreDir: t.TempDir(), Logger: logx.Discard(),
+		Cluster: &ClusterOptions{Config: ccfg, NodeID: "a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	names := []string{"h-0", "h-1", "h-2", "h-3"}
+	for _, name := range names {
+		createFixture(t, ts, name)
+	}
+
+	ringWith := func(epoch uint64, withB bool) api.Ring {
+		r := api.Ring{Epoch: epoch, Replicas: 1, Nodes: []api.RingNode{
+			{ID: "a", HTTP: "127.0.0.1:1", Repl: "127.0.0.1:1", State: api.RingStateActive},
+		}}
+		if withB {
+			r.Nodes = append(r.Nodes, api.RingNode{
+				ID: "b", HTTP: "127.0.0.1:1", Repl: "127.0.0.1:1", State: api.RingStateActive})
+		} else {
+			r.Replicas = 0
+		}
+		return r
+	}
+
+	done := make(chan struct{})
+	var flips atomic.Uint64
+	go func() {
+		defer close(done)
+		// Alternating b in and out of the active set re-owns roughly half
+		// the key space every epoch: each flip promotes and demotes entries
+		// while the workers below are mid-estimate.
+		for epoch := uint64(1); epoch <= 120; epoch++ {
+			s.cl.SetRing(ringWith(epoch, epoch%2 == 0))
+			flips.Add(1)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	var served, moved atomic.Int64
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				name := names[(w+i)%len(names)]
+				var out api.EstimateResponse
+				resp := doJSON(t, ts.Client(), "POST",
+					ts.URL+"/v1/synopses/"+name+"/estimate",
+					api.EstimateRequest{Query: "/a/c/s"}, &out)
+				switch resp.StatusCode {
+				case http.StatusOK:
+					served.Add(1)
+					if len(out.Results) != 1 || out.Results[0].Error != nil {
+						t.Errorf("torn 200 for %s: %+v", name, out)
+					}
+				case http.StatusMisdirectedRequest:
+					moved.Add(1)
+				default:
+					t.Errorf("estimate %s: status %d during rebalance", name, resp.StatusCode)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	<-done
+
+	if served.Load() == 0 {
+		t.Error("no estimate was served during the rebalance storm")
+	}
+	if moved.Load() == 0 {
+		t.Error("no estimate was redirected during the rebalance storm — the flips never raced the traffic")
+	}
+	t.Logf("rebalance hammer: %d served, %d moved, %d ring flips", served.Load(), moved.Load(), flips.Load())
+}

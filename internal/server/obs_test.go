@@ -14,6 +14,7 @@ import (
 	"log/slog"
 
 	"xseed/api"
+	"xseed/internal/cluster"
 	"xseed/internal/logx"
 )
 
@@ -126,6 +127,52 @@ func TestMetricsFamilies(t *testing.T) {
 	}
 	if got := m[`xseed_cache_hits_total`]; got < 1 {
 		t.Errorf("cache hits = %v after repeat estimate, want >= 1", got)
+	}
+}
+
+// TestMetricsFamiliesRepl extends the family coverage to the replication
+// layer: a clustered node with one replication target must expose every
+// xseed_repl_* family, with per-target children resolved the moment the
+// sender exists — before a single byte ships.
+func TestMetricsFamiliesRepl(t *testing.T) {
+	ccfg := cluster.Config{
+		Replicas: 1,
+		Router:   "127.0.0.1:1", // never dialed: the test installs rings directly
+		Nodes: []cluster.NodeConfig{
+			{ID: "a", HTTP: "127.0.0.1:1", Repl: "127.0.0.1:1"},
+			{ID: "b", HTTP: "127.0.0.1:1", Repl: "127.0.0.1:1"},
+		},
+	}
+	s, err := New(Config{CacheCapacity: 1024, StoreDir: t.TempDir(), Logger: logx.Discard(),
+		Cluster: &ClusterOptions{Config: ccfg, NodeID: "a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	createFixture(t, ts, "a")
+	// b joining: this node owns every key (ownership walks actives only)
+	// and replicates toward b (replication walks actives and joiners).
+	s.cl.SetRing(api.Ring{Epoch: 1, Replicas: 1, Nodes: []api.RingNode{
+		{ID: "a", HTTP: "127.0.0.1:1", Repl: "127.0.0.1:1", State: api.RingStateActive},
+		{ID: "b", HTTP: "127.0.0.1:1", Repl: "127.0.0.1:1", State: api.RingStateJoining},
+	}})
+
+	m := scrapeMetrics(t, ts)
+	mustHave := []string{
+		`xseed_repl_failovers_total`,
+		`xseed_repl_lag_bytes{target="b"}`,
+		`xseed_repl_lag_seconds{target="b"}`,
+		`xseed_repl_segments_sent_total{target="b"}`,
+		`xseed_repl_bytes_sent_total{target="b"}`,
+		`xseed_repl_base_ships_total{target="b"}`,
+	}
+	for _, key := range mustHave {
+		if _, ok := m[key]; !ok {
+			t.Errorf("exposition is missing %s", key)
+		}
 	}
 }
 

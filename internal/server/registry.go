@@ -71,6 +71,13 @@ type Entry struct {
 	// restarted daemon from the live one.
 	retired atomic.Bool
 
+	// replica marks an entry hosted as a warm standby for another cluster
+	// node's primary: it applies replicated delta-log segments, is hidden
+	// from listings, and serves no client traffic (the ownership check
+	// answers with a moved error first). Flipped by the cluster manager on
+	// ring epoch changes; failover is one Store(false).
+	replica atomic.Bool
+
 	// kernBytes mirrors syn.KernelSizeBytes() so the rebalance planner can
 	// snapshot kernel sizes under r.mu without touching entry locks (the
 	// whole point of planning: never block the registry on a slow entry
@@ -336,6 +343,13 @@ func (r *Registry) planRebalanceLocked() *rebalPlan {
 	var fleet []*Entry
 	var private map[*Tenant][]*Entry
 	for _, e := range r.entries {
+		if e.replica.Load() {
+			// Standby replicas never plan or apply budgets locally: a budget
+			// apply appends to the delta log, and a replica's log must stay
+			// byte-identical to its primary's — the primary's own budget
+			// records arrive through replication instead.
+			continue
+		}
 		if e.ten != nil && e.ten.budget.Load() > 0 {
 			if private == nil {
 				private = make(map[*Tenant][]*Entry)
@@ -353,6 +367,9 @@ func (r *Registry) planRebalanceLocked() *rebalPlan {
 	}
 	targets := make([]rebalTarget, 0, len(r.entries))
 	appendDomain := func(ents []*Entry, budget int) {
+		if len(ents) == 0 {
+			return
+		}
 		if budget <= 0 {
 			for _, e := range ents {
 				targets = append(targets, rebalTarget{e: e, target: -1})
@@ -716,6 +733,62 @@ func (r *Registry) Keys() []string {
 	return out
 }
 
+// PrimaryKeys returns the qualified keys this registry serves as primary
+// (every key on an unclustered server), sorted. The cluster layer
+// replicates exactly these.
+func (r *Registry) PrimaryKeys() []string {
+	r.mu.RLock()
+	out := make([]string, 0, len(r.entries))
+	for k, e := range r.entries {
+		if !e.replica.Load() {
+			out = append(out, k)
+		}
+	}
+	r.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// AdoptReplica hosts a shipped base snapshot as a warm standby entry,
+// replacing any previous generation of the name. Unlike Restore it allows
+// replacement (a re-shipped base supersedes the old replica) and unlike
+// Put it writes nothing to the store — the caller (store.ImportBase)
+// already made the shipped generation durable.
+func (r *Registry) AdoptReplica(l store.Loaded) (*Entry, error) {
+	if l.Name == "" {
+		return nil, fmt.Errorf("synopsis name must be non-empty")
+	}
+	r.registerMu.Lock()
+	defer r.registerMu.Unlock()
+	r.mu.Lock()
+	old, exists := r.entries[l.Name]
+	e := r.newEntry(l.Name, l.Syn, l.Source)
+	if !l.Created.IsZero() {
+		e.created = l.Created
+	}
+	e.ver.Store(l.Ver)
+	e.lastBudget = l.Budget
+	if l.Budget != 0 {
+		r.everBudgeted = true
+	}
+	e.replica.Store(true)
+	if exists {
+		old.retired.Store(true)
+	}
+	r.entries[l.Name] = e
+	p := r.planRebalanceLocked()
+	r.mu.Unlock()
+	if exists {
+		// Drain any mutation still inside the old entry's critical section
+		// (same reasoning as register's replacement path).
+		old.mu.Lock()
+		//lint:ignore SA2001 empty critical section is the drain
+		old.mu.Unlock()
+	}
+	r.dispatch(p)
+	return e, nil
+}
+
 // Delete removes the synopsis. Its cached estimates become unreachable
 // (the scope dies with the entry's id) and age out of the LRU, and its
 // persisted state is removed from the store. It takes registerMu so a
@@ -763,6 +836,16 @@ func (r *Registry) SetAggregateBudget(bytes int) {
 // fleet-wide budget) and rebalances its domain.
 func (r *Registry) SetTenantBudget(t *Tenant, bytes int) {
 	t.budget.Store(int64(bytes))
+	r.mu.Lock()
+	p := r.planRebalanceLocked()
+	r.mu.Unlock()
+	r.dispatch(p)
+}
+
+// Replan recomputes budget targets over the current registry shape. The
+// cluster manager calls it after promotions and demotions: role flips move
+// entries in and out of the budget domains without changing the map.
+func (r *Registry) Replan() {
 	r.mu.Lock()
 	p := r.planRebalanceLocked()
 	r.mu.Unlock()
@@ -1111,7 +1194,10 @@ func (r *Registry) ListFor(t *Tenant) []api.SynopsisInfo {
 	}
 	entries := make([]*Entry, 0, len(r.entries))
 	for _, e := range r.entries {
-		if e.ten == t {
+		// Replicas are invisible to clients: they serve no traffic here, and
+		// hiding them keeps a cluster-wide list merge duplicate-free (each
+		// synopsis appears only in its owner's listing).
+		if e.ten == t && !e.replica.Load() {
 			entries = append(entries, e)
 		}
 	}

@@ -18,6 +18,7 @@ import (
 
 	"xseed"
 	"xseed/api"
+	"xseed/internal/cluster"
 	"xseed/internal/logx"
 	"xseed/internal/obs"
 	"xseed/internal/store"
@@ -81,6 +82,12 @@ type Config struct {
 	// merely empty — keeps the server single-tenant, byte-identical to
 	// pre-tenancy behavior.
 	Tenants []TenantConfig
+
+	// Cluster, when non-nil, runs the daemon as one node of a distributed
+	// xseed cluster: partition ownership, delta-log replication to warm
+	// standbys, and typed moved redirects for synopses owned elsewhere.
+	// Requires StoreDir. See ClusterOptions.
+	Cluster *ClusterOptions
 }
 
 // Server is the xseedd HTTP server: a registry plus its JSON API. Its wire
@@ -99,6 +106,13 @@ type Server struct {
 	httpM     *httpMetrics
 	pprofAddr string
 	tenants   *TenantSet
+
+	// Cluster mode (nil/-empty off-cluster): the node-side manager that
+	// follows ring epochs and replicates primaries out, the standby
+	// receiver for segments shipped in, and its listen address.
+	cl       *cluster.Manager
+	replSrv  *cluster.ReplServer
+	replAddr string
 }
 
 // New builds a server around a fresh registry. With cfg.StoreDir set it
@@ -169,6 +183,16 @@ func New(cfg Config) (*Server, error) {
 		s.reg.AttachStore(st, logger)
 		s.st = st
 	}
+	if cfg.Cluster != nil {
+		// After store recovery: the manager's first ownership sweep must see
+		// every restored synopsis to demote the ones owned elsewhere.
+		if err := s.attachCluster(cfg.Cluster); err != nil {
+			if s.st != nil {
+				s.st.Close()
+			}
+			return nil, err
+		}
+	}
 	// Start the async budget rebalancer only after recovery: Restore's
 	// rebalances must apply synchronously so the registry's budgets are
 	// settled (and match a fresh plan over the full fleet) before traffic.
@@ -212,6 +236,8 @@ func (s *Server) Handler() http.Handler {
 		"POST /v1/synopses/{name}/subtree":  s.handleSubtree,
 		"GET /v1/synopses/{name}/snapshot":  s.handleSnapshotGet,
 		"PUT /v1/synopses/{name}/snapshot":  s.handleSnapshotPut,
+		"GET /v1/cluster/ring":              s.handleClusterRing,
+		"GET /v1/cluster/lag":               s.handleClusterLag,
 		"POST /v1/admin/budget":             s.handleBudget,
 		"POST /v1/admin/compact":            s.handleCompact,
 		"GET /metrics":                      s.handleMetrics,
@@ -314,6 +340,19 @@ func (s *Server) Run(ctx context.Context) error {
 		return fmt.Errorf("listen: %w", err)
 	}
 	s.log.Info("listening", "addr", ln.Addr().String())
+	// The replication listener is cluster-internal but still a hard
+	// dependency: a node that cannot receive segments can never be a warm
+	// standby, so failing to bind it is a startup error.
+	var replLn net.Listener
+	if s.cl != nil {
+		replLn, err = net.Listen("tcp", s.replAddr)
+		if err != nil {
+			ln.Close()
+			s.Close()
+			return fmt.Errorf("repl listen: %w", err)
+		}
+		s.log.Info("replication listening", "addr", replLn.Addr().String(), "node", s.cl.Self())
+	}
 	// The xtp listener is a requested serving transport, so like the HTTP
 	// one a bind failure is a hard startup error, not a logged degradation.
 	var xtpErrc chan error
@@ -321,6 +360,9 @@ func (s *Server) Run(ctx context.Context) error {
 		xln, err := net.Listen("tcp", s.xtpAddr)
 		if err != nil {
 			ln.Close()
+			if replLn != nil {
+				replLn.Close()
+			}
 			s.Close()
 			return fmt.Errorf("xtp listen: %w", err)
 		}
@@ -330,6 +372,17 @@ func (s *Server) Run(ctx context.Context) error {
 	}
 	if s.st != nil {
 		go s.st.StartCompactor(ctx, s.compact)
+	}
+	if s.cl != nil {
+		// Both halves of replication ride Run's ctx: the standby receiver
+		// applies segments shipped in, the manager polls the router's ring
+		// and streams this node's primaries out.
+		go func() {
+			if err := s.replSrv.Serve(ctx, replLn); err != nil {
+				s.log.Error("replication serve failed", "err", err)
+			}
+		}()
+		go s.cl.Run(ctx)
 	}
 	// The pprof listener is best-effort operator surface: it must never take
 	// the serving daemon down with it, so bind failures are logged, not
@@ -575,6 +628,10 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeAPIError(w, r, aerr)
 		return
 	}
+	if aerr := s.ownerCheck(key); aerr != nil {
+		writeAPIError(w, r, aerr)
+		return
+	}
 	// Racy early uniqueness check: building a synopsis can cost seconds of
 	// CPU, so reject an already-taken name before paying for it. Add below
 	// remains the authoritative check.
@@ -615,6 +672,10 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if aerr := s.ownerCheck(key); aerr != nil {
+		writeAPIError(w, r, aerr)
+		return
+	}
 	e, err := s.reg.Get(key)
 	if err != nil {
 		writeErr(w, r, err)
@@ -628,9 +689,18 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if aerr := s.ownerCheck(key); aerr != nil {
+		writeAPIError(w, r, aerr)
+		return
+	}
 	if err := s.reg.Delete(key); err != nil {
 		writeErr(w, r, err)
 		return
+	}
+	if s.cl != nil {
+		// Propagate to the standbys so the replica copies die with the
+		// primary instead of resurrecting the name on the next failover.
+		s.cl.NotifyDelete(key)
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -652,6 +722,10 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	key, ok := s.pathKey(w, r)
 	if !ok {
+		return
+	}
+	if aerr := s.ownerCheck(key); aerr != nil {
+		writeAPIError(w, r, aerr)
 		return
 	}
 	var req api.EstimateRequest
@@ -682,6 +756,10 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if aerr := s.ownerCheck(key); aerr != nil {
+		writeAPIError(w, r, aerr)
+		return
+	}
 	var req api.FeedbackRequest
 	if !readBody(w, r, &req) {
 		return
@@ -700,6 +778,10 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSubtree(w http.ResponseWriter, r *http.Request) {
 	key, ok := s.pathKey(w, r)
 	if !ok {
+		return
+	}
+	if aerr := s.ownerCheck(key); aerr != nil {
+		writeAPIError(w, r, aerr)
 		return
 	}
 	var req api.SubtreeRequest
@@ -726,6 +808,10 @@ func (s *Server) handleSubtree(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
 	key, ok := s.pathKey(w, r)
 	if !ok {
+		return
+	}
+	if aerr := s.ownerCheck(key); aerr != nil {
+		writeAPIError(w, r, aerr)
 		return
 	}
 	e, err := s.reg.Get(key)
@@ -763,6 +849,10 @@ func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSnapshotPut(w http.ResponseWriter, r *http.Request) {
 	key, ok := s.pathKey(w, r)
 	if !ok {
+		return
+	}
+	if aerr := s.ownerCheck(key); aerr != nil {
+		writeAPIError(w, r, aerr)
 		return
 	}
 	syn, err := xseed.ReadSynopsis(io.LimitReader(r.Body, 256<<20))

@@ -43,6 +43,12 @@ type XTP struct {
 	log *slog.Logger
 	m   *xtpMetrics
 
+	// Cluster hooks, both nil off-cluster: ownerCheck answers with a typed
+	// moved error for keys owned by another node, ringJSON serves RingReq.
+	// Set once via AttachCluster before the listener serves.
+	ownerCheck func(key string) *api.Error
+	ringJSON   func() ([]byte, bool)
+
 	// baseCtx parents every request handler; cancel aborts in-flight work
 	// when a drain deadline expires.
 	baseCtx context.Context
@@ -73,6 +79,22 @@ func NewXTP(reg *Registry, opts XTPOptions) *XTP {
 		lns:     make(map[net.Listener]struct{}),
 		conns:   make(map[*xtpConn]struct{}),
 	}
+}
+
+// AttachCluster installs the cluster hooks: the per-key ownership check
+// (moved errors over xtp mirror the HTTP 421s) and the RingReq answer.
+// Call before Serve.
+func (x *XTP) AttachCluster(ownerCheck func(string) *api.Error, ringJSON func() ([]byte, bool)) {
+	x.ownerCheck = ownerCheck
+	x.ringJSON = ringJSON
+}
+
+// checkOwner applies the cluster ownership hook (nil off-cluster).
+func (x *XTP) checkOwner(key string) *api.Error {
+	if x.ownerCheck == nil {
+		return nil
+	}
+	return x.ownerCheck(key)
 }
 
 // Serve accepts connections on ln until Shutdown (which returns nil here)
@@ -273,6 +295,9 @@ func (cn *xtpConn) readLoop() {
 				continue
 			}
 			key, aerr := synKey(t, name)
+			if aerr == nil {
+				aerr = x.checkOwner(key)
+			}
 			if aerr != nil {
 				cn.writeError(f.Corr, aerr)
 				continue
@@ -292,6 +317,9 @@ func (cn *xtpConn) readLoop() {
 				continue
 			}
 			key, aerr := synKey(t, name)
+			if aerr == nil {
+				aerr = x.checkOwner(key)
+			}
 			if aerr != nil {
 				cn.writeError(f.Corr, aerr)
 				continue
@@ -303,6 +331,20 @@ func (cn *xtpConn) readLoop() {
 			t.reqs.Inc()
 			cn.inflight.Add(1)
 			go cn.handleStats(f.Corr, t)
+		case wire.FrameRingReq:
+			if len(f.Payload) != 0 {
+				cn.protocolError(f.Corr, fmt.Errorf("RingReq carries no payload"))
+				return
+			}
+			if x.ringJSON != nil {
+				if data, ok := x.ringJSON(); ok {
+					cn.write(wire.FrameRingResp, f.Corr, data)
+					continue
+				}
+				cn.writeError(f.Corr, api.Errorf(api.CodeUnavailable, "ring not yet known"))
+				continue
+			}
+			cn.writeError(f.Corr, api.Errorf(api.CodeConflict, "server is not part of a cluster"))
 		default:
 			// Unknown or direction-inverted frame: the stream cannot be
 			// trusted past it (see the versioning rules in docs/PROTOCOL.md).

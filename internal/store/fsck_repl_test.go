@@ -1,0 +1,149 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildStandby replicates one synopsis into a fresh store directory via
+// the replication apply path (ImportBase + AppendSegment) — the exact
+// byte flow a warm standby receives — and returns the standby dir and
+// the synopsis's directory inside it.
+func buildStandby(t *testing.T) (standbyDir, synDir string, seq uint64) {
+	t.Helper()
+	pdir, sdir := t.TempDir(), t.TempDir()
+	p := openStore(t, pdir)
+	syn := buildFig2(t)
+	if err := p.SaveBase("fig2", syn, "test", time.Now(), 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	feedback(t, p, "fig2", syn, "/a/c/s/s/t", 2)
+	feedback(t, p, "fig2", syn, "/a/c/s[t]/p", 7)
+
+	exp, err := p.ExportBase("fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, size, ok := p.Tail("fig2")
+	if !ok || size == 0 {
+		t.Fatalf("tail = (%d, %d, %v)", seq, size, ok)
+	}
+	segment, err := p.ReadSegment("fig2", seq, 0, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s := openStore(t, sdir)
+	if _, err := s.ImportBase("fig2", exp.Seq, exp.Meta, exp.Data); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.AppendSegment("fig2", seq, 0, segment); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	matches, err := filepath.Glob(filepath.Join(sdir, "synopses", "*", "*", deltaFile(seq)))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("delta log glob = %v, %v", matches, err)
+	}
+	return sdir, filepath.Dir(matches[0]), seq
+}
+
+// TestFsckReplicatedStandbyClean: a standby built purely from replicated
+// bytes passes fsck like any primary store.
+func TestFsckReplicatedStandbyClean(t *testing.T) {
+	sdir, _, _ := buildStandby(t)
+	rep, err := Fsck(sdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK || len(rep.Synopses) != 1 || !rep.Synopses[0].ReplayOK {
+		t.Fatalf("standby fsck = %+v", rep)
+	}
+	if rep.Synopses[0].DeltaRecords != 2 {
+		t.Fatalf("delta records = %d, want 2", rep.Synopses[0].DeltaRecords)
+	}
+}
+
+// TestFsckReplicatedStandbyTornTail: a standby killed mid-AppendSegment
+// leaves a partial record at the log tail. Fsck must classify that as
+// recoverable — a torn tail recovery truncates, exactly as on a primary
+// killed mid-append — never as corruption.
+func TestFsckReplicatedStandbyTornTail(t *testing.T) {
+	sdir, synDir, seq := buildStandby(t)
+	logPath := filepath.Join(synDir, deltaFile(seq))
+	fi, err := os.Stat(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut into the middle of the last record: keep its length prefix and
+	// checksum but lose part of the payload.
+	if err := os.Truncate(logPath, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Fsck(sdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := rep.Synopses[0]
+	if !rep.OK {
+		t.Fatalf("torn standby tail reported corrupt: %+v", fs)
+	}
+	if !fs.TornTail || fs.Trailing == 0 {
+		t.Fatalf("torn tail not reported: %+v", fs)
+	}
+	if fs.DeltaRecords != 1 {
+		t.Fatalf("good records before the tear = %d, want 1", fs.DeltaRecords)
+	}
+
+	// And recovery agrees: the store opens and replays the good prefix
+	// (the torn record is dropped, not fatal).
+	s := openStore(t, sdir)
+	defer s.Close()
+	loaded, err := s.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 1 || loaded[0].Replay != 1 {
+		t.Fatalf("recovery after torn standby tail = %+v", loaded)
+	}
+}
+
+// TestFsckReplicatedStandbyStaleGeneration: after a base re-ship bumps
+// the standby's generation, files of the superseded generation (a
+// crashed cleanup, a kill -9 between rename and unlink) must fsck as
+// stale — listed, recoverable — never as corruption of the live
+// generation.
+func TestFsckReplicatedStandbyStaleGeneration(t *testing.T) {
+	sdir, synDir, seq := buildStandby(t)
+	// Fabricate leftovers of a previous generation next to the live one.
+	for _, name := range []string{baseFile(seq - 1), deltaFile(seq - 1)} {
+		if err := os.WriteFile(filepath.Join(synDir, name), []byte("superseded"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := Fsck(sdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := rep.Synopses[0]
+	if !rep.OK || !fs.ReplayOK {
+		t.Fatalf("stale generation flagged the standby corrupt: %+v", fs)
+	}
+	if len(fs.Stale) != 2 {
+		t.Fatalf("stale files = %v, want the two superseded generation files", fs.Stale)
+	}
+	for _, st := range fs.Stale {
+		if !strings.Contains(st, "-0") {
+			t.Errorf("unexpected stale file %q", st)
+		}
+	}
+}

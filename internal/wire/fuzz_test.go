@@ -30,6 +30,21 @@ func FuzzXTPDecode(f *testing.F) {
 	w.WriteFrame(FramePing, 5, nil)
 	w.WriteFrame(FrameAuthReq, 6, AppendAuthReq(nil, "s3cret-token"))
 	w.WriteFrame(FrameAuthResp, 6, AppendAuthResp(nil, "acme"))
+	w.WriteFrame(FrameReplHello, 0, AppendReplHello(nil, "node-a"))
+	w.WriteFrame(FrameReplWelcome, 0, AppendReplWelcome(nil, "node-b"))
+	w.WriteFrame(FrameBaseShip, 7, AppendBaseShip(nil, BaseShip{
+		Key: "acme\x00orders", Seq: 3, Ver: 12, Budget: -1, Created: 1700000000000000000,
+		Source: "snapshot", Snapshot: []byte("XSYNbytes"),
+	}))
+	w.WriteFrame(FrameSegmentData, 8, AppendSegmentData(nil, SegmentData{
+		Key: "orders", Seq: 3, Off: 4096, Data: []byte{0xde, 0xad, 0xbe, 0xef},
+	}))
+	w.WriteFrame(FrameSegmentAck, 8, AppendSegmentAck(nil, SegmentAck{
+		Key: "orders", Seq: 3, Off: 4100, OK: true,
+	}))
+	w.WriteFrame(FrameRingReq, 9, nil)
+	w.WriteFrame(FrameRingResp, 9, []byte(`{"epoch":1,"replicas":1,"nodes":[]}`))
+	w.WriteFrame(FrameReplDelete, 10, AppendReplDelete(nil, "orders"))
 	f.Add(seed.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte{0x01})

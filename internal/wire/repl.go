@@ -1,0 +1,217 @@
+package wire
+
+import (
+	"encoding/binary"
+)
+
+// Replication frame codecs. These frames ride the ordinary xtp framing on a
+// node's cluster-internal repl listener (see docs/PROTOCOL.md §4.10): a
+// primary streams base snapshots and validated delta-log segments to its
+// standbys and waits for positional acks. Bodies carry file bytes verbatim
+// — the standby's (base, log) pair is bit-identical to the primary's, which
+// is what makes failover replay parity provable.
+//
+// One new primitive appears here: varint, a signed zigzag LEB128 integer
+// (binary.AppendVarint / binary.Varint), used for fields that are signed by
+// contract (a budget of -1 means "explicitly unlimited").
+
+// SegmentAck flags.
+const (
+	ackSegOK = 1 << 0
+	// ackSegNeedBase asks the sender to restart this synopsis from a
+	// BaseShip: the standby's generation or offset no longer matches the
+	// sender's (compaction on the primary, divergent history on the
+	// standby).
+	ackSegNeedBase = 1 << 1
+)
+
+// BaseShip is the decoded body of a FrameBaseShip: one synopsis's full base
+// snapshot plus the manifest metadata a standby needs to host it.
+type BaseShip struct {
+	Key      string // (tenant, name) store key
+	Seq      uint64 // the primary's generation number, adopted verbatim
+	Ver      uint64 // cache-scope version to resume from
+	Budget   int64  // last applied SetBudget total (0 = never)
+	Created  int64  // creation time, Unix nanoseconds
+	Source   string
+	Snapshot []byte // base-<seq>.xsyn file bytes, verbatim
+}
+
+// SegmentData is the decoded body of a FrameSegmentData: a run of whole,
+// checksummed delta-log records to append at offset Off of generation Seq.
+type SegmentData struct {
+	Key  string
+	Seq  uint64
+	Off  int64  // byte offset the run starts at in the standby's log
+	Data []byte // delta-log file bytes, verbatim
+}
+
+// SegmentAck is the decoded body of a FrameSegmentAck: the standby's
+// durable position for Key after applying a BaseShip or SegmentData, or a
+// request to restart from a base ship (NeedBase).
+type SegmentAck struct {
+	Key      string
+	Seq      uint64
+	Off      int64
+	OK       bool
+	NeedBase bool
+}
+
+// AppendReplHello encodes a replication-stream greeting:
+//
+//	node str
+func AppendReplHello(b []byte, node string) []byte {
+	return appendString(b, node)
+}
+
+// DecodeReplHello decodes a ReplHello payload, returning the sending
+// node's ID.
+func DecodeReplHello(p []byte) (node string, err error) {
+	d := dec{b: p}
+	node = d.str()
+	if err := d.finish("ReplHello"); err != nil {
+		return "", err
+	}
+	return node, nil
+}
+
+// AppendReplWelcome encodes a replication-stream acceptance:
+//
+//	node str
+func AppendReplWelcome(b []byte, node string) []byte {
+	return appendString(b, node)
+}
+
+// DecodeReplWelcome decodes a ReplWelcome payload, returning the receiving
+// node's ID.
+func DecodeReplWelcome(p []byte) (node string, err error) {
+	d := dec{b: p}
+	node = d.str()
+	if err := d.finish("ReplWelcome"); err != nil {
+		return "", err
+	}
+	return node, nil
+}
+
+// AppendBaseShip encodes a full-snapshot ship:
+//
+//	key str | seq uvarint | ver uvarint | budget varint | created varint |
+//	source str | snapshot blob
+func AppendBaseShip(b []byte, s BaseShip) []byte {
+	b = appendString(b, s.Key)
+	b = binary.AppendUvarint(b, s.Seq)
+	b = binary.AppendUvarint(b, s.Ver)
+	b = binary.AppendVarint(b, s.Budget)
+	b = binary.AppendVarint(b, s.Created)
+	b = appendString(b, s.Source)
+	return appendBlob(b, s.Snapshot)
+}
+
+// DecodeBaseShip decodes a BaseShip payload.
+func DecodeBaseShip(p []byte) (BaseShip, error) {
+	d := dec{b: p}
+	s := BaseShip{
+		Key:     d.str(),
+		Seq:     d.uvarint(),
+		Ver:     d.uvarint(),
+		Budget:  d.varint(),
+		Created: d.varint(),
+		Source:  d.str(),
+	}
+	s.Snapshot = d.blob()
+	if err := d.finish("BaseShip"); err != nil {
+		return BaseShip{}, err
+	}
+	return s, nil
+}
+
+// AppendSegmentData encodes a delta-log segment:
+//
+//	key str | seq uvarint | off uvarint | data blob
+func AppendSegmentData(b []byte, s SegmentData) []byte {
+	b = appendString(b, s.Key)
+	b = binary.AppendUvarint(b, s.Seq)
+	b = binary.AppendUvarint(b, uint64(s.Off))
+	return appendBlob(b, s.Data)
+}
+
+// DecodeSegmentData decodes a SegmentData payload.
+func DecodeSegmentData(p []byte) (SegmentData, error) {
+	d := dec{b: p}
+	s := SegmentData{
+		Key: d.str(),
+		Seq: d.uvarint(),
+		Off: int64(d.uvarint()),
+	}
+	s.Data = d.blob()
+	if err := d.finish("SegmentData"); err != nil {
+		return SegmentData{}, err
+	}
+	return s, nil
+}
+
+// AppendSegmentAck encodes a positional acknowledgement:
+//
+//	flags(1) | key str | seq uvarint | off uvarint
+func AppendSegmentAck(b []byte, a SegmentAck) []byte {
+	var flags byte
+	if a.OK {
+		flags |= ackSegOK
+	}
+	if a.NeedBase {
+		flags |= ackSegNeedBase
+	}
+	b = append(b, flags)
+	b = appendString(b, a.Key)
+	b = binary.AppendUvarint(b, a.Seq)
+	return binary.AppendUvarint(b, uint64(a.Off))
+}
+
+// DecodeSegmentAck decodes a SegmentAck payload.
+func DecodeSegmentAck(p []byte) (SegmentAck, error) {
+	d := dec{b: p}
+	flags := d.byte()
+	a := SegmentAck{
+		Key: d.str(),
+		Seq: d.uvarint(),
+		Off: int64(d.uvarint()),
+	}
+	a.OK = flags&ackSegOK != 0
+	a.NeedBase = flags&ackSegNeedBase != 0
+	if err := d.finish("SegmentAck"); err != nil {
+		return SegmentAck{}, err
+	}
+	return a, nil
+}
+
+// AppendReplDelete encodes a replicated deletion:
+//
+//	key str
+func AppendReplDelete(b []byte, key string) []byte {
+	return appendString(b, key)
+}
+
+// DecodeReplDelete decodes a ReplDelete payload, returning the deleted
+// synopsis's store key.
+func DecodeReplDelete(p []byte) (key string, err error) {
+	d := dec{b: p}
+	key = d.str()
+	if err := d.finish("ReplDelete"); err != nil {
+		return "", err
+	}
+	return key, nil
+}
+
+// varint reads one signed zigzag LEB128 integer.
+func (d *dec) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.setErr("bad varint")
+		return 0
+	}
+	d.off += n
+	return v
+}

@@ -107,6 +107,36 @@ const (
 	// resolved tenant ID. A rejected token gets FrameError (code
 	// "unauthorized") and the connection closes.
 	FrameAuthResp FrameType = 0x0C
+	// FrameReplHello (client→server) opens a replication stream on a node's
+	// repl listener, naming the sending node. Replication frames ride the
+	// same xtp framing as the client protocol but on a separate,
+	// cluster-internal listener.
+	FrameReplHello FrameType = 0x0D
+	// FrameReplWelcome (server→client) accepts a ReplHello, naming the
+	// receiving node.
+	FrameReplWelcome FrameType = 0x0E
+	// FrameBaseShip (client→server) ships one synopsis's full base snapshot
+	// (verbatim file bytes) plus its manifest metadata, starting a fresh
+	// replicated generation on the standby.
+	FrameBaseShip FrameType = 0x0F
+	// FrameSegmentData (client→server) appends a validated run of delta-log
+	// records (verbatim log bytes) at a stated (generation, offset) on the
+	// standby's copy.
+	FrameSegmentData FrameType = 0x10
+	// FrameSegmentAck (server→client) acknowledges a BaseShip or
+	// SegmentData, reporting the standby's durable position — or asks the
+	// sender to restart from a base ship when generations diverged.
+	FrameSegmentAck FrameType = 0x11
+	// FrameRingReq (client→server) asks for the node's current view of the
+	// cluster partition ring.
+	FrameRingReq FrameType = 0x12
+	// FrameRingResp (server→client) answers a RingReq with the JSON
+	// encoding of api.Ring (a cold control-plane path; JSON keeps it
+	// identical to GET /v1/cluster/ring).
+	FrameRingResp FrameType = 0x13
+	// FrameReplDelete (client→server) propagates a synopsis deletion to the
+	// standby.
+	FrameReplDelete FrameType = 0x14
 )
 
 // String names the frame type for logs and metrics.
@@ -171,6 +201,37 @@ func Frames() []FrameInfo {
 		}},
 		{FrameAuthResp, "AuthResp", "S→C", func(p []byte) error {
 			_, err := DecodeAuthResp(p)
+			return err
+		}},
+		{FrameReplHello, "ReplHello", "C→S", func(p []byte) error {
+			_, err := DecodeReplHello(p)
+			return err
+		}},
+		{FrameReplWelcome, "ReplWelcome", "S→C", func(p []byte) error {
+			_, err := DecodeReplWelcome(p)
+			return err
+		}},
+		{FrameBaseShip, "BaseShip", "C→S", func(p []byte) error {
+			_, err := DecodeBaseShip(p)
+			return err
+		}},
+		{FrameSegmentData, "SegmentData", "C→S", func(p []byte) error {
+			_, err := DecodeSegmentData(p)
+			return err
+		}},
+		{FrameSegmentAck, "SegmentAck", "S→C", func(p []byte) error {
+			_, err := DecodeSegmentAck(p)
+			return err
+		}},
+		{FrameRingReq, "RingReq", "C→S", decodeEmpty},
+		{FrameRingResp, "RingResp", "S→C", func(p []byte) error {
+			if !json.Valid(p) {
+				return fmt.Errorf("wire: RingResp payload is not valid JSON")
+			}
+			return nil
+		}},
+		{FrameReplDelete, "ReplDelete", "C→S", func(p []byte) error {
+			_, err := DecodeReplDelete(p)
 			return err
 		}},
 	}

@@ -91,6 +91,35 @@ type FeedbackRequest struct {
 	Actual float64 `json:"actual"`
 }
 
+// FeedbackItem is one observed (query, actual cardinality) pair of a
+// feedback batch.
+type FeedbackItem struct {
+	Query  string  `json:"query"`
+	Actual float64 `json:"actual"`
+}
+
+// FeedbackBatchRequest records a batch of executed queries' actual
+// cardinalities in one call. The server coalesces the batch into one
+// snapshot publication and one group-committed log flush, so it is the
+// efficient way to report feedback in bulk.
+type FeedbackBatchRequest struct {
+	Items []FeedbackItem `json:"items"`
+}
+
+// FeedbackBatchItem is one item's outcome: a typed error, or success when
+// Error is nil (the observation is absorbed and durable to the store's
+// configured discipline).
+type FeedbackBatchItem struct {
+	Error *Error `json:"error,omitempty"`
+}
+
+// FeedbackBatchResponse answers a feedback batch; Results holds one item
+// per request entry in request order (partial success, mirroring estimate
+// batches).
+type FeedbackBatchResponse struct {
+	Results []FeedbackBatchItem `json:"results"`
+}
+
 // SubtreeRequest applies an incremental document update to the kernel.
 type SubtreeRequest struct {
 	Op      string   `json:"op"` // "add" or "remove"

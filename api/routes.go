@@ -30,6 +30,7 @@ func Routes() []Route {
 		{"DELETE", "/v1/synopses/{name}", "/synopses/{name}", "-", "-", "unregister a synopsis (and drop its persisted state)"},
 		{"POST", "/v1/synopses/{name}/estimate", "/synopses/{name}/estimate", "EstimateRequest", "EstimateResponse", "batch cardinality estimates (partial success per query)"},
 		{"POST", "/v1/synopses/{name}/feedback", "/synopses/{name}/feedback", "FeedbackRequest", "-", "record an executed query's actual cardinality"},
+		{"POST", "/v1/synopses/{name}/feedback:batch", "", "FeedbackBatchRequest", "FeedbackBatchResponse", "record a batch of actual cardinalities (partial success per item)"},
 		{"POST", "/v1/synopses/{name}/subtree", "/synopses/{name}/subtree", "SubtreeRequest", "-", "incremental kernel maintenance after a document update"},
 		{"GET", "/v1/synopses/{name}/snapshot", "/synopses/{name}/snapshot", "-", "binary stream", "download the serialized synopsis"},
 		{"PUT", "/v1/synopses/{name}/snapshot", "/synopses/{name}/snapshot", "binary stream", "SynopsisInfo", "register (or replace) a synopsis from a snapshot"},

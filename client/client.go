@@ -428,6 +428,40 @@ func (c *Client) Feedback(ctx context.Context, query string, actual float64) err
 	return c.do(ctx, http.MethodPost, synPath(name, "/feedback"), api.FeedbackRequest{Query: query, Actual: actual}, nil, false)
 }
 
+// FeedbackBatch implements xseed.Estimator against the bound synopsis: one
+// POST carrying every observation, per-item error-or-nil in request order.
+func (c *Client) FeedbackBatch(ctx context.Context, items []xseed.FeedbackObs) ([]error, error) {
+	name, err := c.boundSynopsis()
+	if err != nil {
+		return nil, err
+	}
+	req := api.FeedbackBatchRequest{Items: make([]api.FeedbackItem, len(items))}
+	for i, it := range items {
+		req.Items[i] = api.FeedbackItem{Query: it.Query, Actual: it.Actual}
+	}
+	var resp api.FeedbackBatchResponse
+	if err := c.do(ctx, http.MethodPost, synPath(name, "/feedback:batch"), req, &resp, false); err != nil {
+		return nil, err
+	}
+	return feedbackErrsFromItems(resp.Results, len(items))
+}
+
+// feedbackErrsFromItems converts wire batch-feedback outcomes into the
+// Estimator's []error shape, enforcing one outcome per item. Shared by the
+// HTTP and XTP backends, so the transports cannot drift.
+func feedbackErrsFromItems(results []api.FeedbackBatchItem, n int) ([]error, error) {
+	if len(results) != n {
+		return nil, fmt.Errorf("client: server returned %d results for %d feedback items", len(results), n)
+	}
+	errs := make([]error, n)
+	for i, res := range results {
+		if res.Error != nil {
+			errs[i] = res.Error
+		}
+	}
+	return errs, nil
+}
+
 func (c *Client) boundSynopsis() (string, error) {
 	if c.synopsis == "" {
 		return "", fmt.Errorf("client: no synopsis bound (use Synopsis(name) or WithSynopsis)")

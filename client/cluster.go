@@ -431,6 +431,23 @@ func (s *ClusterSynopsis) Feedback(ctx context.Context, query string, actual flo
 	})
 }
 
+// FeedbackBatch implements xseed.Estimator against the synopsis owner; the
+// whole batch routes to one node so it rides a single group-commit flush.
+func (s *ClusterSynopsis) FeedbackBatch(ctx context.Context, items []xseed.FeedbackObs) ([]error, error) {
+	req := api.FeedbackBatchRequest{Items: make([]api.FeedbackItem, len(items))}
+	for i, it := range items {
+		req.Items[i] = api.FeedbackItem{Query: it.Query, Actual: it.Actual}
+	}
+	var resp api.FeedbackBatchResponse
+	err := s.cl.doRouted(ctx, s.name, func(c *Client) error {
+		return c.do(ctx, http.MethodPost, synPath(s.name, "/feedback:batch"), req, &resp, false)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return feedbackErrsFromItems(resp.Results, len(items))
+}
+
 // doRoutedXTP is doRouted over the binary transport: resolve the owner,
 // run fn against its xtp client, re-route on moved / unavailable /
 // transport errors. A moved hint names the owner's HTTP base, so the

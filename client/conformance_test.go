@@ -187,6 +187,45 @@ func TestConformanceFeedbackErrors(t *testing.T) {
 	}
 }
 
+// TestConformanceFeedbackBatchPartialSuccess: batch feedback keeps the
+// batch-estimate contract on every transport — one malformed query gets a
+// positional typed error (parse detail intact) while its neighbors apply,
+// and a whole-call failure (unknown synopsis) is the typed not_found.
+func TestConformanceFeedbackBatchPartialSuccess(t *testing.T) {
+	items := []xseed.FeedbackObs{
+		{Query: "/a/c/s", Actual: 3},
+		{Query: "//s[@", Actual: 1},
+		{Query: "//s//p", Actual: 2},
+	}
+	for name, tr := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			ctx := context.Background()
+			errs, err := tr.bind("fig2").FeedbackBatch(ctx, items)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(errs) != len(items) {
+				t.Fatalf("results = %d, want %d", len(errs), len(items))
+			}
+			if errs[0] != nil || errs[2] != nil {
+				t.Errorf("good items carry errors: %v, %v", errs[0], errs[2])
+			}
+			var apiErr *api.Error
+			if !errors.As(errs[1], &apiErr) || apiErr.Code != api.CodeParseError {
+				t.Fatalf("malformed item = %v, want typed %s", errs[1], api.CodeParseError)
+			}
+			if _, ok := apiErr.ParseDetail(); !ok {
+				t.Errorf("parse detail lost in transit: %+v", apiErr)
+			}
+
+			// Whole-call failure: unknown synopsis fails the batch wholesale.
+			if _, err := tr.bind("nope").FeedbackBatch(ctx, items); !errors.As(err, &apiErr) || apiErr.Code != api.CodeNotFound {
+				t.Fatalf("batch to unknown synopsis = %v, want typed %s", err, api.CodeNotFound)
+			}
+		})
+	}
+}
+
 // tenantedBackends mounts one multi-tenant server — tenant "acme" holds a
 // valid token, tenant "throttled" a rate limit its first request already
 // exceeds — behind both transports, returning the HTTP base URL and the
@@ -283,5 +322,50 @@ func TestConformanceQuotaParity(t *testing.T) {
 	}
 	if err := xc.Ping(ctx); err != nil {
 		t.Fatalf("ping after quota rejection = %v, want live connection", err)
+	}
+}
+
+// TestConformanceFeedbackBatchAuthAndQuotaParity: batch feedback meets the
+// tenancy taxonomy identically on both transports. Over the rate limit the
+// whole batch is the typed quota_exceeded (charged as N events, rejected as
+// one unit) and the xtp connection survives; a bad token is the typed
+// unauthorized — an HTTP 401 per call, a terminal dial failure on xtp.
+func TestConformanceFeedbackBatchAuthAndQuotaParity(t *testing.T) {
+	httpURL, xtpAddr := tenantedBackends(t)
+	ctx := context.Background()
+	items := []xseed.FeedbackObs{{Query: "/a", Actual: 1}, {Query: "/b", Actual: 2}}
+	var apiErr *api.Error
+
+	// Quota: the throttled tenant's very first batch is over its limit.
+	hc, err := New(httpURL, WithToken("throttled-tok"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, herr := hc.Synopsis("fig2").FeedbackBatch(ctx, items); !errors.As(herr, &apiErr) || apiErr.Code != api.CodeQuotaExceeded {
+		t.Fatalf("http batch over rate limit = %v, want typed %s", herr, api.CodeQuotaExceeded)
+	}
+	xc, err := DialXTP(xtpAddr, WithXTPToken("throttled-tok"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer xc.Close()
+	if _, xerr := xc.Synopsis("fig2").FeedbackBatch(ctx, items); !errors.As(xerr, &apiErr) || apiErr.Code != api.CodeQuotaExceeded {
+		t.Fatalf("xtp batch over rate limit = %v, want typed %s", xerr, api.CodeQuotaExceeded)
+	}
+	if err := xc.Ping(ctx); err != nil {
+		t.Fatalf("ping after batch quota rejection = %v, want live connection", err)
+	}
+
+	// Unauthorized: same typed code; xtp surfaces it at dial, so a bad-token
+	// connection never exists to carry a batch at all.
+	hb, err := New(httpURL, WithToken("wrong-tok"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, herr := hb.Synopsis("fig2").FeedbackBatch(ctx, items); !errors.As(herr, &apiErr) || apiErr.Code != api.CodeUnauthorized {
+		t.Fatalf("http batch with bad token = %v, want typed %s", herr, api.CodeUnauthorized)
+	}
+	if _, xerr := DialXTP(xtpAddr, WithXTPToken("wrong-tok")); !errors.As(xerr, &apiErr) || apiErr.Code != api.CodeUnauthorized {
+		t.Fatalf("xtp dial with bad token = %v, want typed %s", xerr, api.CodeUnauthorized)
 	}
 }

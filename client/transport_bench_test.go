@@ -83,6 +83,95 @@ func servedQPS(b *testing.B, est xseed.Estimator, queries []string) {
 	})
 }
 
+// servedFeedbackQPS drives 64-observation feedback batches through any
+// Estimator-shaped backend from GOMAXPROCS goroutines. Each op is one
+// round trip carrying 64 events; events/s is reported alongside ns/op.
+func servedFeedbackQPS(b *testing.B, est xseed.Estimator, queries []string) {
+	ctx := context.Background()
+	const batch = 64
+	items := make([]xseed.FeedbackObs, batch)
+	for i := range items {
+		items[i] = xseed.FeedbackObs{Query: queries[i%len(queries)], Actual: float64(1 + i%17)}
+	}
+	// One warm-up batch outside the timer: first-touch parse + HET seeding.
+	if _, err := est.FeedbackBatch(ctx, items); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			errs, err := est.FeedbackBatch(ctx, items)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, e := range errs {
+				if e != nil {
+					b.Fatalf("item error: %v", e)
+				}
+			}
+		}
+	})
+	b.StopTimer()
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	}
+}
+
+// BenchmarkServedFeedbackQPS_HTTP: batch-64 feedback over the JSON API —
+// one POST feedback:batch per op against a real TCP listener.
+func BenchmarkServedFeedbackQPS_HTTP(b *testing.B) {
+	syn, queries := transportBenchSetup(b)
+	s, err := server.New(server.Config{
+		CacheCapacity: 4096,
+		Logger:        slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Registry().Add("xmark", syn, "bench"); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c, err := New(ts.URL, WithSynopsis("xmark"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	servedFeedbackQPS(b, c, queries)
+}
+
+// BenchmarkServedFeedbackQPS_XTP is the same batches as one
+// FeedbackBatchReq frame per op on a pipelined binary connection.
+func BenchmarkServedFeedbackQPS_XTP(b *testing.B) {
+	syn, queries := transportBenchSetup(b)
+	reg := server.NewRegistry(4096, 0)
+	defer reg.Close()
+	if _, err := reg.Add("xmark", syn, "bench"); err != nil {
+		b.Fatal(err)
+	}
+	x := server.NewXTP(reg, server.XTPOptions{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- x.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		x.Shutdown(ctx)
+		<-done
+	}()
+	c, err := DialXTP(ln.Addr().String(), WithXTPSynopsis("xmark"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	servedFeedbackQPS(b, c, queries)
+}
+
 // BenchmarkServedQPS_HTTP is the JSON API baseline: SDK -> HTTP/1.1 ->
 // httptest's real TCP listener -> mux -> registry.
 func BenchmarkServedQPS_HTTP(b *testing.B) {

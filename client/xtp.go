@@ -332,6 +332,60 @@ func (x *XTP) Feedback(ctx context.Context, query string, actual float64) error 
 	return nil
 }
 
+// FeedbackBatch implements xseed.Estimator: one FeedbackBatchReq frame
+// carrying every observation, one ack with per-item outcomes in request
+// order. Unlike single-event Feedback it is synchronous — the ack already
+// rode one coalesced publication and one group-commit flush server-side, so
+// there is no window to pipeline through — and its per-item errors return
+// directly instead of surfacing on Flush.
+func (x *XTP) FeedbackBatch(ctx context.Context, items []xseed.FeedbackObs) ([]error, error) {
+	if x.synopsis == "" {
+		return nil, fmt.Errorf("client: no synopsis bound (use Synopsis(name) or WithXTPSynopsis)")
+	}
+	cn, err := x.getConn()
+	if err != nil {
+		return nil, err
+	}
+	wi := make([]api.FeedbackItem, len(items))
+	for i, it := range items {
+		wi[i] = api.FeedbackItem{Query: it.Query, Actual: it.Actual}
+	}
+	call := cn.register(callEstimate)
+	buf := wire.GetBuf()
+	*buf = wire.AppendFeedbackBatchReq(*buf, x.synopsis, wi)
+	err = cn.writeFrame(wire.FrameFeedbackBatchReq, call.corr, *buf)
+	wire.PutBuf(buf)
+	if err != nil {
+		cn.unregister(call.corr)
+		cn.close(api.Errorf(api.CodeUnavailable, "xtp write: %s", err))
+		return nil, api.Errorf(api.CodeUnavailable, "xtp write: %s", err)
+	}
+	select {
+	case <-ctx.Done():
+		cn.unregister(call.corr)
+		return nil, ctx.Err()
+	case res := <-call.ch:
+		if res.err != nil {
+			return nil, res.err
+		}
+		aerrs, err := wire.DecodeFeedbackBatchAck(res.payload)
+		if err != nil {
+			cn.close(api.Errorf(api.CodeUnavailable, "xtp response decode: %s", err))
+			return nil, err
+		}
+		if len(aerrs) != len(items) {
+			return nil, fmt.Errorf("client: server returned %d results for %d feedback items", len(aerrs), len(items))
+		}
+		errs := make([]error, len(items))
+		for i, ae := range aerrs {
+			if ae != nil {
+				errs[i] = ae
+			}
+		}
+		return errs, nil
+	}
+}
+
 // Flush blocks until every in-flight feedback record has been acked (or
 // the connection died), then reports and clears the first ack failure
 // observed since the last Flush. Use it as a barrier before trusting that

@@ -7,7 +7,8 @@
 //	xseedd [-addr :8080] [-xtp addr] [-cache 4096] [-budget 0]
 //	       [-synopsis name=path]... [-tenants file.json]
 //	       [-store-dir DIR] [-store-compact-ratio 0.5]
-//	       [-store-compact-interval 15s] [-store-fsync]
+//	       [-store-compact-interval 15s] [-store-fsync[=off|batch|every]]
+//	       [-store-batch-latency 2ms]
 //	       [-log-format text|json] [-log-level info] [-pprof addr]
 //	xseedd -store-fsck -store-dir DIR
 //	xseedd -cluster topo.json -cluster-node ID -store-dir DIR   (cluster node)
@@ -22,7 +23,11 @@
 // snapshot rewrite), a background compactor folds grown logs into fresh
 // bases, and on start the whole registry is reloaded from the store's
 // manifest with deltas replayed — tolerating the torn log tail a kill -9
-// leaves behind. -store-fsck validates a store directory (manifest,
+// leaves behind. -store-fsync picks the durability mode: off (page cache),
+// batch (group commit: concurrent appends share one fsync per
+// -store-batch-latency window, callers ack only after their batch is
+// durable), or every (one fsync per record); see the README's
+// "Durability modes" table. -store-fsck validates a store directory (manifest,
 // snapshot loads, delta checksums, full replay) and exits, for use as a CI
 // or pre-start smoke check.
 //
@@ -38,6 +43,7 @@
 //	DELETE /v1/synopses/{name}               drop a synopsis
 //	POST   /v1/synopses/{name}/estimate      batched estimates (partial success)
 //	POST   /v1/synopses/{name}/feedback      record an actual cardinality
+//	POST   /v1/synopses/{name}/feedback:batch  batched feedback (partial success)
 //	POST   /v1/synopses/{name}/subtree       incremental add/remove update
 //	GET    /v1/synopses/{name}/snapshot      download serialized synopsis
 //	PUT    /v1/synopses/{name}/snapshot      upload serialized synopsis

@@ -33,9 +33,24 @@ type Result struct {
 // (partial-success semantics, shared with POST /v1/synopses/{name}/estimate).
 // A whole-call error means no estimates were produced — a canceled
 // context, an unreachable server, an unknown synopsis.
+//
+// FeedbackBatch records many observations in one call with the same
+// partial-success split: one error slot per item in request order (nil =
+// absorbed and durable to the backend's configured discipline), and a
+// whole-call error when none were recorded. Served backends coalesce a
+// batch into one snapshot publication and one group-committed log flush,
+// so it is the efficient way to report execution feedback in bulk.
 type Estimator interface {
 	EstimateBatch(ctx context.Context, queries []string) ([]Result, error)
 	Feedback(ctx context.Context, query string, actual float64) error
+	FeedbackBatch(ctx context.Context, items []FeedbackObs) ([]error, error)
+}
+
+// FeedbackObs is one observed (query, actual cardinality) pair of a
+// feedback batch.
+type FeedbackObs struct {
+	Query  string
+	Actual float64
 }
 
 // LocalEstimator adapts a *Synopsis to the Estimator interface.
@@ -88,6 +103,31 @@ func (l *LocalEstimator) Feedback(ctx context.Context, query string, actual floa
 	}
 	l.syn.FeedbackQuery(q, actual)
 	return nil
+}
+
+// FeedbackBatch applies each observation in order with deferred snapshot
+// publication and publishes exactly one successor covering the batch.
+// Parse failures are per-item; cancellation fails the whole call.
+func (l *LocalEstimator) FeedbackBatch(ctx context.Context, items []FeedbackObs) ([]error, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	errs := make([]error, len(items))
+	applied := false
+	for i, it := range items {
+		q, err := ParseQuery(it.Query)
+		if err != nil {
+			errs[i] = api.WrapError(err, api.CodeBadRequest)
+			continue
+		}
+		if _, _, ok := l.syn.FeedbackQueryDeltaDeferred(q, it.Actual); ok {
+			applied = true
+		}
+	}
+	if applied {
+		l.syn.Publish()
+	}
+	return errs, nil
 }
 
 // Estimate is a single-query convenience over any Estimator: it returns

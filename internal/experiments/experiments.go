@@ -231,6 +231,10 @@ func (c ceEstimator) Feedback(context.Context, string, float64) error {
 	return fmt.Errorf("experiments: baseline estimator accepts no feedback")
 }
 
+func (c ceEstimator) FeedbackBatch(context.Context, []xseed.FeedbackObs) ([]error, error) {
+	return nil, fmt.Errorf("experiments: baseline estimator accepts no feedback")
+}
+
 // estimatorFor selects the measurement backend for an XSEED synopsis: the
 // embedded adapter, or — when cfg.Remote is set — the client SDK bound to
 // a fresh snapshot upload of the synopsis on the remote daemon. cleanup

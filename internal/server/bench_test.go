@@ -424,6 +424,108 @@ func BenchmarkMetricsScrape(b *testing.B) {
 	}
 }
 
+// BenchmarkFeedbackBatchPublish is the batched mutator path: one
+// FeedbackBatch of 64 observations per op, applied under a single entry
+// critical section and published as ONE successor snapshot. Against
+// BenchmarkFeedbackPublish (one publication per event) the delta is the
+// coalesced publication economics: the O(resident) view copy is paid once
+// per 64 events instead of once per event.
+func BenchmarkFeedbackBatchPublish(b *testing.B) {
+	doc, err := xseed.Generate("xmark", 0.01, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	syn, err := xseed.BuildSynopsis(doc, &xseed.Config{HET: &xseed.HETConfig{FeedbackOnly: true}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := NewRegistry(64, 0)
+	if _, err := r.Add("fb", syn, "bench"); err != nil {
+		b.Fatal(err)
+	}
+	var queries []string
+	for _, q := range doc.SimplePathQueries(0) {
+		queries = append(queries, q.String())
+	}
+	for i, q := range queries { // seed the resident set
+		if err := r.Feedback("fb", q, float64(1+i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	const batch = 64
+	items := make([]api.FeedbackItem, batch)
+	for i := range items {
+		items[i] = api.FeedbackItem{Query: queries[i%len(queries)], Actual: float64(1 + i%23)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		errs, err := r.FeedbackBatch("fb", items)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range errs {
+			if e != nil {
+				b.Fatal(e)
+			}
+		}
+	}
+	b.ReportMetric(float64(batch), "events/op")
+}
+
+// BenchmarkFeedbackDurable is the paired benchmark behind the group-commit
+// acceptance gate: the per-event durable path (-store-fsync, one fsync per
+// feedback) versus a 64-event batch under -store-fsync=batch (one group
+// commit per batch). Both sides ack only after their bytes are fsynced.
+// CI computes per-event throughput from ns/op (the batch side carries 64
+// events per op) and fails the bench job if batching is not >=3x faster.
+// The flush window is deliberately tiny: a sequential caller pays the full
+// window every op, and the production 2ms default would measure the timer,
+// not the write path.
+func BenchmarkFeedbackDurable(b *testing.B) {
+	run := func(b *testing.B, fsync string, batch int) {
+		s, err := New(Config{
+			StoreDir:          b.TempDir(),
+			StoreFsync:        fsync,
+			StoreBatchLatency: 50 * time.Microsecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		reg := s.Registry()
+		if _, err := reg.Add("fb", tenantTestSynopsis(b), "bench"); err != nil {
+			b.Fatal(err)
+		}
+		queries := []string{"/a/c/s/s/t", "/a/c/s", "/a/c/p", "/a/t", "/a/c/s/p", "/a/c/s/s", "/a/c/t", "/a/c/s[t]/p"}
+		items := make([]api.FeedbackItem, batch)
+		for i := range items {
+			items[i] = api.FeedbackItem{Query: queries[i%len(queries)], Actual: float64(1 + i%17)}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if batch == 1 {
+				if err := reg.Feedback("fb", items[0].Query, float64(1+i%17)); err != nil {
+					b.Fatal(err)
+				}
+				continue
+			}
+			errs, err := reg.FeedbackBatch("fb", items)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, e := range errs {
+				if e != nil {
+					b.Fatal(e)
+				}
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(batch), "events/op")
+	}
+	b.Run("event", func(b *testing.B) { run(b, "every", 1) })
+	b.Run("batch64", func(b *testing.B) { run(b, "batch", 64) })
+}
+
 // BenchmarkFeedbackPublish measures the mutator side of the snapshot
 // design: each applied feedback pays the HET rank upsert plus the snapshot
 // publication (an O(resident) hyper-edge view copy — the price of lock-free

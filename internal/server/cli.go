@@ -14,6 +14,29 @@ import (
 	"xseed/internal/store"
 )
 
+// fsyncModeValue is -store-fsync's flag value: a durability mode ("off",
+// "batch", "every") that also behaves as the boolean flag it used to be —
+// bare `-store-fsync` still means every, `-store-fsync=false` still means
+// off — so existing scripts keep working.
+type fsyncModeValue struct{ mode store.FsyncMode }
+
+func (v *fsyncModeValue) String() string   { return v.mode.String() }
+func (v *fsyncModeValue) IsBoolFlag() bool { return true }
+func (v *fsyncModeValue) Set(s string) error {
+	m, err := store.ParseFsyncMode(s)
+	if err != nil {
+		return err
+	}
+	v.mode = m
+	return nil
+}
+
+func fsyncFlag(fs *flag.FlagSet) *fsyncModeValue {
+	v := &fsyncModeValue{}
+	fs.Var(v, "store-fsync", "delta-log durability `mode`: off (default; survives process crashes), batch (group commit: one fsync per -store-batch-latency window, ack after durable), or every (fsync per append)")
+	return v
+}
+
 // RunCLI parses daemon flags and serves until SIGINT/SIGTERM, shutting down
 // gracefully: in-flight requests drain first, then the background budget
 // rebalancer (so planned budgets and their persisted deltas land), and the
@@ -30,7 +53,8 @@ func RunCLI(name string, args []string) error {
 	storeDir := fs.String("store-dir", "", "durable store directory: persist synopses and reload them on start (empty = in-memory only)")
 	compactRatio := fs.Float64("store-compact-ratio", 0, "compact when delta log exceeds this ratio of the base snapshot (0 = default 0.5)")
 	compactIvl := fs.Duration("store-compact-interval", 0, "background compaction check interval (0 = default 15s)")
-	storeFsync := fs.Bool("store-fsync", false, "fsync the delta log after every append (survives machine crashes, not just process crashes)")
+	storeFsync := fsyncFlag(fs)
+	batchLatency := fs.Duration("store-batch-latency", 0, "max extra latency a -store-fsync=batch record waits for its group fsync (0 = default 2ms)")
 	fsck := fs.Bool("store-fsck", false, "validate -store-dir (manifest, snapshot loads, delta checksums and replay), print a report, and exit")
 	tenantsFile := fs.String("tenants", "", "enable multi-tenant mode: JSON file of [{\"id\",\"token\",\"budgetBytes\",\"cacheQuota\",\"ratePerSec\",\"burst\"}] tenant configs (empty = single-tenant)")
 	clusterFile := fs.String("cluster", "", "cluster topology JSON file (replicas, router, nodes); requires -cluster-node or -router")
@@ -119,7 +143,8 @@ func RunCLI(name string, args []string) error {
 		StoreDir:             *storeDir,
 		StoreCompactRatio:    *compactRatio,
 		StoreCompactInterval: time.Duration(*compactIvl),
-		StoreFsync:           *storeFsync,
+		StoreFsync:           storeFsync.String(),
+		StoreBatchLatency:    *batchLatency,
 		Logger:               logger,
 		PprofAddr:            *pprofAddr,
 		Tenants:              tenants,

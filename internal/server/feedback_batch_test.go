@@ -1,0 +1,303 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xseed"
+	"xseed/api"
+	"xseed/internal/fixtures"
+)
+
+// postBatch posts a feedback batch and decodes the per-item results.
+func postBatch(t *testing.T, ts *httptest.Server, token, name string, items []api.FeedbackItem) (int, *api.FeedbackBatchResponse) {
+	t.Helper()
+	req, err := http.NewRequest("POST", ts.URL+"/v1/synopses/"+name+"/feedback:batch",
+		strings.NewReader(string(mustJSON(t, api.FeedbackBatchRequest{Items: items})))) //nolint:noctx
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, nil
+	}
+	var out api.FeedbackBatchResponse
+	if err := jsonUnmarshal(string(b), &out); err != nil {
+		t.Fatalf("batch response: %v in %s", err, b)
+	}
+	return resp.StatusCode, &out
+}
+
+// TestFeedbackBatchHTTPPartialSuccess: one malformed query mid-batch gets
+// a typed per-item error while its neighbors apply — the same contract
+// batch estimate has had since v1 — and the applied items are observable
+// through both the feedback counter and a shifted estimate.
+func TestFeedbackBatchHTTPPartialSuccess(t *testing.T) {
+	s, ts := newTestServer(t)
+	createFixture(t, ts, "fig2")
+
+	st, resp := postBatch(t, ts, "", "fig2", []api.FeedbackItem{
+		{Query: "/a/c/s/s/t", Actual: 2},
+		{Query: "broken[", Actual: 1},
+		{Query: "/a/c/s[t]/p", Actual: 7},
+	})
+	if st != http.StatusOK {
+		t.Fatalf("batch status %d", st)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("results = %+v, want 3 items", resp.Results)
+	}
+	if resp.Results[0].Error != nil || resp.Results[2].Error != nil {
+		t.Errorf("good items carry errors: %+v", resp.Results)
+	}
+	if e := resp.Results[1].Error; e == nil || e.Code != api.CodeParseError {
+		t.Errorf("malformed item error = %+v, want parse_error", resp.Results[1].Error)
+	}
+	e, err := s.Registry().Get("fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info := e.Info(); info.Feedbacks != 2 {
+		t.Errorf("feedbacks = %d, want the 2 good items", info.Feedbacks)
+	}
+	if got := estimateHTTP(t, ts, "fig2", "/a/c/s/s/t"); got != 2 {
+		t.Errorf("estimate after feedback = %g, want absorbed 2", got)
+	}
+
+	// An empty batch is a whole-request error, not an empty success.
+	if st, _ := postBatch(t, ts, "", "fig2", nil); st != http.StatusBadRequest {
+		t.Errorf("empty batch status %d, want 400", st)
+	}
+	// Unknown synopsis fails wholesale.
+	if st, _ := postBatch(t, ts, "", "nope", []api.FeedbackItem{{Query: "/a", Actual: 1}}); st != http.StatusNotFound {
+		t.Errorf("unknown synopsis status %d, want 404", st)
+	}
+}
+
+// TestFeedbackBatchRateLimitChargesPerEvent is the anti-bypass regression:
+// a batch of N feedback events costs N tokens, admitted or rejected as one
+// unit, and one tenant's rejection leaves its sibling's bucket untouched.
+func TestFeedbackBatchRateLimitChargesPerEvent(t *testing.T) {
+	s, err := New(Config{CacheCapacity: 64, Tenants: []TenantConfig{
+		// Effectively no refill during the test: capacity is the burst.
+		{ID: "acme", Token: "acme-tok", RatePerSec: 0.0001, Burst: 10},
+		{ID: "rival", Token: "rival-tok", RatePerSec: 0.0001, Burst: 10},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { s.Close() })
+
+	for _, tok := range []string{"acme-tok", "rival-tok"} {
+		req, _ := http.NewRequest("POST", ts.URL+"/v1/synopses",
+			strings.NewReader(string(mustJSON(t, api.CreateRequest{Name: "doc", XML: fixtures.PaperFigure2}))))
+		req.Header.Set("Authorization", "Bearer "+tok)
+		resp, err := ts.Client().Do(req)
+		if err != nil || resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create as %s: %v %v", tok, resp.Status, err)
+		}
+		resp.Body.Close()
+	}
+	acme := s.Registry().Tenants().lookup("acme")
+	// The two creates cost one token each; top the buckets back up.
+	acme.rlMu.Lock()
+	acme.rlTok = 10
+	acme.rlMu.Unlock()
+	rival := s.Registry().Tenants().lookup("rival")
+	rival.rlMu.Lock()
+	rival.rlTok = 10
+	rival.rlMu.Unlock()
+
+	items := func(n int) []api.FeedbackItem {
+		out := make([]api.FeedbackItem, n)
+		for i := range out {
+			out[i] = api.FeedbackItem{Query: "/a/c/s/s/t", Actual: float64(2 + i)}
+		}
+		return out
+	}
+	// 4 + 4 = 8 of 10 tokens.
+	for i := 0; i < 2; i++ {
+		if st, _ := postBatch(t, ts, "acme-tok", "doc", items(4)); st != http.StatusOK {
+			t.Fatalf("batch %d status %d", i, st)
+		}
+	}
+	// A batch of 4 against the remaining 2 is rejected whole...
+	if st, _ := postBatch(t, ts, "acme-tok", "doc", items(4)); st != http.StatusTooManyRequests {
+		t.Fatalf("over-limit batch status %d, want 429", st)
+	}
+	// ...consuming nothing: the 2 remaining tokens still admit a batch of 2.
+	if st, _ := postBatch(t, ts, "acme-tok", "doc", items(2)); st != http.StatusOK {
+		t.Fatalf("post-rejection batch status %d, want 200 from unconsumed tokens", st)
+	}
+	if st, _ := postBatch(t, ts, "acme-tok", "doc", items(1)); st != http.StatusTooManyRequests {
+		t.Fatalf("drained bucket admitted another event: status %d", st)
+	}
+	// The sibling tenant's bucket is untouched by acme's rejections: a
+	// full-burst batch of 10 is admitted in one shot.
+	if st, _ := postBatch(t, ts, "rival-tok", "doc", items(10)); st != http.StatusOK {
+		t.Fatalf("rival batch status %d; neighbor's limit leaked", st)
+	}
+	if got := acme.rateLimited.Load(); got != 2 {
+		t.Errorf("acme rateLimited = %d, want the 2 rejected requests", got)
+	}
+}
+
+// TestFeedbackBatchCoalescesPublishes pins the tentpole's publication
+// economics: concurrent batches against one synopsis produce far fewer
+// snapshot publications than applied events — enqueuers piggyback on the
+// active drainer's rounds instead of publishing one successor each.
+func TestFeedbackBatchCoalescesPublishes(t *testing.T) {
+	s, ts := newTestServer(t)
+	createFixture(t, ts, "fig2")
+	reg := s.Registry()
+
+	const workers, perBatch, rounds = 8, 16, 10
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			items := make([]api.FeedbackItem, perBatch)
+			for i := range items {
+				items[i] = api.FeedbackItem{Query: "/a/c/s/s/t", Actual: float64(1 + (w+i)%9)}
+			}
+			for r := 0; r < rounds; r++ {
+				errs, err := reg.FeedbackBatch("fig2", items)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for _, e := range errs {
+					if e != nil {
+						t.Errorf("item error: %v", e)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	applied := reg.obs.fbApplied.Value()
+	publishes := reg.obs.fbPublishes.Value()
+	if applied != workers*perBatch*rounds {
+		t.Fatalf("applied = %d, want %d", applied, workers*perBatch*rounds)
+	}
+	// Every drain round publishes once and carries at least one whole batch,
+	// so publications can never exceed batches — and under contention they
+	// come in well below. The hard bound is what the test pins.
+	if maxPub := uint64(workers * rounds); publishes > maxPub {
+		t.Errorf("publishes = %d for %d batches; coalescing regressed", publishes, maxPub)
+	}
+	if publishes == 0 {
+		t.Error("no publications recorded")
+	}
+}
+
+// TestFeedbackBatchCrashRecoveryBatchedFsync is the server-level durability
+// drill under -store-fsync=batch: kill -9 (abandon, no Close) right after a
+// hammer of acked batches, restart, and every estimate must match the
+// moment of death — acked means fsynced, even in group-commit mode.
+func TestFeedbackBatchCrashRecoveryBatchedFsync(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{StoreDir: dir, StoreFsync: "batch", StoreBatchLatency: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := s.Registry()
+	d, err := xseed.ParseXMLString(fixtures.PaperFigure2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := xseed.BuildSynopsis(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Add("fig2", syn, "hammer"); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []string{"/a/c/s/s/t", "/a/c/s", "/a/c/p", "/a/t", "/a/c/s/p", "/a/c/s/s", "/a/c/t", "/a/c/s[t]/p"}
+	const workers, rounds, perBatch = 8, 20, 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				items := make([]api.FeedbackItem, perBatch)
+				for i := range items {
+					items[i] = api.FeedbackItem{
+						Query:  queries[(w+r+i)%len(queries)],
+						Actual: float64(1 + (w*rounds+r*perBatch+i)%17),
+					}
+				}
+				errs, err := reg.FeedbackBatch("fig2", items)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for _, e := range errs {
+					if e != nil {
+						t.Errorf("item error: %v", e)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	e, err := reg.Get("fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info := e.Info(); info.Feedbacks != workers*rounds*perBatch {
+		t.Fatalf("applied %d feedbacks, want %d", info.Feedbacks, workers*rounds*perBatch)
+	}
+	want := make([]float64, len(queries))
+	for i, q := range queries {
+		if want[i], err = e.Synopsis().Estimate(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Die without flushing or closing, restart on the same dir.
+	s2, err := New(Config{StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	e2, err := s2.Registry().Get("fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		got, err := e2.Synopsis().Estimate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want[i] {
+			t.Errorf("%s: post-restart %g != pre-kill %g", q, got, want[i])
+		}
+	}
+}

@@ -26,6 +26,13 @@ type regMetrics struct {
 	om       *obs.Registry
 	stageVec *obs.HistogramVec // estimate-stage latency {stage, synopsis}
 	qerrVec  *obs.HistogramVec // accuracy {synopsis}
+
+	// Publish-coalescing counters: fbApplied counts feedback events that
+	// mutated an HET; fbPublishes counts the successor snapshots those
+	// mutations published. applied/publishes is the coalescing factor the
+	// batched write path buys (1.0 = every event paid its own publication).
+	fbApplied   *obs.Counter // xseed_feedback_applied_total
+	fbPublishes *obs.Counter // xseed_feedback_publishes_total
 }
 
 func newRegMetrics(om *obs.Registry) *regMetrics {
@@ -37,6 +44,10 @@ func newRegMetrics(om *obs.Registry) *regMetrics {
 		qerrVec: om.HistogramVec("xseed_qerror",
 			"Per-synopsis q-error (max(est/actual, actual/est)) observed via feedback.",
 			obs.HistogramOpts{Scale: qerrScale, SubBits: 2, MaxExp: 40}, "synopsis"),
+		fbApplied: om.Counter("xseed_feedback_applied_total",
+			"Feedback events that mutated a hyper-edge table."),
+		fbPublishes: om.Counter("xseed_feedback_publishes_total",
+			"Snapshot publications those mutations coalesced into (applied/publishes = coalescing factor)."),
 	}
 }
 

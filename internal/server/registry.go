@@ -97,6 +97,18 @@ type Entry struct {
 	updates   atomic.Int64
 	acc       *metrics.Online // accuracy observed via feedback
 
+	// Feedback coalescing: concurrent feedback ops enqueue onto fbQueue and
+	// the first arriver (fbActive's winner) becomes the publisher — it
+	// drains the queue under mu, applies every delta with publication
+	// deferred, and publishes ONE successor snapshot per drain round, so a
+	// feedback storm pays the O(resident) view copy once per round instead
+	// of once per event. fbMu guards only the queue and is never held while
+	// applying. Log order still equals apply order: the publisher appends
+	// each delta inside the same mu critical section that applied it.
+	fbMu     sync.Mutex
+	fbQueue  []*fbOp
+	fbActive bool
+
 	// stages and qerr are this entry's hot-path metric handles, resolved
 	// once at creation (inert when the registry's obs.Registry is Disabled):
 	// per-stage estimate latency and the online q-error histogram whose
@@ -1069,30 +1081,169 @@ func (r *Registry) Feedback(name, query string, actual float64) error {
 	r.mu.RLock()
 	st := r.st
 	r.mu.RUnlock()
-	e.mu.Lock()
-	est, delta, applied := e.syn.FeedbackQueryDelta(q, actual)
-	var persistErr error
-	if applied {
-		e.invalidate()
-		if st != nil && !e.retired.Load() {
-			// Append inside the critical section: a concurrent feedback to
-			// the same path must reach the log in the order it reached the
-			// table, or replay could resurrect the older value. A retired
-			// entry (replaced or deleted while this request was in flight)
-			// skips the append — the log now belongs to its successor.
-			persistErr = st.AppendFeedback(name, delta)
-		}
-	}
-	e.mu.Unlock()
-	e.acc.Add(est, actual)
-	qv := qerrValue(est, actual)
+	op := &fbOp{q: q, actual: actual, done: make(chan struct{})}
+	r.runFeedback(e, st, []*fbOp{op})
+	e.acc.Add(op.est, actual)
+	qv := qerrValue(op.est, actual)
 	e.qerr.Observe(qv)
 	e.ten.qerr.Observe(qv)
 	e.feedbacks.Add(1)
-	if persistErr != nil {
-		return fmt.Errorf("feedback applied but not persisted: %w", persistErr)
+	if op.err != nil {
+		return op.err
 	}
 	return nil
+}
+
+// fbOp is one feedback observation moving through an entry's coalescing
+// queue. The publisher fills est/applied/pend/err before closing done; the
+// originating goroutine then waits on pend (durability) outside every lock.
+type fbOp struct {
+	q      *xseed.Query
+	actual float64
+
+	est     float64
+	applied bool
+	pend    *store.Pending // group-commit handle; nil = nothing to persist
+	err     *api.Error     // persist failure, typed for the wire
+	done    chan struct{}
+}
+
+// runFeedback pushes ops through e's coalescing queue and returns once
+// every op is applied AND durable. ops must be non-empty; they are enqueued
+// contiguously, so one drain round processes them all.
+func (r *Registry) runFeedback(e *Entry, st *store.Store, ops []*fbOp) {
+	e.fbMu.Lock()
+	e.fbQueue = append(e.fbQueue, ops...)
+	publisher := !e.fbActive
+	if publisher {
+		e.fbActive = true
+	}
+	e.fbMu.Unlock()
+	if publisher {
+		r.drainFeedback(e, st)
+	} else {
+		<-ops[len(ops)-1].done // contiguous: last done ⇒ all done
+	}
+	// Durability wait happens out here, after e.mu is released: blocking the
+	// entry's critical section for a group-commit window would cap a hot
+	// synopsis at 1/BatchLatency events per second.
+	for _, op := range ops {
+		if op.pend == nil {
+			continue
+		}
+		if werr := op.pend.Wait(); werr != nil && op.err == nil {
+			op.err = api.WrapError(fmt.Errorf("feedback applied but not persisted: %w", werr), api.CodeInternal)
+		}
+	}
+}
+
+// drainFeedback is the publisher side of the coalescing queue: under the
+// entry lock it repeatedly takes the whole queue, applies every delta with
+// publication deferred, enqueues each applied delta's log record inside the
+// same critical section (log order = apply order — replicated standbys
+// depend on it), and publishes one successor snapshot per round.
+func (r *Registry) drainFeedback(e *Entry, st *store.Store) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		e.fbMu.Lock()
+		batch := e.fbQueue
+		e.fbQueue = nil
+		if len(batch) == 0 {
+			e.fbActive = false
+			e.fbMu.Unlock()
+			return
+		}
+		e.fbMu.Unlock()
+		applied := 0
+		for _, op := range batch {
+			var delta xseed.HETDelta
+			op.est, delta, op.applied = e.syn.FeedbackQueryDeltaDeferred(op.q, op.actual)
+			if !op.applied {
+				continue
+			}
+			applied++
+			e.invalidate()
+			if st != nil && !e.retired.Load() {
+				// A retired entry (replaced or deleted while this op was in
+				// flight) skips the append — the log belongs to its successor.
+				if p, perr := st.AppendFeedbackEnq(e.name, delta); perr != nil {
+					op.err = api.WrapError(perr, api.CodeInternal)
+				} else {
+					op.pend = p
+				}
+			}
+		}
+		if applied > 0 {
+			e.syn.Publish()
+			r.obs.fbApplied.Add(uint64(applied))
+			r.obs.fbPublishes.Inc()
+		}
+		for _, op := range batch {
+			close(op.done)
+		}
+	}
+}
+
+// FeedbackBatch records a batch of observations against one synopsis with
+// partial-success semantics: one *api.Error slot per item in request order
+// (nil = absorbed, and durable to the store's configured discipline), plus
+// a whole-call error when the synopsis itself is unavailable. The batch
+// coalesces into at most one snapshot publication and rides one
+// group-commit flush, which is what makes bulk feedback cheap.
+func (r *Registry) FeedbackBatch(name string, items []api.FeedbackItem) ([]*api.Error, error) {
+	e, err := r.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*api.Error, len(items))
+	if !e.syn.HasHET() {
+		// Kernel-only: feedback cannot change the synopsis; record accuracy
+		// observations lock-free against the current snapshot.
+		sn := e.syn.Snapshot()
+		for i, it := range items {
+			q, perr := xseed.ParseQuery(it.Query)
+			if perr != nil {
+				out[i] = api.WrapError(perr, api.CodeBadRequest)
+				continue
+			}
+			est := sn.EstimateQuery(q)
+			e.acc.Add(est, it.Actual)
+			qv := qerrValue(est, it.Actual)
+			e.qerr.Observe(qv)
+			e.ten.qerr.Observe(qv)
+			e.feedbacks.Add(1)
+		}
+		return out, nil
+	}
+	r.mu.RLock()
+	st := r.st
+	r.mu.RUnlock()
+	ops := make([]*fbOp, 0, len(items))
+	idx := make([]int, 0, len(items))
+	for i, it := range items {
+		q, perr := xseed.ParseQuery(it.Query)
+		if perr != nil {
+			out[i] = api.WrapError(perr, api.CodeBadRequest)
+			continue
+		}
+		ops = append(ops, &fbOp{q: q, actual: it.Actual, done: make(chan struct{})})
+		idx = append(idx, i)
+	}
+	if len(ops) == 0 {
+		return out, nil
+	}
+	r.runFeedback(e, st, ops)
+	for j, op := range ops {
+		i := idx[j]
+		e.acc.Add(op.est, items[i].Actual)
+		qv := qerrValue(op.est, items[i].Actual)
+		e.qerr.Observe(qv)
+		e.ten.qerr.Observe(qv)
+		e.feedbacks.Add(1)
+		out[i] = op.err
+	}
+	return out, nil
 }
 
 // AddSubtree incrementally maintains the named synopsis after an insertion

@@ -50,10 +50,16 @@ type Config struct {
 
 	// StoreCompactRatio and StoreCompactInterval tune the background
 	// compactor (zero values: store defaults of 0.5 and 15s). StoreFsync
-	// syncs the delta log on every append.
+	// selects the delta-log durability mode: "off" (or empty), "batch"
+	// (group commit, see StoreBatchLatency), or "every" (fsync per append);
+	// "true"/"false" stay accepted as aliases of every/off.
 	StoreCompactRatio    float64
 	StoreCompactInterval time.Duration
-	StoreFsync           bool
+	StoreFsync           string
+
+	// StoreBatchLatency bounds how long a group-committed record may wait
+	// for its batch's fsync with StoreFsync "batch" (0 = store default 2ms).
+	StoreBatchLatency time.Duration
 
 	// PprofAddr, when non-empty, serves net/http/pprof on a second,
 	// admin-only listener (e.g. "localhost:6060") — never on the public
@@ -159,9 +165,14 @@ func New(cfg Config) (*Server, error) {
 		s.xtp = NewXTP(s.reg, XTPOptions{Logger: logger, Metrics: om})
 	}
 	if cfg.StoreDir != "" {
+		fsync, err := store.ParseFsyncMode(cfg.StoreFsync)
+		if err != nil {
+			return nil, err
+		}
 		st, err := store.Open(cfg.StoreDir, store.Options{
 			CompactRatio: cfg.StoreCompactRatio,
-			Fsync:        cfg.StoreFsync,
+			Fsync:        fsync,
+			BatchLatency: cfg.StoreBatchLatency,
 			Log:          logger,
 			Metrics:      om,
 		})
@@ -225,22 +236,23 @@ func (s *Server) Registry() *Registry { return s.reg }
 // listener — this is what httptest mounts in the end-to-end tests.
 func (s *Server) Handler() http.Handler {
 	handlers := map[string]http.HandlerFunc{
-		"GET /v1/healthz":                   s.handleHealthz,
-		"GET /v1/stats":                     s.handleStats,
-		"GET /v1/synopses":                  s.handleList,
-		"POST /v1/synopses":                 s.handleCreate,
-		"GET /v1/synopses/{name}":           s.handleGet,
-		"DELETE /v1/synopses/{name}":        s.handleDelete,
-		"POST /v1/synopses/{name}/estimate": s.handleEstimate,
-		"POST /v1/synopses/{name}/feedback": s.handleFeedback,
-		"POST /v1/synopses/{name}/subtree":  s.handleSubtree,
-		"GET /v1/synopses/{name}/snapshot":  s.handleSnapshotGet,
-		"PUT /v1/synopses/{name}/snapshot":  s.handleSnapshotPut,
-		"GET /v1/cluster/ring":              s.handleClusterRing,
-		"GET /v1/cluster/lag":               s.handleClusterLag,
-		"POST /v1/admin/budget":             s.handleBudget,
-		"POST /v1/admin/compact":            s.handleCompact,
-		"GET /metrics":                      s.handleMetrics,
+		"GET /v1/healthz":                         s.handleHealthz,
+		"GET /v1/stats":                           s.handleStats,
+		"GET /v1/synopses":                        s.handleList,
+		"POST /v1/synopses":                       s.handleCreate,
+		"GET /v1/synopses/{name}":                 s.handleGet,
+		"DELETE /v1/synopses/{name}":              s.handleDelete,
+		"POST /v1/synopses/{name}/estimate":       s.handleEstimate,
+		"POST /v1/synopses/{name}/feedback":       s.handleFeedback,
+		"POST /v1/synopses/{name}/feedback:batch": s.handleFeedbackBatch,
+		"POST /v1/synopses/{name}/subtree":        s.handleSubtree,
+		"GET /v1/synopses/{name}/snapshot":        s.handleSnapshotGet,
+		"PUT /v1/synopses/{name}/snapshot":        s.handleSnapshotPut,
+		"GET /v1/cluster/ring":                    s.handleClusterRing,
+		"GET /v1/cluster/lag":                     s.handleClusterLag,
+		"POST /v1/admin/budget":                   s.handleBudget,
+		"POST /v1/admin/compact":                  s.handleCompact,
+		"GET /metrics":                            s.handleMetrics,
 	}
 	mux := http.NewServeMux()
 	mounted := 0
@@ -709,7 +721,14 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 // quota_exceeded rejection itself when the bucket is dry. Applied to the
 // traffic routes (estimate, feedback) — the ones a noisy neighbor floods.
 func rateLimit(w http.ResponseWriter, r *http.Request, t *Tenant) bool {
-	if t.allow() {
+	return rateLimitN(w, r, t, 1)
+}
+
+// rateLimitN charges n tokens atomically — a batch of n feedback events
+// costs exactly what n single-event requests would, so the batch endpoint
+// cannot bypass a tenant's rate limit.
+func rateLimitN(w http.ResponseWriter, r *http.Request, t *Tenant, n int) bool {
+	if t.allowN(n) {
 		return true
 	}
 	writeAPIError(w, r, api.Errorf(api.CodeQuotaExceeded, "tenant %q rate limit exceeded", t.ID()))
@@ -773,6 +792,40 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleFeedbackBatch(w http.ResponseWriter, r *http.Request) {
+	key, ok := s.pathKey(w, r)
+	if !ok {
+		return
+	}
+	if aerr := s.ownerCheck(key); aerr != nil {
+		writeAPIError(w, r, aerr)
+		return
+	}
+	var req api.FeedbackBatchRequest
+	if !readBody(w, r, &req) {
+		return
+	}
+	if len(req.Items) == 0 {
+		writeErr(w, r, fmt.Errorf("missing items"))
+		return
+	}
+	// Charged after decode — the batch size IS the cost — and before any
+	// registry work, so an over-limit batch is rejected whole.
+	if !rateLimitN(w, r, s.tenant(r), len(req.Items)) {
+		return
+	}
+	errs, err := s.reg.FeedbackBatch(key, req.Items)
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	resp := api.FeedbackBatchResponse{Results: make([]api.FeedbackBatchItem, len(errs))}
+	for i, e := range errs {
+		resp.Results[i].Error = e
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleSubtree(w http.ResponseWriter, r *http.Request) {

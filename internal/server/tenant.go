@@ -135,8 +135,14 @@ func (t *Tenant) ID() string { return t.id }
 
 // allow takes one token from the tenant's bucket, reporting false (and
 // counting the rejection) when the bucket is empty.
-func (t *Tenant) allow() bool {
-	if t == nil || t.rlRate <= 0 {
+func (t *Tenant) allow() bool { return t.allowN(1) }
+
+// allowN takes n tokens atomically: all or nothing, so a batch of n events
+// costs exactly n single events and cannot slip under the limit. A batch
+// larger than the burst capacity can never be admitted — callers split or
+// are rejected, by design.
+func (t *Tenant) allowN(n int) bool {
+	if t == nil || t.rlRate <= 0 || n <= 0 {
 		return true
 	}
 	now := time.Now()
@@ -146,12 +152,12 @@ func (t *Tenant) allow() bool {
 	if t.rlTok > t.rlBurst {
 		t.rlTok = t.rlBurst
 	}
-	if t.rlTok < 1 {
+	if t.rlTok < float64(n) {
 		t.rlMu.Unlock()
 		t.rateLimited.Add(1)
 		return false
 	}
-	t.rlTok--
+	t.rlTok -= float64(n)
 	t.rlMu.Unlock()
 	return true
 }

@@ -326,6 +326,34 @@ func (cn *xtpConn) readLoop() {
 			}
 			cn.inflight.Add(1)
 			go cn.handleFeedback(f.Corr, key, query, actual)
+		case wire.FrameFeedbackBatchReq:
+			name, items, err := wire.DecodeFeedbackBatchReq(f.Payload)
+			if err != nil {
+				cn.protocolError(f.Corr, err)
+				return
+			}
+			t := cn.ten
+			t.reqs.Inc()
+			if len(items) == 0 {
+				cn.writeError(f.Corr, api.Errorf(api.CodeBadRequest, "missing items"))
+				continue
+			}
+			// A batch of n events costs n tokens — rejected whole when the
+			// bucket cannot cover it, so batching never outruns the limit.
+			if !t.allowN(len(items)) {
+				cn.writeError(f.Corr, api.Errorf(api.CodeQuotaExceeded, "tenant %q rate limit exceeded", t.ID()))
+				continue
+			}
+			key, aerr := synKey(t, name)
+			if aerr == nil {
+				aerr = x.checkOwner(key)
+			}
+			if aerr != nil {
+				cn.writeError(f.Corr, aerr)
+				continue
+			}
+			cn.inflight.Add(1)
+			go cn.handleFeedbackBatch(f.Corr, key, items)
 		case wire.FrameStatsReq:
 			t := cn.ten
 			t.reqs.Inc()
@@ -381,6 +409,24 @@ func (cn *xtpConn) handleFeedback(corr uint64, name, query string, actual float6
 	buf := wire.GetBuf()
 	*buf = wire.AppendFeedbackAck(*buf, ae)
 	cn.write(wire.FrameFeedbackAck, corr, *buf)
+	wire.PutBuf(buf)
+	cn.x.m.observe(cn.x.m.feedbackSeconds, start)
+}
+
+func (cn *xtpConn) handleFeedbackBatch(corr uint64, name string, items []api.FeedbackItem) {
+	defer cn.inflight.Done()
+	start := time.Now()
+	errs, err := cn.x.reg.FeedbackBatch(name, items)
+	if err != nil {
+		ae := toAPIError(err)
+		cn.x.m.errorSent(ae.Code)
+		cn.writeError(corr, ae)
+		cn.x.m.observe(cn.x.m.feedbackSeconds, start)
+		return
+	}
+	buf := wire.GetBuf()
+	*buf = wire.AppendFeedbackBatchAck(*buf, errs)
+	cn.write(wire.FrameFeedbackBatchAck, corr, *buf)
 	wire.PutBuf(buf)
 	cn.x.m.observe(cn.x.m.feedbackSeconds, start)
 }

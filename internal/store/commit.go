@@ -1,0 +1,156 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Pending is the durability handle for one group-committed record: Wait
+// blocks until the record's batch has been written and fsynced, returning
+// the flush outcome. A flush error fans out to every waiter in the batch —
+// each acked caller learns its record may not be durable, not just the
+// goroutine whose enqueue happened to trigger the flush.
+type Pending struct {
+	done chan struct{}
+	err  error
+}
+
+// Wait blocks until the record's batch is durable (no-op if it already is).
+func (p *Pending) Wait() error {
+	<-p.done
+	return p.err
+}
+
+// settled is the shared already-durable handle returned by non-batch modes.
+var settled = func() *Pending {
+	p := &Pending{done: make(chan struct{})}
+	close(p.done)
+	return p
+}()
+
+// committer is the per-store group-commit flusher: one goroutine that wakes
+// on the first enqueue, sleeps one batch window so concurrent appends
+// coalesce, then flushes every dirty synopsis's pending buffer with one
+// write + one fsync each.
+type committer struct {
+	st *Store
+
+	mu    sync.Mutex
+	dirty map[*synStore]struct{}
+
+	wake    chan struct{} // cap 1: first enqueue after an idle period
+	quit    chan struct{}
+	stopped chan struct{}
+	once    sync.Once
+}
+
+func newCommitter(st *Store) *committer {
+	cm := &committer{
+		st:      st,
+		dirty:   make(map[*synStore]struct{}),
+		wake:    make(chan struct{}, 1),
+		quit:    make(chan struct{}),
+		stopped: make(chan struct{}),
+	}
+	go cm.run()
+	return cm
+}
+
+// markDirty registers s for the next flush round. Called with s.mu held or
+// not — the dirty set has its own lock.
+func (cm *committer) markDirty(s *synStore) {
+	cm.mu.Lock()
+	cm.dirty[s] = struct{}{}
+	cm.mu.Unlock()
+	select {
+	case cm.wake <- struct{}{}:
+	default:
+	}
+}
+
+// stop flushes everything enqueued so far and terminates the goroutine.
+func (cm *committer) stop() {
+	cm.once.Do(func() { close(cm.quit) })
+	<-cm.stopped
+}
+
+func (cm *committer) run() {
+	defer close(cm.stopped)
+	for {
+		select {
+		case <-cm.wake:
+			// Batch window: let concurrent appends pile into pending
+			// before paying the fsync.
+			t := time.NewTimer(cm.st.opts.BatchLatency)
+			select {
+			case <-t.C:
+			case <-cm.quit:
+				t.Stop()
+			}
+			cm.flushAll()
+		case <-cm.quit:
+			cm.flushAll()
+			return
+		}
+	}
+}
+
+// flushAll flushes every dirty synopsis. Holding s.mu across the write +
+// fsync is deliberate: enqueuers arriving mid-flush queue on the mutex, land
+// in the next batch, and re-wake the committer via markDirty.
+func (cm *committer) flushAll() {
+	cm.mu.Lock()
+	dirty := cm.dirty
+	cm.dirty = make(map[*synStore]struct{})
+	cm.mu.Unlock()
+	for s := range dirty {
+		s.mu.Lock()
+		cm.st.flushPendingLocked(s)
+		s.mu.Unlock()
+	}
+}
+
+// flushPendingLocked writes and fsyncs s's pending batch and settles every
+// waiter with the outcome. Caller holds s.mu. Generation-changing paths
+// (SaveBase, compaction's commit step, Remove, Close, ImportBase) call this
+// first so no enqueued record is stranded against a superseded log file.
+func (st *Store) flushPendingLocked(s *synStore) {
+	if len(s.waiters) == 0 {
+		return
+	}
+	buf, recs, waiters := s.pending, s.pendingN, s.waiters
+	s.pending, s.pendingN, s.waiters = nil, 0, nil
+	err := st.writeBatchLocked(s, buf, recs)
+	for _, p := range waiters {
+		p.err = err
+		close(p.done)
+	}
+}
+
+func (st *Store) writeBatchLocked(s *synStore, buf []byte, recs int) error {
+	if s.log == nil {
+		st.m.appendErrs.Inc()
+		return fmt.Errorf("store: synopsis %q has no open log", s.name)
+	}
+	start := time.Now()
+	if _, err := s.log.Write(buf); err != nil {
+		st.m.appendErrs.Inc()
+		return fmt.Errorf("store: flush %d-record batch for %q: %w", recs, s.name, err)
+	}
+	fstart := time.Now()
+	if err := s.log.Sync(); err != nil {
+		st.m.appendErrs.Inc()
+		return fmt.Errorf("store: fsync %d-record batch for %q: %w", recs, s.name, err)
+	}
+	st.m.fsyncs.Inc()
+	st.m.fsyncNs.Observe(time.Since(fstart).Nanoseconds())
+	st.m.batchEvents.Observe(int64(recs))
+	st.m.batchFlushNs.Observe(time.Since(start).Nanoseconds())
+	st.m.appends.Add(uint64(recs))
+	st.m.appendBytes.Add(uint64(len(buf)))
+	st.m.appendNs.Observe(time.Since(start).Nanoseconds())
+	s.logSize += int64(len(buf))
+	s.deltaCount += int64(recs)
+	return nil
+}

@@ -93,9 +93,12 @@ func (st *Store) compactNow(name string) (bool, error) {
 		return false, fmt.Errorf("store: compact %q: %w", name, err)
 	}
 
-	// Step 3: commit under the append lock.
+	// Step 3: commit under the append lock. Queued group-commit records
+	// flush into the old generation's log first, so they are part of the
+	// suffix carried to the new one instead of stranded bytes.
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	st.flushPendingLocked(s)
 	suffix := s.logSize - limit
 	if err := copyLogSuffix(
 		filepath.Join(s.dir, deltaFile(seq)), limit, suffix,

@@ -13,17 +13,19 @@ import (
 // paths. With Options.Metrics unset they are obs.Disabled no-ops, so library
 // users and tests pay nothing.
 type metrics struct {
-	appends     *obs.Counter   // xseed_store_appends_total
-	appendBytes *obs.Counter   // xseed_store_append_bytes_total
-	appendNs    *obs.Histogram // xseed_store_append_seconds
-	fsyncs      *obs.Counter   // xseed_store_fsyncs_total
-	fsyncNs     *obs.Histogram // xseed_store_fsync_seconds
-	baseSaves   *obs.Counter   // xseed_store_base_saves_total
-	baseBytes   *obs.Counter   // xseed_store_base_save_bytes_total
-	baseNs      *obs.Histogram // xseed_store_base_save_seconds
-	compactions *obs.Counter   // xseed_store_compactions_total
-	compactNs   *obs.Histogram // xseed_store_compact_seconds
-	foldedBytes *obs.Counter   // xseed_store_compact_folded_bytes_total
+	appends      *obs.Counter   // xseed_store_appends_total
+	appendBytes  *obs.Counter   // xseed_store_append_bytes_total
+	appendNs     *obs.Histogram // xseed_store_append_seconds
+	fsyncs       *obs.Counter   // xseed_store_fsyncs_total
+	fsyncNs      *obs.Histogram // xseed_store_fsync_seconds
+	batchEvents  *obs.Histogram // xseed_store_batch_events
+	batchFlushNs *obs.Histogram // xseed_store_batch_flush_seconds
+	baseSaves    *obs.Counter   // xseed_store_base_saves_total
+	baseBytes    *obs.Counter   // xseed_store_base_save_bytes_total
+	baseNs       *obs.Histogram // xseed_store_base_save_seconds
+	compactions  *obs.Counter   // xseed_store_compactions_total
+	compactNs    *obs.Histogram // xseed_store_compact_seconds
+	foldedBytes  *obs.Counter   // xseed_store_compact_folded_bytes_total
 
 	// save errors by path: op = append | base | compact. Children are
 	// pre-resolved so error paths never take the vec's lock.
@@ -48,6 +50,10 @@ func newMetrics(om *obs.Registry) *metrics {
 			"Delta-log fsyncs (only with -fsync)."),
 		fsyncNs: om.Histogram("xseed_store_fsync_seconds",
 			"Delta-log fsync latency.", seconds),
+		batchEvents: om.Histogram("xseed_store_batch_events",
+			"Records per group-commit flush (-store-fsync=batch): the batch factor by which fsyncs/event drops.", obs.HistogramOpts{}),
+		batchFlushNs: om.Histogram("xseed_store_batch_flush_seconds",
+			"Group-commit flush latency (batched write plus one fsync).", seconds),
 		baseSaves: om.Counter("xseed_store_base_saves_total",
 			"Full base snapshots written (register, snapshot upload, compaction)."),
 		baseBytes: om.Counter("xseed_store_base_save_bytes_total",

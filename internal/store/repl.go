@@ -167,6 +167,7 @@ func (st *Store) ImportBase(name string, seq uint64, meta BaseMeta, snapshot []b
 	defer s.genMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	st.flushPendingLocked(s) // settle queued records before the swap
 	if err := os.MkdirAll(s.dir, 0o755); err != nil {
 		st.m.baseErrs.Inc()
 		return Loaded{}, err
@@ -245,6 +246,7 @@ func (st *Store) AppendSegment(name string, seq uint64, off int64, data []byte) 
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	st.flushPendingLocked(s) // offsets compare against the durable log end
 	if s.seq != seq {
 		return 0, 0, ErrSeqMismatch
 	}
@@ -263,7 +265,9 @@ func (st *Store) AppendSegment(name string, seq uint64, off int64, data []byte) 
 		st.m.appendErrs.Inc()
 		return 0, 0, fmt.Errorf("store: append segment for %q: %w", name, err)
 	}
-	if st.opts.Fsync {
+	// Segments are already sender-side batches, so a durable standby syncs
+	// them inline even in batch mode — no extra window buys anything.
+	if st.opts.Fsync != FsyncOff {
 		fstart := time.Now()
 		if err := s.log.Sync(); err != nil {
 			st.m.appendErrs.Inc()

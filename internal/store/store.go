@@ -32,6 +32,51 @@ import (
 	"xseed/internal/obs"
 )
 
+// FsyncMode selects the delta-log durability discipline.
+type FsyncMode int
+
+const (
+	// FsyncOff never syncs the delta log. An O_APPEND write survives
+	// kill -9 without it (the page cache belongs to the kernel, not the
+	// process); only a machine crash loses buffered records.
+	FsyncOff FsyncMode = iota
+
+	// FsyncBatch group-commits: appends enqueue into a per-synopsis buffer
+	// and a store-wide committer goroutine flushes each buffer with one
+	// write + one fsync per batch window (Options.BatchLatency). Callers
+	// block until their record's batch is durable, so the ack contract
+	// matches FsyncEvery while fsyncs/record drops by the batch factor.
+	FsyncBatch
+
+	// FsyncEvery syncs after every append — machine-crash durable, but
+	// feedback-heavy traffic pays one fsync per mutation.
+	FsyncEvery
+)
+
+// ParseFsyncMode maps a -store-fsync flag value to a mode. "true"/"false"
+// keep the pre-batch boolean flag spellings working.
+func ParseFsyncMode(s string) (FsyncMode, error) {
+	switch s {
+	case "", "off", "false":
+		return FsyncOff, nil
+	case "batch":
+		return FsyncBatch, nil
+	case "every", "true":
+		return FsyncEvery, nil
+	}
+	return FsyncOff, fmt.Errorf("store: unknown fsync mode %q (want off, batch, or every)", s)
+}
+
+func (m FsyncMode) String() string {
+	switch m {
+	case FsyncBatch:
+		return "batch"
+	case FsyncEvery:
+		return "every"
+	}
+	return "off"
+}
+
 // Options tunes a store.
 type Options struct {
 	// CompactRatio triggers background compaction when a synopsis's delta
@@ -44,11 +89,13 @@ type Options struct {
 	// nothing). <= 0 means the default 4096.
 	CompactMinBytes int64
 
-	// Fsync syncs the delta log after every append. Off by default: an
-	// O_APPEND write survives kill -9 without it (the page cache belongs to
-	// the kernel, not the process); only a machine crash needs per-record
-	// fsync, and feedback-heavy traffic cannot afford one per mutation.
-	Fsync bool
+	// Fsync selects the delta-log durability mode. The zero value is
+	// FsyncOff.
+	Fsync FsyncMode
+
+	// BatchLatency bounds how long a FsyncBatch record may wait before its
+	// batch is flushed. <= 0 means the default 2ms. Ignored in other modes.
+	BatchLatency time.Duration
 
 	// Log receives recovery and compaction events. Nil discards them.
 	Log *slog.Logger
@@ -64,6 +111,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CompactMinBytes <= 0 {
 		o.CompactMinBytes = 4096
+	}
+	if o.BatchLatency <= 0 {
+		o.BatchLatency = 2 * time.Millisecond
 	}
 	if o.Log == nil {
 		o.Log = logx.Discard()
@@ -86,6 +136,8 @@ type Store struct {
 
 	manMu sync.Mutex // guards manifest state + file; acquired after a synStore.mu
 	man   *Manifest
+
+	cm *committer // group-commit flusher; non-nil iff opts.Fsync == FsyncBatch
 }
 
 // synStore is one synopsis's open persistence state. Its mutex serializes
@@ -106,11 +158,18 @@ type synStore struct {
 	mu          sync.Mutex
 	seq         uint64
 	log         *os.File // delta-<seq>.log, opened O_APPEND
-	logSize     int64
-	deltaCount  int64 // records appended or replayed since base
+	logSize     int64    // durable bytes: advances when records hit the file
+	deltaCount  int64    // records appended or replayed since base
 	baseSize    int64
 	compacting  bool
 	compactions int64
+
+	// Group commit (FsyncBatch): encoded records accumulate in pending and
+	// the store's committer writes+fsyncs them as one batch, settling every
+	// waiter with the flush outcome. Guarded by mu.
+	pending  []byte
+	pendingN int
+	waiters  []*Pending
 }
 
 // Open opens (creating if needed) a store rooted at dir.
@@ -147,6 +206,9 @@ func Open(dir string, opts Options) (*Store, error) {
 			s.baseSize = fi.Size()
 		}
 		st.syns[name] = s
+	}
+	if opts.Fsync == FsyncBatch {
+		st.cm = newCommitter(st)
 	}
 	return st, nil
 }
@@ -394,6 +456,10 @@ func (st *Store) SaveBase(name string, syn *xseed.Synopsis, source string, creat
 	defer s.genMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Settle any queued group-commit records before the generation swap:
+	// their waiters were promised this generation's log, which is about to
+	// be superseded (the new base snapshot already reflects them in memory).
+	st.flushPendingLocked(s)
 	if err := os.MkdirAll(s.dir, 0o755); err != nil {
 		st.m.baseErrs.Inc()
 		return err
@@ -487,7 +553,22 @@ func (st *Store) flipManifest(name string, me *ManifestEntry) error {
 // bytes. Call it inside the same critical section that applied the mutation
 // in memory, so the log order matches the apply order.
 func (st *Store) AppendFeedback(name string, d xseed.HETDelta) error {
-	return st.append(name, deltaRecord{Op: opFeedback, HET: &d})
+	p, err := st.AppendFeedbackEnq(name, d)
+	if err != nil {
+		return err
+	}
+	return p.Wait()
+}
+
+// AppendFeedbackEnq is AppendFeedback split for group commit: it enqueues
+// the record (inside the caller's apply-order critical section, so log order
+// matches apply order) and returns a Pending handle the caller waits on
+// AFTER leaving that critical section — blocking a hot synopsis's entry lock
+// for a whole batch window would cap it at 1/BatchLatency events/sec. In
+// non-batch modes the append is already durable on return and the handle's
+// Wait is free.
+func (st *Store) AppendFeedbackEnq(name string, d xseed.HETDelta) (*Pending, error) {
+	return st.appendEnq(name, deltaRecord{Op: opFeedback, HET: &d})
 }
 
 // AppendSubtree persists an incremental subtree add or remove.
@@ -505,30 +586,50 @@ func (st *Store) AppendBudget(name string, totalBytes int) error {
 }
 
 func (st *Store) append(name string, rec deltaRecord) error {
-	s, err := st.syn(name)
+	p, err := st.appendEnq(name, rec)
 	if err != nil {
 		return err
 	}
+	return p.Wait()
+}
+
+// appendEnq persists one record. In FsyncBatch mode it enqueues the encoded
+// record for the committer and returns a live Pending; otherwise it writes
+// (and in FsyncEvery syncs) immediately and returns an already-settled
+// handle.
+func (st *Store) appendEnq(name string, rec deltaRecord) (*Pending, error) {
+	s, err := st.syn(name)
+	if err != nil {
+		return nil, err
+	}
 	buf, err := encodeRecord(rec)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.log == nil {
 		st.m.appendErrs.Inc()
-		return fmt.Errorf("store: synopsis %q has no open log", name)
+		return nil, fmt.Errorf("store: synopsis %q has no open log", name)
+	}
+	if st.cm != nil {
+		p := &Pending{done: make(chan struct{})}
+		s.pending = append(s.pending, buf...)
+		s.pendingN++
+		s.waiters = append(s.waiters, p)
+		st.cm.markDirty(s)
+		return p, nil
 	}
 	start := time.Now()
 	if _, err := s.log.Write(buf); err != nil {
 		st.m.appendErrs.Inc()
-		return fmt.Errorf("store: append %s delta for %q: %w", rec.Op, name, err)
+		return nil, fmt.Errorf("store: append %s delta for %q: %w", rec.Op, name, err)
 	}
-	if st.opts.Fsync {
+	if st.opts.Fsync == FsyncEvery {
 		fstart := time.Now()
 		if err := s.log.Sync(); err != nil {
 			st.m.appendErrs.Inc()
-			return err
+			return nil, err
 		}
 		st.m.fsyncs.Inc()
 		st.m.fsyncNs.Observe(time.Since(fstart).Nanoseconds())
@@ -538,7 +639,7 @@ func (st *Store) append(name string, rec deltaRecord) error {
 	st.m.appendNs.Observe(time.Since(start).Nanoseconds())
 	s.logSize += int64(len(buf))
 	s.deltaCount++
-	return nil
+	return settled, nil
 }
 
 // Remove forgets a synopsis: manifest first (the commit point), then its
@@ -556,6 +657,7 @@ func (st *Store) Remove(name string) error {
 	s.genMu.Lock()
 	defer s.genMu.Unlock()
 	s.mu.Lock()
+	st.flushPendingLocked(s)
 	if s.log != nil {
 		s.log.Close()
 		s.log = nil
@@ -575,6 +677,9 @@ func (st *Store) Remove(name string) error {
 
 // Close flushes and closes every delta log. The store is unusable after.
 func (st *Store) Close() error {
+	if st.cm != nil {
+		st.cm.stop() // final flush of everything enqueued so far
+	}
 	st.mu.Lock()
 	syns := make([]*synStore, 0, len(st.syns))
 	for _, s := range st.syns {
@@ -584,6 +689,7 @@ func (st *Store) Close() error {
 	var first error
 	for _, s := range syns {
 		s.mu.Lock()
+		st.flushPendingLocked(s) // stragglers enqueued after the committer stopped
 		if s.log != nil {
 			if err := s.log.Sync(); err != nil && first == nil {
 				first = err

@@ -175,6 +175,75 @@ func DecodeFeedbackAck(p []byte) (*api.Error, error) {
 	return ae, nil
 }
 
+// AppendFeedbackBatchReq encodes a feedback batch:
+//
+//	name str | n uvarint | n × (query str | actual f64)
+func AppendFeedbackBatchReq(b []byte, name string, items []api.FeedbackItem) []byte {
+	b = appendString(b, name)
+	b = binary.AppendUvarint(b, uint64(len(items)))
+	for i := range items {
+		b = appendString(b, items[i].Query)
+		b = appendF64(b, items[i].Actual)
+	}
+	return b
+}
+
+// DecodeFeedbackBatchReq decodes a FeedbackBatchReq payload.
+func DecodeFeedbackBatchReq(p []byte) (name string, items []api.FeedbackItem, err error) {
+	d := dec{b: p}
+	name = d.str()
+	n := d.count(9) // an item is at least one length byte + 8 f64 bytes
+	if d.err != nil {
+		return "", nil, d.fail("FeedbackBatchReq")
+	}
+	items = make([]api.FeedbackItem, n)
+	for i := range items {
+		items[i].Query = d.str()
+		items[i].Actual = d.f64()
+	}
+	if err := d.finish("FeedbackBatchReq"); err != nil {
+		return "", nil, err
+	}
+	return name, items, nil
+}
+
+// AppendFeedbackBatchAck encodes a feedback batch acknowledgement: one
+// positional outcome per request item, nil = success:
+//
+//	n uvarint | n × (flags(1) | (error fields if hasError))
+func AppendFeedbackBatchAck(b []byte, errs []*api.Error) []byte {
+	b = binary.AppendUvarint(b, uint64(len(errs)))
+	for _, e := range errs {
+		if e == nil {
+			b = append(b, 0)
+			continue
+		}
+		b = append(b, ackHasError)
+		b = appendError(b, e)
+	}
+	return b
+}
+
+// DecodeFeedbackBatchAck decodes a FeedbackBatchAck payload into one
+// *api.Error slot per item (nil = that item succeeded).
+func DecodeFeedbackBatchAck(p []byte) ([]*api.Error, error) {
+	d := dec{b: p}
+	n := d.count(1) // an item is at least its flags byte
+	if d.err != nil {
+		return nil, d.fail("FeedbackBatchAck")
+	}
+	errs := make([]*api.Error, n)
+	for i := range errs {
+		if d.byte()&ackHasError != 0 {
+			errs[i] = d.apiError()
+		}
+	}
+	if err := d.finish("FeedbackBatchAck"); err != nil {
+		return nil, err
+	}
+	return errs, nil
+}
+
 // AppendAuthReq encodes a bearer-token presentation:
 //
 //	token str

@@ -45,6 +45,14 @@ func FuzzXTPDecode(f *testing.F) {
 	w.WriteFrame(FrameRingReq, 9, nil)
 	w.WriteFrame(FrameRingResp, 9, []byte(`{"epoch":1,"replicas":1,"nodes":[]}`))
 	w.WriteFrame(FrameReplDelete, 10, AppendReplDelete(nil, "orders"))
+	w.WriteFrame(FrameFeedbackBatchReq, 11, AppendFeedbackBatchReq(nil, "auction", []api.FeedbackItem{
+		{Query: "/a/b", Actual: 7},
+		{Query: "//c[d]", Actual: 0.5},
+	}))
+	w.WriteFrame(FrameFeedbackBatchAck, 11, AppendFeedbackBatchAck(nil, []*api.Error{
+		nil,
+		api.NewParseError("boom", 3, "["),
+	}))
 	f.Add(seed.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte{0x01})

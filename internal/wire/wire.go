@@ -137,6 +137,13 @@ const (
 	// FrameReplDelete (client→server) propagates a synopsis deletion to the
 	// standby.
 	FrameReplDelete FrameType = 0x14
+	// FrameFeedbackBatchReq (client→server) records a batch of executed
+	// queries' actual cardinalities in one frame. Appended per the §6
+	// evolution rules (new code, never reused; old servers close on it).
+	FrameFeedbackBatchReq FrameType = 0x15
+	// FrameFeedbackBatchAck (server→client) answers a FeedbackBatchReq with
+	// one positional outcome per item (partial success, like EstimateResp).
+	FrameFeedbackBatchAck FrameType = 0x16
 )
 
 // String names the frame type for logs and metrics.
@@ -232,6 +239,14 @@ func Frames() []FrameInfo {
 		}},
 		{FrameReplDelete, "ReplDelete", "C→S", func(p []byte) error {
 			_, err := DecodeReplDelete(p)
+			return err
+		}},
+		{FrameFeedbackBatchReq, "FeedbackBatchReq", "C→S", func(p []byte) error {
+			_, _, err := DecodeFeedbackBatchReq(p)
+			return err
+		}},
+		{FrameFeedbackBatchAck, "FeedbackBatchAck", "S→C", func(p []byte) error {
+			_, err := DecodeFeedbackBatchAck(p)
 			return err
 		}},
 	}

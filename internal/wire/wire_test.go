@@ -161,6 +161,29 @@ func TestFeedbackRoundTrip(t *testing.T) {
 	}
 }
 
+func TestFeedbackBatchRoundTrip(t *testing.T) {
+	items := []api.FeedbackItem{{Query: "/a/b", Actual: 7}, {Query: "//c", Actual: 0.25}}
+	name, got, err := DecodeFeedbackBatchReq(AppendFeedbackBatchReq(nil, "auction", items))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "auction" || len(got) != 2 || got[0] != items[0] || got[1] != items[1] {
+		t.Fatalf("decoded %q %+v", name, got)
+	}
+
+	in := []*api.Error{nil, api.NewParseError("boom", 3, "["), nil}
+	out, err := DecodeFeedbackBatchAck(AppendFeedbackBatchAck(nil, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 || out[0] != nil || out[2] != nil {
+		t.Fatalf("ack round trip: %+v", out)
+	}
+	if out[1] == nil || out[1].Code != api.CodeParseError || out[1].Msg != in[1].Msg {
+		t.Fatalf("error item round trip: %+v", out[1])
+	}
+}
+
 func TestErrorRoundTrip(t *testing.T) {
 	in := &api.Error{Code: api.CodeCanceled, Msg: "context canceled",
 		Detail: json.RawMessage(`{"requestId":"abc"}`)}
@@ -185,6 +208,10 @@ func TestDecodersRejectTruncation(t *testing.T) {
 		FrameFeedbackReq: AppendFeedbackReq(nil, "s", "/a", 2),
 		FrameFeedbackAck: AppendFeedbackAck(nil, api.Errorf(api.CodeInternal, "boom")),
 		FrameError:       AppendError(nil, api.Errorf(api.CodeConflict, "taken")),
+		FrameFeedbackBatchReq: AppendFeedbackBatchReq(nil, "s",
+			[]api.FeedbackItem{{Query: "/a", Actual: 1}, {Query: "/b", Actual: 2}}),
+		FrameFeedbackBatchAck: AppendFeedbackBatchAck(nil,
+			[]*api.Error{nil, api.Errorf(api.CodeParseError, "bad")}),
 	}
 	for _, fi := range Frames() {
 		body, ok := bodies[fi.Type]

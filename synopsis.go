@@ -333,11 +333,25 @@ type HETDelta struct {
 // applied is false when the synopsis has no HET or the query shape is one
 // the HET ignores (nothing changed; cached estimates stay valid).
 func (s *Synopsis) FeedbackQueryDelta(q *Query, actual float64) (estBefore float64, delta HETDelta, applied bool) {
+	estBefore, delta, applied = s.FeedbackQueryDeltaDeferred(q, actual)
+	if applied {
+		s.publish()
+	}
+	return estBefore, delta, applied
+}
+
+// FeedbackQueryDeltaDeferred is FeedbackQueryDelta without the snapshot
+// publication: the HET mutates but readers keep estimating against the
+// previous snapshot until the caller invokes Publish. It exists for batched
+// feedback — applying N deltas and publishing once amortizes the
+// O(resident) view copy each publication pays — and shares FeedbackQuery's
+// external-serialization contract for mutators.
+func (s *Synopsis) FeedbackQueryDeltaDeferred(q *Query, actual float64) (estBefore float64, delta HETDelta, applied bool) {
 	if s.tab == nil {
 		return 0, HETDelta{}, false
 	}
 	// The before-estimate runs against the current snapshot — the same value
-	// any concurrent reader gets until the successor is published below.
+	// any concurrent reader gets until the successor is published.
 	sn := s.Snapshot()
 	estBefore = sn.EstimateQuery(q)
 	base := 0.0
@@ -348,7 +362,6 @@ func (s *Synopsis) FeedbackQueryDelta(q *Query, actual float64) (estBefore float
 	if !applied {
 		return estBefore, HETDelta{}, false
 	}
-	s.publish()
 	return estBefore, HETDelta{
 		Hash:    e.Hash,
 		Pattern: e.Pattern,
@@ -358,6 +371,11 @@ func (s *Synopsis) FeedbackQueryDelta(q *Query, actual float64) (estBefore float
 		Err:     e.Err,
 	}, true
 }
+
+// Publish installs one successor snapshot covering every deferred mutation
+// applied since the last publication (see FeedbackQueryDeltaDeferred). Like
+// all mutators it must be externally serialized.
+func (s *Synopsis) Publish() { s.publish() }
 
 // ApplyHETDelta re-applies a recorded feedback delta (log replay during
 // recovery). It is idempotent: the entry upserts by (hash, kind). A no-op on
